@@ -1,0 +1,164 @@
+package lazyctrl
+
+// One benchmark per table/figure of the paper's evaluation (§V). Each
+// bench regenerates its artifact at a reduced-but-faithful scale and
+// logs the headline values next to the paper's. cmd/experiments prints
+// the full rows/series at higher fidelity.
+
+import (
+	"testing"
+	"time"
+
+	"lazyctrl/internal/eval"
+	"lazyctrl/internal/trace"
+)
+
+// BenchmarkTableII regenerates the trace-characteristics table
+// (Table II): flow counts and average 5-way centrality per dataset.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.TableII(50_000, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%-6s flows=%d centrality=%.3f (paper %.2f) p=%d q=%d",
+					r.Name, r.MeasuredFlows, r.AvgCentrality, r.PaperC, r.P, r.Q)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6a regenerates the inter-group traffic intensity sweep of
+// Fig. 6(a): W_inter versus the number of groups on Syn-A/B/C.
+func BenchmarkFig6a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := eval.Fig6a(60_000, uint64(i)+1, []int{5, 20, 80, 140})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				b.Logf("%-6s groups=%-4d Winter=%.1f%%", p.Trace, p.Groups, p.WinterPct)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6b regenerates the grouping computation-time sweep of
+// Fig. 6(b): IniGroup wall time versus group size limit, plus the
+// IncUpdate speedup the paper cites.
+func BenchmarkFig6b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := eval.Fig6b(60_000, uint64(i)+1, []int{50, 200, 600})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				b.Logf("%-6s limit=%-4d IniGroup=%v IncUpdate=%v",
+					p.Trace, p.SizeLimit, p.Elapsed.Round(time.Millisecond), p.IncElapsed.Round(time.Millisecond))
+			}
+		}
+	}
+}
+
+// benchFig789 shares the five-run emulation among the Fig. 7/8/9
+// benches at a reduced scale and a half-day horizon (cmd/experiments
+// runs the full-fidelity 24 h version).
+func benchFig789(b *testing.B, report func(*eval.Fig789Result)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunFig789(eval.Fig789Config{
+			Scale:   50_000,
+			Seed:    uint64(i) + 1,
+			Horizon: 12 * time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(res)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the controller-workload comparison of
+// Fig. 7: OpenFlow vs LazyCtrl static/dynamic on the real and expanded
+// traces.
+func BenchmarkFig7(b *testing.B) {
+	benchFig789(b, func(res *eval.Fig789Result) {
+		for _, name := range []string{
+			eval.SeriesOpenFlow, eval.SeriesRealStatic, eval.SeriesRealDynamic,
+			eval.SeriesExpandedStatic, eval.SeriesExpandedDynamic,
+		} {
+			b.Logf("%-28s mean workload = %.2f Krps", name, eval.Mean(res.Series[name].WorkloadKrps))
+		}
+		b.Logf("reductions: real %.0f%%/%.0f%%, expanded %.0f%%/%.0f%% (paper: 61–82%%)",
+			100*res.ReductionRealStatic, 100*res.ReductionRealDynamic,
+			100*res.ReductionExpandedStatic, 100*res.ReductionExpandedDynamic)
+	})
+}
+
+// BenchmarkFig8 regenerates the grouping-update frequency series of
+// Fig. 8 on the real and expanded traces.
+func BenchmarkFig8(b *testing.B) {
+	benchFig789(b, func(res *eval.Fig789Result) {
+		for _, name := range []string{eval.SeriesRealDynamic, eval.SeriesExpandedDynamic} {
+			r := res.Series[name]
+			b.Logf("%-28s updates/hour = %v (total %d)", name, r.UpdatesPerHour, r.Recorder.TotalUpdates())
+		}
+	})
+}
+
+// BenchmarkFig9 regenerates the steady-state latency comparison of
+// Fig. 9.
+func BenchmarkFig9(b *testing.B) {
+	benchFig789(b, func(res *eval.Fig789Result) {
+		of := eval.Mean(res.Series[eval.SeriesOpenFlow].AvgLatencyMs)
+		lz := eval.Mean(res.Series[eval.SeriesRealStatic].AvgLatencyMs)
+		b.Logf("OpenFlow %.3f ms vs LazyCtrl %.3f ms (reduction %.0f%%, paper ≈10%%)",
+			of, lz, 100*(1-lz/of))
+	})
+}
+
+// BenchmarkColdCache regenerates the §V-E first-packet latency
+// comparison: LazyCtrl intra-group / inter-group vs OpenFlow.
+func BenchmarkColdCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.ColdCache(eval.ColdCacheConfig{Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("intra=%v (paper 0.83ms) inter=%v (5.38ms) openflow=%v (15.06ms)",
+				res.LazyIntra.Round(time.Microsecond), res.LazyInter.Round(time.Microsecond),
+				res.OpenFlow.Round(time.Microsecond))
+		}
+	}
+}
+
+// BenchmarkStorage regenerates the §V-D storage-overhead analysis:
+// G-FIB bytes and false-positive rate versus group size.
+func BenchmarkStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := eval.Storage([]int{10, 46, 100, 600}, 24)
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("group=%-4d gfib=%dB fpp=%.4f%%", r.GroupSize, r.GFIBBytes, 100*r.FPP)
+			}
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures the synthetic trace generator
+// (workload substrate).
+func BenchmarkTraceGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.RealLike(50_000, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

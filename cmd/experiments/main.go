@@ -1,0 +1,178 @@
+// Command experiments regenerates every table and figure of the
+// LazyCtrl evaluation (§V): Table II, Fig. 6(a), Fig. 6(b), Fig. 7,
+// Fig. 8, Fig. 9, the §V-E cold-cache comparison, and the §V-D storage
+// analysis.
+//
+// Usage:
+//
+//	experiments -run all            # everything (slow)
+//	experiments -run tableII
+//	experiments -run fig6a,fig6b
+//	experiments -run fig7 -scale 5000
+//	experiments -run coldcache,storage
+//
+// Scale divides the paper's flow counts; 5000 replays ≈54k real-trace
+// flows and is faithful, larger values run faster.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lazyctrl/internal/eval"
+)
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiments: tableII,fig6a,fig6b,fig7,fig8,fig9,coldcache,storage")
+	scale := flag.Int("scale", 5000, "divisor applied to the paper's flow counts")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*runFlag, ",") {
+		want[strings.ToLower(strings.TrimSpace(name))] = true
+	}
+	all := want["all"]
+	var fig789 *eval.Fig789Result
+
+	runErr := func(name string, fn func() error) {
+		if !all && !want[strings.ToLower(name)] {
+			return
+		}
+		fmt.Printf("\n=== %s ===\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	runErr("TableII", func() error {
+		rows, err := eval.TableII(*scale, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6s %12s %12s %10s %10s %4s %4s\n",
+			"Trace", "paper flows", "gen flows", "centr.", "paper c.", "p", "q")
+		for _, r := range rows {
+			fmt.Printf("%-6s %12d %12d %10.3f %10.2f %4d %4d\n",
+				r.Name, r.PaperFlows, r.MeasuredFlows, r.AvgCentrality, r.PaperC, r.P, r.Q)
+		}
+		return nil
+	})
+
+	runErr("Fig6a", func() error {
+		points, err := eval.Fig6a(*scale*6, *seed, []int{5, 10, 20, 40, 60, 80, 100, 120, 140})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6s %8s %12s\n", "Trace", "groups", "Winter (%)")
+		for _, p := range points {
+			fmt.Printf("%-6s %8d %12.1f\n", p.Trace, p.Groups, p.WinterPct)
+		}
+		return nil
+	})
+
+	runErr("Fig6b", func() error {
+		points, err := eval.Fig6b(*scale*6, *seed, []int{50, 100, 200, 300, 400, 500, 600})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6s %10s %14s %14s\n", "Trace", "limit", "IniGroup", "IncUpdate")
+		for _, p := range points {
+			fmt.Printf("%-6s %10d %14v %14v\n",
+				p.Trace, p.SizeLimit, p.Elapsed.Round(time.Millisecond), p.IncElapsed.Round(time.Millisecond))
+		}
+		return nil
+	})
+
+	need789 := all || want["fig7"] || want["fig8"] || want["fig9"]
+	if need789 {
+		fmt.Printf("\n=== Fig7/8/9 emulations (scale %d) ===\n", *scale)
+		start := time.Now()
+		res, err := eval.RunFig789(eval.Fig789Config{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig789: %v\n", err)
+			os.Exit(1)
+		}
+		fig789 = res
+		fmt.Printf("(5 emulations in %v)\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	seriesOrder := []string{
+		eval.SeriesOpenFlow, eval.SeriesRealStatic, eval.SeriesRealDynamic,
+		eval.SeriesExpandedStatic, eval.SeriesExpandedDynamic,
+	}
+
+	if fig789 != nil && (all || want["fig7"]) {
+		fmt.Printf("\n=== Fig7: controller workload (Krps per 2h bucket) ===\n")
+		fmt.Printf("%-28s", "series")
+		for h := 0; h < 12; h++ {
+			fmt.Printf(" %5d-%d", 2*h, 2*h+2)
+		}
+		fmt.Println()
+		for _, name := range seriesOrder {
+			r := fig789.Series[name]
+			fmt.Printf("%-28s", name)
+			for _, v := range r.WorkloadKrps {
+				fmt.Printf(" %7.2f", v)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("\nworkload reductions vs OpenFlow: real static %.0f%%, real dynamic %.0f%%, expanded static %.0f%%, expanded dynamic %.0f%%\n",
+			100*fig789.ReductionRealStatic, 100*fig789.ReductionRealDynamic,
+			100*fig789.ReductionExpandedStatic, 100*fig789.ReductionExpandedDynamic)
+		fmt.Println("(paper: 61%–82% across cases)")
+	}
+
+	if fig789 != nil && (all || want["fig8"]) {
+		fmt.Printf("\n=== Fig8: grouping updates per hour ===\n")
+		for _, name := range []string{eval.SeriesRealDynamic, eval.SeriesExpandedDynamic} {
+			r := fig789.Series[name]
+			fmt.Printf("%-28s %v (total %d)\n", name, r.UpdatesPerHour, r.Recorder.TotalUpdates())
+		}
+		fmt.Println("(paper: ≈10/h on the real trace, ≤34/h on the expanded trace)")
+	}
+
+	if fig789 != nil && (all || want["fig9"]) {
+		fmt.Printf("\n=== Fig9: steady-state latency (ms per 2h bucket) ===\n")
+		for _, name := range []string{eval.SeriesOpenFlow, eval.SeriesRealStatic} {
+			r := fig789.Series[name]
+			fmt.Printf("%-28s", name)
+			for _, v := range r.AvgLatencyMs {
+				fmt.Printf(" %6.3f", v)
+			}
+			fmt.Println()
+		}
+		of := eval.Mean(fig789.Series[eval.SeriesOpenFlow].AvgLatencyMs)
+		lz := eval.Mean(fig789.Series[eval.SeriesRealStatic].AvgLatencyMs)
+		if of > 0 {
+			fmt.Printf("average reduction: %.0f%% (paper: ≈10%%)\n", 100*(1-lz/of))
+		}
+	}
+
+	runErr("ColdCache", func() error {
+		res, err := eval.ColdCache(eval.ColdCacheConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("LazyCtrl intra-group: %8v   (paper: 0.83 ms)\n", res.LazyIntra.Round(time.Microsecond))
+		fmt.Printf("LazyCtrl inter-group: %8v   (paper: 5.38 ms)\n", res.LazyInter.Round(time.Microsecond))
+		fmt.Printf("OpenFlow:             %8v   (paper: 15.06 ms)\n", res.OpenFlow.Round(time.Microsecond))
+		return nil
+	})
+
+	runErr("Storage", func() error {
+		rows := eval.Storage([]int{10, 20, 46, 100, 200, 600}, 24)
+		fmt.Printf("%10s %14s %12s\n", "group size", "G-FIB bytes", "FP rate")
+		for _, r := range rows {
+			fmt.Printf("%10d %14d %11.4f%%\n", r.GroupSize, r.GFIBBytes, 100*r.FPP)
+		}
+		fmt.Println("(paper: 46 switches → 92,160 bytes, FP < 0.1%)")
+		return nil
+	})
+}

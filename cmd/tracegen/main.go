@@ -1,0 +1,71 @@
+// Command tracegen generates the Table II traffic traces and prints
+// their measured characteristics.
+//
+// Usage:
+//
+//	tracegen -trace real -scale 5000
+//	tracegen -trace syn-a -scale 50000 -expand
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lazyctrl/internal/trace"
+)
+
+func main() {
+	name := flag.String("trace", "real", "trace to generate: real, syn-a, syn-b, syn-c")
+	scale := flag.Int("scale", 5000, "divisor applied to the paper's flow count")
+	seed := flag.Uint64("seed", 1, "random seed")
+	expand := flag.Bool("expand", false, "also derive the +30% expanded trace (§V-D)")
+	flag.Parse()
+
+	var (
+		tr  *trace.Trace
+		err error
+	)
+	switch *name {
+	case "real":
+		tr, err = trace.RealLike(*scale, *seed)
+	case "syn-a":
+		tr, err = trace.SynA(*scale, *seed)
+	case "syn-b":
+		tr, err = trace.SynB(*scale, *seed)
+	case "syn-c":
+		tr, err = trace.SynC(*scale, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown trace %q\n", *name)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	describe(tr, *seed)
+	if *expand {
+		exp, err := trace.Expand(tr, 0.30, 8, 24, *seed^0xe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		describe(exp, *seed)
+	}
+}
+
+func describe(tr *trace.Trace, seed uint64) {
+	st := trace.ComputeStats(tr)
+	fmt.Printf("trace %s: %d flows over %v\n", tr.Name, st.Flows, tr.Duration)
+	fmt.Printf("  topology: %d switches, %d hosts, %d tenants\n",
+		len(tr.Directory.Switches()), tr.Directory.NumHosts(), tr.Directory.NumTenants())
+	fmt.Printf("  distinct communicating pairs: %d of %d possible\n", st.DistinctPairs, st.PossiblePairs)
+	fmt.Printf("  top-decile pair share: %.1f%%\n", 100*st.TopDecileShare)
+	if c, err := trace.AverageCentrality(tr, 5, seed); err == nil {
+		fmt.Printf("  average 5-way centrality: %.3f\n", c)
+	}
+	m := trace.SwitchIntensity(tr, 0, tr.Duration)
+	fmt.Printf("  switch-pair intensity: %d active pairs, %.2f flows/s total\n",
+		m.NumPairs(), m.Total())
+}

@@ -1,0 +1,62 @@
+// Bargaining demonstrates the Appendix-C extension: before the
+// controller computes a grouping, switches negotiate the group size
+// limit through a modified Rubinstein bargaining game. Weak switches
+// (little TCAM headroom) pull the agreed limit down; a patient
+// controller pulls it up.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lazyctrl"
+)
+
+func main() {
+	// A heterogeneous fleet: most switches are comfortable with large
+	// groups, a few constrained ToRs are not.
+	offers := []lazyctrl.SwitchOffer{
+		{PreferredLimit: 12, Capacity: 4}, // big spine-adjacent switches
+		{PreferredLimit: 10, Capacity: 4},
+		{PreferredLimit: 9, Capacity: 2},
+		{PreferredLimit: 6, Capacity: 1}, // mid-tier
+		{PreferredLimit: 5, Capacity: 1},
+		{PreferredLimit: 4, Capacity: 0.5}, // constrained ToRs
+		{PreferredLimit: 3, Capacity: 0.5},
+	}
+	limit, err := lazyctrl.NegotiateGroupSize(16, offers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("controller wanted groups of 16; the switches' aggregate offer capped the pie;\n")
+	fmt.Printf("negotiated group size limit: %d\n\n", limit)
+
+	// Build a data center with the negotiated limit and show the
+	// resulting grouping.
+	dc, err := lazyctrl.New(lazyctrl.Config{
+		Switches:       24,
+		GroupSizeLimit: limit,
+		Seed:           11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for t := lazyctrl.TenantID(1); t <= 6; t++ {
+		dc.AddTenant(t)
+		base := lazyctrl.SwitchID((int(t)-1)*4 + 1)
+		for v := 0; v < 8; v++ {
+			host := lazyctrl.HostID(int(t)*100 + v)
+			sw := base + lazyctrl.SwitchID(v%4)
+			if err := dc.AddHost(host, t, sw); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := dc.SeedGroupingFromPlacement(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("groups under the negotiated limit:")
+	for gid, members := range dc.Groups() {
+		fmt.Printf("  %v: %d switches %v\n", gid, len(members), members)
+	}
+}

@@ -1,0 +1,377 @@
+// Package controller implements the LazyCtrl central controller (§IV-B):
+// C-LIB maintenance, switch-grouping management driven by the SGI
+// algorithm, tenant information management, ARP relay scoped by tenant,
+// inter-group rule installation with the Encap action, the failover
+// module, and — for the evaluation baseline — a standard OpenFlow
+// "learning switch" mode that reproduces the original Floodlight
+// behavior the paper compares against.
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"lazyctrl/internal/failover"
+	"lazyctrl/internal/fib"
+	"lazyctrl/internal/grouping"
+	"lazyctrl/internal/metrics"
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/netsim"
+	"lazyctrl/internal/openflow"
+)
+
+// Mode selects the control-plane behavior.
+type Mode uint8
+
+// Modes.
+const (
+	// ModeLazy is the LazyCtrl hybrid control plane.
+	ModeLazy Mode = iota + 1
+	// ModeLearning is the standard OpenFlow baseline: every flow setup
+	// reaches the controller, host locations are learned passively, and
+	// unknown destinations are flooded.
+	ModeLearning
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeLazy:
+		return "lazy"
+	case ModeLearning:
+		return "learning"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Config parameterizes the controller.
+type Config struct {
+	Mode Mode
+	// Switches lists all edge switches under control.
+	Switches []model.SwitchID
+	// GroupSizeLimit caps LCG sizes (lazy mode). Zero selects 46 (the
+	// paper's storage example).
+	GroupSizeLimit int
+	// Seed drives SGI and designated-switch selection.
+	Seed uint64
+	// ServiceRate is the controller's request-processing capacity in
+	// requests/second (unscaled). Zero selects 8000, a Floodlight-class
+	// controller on the paper's Core 2 Duo host.
+	ServiceRate float64
+	// LoadScale converts observed (scaled-down trace) request rates to
+	// estimated unscaled rates for the queueing model. Zero selects 1.
+	LoadScale int
+	// Dynamic enables incremental regrouping (Fig. 7's "dynamic"
+	// series). Static keeps the initial grouping for the whole run.
+	Dynamic bool
+	// RegroupMinInterval is the minimum time between regroupings (the
+	// paper uses 2 minutes to prevent oscillation).
+	RegroupMinInterval time.Duration
+	// RegroupGrowth triggers an early regrouping when controller
+	// workload has grown by this fraction since the last update (the
+	// paper uses 0.30); independent of growth, a regrouping attempt is
+	// made once RegroupMinInterval has elapsed, and Fig. 3's load
+	// thresholds decide whether IncUpdate actually changes anything.
+	RegroupGrowth float64
+	// RegroupCheckInterval is how often the trigger condition is
+	// evaluated. Zero selects 30 s.
+	RegroupCheckInterval time.Duration
+	// RegroupHighLoad and RegroupLowLoad are Fig. 3's thresholds on the
+	// normalized inter-group intensity. Zero selects 0.35 and 0.30 —
+	// above the scatter floor of a well-grouped data center, so updates
+	// fire on genuine degradation (the expanded trace) and stay quiet on
+	// a stable pattern.
+	RegroupHighLoad float64
+	RegroupLowLoad  float64
+	// RuleIdleTimeout is the idle timeout of installed flow rules. Zero
+	// selects 60 s.
+	RuleIdleTimeout time.Duration
+	// SyncInterval and KeepAliveInterval are handed to switches in
+	// GroupConfig. Zero selects 10 s and 5 s.
+	SyncInterval      time.Duration
+	KeepAliveInterval time.Duration
+	// ARPTimeout bounds how long an unresolved destination stays pending.
+	// Zero selects 200 ms.
+	ARPTimeout time.Duration
+	// Recorder receives workload accounting (may be nil).
+	Recorder *metrics.Recorder
+	// OnDiagnosis is invoked when the failover module reaches a
+	// diagnosis; the harness wires recovery actions that need to touch
+	// the simulated underlay (detours, reboots).
+	OnDiagnosis func(suspect model.SwitchID, diag failover.Diagnosis)
+	// OnRegroup is invoked after every (re)grouping with its version.
+	OnRegroup func(version uint64, grp *grouping.Grouping)
+}
+
+func (c Config) withDefaults() Config {
+	if c.GroupSizeLimit == 0 {
+		c.GroupSizeLimit = 46
+	}
+	if c.ServiceRate == 0 {
+		c.ServiceRate = 8000
+	}
+	if c.LoadScale < 1 {
+		c.LoadScale = 1
+	}
+	if c.RegroupMinInterval == 0 {
+		c.RegroupMinInterval = 2 * time.Minute
+	}
+	if c.RegroupGrowth == 0 {
+		c.RegroupGrowth = 0.30
+	}
+	if c.RegroupCheckInterval == 0 {
+		c.RegroupCheckInterval = 30 * time.Second
+	}
+	if c.RegroupHighLoad == 0 {
+		c.RegroupHighLoad = 0.35
+	}
+	if c.RegroupLowLoad == 0 {
+		c.RegroupLowLoad = 0.30
+	}
+	if c.RuleIdleTimeout == 0 {
+		c.RuleIdleTimeout = 60 * time.Second
+	}
+	if c.SyncInterval == 0 {
+		c.SyncInterval = 10 * time.Second
+	}
+	if c.KeepAliveInterval == 0 {
+		c.KeepAliveInterval = 5 * time.Second
+	}
+	if c.ARPTimeout == 0 {
+		c.ARPTimeout = 200 * time.Millisecond
+	}
+	return c
+}
+
+// pendingFlow is a PacketIn awaiting host-location resolution.
+type pendingFlow struct {
+	ingress model.SwitchID
+	packet  model.Packet
+	since   time.Duration
+}
+
+// Controller is the central controller node.
+type Controller struct {
+	cfg Config
+	env netsim.Env
+
+	clib      *fib.CLIB
+	grp       *grouping.Grouping
+	sgi       *grouping.SGI
+	intensity *grouping.Intensity
+
+	// Tenant information management: VLAN → tenant.
+	tenants map[model.VLAN]model.TenantID
+
+	// Learning mode: passively learned host locations.
+	learned map[model.MAC]model.SwitchID
+
+	// Pending PacketIns per destination MAC.
+	pending map[model.MAC][]pendingFlow
+
+	// Queueing model state.
+	reqWindowStart time.Duration
+	reqWindowCount uint64
+	lastRate       float64 // unscaled estimated requests/sec
+	backgroundRate float64 // floor for the rate estimate
+
+	// Regrouping state.
+	lastRegroupAt   time.Duration
+	rateAtRegroup   float64
+	groupingVersion uint64
+
+	// Failover.
+	detector *failover.Detector
+	lastAck  map[model.SwitchID]time.Duration
+	kaSeq    uint64
+	dead     map[model.SwitchID]bool
+
+	cancels []func()
+
+	// Stats.
+	stats Stats
+}
+
+// Stats counts controller-side events.
+type Stats struct {
+	PacketIns     uint64
+	FlowModsSent  uint64
+	PacketOuts    uint64
+	Floods        uint64
+	ARPRelays     uint64
+	StateReports  uint64
+	Regroupings   uint64
+	Unresolved    uint64
+	FailuresSeen  uint64
+	RulesPreload  uint64
+	KeepAliveLost uint64
+}
+
+// New constructs a controller.
+func New(cfg Config, env netsim.Env) (*Controller, error) {
+	c := cfg.withDefaults()
+	if c.Mode != ModeLazy && c.Mode != ModeLearning {
+		return nil, fmt.Errorf("controller: invalid mode %v", c.Mode)
+	}
+	if len(c.Switches) == 0 {
+		return nil, fmt.Errorf("controller: no switches")
+	}
+	sgi, err := grouping.New(grouping.Config{
+		SizeLimit: c.GroupSizeLimit,
+		Seed:      c.Seed,
+		HighLoad:  c.RegroupHighLoad,
+		LowLoad:   c.RegroupLowLoad,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	return &Controller{
+		cfg:       c,
+		env:       env,
+		clib:      fib.NewCLIB(),
+		grp:       grouping.NewGrouping(),
+		sgi:       sgi,
+		intensity: grouping.NewIntensity(),
+		tenants:   make(map[model.VLAN]model.TenantID),
+		learned:   make(map[model.MAC]model.SwitchID),
+		pending:   make(map[model.MAC][]pendingFlow),
+		detector:  failover.NewDetector(3 * c.KeepAliveInterval),
+		lastAck:   make(map[model.SwitchID]time.Duration),
+		dead:      make(map[model.SwitchID]bool),
+	}, nil
+}
+
+// NodeID implements netsim.Node.
+func (c *Controller) NodeID() model.SwitchID { return model.ControllerNode }
+
+// CLIB exposes the central location information base (read-only use).
+func (c *Controller) CLIB() *fib.CLIB { return c.clib }
+
+// Grouping returns the current grouping (read-only use).
+func (c *Controller) Grouping() *grouping.Grouping { return c.grp }
+
+// Stats returns a snapshot of the controller counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// GroupingVersion returns the current grouping version.
+func (c *Controller) GroupingVersion() uint64 { return c.groupingVersion }
+
+// RegisterTenant records a VLAN → tenant binding (tenant information
+// management module).
+func (c *Controller) RegisterTenant(vlan model.VLAN, tenant model.TenantID) {
+	c.tenants[vlan] = tenant
+}
+
+// Start begins periodic duties: keep-alives, failover checks, and (in
+// lazy dynamic mode) regroup-trigger evaluation.
+func (c *Controller) Start() {
+	c.cancels = append(c.cancels,
+		c.env.Every(c.cfg.KeepAliveInterval, c.sendKeepAlives),
+		c.env.Every(c.cfg.KeepAliveInterval, c.checkFailures),
+		c.env.Every(c.cfg.ARPTimeout, c.expirePending),
+	)
+	if c.cfg.Mode == ModeLazy && c.cfg.Dynamic {
+		c.cancels = append(c.cancels,
+			c.env.Every(c.cfg.RegroupCheckInterval, c.maybeRegroup))
+	}
+}
+
+// Stop cancels periodic duties.
+func (c *Controller) Stop() {
+	for _, cancel := range c.cancels {
+		cancel()
+	}
+	c.cancels = nil
+}
+
+// SameGroup reports whether two switches share a local control group —
+// handed to netsim for peer-link classification.
+func (c *Controller) SameGroup(a, b model.SwitchID) bool {
+	ga := c.grp.GroupOf(a)
+	return ga != model.NoGroup && ga == c.grp.GroupOf(b)
+}
+
+// InitialGrouping runs IniGroup on a warmup intensity matrix (the paper
+// seeds grouping from the first-hour traffic) and pushes the group
+// configuration to all switches. In learning mode it is a no-op.
+func (c *Controller) InitialGrouping(m *grouping.Intensity) error {
+	if c.cfg.Mode != ModeLazy {
+		return nil
+	}
+	// Every switch participates even if silent during warmup.
+	seeded := m.Clone()
+	for _, sw := range c.cfg.Switches {
+		seeded.AddSwitch(sw)
+	}
+	grp, err := c.sgi.IniGroup(seeded)
+	if err != nil {
+		return fmt.Errorf("controller: initial grouping: %w", err)
+	}
+	c.grp = grp
+	c.intensity = seeded
+	c.groupingVersion++
+	c.stats.Regroupings++
+	c.lastRegroupAt = c.env.Now()
+	c.pushGroupConfigs()
+	if c.cfg.Recorder != nil {
+		c.cfg.Recorder.RecordUpdate(c.env.Now())
+	}
+	if c.cfg.OnRegroup != nil {
+		c.cfg.OnRegroup(c.groupingVersion, c.grp)
+	}
+	return nil
+}
+
+// pushGroupConfigs sends every switch its group view (§III-D1 setup
+// phase: designated selection, wheel ordering, timing parameters).
+func (c *Controller) pushGroupConfigs() {
+	for _, gid := range c.grp.GroupIDs() {
+		members := c.grp.Members(gid)
+		wheel := failover.BuildWheel(members)
+		designated := c.chooseDesignated(members)
+		var backups []model.SwitchID
+		if len(members) > 1 {
+			for _, m := range members {
+				if m != designated {
+					backups = append(backups, m)
+					break
+				}
+			}
+		}
+		for _, m := range members {
+			prev, next := failover.Neighbors(wheel, m)
+			cfgMsg := &openflow.GroupConfig{
+				Group:             gid,
+				Members:           members,
+				Designated:        designated,
+				Backups:           backups,
+				RingPrev:          prev,
+				RingNext:          next,
+				SyncInterval:      c.cfg.SyncInterval,
+				KeepAliveInterval: c.cfg.KeepAliveInterval,
+				Version:           c.groupingVersion,
+			}
+			c.env.Send(m, cfgMsg)
+		}
+		// C-LIB group tags follow the new grouping; the host→switch
+		// mapping itself is unchanged (§III-D3).
+		for _, m := range members {
+			c.clib.SetGroup(m, gid)
+		}
+	}
+}
+
+// chooseDesignated picks the designated switch for a group. The paper
+// allows any principle (shortest distance, response time); the
+// deterministic choice here is the live member with the smallest
+// management MAC.
+func (c *Controller) chooseDesignated(members []model.SwitchID) model.SwitchID {
+	wheel := failover.BuildWheel(members)
+	for _, m := range wheel {
+		if !c.dead[m] {
+			return m
+		}
+	}
+	return wheel[0]
+}

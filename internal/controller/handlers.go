@@ -1,0 +1,454 @@
+package controller
+
+import (
+	"time"
+
+	"lazyctrl/internal/failover"
+	"lazyctrl/internal/metrics"
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/netsim"
+	"lazyctrl/internal/openflow"
+)
+
+// HandleMessage implements netsim.Node.
+func (c *Controller) HandleMessage(from model.SwitchID, msg netsim.Message) {
+	if netsim.HandleTimer(msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case *openflow.PacketIn:
+		c.handlePacketIn(m)
+	case *openflow.StateReport:
+		c.handleStateReport(m)
+	case *openflow.LFIBUpdate:
+		c.handleLFIBAnswer(from, m)
+	case *openflow.FailureReport:
+		// Failure reports are control-plane housekeeping, not
+		// traffic-driven workload.
+		c.record(metrics.ReqKeepAlive, 1)
+		c.stats.FailuresSeen++
+		c.detector.Observe(m, c.env.Now())
+	case *openflow.KeepAlive:
+		c.lastAck[m.From] = c.env.Now()
+		c.detector.Clear(m.From)
+	case *openflow.EchoReply:
+		// Liveness only.
+	case *openflow.StatsReply:
+		// Collected by tooling; nothing to do inline.
+	}
+}
+
+// record accounts controller workload and feeds the queueing model's
+// arrival-rate estimate.
+func (c *Controller) record(class metrics.RequestClass, n uint64) {
+	if n == 0 {
+		n = 1
+	}
+	now := c.env.Now()
+	if c.cfg.Recorder != nil {
+		c.cfg.Recorder.CountRequest(class, now, n)
+	}
+	// Sliding 10-second rate window.
+	const window = 10 * time.Second
+	if now-c.reqWindowStart >= window {
+		c.lastRate = float64(c.reqWindowCount) / (now - c.reqWindowStart).Seconds() * float64(c.cfg.LoadScale)
+		c.reqWindowStart = now
+		c.reqWindowCount = 0
+	}
+	c.reqWindowCount += n
+}
+
+// SetBackgroundLoad sets a floor on the estimated request rate used by
+// the queueing model, representing control traffic outside the
+// experiment's scope (e.g. the rest of a production data center during
+// a cold-cache probe).
+func (c *Controller) SetBackgroundLoad(rps float64) { c.backgroundRate = rps }
+
+// queueDelay models the controller's load-dependent processing delay:
+// an M/M/1-style wait at the estimated unscaled arrival rate, capped to
+// keep pathological bursts bounded.
+func (c *Controller) queueDelay() time.Duration {
+	service := time.Duration(float64(time.Second) / c.cfg.ServiceRate)
+	rate := c.lastRate
+	if c.backgroundRate > rate {
+		rate = c.backgroundRate
+	}
+	rho := rate / c.cfg.ServiceRate
+	if rho > 0.98 {
+		rho = 0.98
+	}
+	if rho < 0 {
+		rho = 0
+	}
+	wait := time.Duration(float64(service) * rho / (1 - rho))
+	const maxWait = 100 * time.Millisecond
+	if wait > maxWait {
+		wait = maxWait
+	}
+	return service + wait
+}
+
+// respond schedules fn after the controller's processing delay.
+func (c *Controller) respond(fn func()) {
+	c.env.After(c.queueDelay(), fn)
+}
+
+// WorkloadRate returns the controller's current estimated unscaled
+// request rate (requests/second).
+func (c *Controller) WorkloadRate() float64 { return c.lastRate }
+
+// handlePacketIn is the Ctrl-IF entry point for both modes.
+func (c *Controller) handlePacketIn(m *openflow.PacketIn) {
+	c.record(metrics.ReqPacketIn, 1)
+	c.stats.PacketIns++
+
+	// Intensity estimation: the controller observes the flows it must
+	// handle itself.
+	if dst := c.locate(m.Packet.DstMAC); dst != model.NoSwitch && dst != m.Switch {
+		c.intensity.Add(m.Switch, dst, 1)
+	}
+
+	switch c.cfg.Mode {
+	case ModeLearning:
+		c.handleLearning(m)
+	default:
+		c.handleLazy(m)
+	}
+}
+
+// locate returns the switch hosting a MAC under the active mode's
+// knowledge.
+func (c *Controller) locate(mac model.MAC) model.SwitchID {
+	if c.cfg.Mode == ModeLearning {
+		return c.learned[mac]
+	}
+	if e := c.clib.Lookup(mac); e != nil {
+		return e.Switch
+	}
+	return model.NoSwitch
+}
+
+// handleLearning reproduces the baseline OpenFlow learning switch: learn
+// the source location from the PacketIn, then either install a rule to
+// the known destination or flood the packet to every edge switch.
+func (c *Controller) handleLearning(m *openflow.PacketIn) {
+	c.learned[m.Packet.SrcMAC] = m.Switch
+	dst, known := c.learned[m.Packet.DstMAC]
+	if known && dst != m.Switch {
+		c.respond(func() { c.installAndForward(m.Switch, dst, m.Packet) })
+		return
+	}
+	if known && dst == m.Switch {
+		// Both endpoints local: bounce the packet back for delivery.
+		c.respond(func() {
+			c.stats.PacketOuts++
+			c.env.Send(m.Switch, &openflow.PacketOut{
+				Actions: []openflow.Action{openflow.Flood()},
+				Packet:  m.Packet,
+			})
+		})
+		return
+	}
+	// Unknown destination: flood to all switches. Emitting one copy per
+	// switch serializes on the controller CPU, which is the
+	// passive-learning cost the paper's §V-E attributes OpenFlow's
+	// 15 ms cold cache to: with hundreds of edge switches the average
+	// copy leaves the controller half a fan-out later.
+	c.stats.Floods++
+	c.record(metrics.ReqFloodOut, uint64(len(c.cfg.Switches)))
+	pkt := m.Packet
+	service := time.Duration(float64(time.Second) / c.cfg.ServiceRate)
+	base := c.queueDelay()
+	for i, sw := range c.cfg.Switches {
+		if sw == m.Switch {
+			continue
+		}
+		sw := sw
+		p := pkt
+		c.env.After(base+time.Duration(i)*service, func() { c.env.Send(sw, &p) })
+	}
+}
+
+// handleLazy serves inter-group (and stale-G-FIB) flows from the C-LIB,
+// falling back to tenant-scoped ARP relay when the destination is
+// unknown (§III-D3).
+func (c *Controller) handleLazy(m *openflow.PacketIn) {
+	if e := c.clib.Lookup(m.Packet.DstMAC); e != nil && e.Switch != m.Switch {
+		dst := e.Switch
+		c.respond(func() { c.installAndForward(m.Switch, dst, m.Packet) })
+		return
+	}
+	// Unknown (or local-only) destination: relay an ARP query to the
+	// designated switches of every group hosting the packet's tenant
+	// (VLAN).
+	c.pending[m.Packet.DstMAC] = append(c.pending[m.Packet.DstMAC], pendingFlow{
+		ingress: m.Switch,
+		packet:  m.Packet,
+		since:   c.env.Now(),
+	})
+	c.relayARP(m.Packet)
+}
+
+// relayARP fans an ARP query out to designated switches of the groups
+// that contain hosts of the packet's VLAN.
+func (c *Controller) relayARP(p model.Packet) {
+	arp := &openflow.ARPRelay{
+		Tenant: c.tenants[p.VLAN],
+		Packet: model.Packet{
+			SrcMAC:    p.SrcMAC,
+			DstMAC:    model.BroadcastMAC,
+			Ether:     model.EtherTypeARP,
+			ARPOp:     model.ARPRequest,
+			ARPTarget: p.DstIP,
+			VLAN:      p.VLAN,
+			Injected:  p.Injected,
+		},
+	}
+	targets := c.designatedForVLAN(p.VLAN)
+	if len(targets) == 0 {
+		// No known placement yet: query every designated switch.
+		targets = c.allDesignated()
+	}
+	c.stats.ARPRelays += uint64(len(targets))
+	c.record(metrics.ReqARPRelay, uint64(len(targets)))
+	c.respond(func() {
+		for _, d := range targets {
+			c.env.Send(d, arp)
+		}
+	})
+}
+
+// designatedForVLAN returns the designated switches of groups hosting
+// the VLAN.
+func (c *Controller) designatedForVLAN(vlan model.VLAN) []model.SwitchID {
+	groups := make(map[model.GroupID]bool)
+	for _, sw := range c.clib.SwitchesWithVLAN(vlan) {
+		if g := c.grp.GroupOf(sw); g != model.NoGroup {
+			groups[g] = true
+		}
+	}
+	out := make([]model.SwitchID, 0, len(groups))
+	for g := range groups {
+		out = append(out, c.chooseDesignated(c.grp.Members(g)))
+	}
+	return out
+}
+
+func (c *Controller) allDesignated() []model.SwitchID {
+	ids := c.grp.GroupIDs()
+	out := make([]model.SwitchID, 0, len(ids))
+	for _, g := range ids {
+		out = append(out, c.chooseDesignated(c.grp.Members(g)))
+	}
+	return out
+}
+
+// installAndForward installs the inter-group rule on the ingress switch
+// and returns the buffered packet with the Encap action (extending
+// OpenFlow v1.0, §IV-B).
+func (c *Controller) installAndForward(ingress, dst model.SwitchID, p model.Packet) {
+	c.stats.FlowModsSent++
+	c.stats.PacketOuts++
+	c.env.Send(ingress, &openflow.FlowMod{
+		Command:     openflow.FlowAdd,
+		Match:       openflow.ExactDst(p.DstMAC, p.VLAN),
+		Priority:    100,
+		IdleTimeout: c.cfg.RuleIdleTimeout,
+		Actions:     []openflow.Action{openflow.Encap(dst)},
+	})
+	c.env.Send(ingress, &openflow.PacketOut{
+		Actions: []openflow.Action{openflow.Encap(dst)},
+		Packet:  p,
+	})
+}
+
+// handleStateReport merges a designated switch's aggregated report:
+// C-LIB maintenance plus intensity-matrix updates (the input to SGI).
+func (c *Controller) handleStateReport(m *openflow.StateReport) {
+	c.record(metrics.ReqStateReport, 1)
+	c.stats.StateReports++
+	for i := range m.LFIBs {
+		u := &m.LFIBs[i]
+		group := c.grp.GroupOf(u.Origin)
+		c.clib.ApplyLFIB(u.Origin, group, u)
+	}
+	for _, pair := range m.Pairs {
+		c.intensity.Add(pair.A, pair.B, float64(pair.NewFlows))
+	}
+}
+
+// handleLFIBAnswer resolves pending flows when a switch answers an ARP
+// relay with a host binding.
+func (c *Controller) handleLFIBAnswer(from model.SwitchID, m *openflow.LFIBUpdate) {
+	c.record(metrics.ReqPacketIn, 1)
+	group := c.grp.GroupOf(m.Origin)
+	c.clib.ApplyLFIB(m.Origin, group, m)
+	for _, e := range m.Entries {
+		flows := c.pending[e.MAC]
+		if len(flows) == 0 {
+			continue
+		}
+		delete(c.pending, e.MAC)
+		for _, f := range flows {
+			if m.Origin == f.ingress {
+				continue // destination turned out local; switch handles it
+			}
+			f := f
+			c.respond(func() { c.installAndForward(f.ingress, m.Origin, f.packet) })
+		}
+	}
+	_ = from
+}
+
+// expirePending drops unresolved flows past the ARP timeout.
+func (c *Controller) expirePending() {
+	now := c.env.Now()
+	for mac, flows := range c.pending {
+		keep := flows[:0]
+		for _, f := range flows {
+			if now-f.since < c.cfg.ARPTimeout {
+				keep = append(keep, f)
+			} else {
+				c.stats.Unresolved++
+			}
+		}
+		if len(keep) == 0 {
+			delete(c.pending, mac)
+		} else {
+			c.pending[mac] = keep
+		}
+	}
+}
+
+// maybeRegroup evaluates the §IV-B trigger: once the 2-minute minimum
+// interval has elapsed (or earlier when workload grew ≥30%), attempt an
+// incremental regrouping. Fig. 3's load thresholds inside IncUpdate
+// decide whether any merge/split actually happens; only effective
+// updates are counted and pushed.
+func (c *Controller) maybeRegroup() {
+	now := c.env.Now()
+	if now-c.lastRegroupAt < c.cfg.RegroupMinInterval {
+		return
+	}
+	if c.grp.NumGroups() == 0 {
+		return
+	}
+	if c.rateAtRegroup == 0 {
+		c.rateAtRegroup = c.lastRate
+	}
+	ops, err := c.sgi.IncUpdate(c.grp, c.intensity, nil)
+	if err != nil || ops == 0 {
+		return
+	}
+	c.groupingVersion++
+	c.stats.Regroupings++
+	c.lastRegroupAt = now
+	c.rateAtRegroup = c.lastRate
+	c.record(metrics.ReqRegroup, uint64(len(c.cfg.Switches)))
+	c.pushGroupConfigs()
+	// Age the intensity estimate gently: fresh traffic shifts the
+	// balance without discarding the accumulated signal (a hard reset
+	// would leave SGI re-splitting on sampling noise).
+	c.intensity.Decay(0.9)
+	if c.cfg.Recorder != nil {
+		c.cfg.Recorder.RecordUpdate(now)
+	}
+	if c.cfg.OnRegroup != nil {
+		c.cfg.OnRegroup(c.groupingVersion, c.grp)
+	}
+}
+
+// sendKeepAlives probes every switch (the Controller→Sn stream of
+// Table I).
+func (c *Controller) sendKeepAlives() {
+	c.kaSeq++
+	for _, sw := range c.cfg.Switches {
+		if c.dead[sw] {
+			continue
+		}
+		c.env.Send(sw, &openflow.KeepAlive{From: model.ControllerNode, Seq: c.kaSeq})
+	}
+}
+
+// checkFailures folds missing acks into the detector and acts on closed
+// diagnoses (§III-E2/3).
+func (c *Controller) checkFailures() {
+	now := c.env.Now()
+	deadline := 3 * c.cfg.KeepAliveInterval
+	for _, sw := range c.cfg.Switches {
+		if c.dead[sw] {
+			continue
+		}
+		last, seen := c.lastAck[sw]
+		if !seen {
+			c.lastAck[sw] = now
+			continue
+		}
+		if now-last >= deadline {
+			c.stats.KeepAliveLost++
+			c.detector.ObserveCtrlLoss(sw, now)
+		}
+	}
+	for suspect, diag := range c.detector.Ready(now) {
+		c.actOnDiagnosis(suspect, diag)
+	}
+}
+
+// actOnDiagnosis performs the control-plane side of recovery.
+func (c *Controller) actOnDiagnosis(suspect model.SwitchID, diag failover.Diagnosis) {
+	switch diag {
+	case failover.DiagSwitch:
+		c.dead[suspect] = true
+		// If the failed switch was its group's designated switch, select
+		// a replacement and re-push the group view (§III-E3).
+		gid := c.grp.GroupOf(suspect)
+		if gid != model.NoGroup {
+			members := c.grp.Members(gid)
+			if c.chooseDesignatedWas(members, suspect) {
+				c.groupingVersion++
+				c.pushGroupConfigs()
+			}
+		}
+	case failover.DiagPeerLinkUp, failover.DiagPeerLinkDown:
+		// Only matters when a designated switch is an endpoint; the
+		// conservative response is a config re-push selecting designated
+		// switches afresh.
+		if gid := c.grp.GroupOf(suspect); gid != model.NoGroup {
+			c.groupingVersion++
+			c.pushGroupConfigs()
+		}
+	case failover.DiagControlLink:
+		// Relay via the ring predecessor is arranged by the harness.
+	}
+	if c.cfg.OnDiagnosis != nil {
+		c.cfg.OnDiagnosis(suspect, diag)
+	}
+}
+
+func (c *Controller) chooseDesignatedWas(members []model.SwitchID, suspect model.SwitchID) bool {
+	// Before marking dead the designated would have been the first live
+	// wheel member; afterwards the choice changes iff the suspect was it.
+	wheel := failover.BuildWheel(members)
+	for _, m := range wheel {
+		if m == suspect {
+			return true
+		}
+		if !c.dead[m] {
+			return false
+		}
+	}
+	return false
+}
+
+// MarkRecovered clears a switch's dead flag after the harness reboots
+// it, and re-pushes its group configuration to trigger resynchronization
+// (§III-E3 step iii).
+func (c *Controller) MarkRecovered(sw model.SwitchID) {
+	if !c.dead[sw] {
+		return
+	}
+	delete(c.dead, sw)
+	c.lastAck[sw] = c.env.Now()
+	c.groupingVersion++
+	c.pushGroupConfigs()
+}

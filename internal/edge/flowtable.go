@@ -1,0 +1,126 @@
+// Package edge implements the LazyCtrl edge switch (§IV-A): the fast
+// path (flow table → L-FIB → Bloom-filter G-FIB → encapsulation,
+// exactly the routine of Fig. 5) and the slow-path modules of the
+// modified Open vSwitch — Ctrl-IF, state advertisement, FIB
+// maintenance, and state reporting (active on the designated switch).
+package edge
+
+import (
+	"time"
+
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/openflow"
+)
+
+// flowRule is an installed flow-table entry.
+type flowRule struct {
+	match       openflow.Match
+	priority    uint16
+	actions     []openflow.Action
+	idleTimeout time.Duration
+	hardTimeout time.Duration
+	installedAt time.Duration
+	lastHit     time.Duration
+	packets     uint64
+	bytes       uint64
+}
+
+func (r *flowRule) expired(now time.Duration) bool {
+	if r.hardTimeout > 0 && now-r.installedAt > r.hardTimeout {
+		return true
+	}
+	if r.idleTimeout > 0 && now-r.lastHit > r.idleTimeout {
+		return true
+	}
+	return false
+}
+
+// exactKey indexes the common LazyCtrl rule shape: exact (dstMAC, VLAN)
+// with everything else wildcarded.
+type exactKey struct {
+	dst  model.MAC
+	vlan model.VLAN
+}
+
+// flowTable holds a switch's OpenFlow rules: a hash index for exact-dst
+// rules plus an ordered scan list for arbitrary matches.
+type flowTable struct {
+	exact    map[exactKey]*flowRule
+	wildcard []*flowRule
+}
+
+func newFlowTable() *flowTable {
+	return &flowTable{exact: make(map[exactKey]*flowRule)}
+}
+
+func isExactDst(m openflow.Match) (exactKey, bool) {
+	want := openflow.WildcardAll &^ (openflow.WildcardDstMAC | openflow.WildcardVLAN)
+	if m.Wildcards == want {
+		return exactKey{dst: m.DstMAC, vlan: m.VLAN}, true
+	}
+	return exactKey{}, false
+}
+
+// install adds or replaces a rule.
+func (t *flowTable) install(r *flowRule) {
+	if key, ok := isExactDst(r.match); ok {
+		t.exact[key] = r
+		return
+	}
+	for i, old := range t.wildcard {
+		if old.match == r.match {
+			t.wildcard[i] = r
+			return
+		}
+	}
+	t.wildcard = append(t.wildcard, r)
+}
+
+// remove deletes rules matching the given match exactly.
+func (t *flowTable) remove(m openflow.Match) {
+	if key, ok := isExactDst(m); ok {
+		delete(t.exact, key)
+		return
+	}
+	keep := t.wildcard[:0]
+	for _, r := range t.wildcard {
+		if r.match != m {
+			keep = append(keep, r)
+		}
+	}
+	t.wildcard = keep
+}
+
+// lookup returns the highest-priority live rule matching p, evicting
+// expired rules it encounters.
+func (t *flowTable) lookup(p *model.Packet, now time.Duration) *flowRule {
+	var best *flowRule
+	if r, ok := t.exact[exactKey{dst: p.DstMAC, vlan: p.VLAN}]; ok {
+		if r.expired(now) {
+			delete(t.exact, exactKey{dst: p.DstMAC, vlan: p.VLAN})
+		} else {
+			best = r
+		}
+	}
+	keep := t.wildcard[:0]
+	for _, r := range t.wildcard {
+		if r.expired(now) {
+			continue
+		}
+		keep = append(keep, r)
+		if r.match.Matches(p) && (best == nil || r.priority > best.priority) {
+			best = r
+		}
+	}
+	t.wildcard = keep
+	if best != nil {
+		best.lastHit = now
+		best.packets++
+		best.bytes += uint64(p.Bytes)
+	}
+	return best
+}
+
+// len returns the number of live rules (including not-yet-evicted
+// expired ones).
+func (t *flowTable) len() int { return len(t.exact) + len(t.wildcard) }

@@ -1,0 +1,147 @@
+package edge
+
+import (
+	"testing"
+	"time"
+
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/openflow"
+)
+
+func rule(match openflow.Match, prio uint16, idle time.Duration, actions ...openflow.Action) *flowRule {
+	return &flowRule{
+		match:       match,
+		priority:    prio,
+		actions:     actions,
+		idleTimeout: idle,
+	}
+}
+
+func TestFlowTableExactLookup(t *testing.T) {
+	ft := newFlowTable()
+	m := openflow.ExactDst(model.HostMAC(1), 5)
+	ft.install(rule(m, 10, time.Minute, openflow.Encap(2)))
+	p := &model.Packet{DstMAC: model.HostMAC(1), VLAN: 5}
+	r := ft.lookup(p, 0)
+	if r == nil || r.actions[0].Remote != 2 {
+		t.Fatalf("lookup = %+v", r)
+	}
+	// VLAN mismatch misses.
+	p2 := &model.Packet{DstMAC: model.HostMAC(1), VLAN: 6}
+	if ft.lookup(p2, 0) != nil {
+		t.Error("VLAN mismatch matched exact rule")
+	}
+}
+
+func TestFlowTableWildcardPriority(t *testing.T) {
+	ft := newFlowTable()
+	all := openflow.Match{Wildcards: openflow.WildcardAll}
+	srcOnly := openflow.Match{
+		Wildcards: openflow.WildcardAll &^ openflow.WildcardSrcMAC,
+		SrcMAC:    model.HostMAC(7),
+	}
+	ft.install(rule(all, 1, 0, openflow.Drop()))
+	ft.install(rule(srcOnly, 50, 0, openflow.Output(3)))
+
+	p := &model.Packet{SrcMAC: model.HostMAC(7)}
+	r := ft.lookup(p, 0)
+	if r == nil || r.actions[0].Type != openflow.ActionTypeOutput {
+		t.Fatalf("high-priority wildcard not selected: %+v", r)
+	}
+	other := &model.Packet{SrcMAC: model.HostMAC(8)}
+	r = ft.lookup(other, 0)
+	if r == nil || r.actions[0].Type != openflow.ActionTypeDrop {
+		t.Fatalf("catch-all not selected: %+v", r)
+	}
+}
+
+func TestFlowTableExactBeatsWildcardOnPriority(t *testing.T) {
+	ft := newFlowTable()
+	exact := openflow.ExactDst(model.HostMAC(1), 1)
+	all := openflow.Match{Wildcards: openflow.WildcardAll}
+	ft.install(rule(exact, 10, 0, openflow.Encap(9)))
+	ft.install(rule(all, 99, 0, openflow.Drop()))
+	p := &model.Packet{DstMAC: model.HostMAC(1), VLAN: 1}
+	r := ft.lookup(p, 0)
+	if r == nil || r.actions[0].Type != openflow.ActionTypeDrop {
+		t.Fatalf("priority ordering violated: %+v", r)
+	}
+}
+
+func TestFlowTableReplaceAndRemove(t *testing.T) {
+	ft := newFlowTable()
+	m := openflow.ExactDst(model.HostMAC(1), 1)
+	ft.install(rule(m, 10, 0, openflow.Encap(2)))
+	ft.install(rule(m, 10, 0, openflow.Encap(3))) // replace
+	if ft.len() != 1 {
+		t.Fatalf("len = %d after replace, want 1", ft.len())
+	}
+	p := &model.Packet{DstMAC: model.HostMAC(1), VLAN: 1}
+	if r := ft.lookup(p, 0); r == nil || r.actions[0].Remote != 3 {
+		t.Fatalf("replacement not effective: %+v", r)
+	}
+	ft.remove(m)
+	if ft.lookup(p, 0) != nil {
+		t.Error("rule survives remove")
+	}
+
+	// Wildcard replace and remove.
+	w := openflow.Match{Wildcards: openflow.WildcardAll &^ openflow.WildcardEther, Ether: model.EtherTypeARP}
+	ft.install(rule(w, 5, 0, openflow.ToController()))
+	ft.install(rule(w, 7, 0, openflow.Drop()))
+	if ft.len() != 1 {
+		t.Fatalf("wildcard replace duplicated: len=%d", ft.len())
+	}
+	ft.remove(w)
+	if ft.len() != 0 {
+		t.Error("wildcard rule survives remove")
+	}
+}
+
+func TestFlowTableTimeouts(t *testing.T) {
+	ft := newFlowTable()
+	idle := rule(openflow.ExactDst(model.HostMAC(1), 1), 10, time.Second, openflow.Encap(2))
+	idle.installedAt = 0
+	idle.lastHit = 0
+	ft.install(idle)
+	hard := rule(openflow.Match{Wildcards: openflow.WildcardAll}, 1, 0, openflow.Drop())
+	hard.hardTimeout = 3 * time.Second
+	ft.install(hard)
+
+	p := &model.Packet{DstMAC: model.HostMAC(1), VLAN: 1}
+	// Keep the idle rule warm by hitting it.
+	if ft.lookup(p, 500*time.Millisecond) == nil {
+		t.Fatal("warm rule missed")
+	}
+	if r := ft.lookup(p, 1200*time.Millisecond); r == nil {
+		t.Fatal("refreshed idle rule expired prematurely")
+	}
+	// Let it idle out.
+	other := &model.Packet{DstMAC: model.HostMAC(9), VLAN: 1}
+	if r := ft.lookup(other, 2500*time.Millisecond); r == nil || r.actions[0].Type != openflow.ActionTypeDrop {
+		t.Fatal("catch-all missing before hard timeout")
+	}
+	if r := ft.lookup(p, 3*time.Second); r != nil && r.actions[0].Type == openflow.ActionTypeEncap {
+		t.Error("idle rule not expired")
+	}
+	// Hard timeout kills the catch-all regardless of hits.
+	if r := ft.lookup(other, 4*time.Second); r != nil {
+		t.Errorf("hard-timeout rule still alive: %+v", r)
+	}
+}
+
+func TestFlowTableHitCounters(t *testing.T) {
+	ft := newFlowTable()
+	m := openflow.ExactDst(model.HostMAC(1), 1)
+	r := rule(m, 10, 0, openflow.Encap(2))
+	ft.install(r)
+	p := &model.Packet{DstMAC: model.HostMAC(1), VLAN: 1, Bytes: 500}
+	ft.lookup(p, 0)
+	ft.lookup(p, time.Second)
+	if r.packets != 2 || r.bytes != 1000 {
+		t.Errorf("counters = %d pkts %d bytes, want 2/1000", r.packets, r.bytes)
+	}
+	if r.lastHit != time.Second {
+		t.Errorf("lastHit = %v, want 1s", r.lastHit)
+	}
+}

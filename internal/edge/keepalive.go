@@ -1,0 +1,88 @@
+package edge
+
+import (
+	"time"
+
+	"lazyctrl/internal/bloom"
+	"lazyctrl/internal/fib"
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/openflow"
+)
+
+// sendKeepAlives emits the wheel heartbeats: one to each ring neighbor
+// (the Sn→Sn−1 and Sn→Sn+1 streams of Table I).
+func (s *Switch) sendKeepAlives() {
+	if !s.haveGroup {
+		return
+	}
+	s.kaSeq++
+	ka := &openflow.KeepAlive{From: s.cfg.ID, Seq: s.kaSeq}
+	if s.group.RingPrev != model.NoSwitch && s.group.RingPrev != s.cfg.ID {
+		s.env.Send(s.group.RingPrev, ka)
+	}
+	if s.group.RingNext != model.NoSwitch && s.group.RingNext != s.cfg.ID {
+		s.env.Send(s.group.RingNext, ka)
+	}
+}
+
+// handleKeepAlive records heartbeats from ring neighbors and from the
+// controller. Controller heartbeats are acknowledged so the controller
+// can detect control-link loss.
+func (s *Switch) handleKeepAlive(from model.SwitchID, m *openflow.KeepAlive) {
+	s.lastFrom[m.From] = s.env.Now()
+	delete(s.reported, m.From)
+	if m.From == model.ControllerNode {
+		s.env.Send(model.ControllerNode, &openflow.KeepAlive{From: s.cfg.ID, Seq: m.Seq})
+	}
+	_ = from
+}
+
+// checkKeepAlives detects silent ring neighbors and reports them to the
+// controller (§III-E1). The direction encodes which Table I stream went
+// missing: a silent successor means its Sn→Sn−1 stream stopped (we are
+// its ring predecessor); a silent predecessor means its Sn→Sn+1 stream
+// stopped.
+func (s *Switch) checkKeepAlives() {
+	if !s.haveGroup || s.group.KeepAliveInterval <= 0 {
+		return
+	}
+	now := s.env.Now()
+	deadline := time.Duration(s.cfg.KeepAliveMisses) * s.group.KeepAliveInterval
+	check := func(neighbor model.SwitchID, dir openflow.LossDirection) {
+		if neighbor == model.NoSwitch || neighbor == s.cfg.ID || s.reported[neighbor] {
+			return
+		}
+		last, seen := s.lastFrom[neighbor]
+		if !seen {
+			// Grace period: neighbor has never spoken; give it a full
+			// deadline from group configuration.
+			s.lastFrom[neighbor] = now
+			return
+		}
+		if now-last >= deadline {
+			s.reported[neighbor] = true
+			s.sendCtrl(&openflow.FailureReport{
+				Observer:  s.cfg.ID,
+				Suspect:   neighbor,
+				Direction: dir,
+				MissedSeq: s.kaSeq,
+			})
+		}
+	}
+	check(s.group.RingNext, openflow.LossUp)
+	check(s.group.RingPrev, openflow.LossDown)
+}
+
+// filterFromEntries builds a Bloom filter over wire L-FIB entries.
+func filterFromEntries(entries []openflow.LFIBEntry, bits uint64, hashes uint32) *bloom.Filter {
+	f := bloom.New(bits, hashes)
+	for _, e := range entries {
+		f.AddUint64(fib.MACKey(e.MAC))
+		f.AddUint64(fib.IPKey(e.IP))
+	}
+	return f
+}
+
+func filterFromEntriesWire(entries []openflow.LFIBEntry, bits uint64, hashes uint32) *bloom.Filter {
+	return filterFromEntries(entries, bits, hashes)
+}

@@ -1,0 +1,332 @@
+package edge
+
+import (
+	"time"
+
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/netsim"
+	"lazyctrl/internal/openflow"
+)
+
+// HandleMessage implements netsim.Node: the Ctrl-IF and peer/state link
+// endpoints of the switch.
+func (s *Switch) HandleMessage(from model.SwitchID, msg netsim.Message) {
+	if netsim.HandleTimer(msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case *model.Packet:
+		if m.Encapsulated() {
+			s.handleOverlay(m)
+		} else {
+			s.handleFlood(m)
+		}
+	case *openflow.FlowMod:
+		s.handleFlowMod(m)
+	case *openflow.PacketOut:
+		pkt := m.Packet
+		s.applyActions(m.Actions, &pkt)
+	case *openflow.GroupConfig:
+		s.handleGroupConfig(m)
+	case *openflow.StateReport:
+		s.handleMemberReport(from, m)
+	case *openflow.GFIBUpdate:
+		s.handleGFIBUpdate(m)
+	case *openflow.LFIBUpdate:
+		s.handleLFIBUpdate(from, m)
+	case *openflow.ARPRelay:
+		s.handleARPRelay(m)
+	case *openflow.KeepAlive:
+		s.handleKeepAlive(from, m)
+	case *openflow.EchoRequest:
+		s.env.Send(from, &openflow.EchoReply{Data: m.Data})
+	case *openflow.StatsRequest:
+		s.env.Send(from, s.statsReply())
+	case *relayEnvelope:
+		// Pass a neighbor's control message on to the controller
+		// (§III-E2 control-link failover).
+		s.env.Send(model.ControllerNode, m.Msg)
+	}
+}
+
+func (s *Switch) handleFlowMod(m *openflow.FlowMod) {
+	switch m.Command {
+	case openflow.FlowAdd, openflow.FlowModify:
+		s.flows.install(&flowRule{
+			match:       m.Match,
+			priority:    m.Priority,
+			actions:     append([]openflow.Action(nil), m.Actions...),
+			idleTimeout: m.IdleTimeout,
+			hardTimeout: m.HardTimeout,
+			installedAt: s.env.Now(),
+			lastHit:     s.env.Now(),
+		})
+	case openflow.FlowDelete:
+		s.flows.remove(m.Match)
+	}
+}
+
+// handleGroupConfig adopts a (re)grouping decision from the controller
+// (§III-D1): group membership, designated switch, wheel neighbors, and
+// timing. The G-FIB is cleared and rebuilt by the next dissemination
+// round; the switch immediately advertises its L-FIB so the designated
+// switch can rebuild quickly (the "preload" window is covered by
+// controller-installed rules).
+func (s *Switch) handleGroupConfig(m *openflow.GroupConfig) {
+	membersChanged := !sameMembers(s.group.Members, m.Members) || !s.haveGroup
+	ringChanged := s.group.RingPrev != m.RingPrev || s.group.RingNext != m.RingNext
+	s.group = *m
+	s.haveGroup = true
+	if membersChanged || ringChanged {
+		// Fresh keep-alive bookkeeping: new wheel neighbors get a full
+		// grace period instead of inheriting stale timestamps.
+		s.lastFrom = make(map[model.SwitchID]time.Duration)
+		s.reported = make(map[model.SwitchID]bool)
+	}
+	// Only a membership change invalidates the G-FIB and the designated
+	// switch's aggregation state; regroupings that leave this group
+	// intact (the common case) keep forwarding warm — the Appendix-B
+	// "preload for seamless grouping update" effect.
+	if membersChanged {
+		s.gfib.Clear()
+		s.memberLFIBs = make(map[model.SwitchID][]openflow.LFIBEntry)
+		s.memberPairs = make(map[model.SwitchPair]uint32)
+	}
+	// Restart group timers.
+	s.restartGroupTimers()
+	// Immediate advertisement bootstraps the new group's state.
+	s.lastAdvertisedVersion = 0
+	s.advertise()
+	if s.IsDesignated() {
+		// First dissemination shortly after members advertise.
+		s.env.After(s.cfg.AdvertiseInterval/2+time.Millisecond, func() {
+			s.disseminateGFIB()
+			s.reportToController()
+		})
+	}
+}
+
+func sameMembers(a, b []model.SwitchID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+var _ = time.Second // keep time imported when defaults change
+
+func (s *Switch) restartGroupTimers() {
+	for _, c := range s.cancels {
+		c()
+	}
+	s.cancels = s.cancels[:0]
+	s.cancels = append(s.cancels,
+		s.env.Every(s.cfg.AdvertiseInterval, s.advertise))
+	if s.group.KeepAliveInterval > 0 && len(s.group.Members) > 1 {
+		s.cancels = append(s.cancels,
+			s.env.Every(s.group.KeepAliveInterval, s.sendKeepAlives),
+			s.env.Every(s.group.KeepAliveInterval, s.checkKeepAlives))
+	}
+	if s.IsDesignated() {
+		s.cancels = append(s.cancels,
+			s.env.Every(s.cfg.GFIBInterval, s.disseminateGFIB),
+			s.env.Every(s.cfg.ReportInterval, s.reportToController))
+	}
+}
+
+// advertise implements the state-advertisement module: push the local
+// L-FIB snapshot and window traffic statistics to the designated switch
+// when something changed.
+func (s *Switch) advertise() {
+	if !s.haveGroup {
+		return
+	}
+	changed := s.lfib.Version() != s.lastAdvertisedVersion
+	if !changed && len(s.pairFlows) == 0 {
+		return
+	}
+	report := &openflow.StateReport{
+		Group: s.group.Group,
+		LFIBs: []openflow.LFIBUpdate{{
+			Origin:  s.cfg.ID,
+			Full:    true,
+			Entries: s.lfib.WireEntries(),
+			Version: s.lfib.Version(),
+		}},
+		Pairs:   s.drainPairStats(),
+		Version: s.group.Version,
+	}
+	s.lastAdvertisedVersion = s.lfib.Version()
+	if s.IsDesignated() {
+		s.handleMemberReport(s.cfg.ID, report)
+		return
+	}
+	if s.group.Designated != model.NoSwitch {
+		s.env.Send(s.group.Designated, report)
+	}
+}
+
+func (s *Switch) drainPairStats() []openflow.PairStat {
+	if len(s.pairFlows) == 0 {
+		return nil
+	}
+	out := make([]openflow.PairStat, 0, len(s.pairFlows))
+	for other, n := range s.pairFlows {
+		out = append(out, openflow.PairStat{A: s.cfg.ID, B: other, NewFlows: n})
+	}
+	s.pairFlows = make(map[model.SwitchID]uint32)
+	return out
+}
+
+// handleMemberReport records a member's advertisement (designated
+// switch only).
+func (s *Switch) handleMemberReport(from model.SwitchID, m *openflow.StateReport) {
+	if !s.IsDesignated() || m.Group != s.group.Group {
+		return
+	}
+	for i := range m.LFIBs {
+		u := &m.LFIBs[i]
+		s.memberLFIBs[u.Origin] = u.Entries
+	}
+	for _, p := range m.Pairs {
+		s.memberPairs[model.MakeSwitchPair(p.A, p.B)] += p.NewFlows
+	}
+}
+
+// disseminateGFIB rebuilds the group's Bloom filters from member L-FIBs
+// and sends them to every member over peer links (multiple unicasts —
+// no native multicast assumed, §III-B3).
+func (s *Switch) disseminateGFIB() {
+	if !s.IsDesignated() {
+		return
+	}
+	// Own L-FIB participates too.
+	s.memberLFIBs[s.cfg.ID] = s.lfib.WireEntries()
+
+	update := &openflow.GFIBUpdate{Group: s.group.Group, Version: s.group.Version}
+	for _, member := range s.group.Members {
+		entries, ok := s.memberLFIBs[member]
+		if !ok {
+			continue
+		}
+		f := filterFromEntries(entries, s.cfg.FilterBits, s.cfg.FilterHashes)
+		data, err := f.MarshalBinary()
+		if err != nil {
+			continue // cannot happen with valid geometry
+		}
+		update.Filters = append(update.Filters, openflow.GFIBFilter{Switch: member, Filter: data})
+	}
+	for _, member := range s.group.Members {
+		if member == s.cfg.ID {
+			s.handleGFIBUpdate(update)
+			continue
+		}
+		s.env.Send(member, update)
+	}
+}
+
+// reportToController implements the state-reporting module of the
+// designated switch: the aggregated L-FIBs and pair statistics go to
+// the controller over the state link.
+func (s *Switch) reportToController() {
+	if !s.IsDesignated() {
+		return
+	}
+	s.memberLFIBs[s.cfg.ID] = s.lfib.WireEntries()
+	report := &openflow.StateReport{Group: s.group.Group, Version: s.group.Version}
+	for _, member := range s.group.Members {
+		entries, ok := s.memberLFIBs[member]
+		if !ok {
+			continue
+		}
+		report.LFIBs = append(report.LFIBs, openflow.LFIBUpdate{
+			Origin:  member,
+			Full:    true,
+			Entries: entries,
+		})
+	}
+	for pair, n := range s.memberPairs {
+		report.Pairs = append(report.Pairs, openflow.PairStat{A: pair.A, B: pair.B, NewFlows: n})
+	}
+	s.memberPairs = make(map[model.SwitchPair]uint32)
+	s.sendCtrl(report)
+}
+
+// handleGFIBUpdate rebuilds the G-FIB from disseminated filters (FIB
+// maintenance module). The filter for this switch itself is skipped —
+// the L-FIB answers local questions.
+func (s *Switch) handleGFIBUpdate(m *openflow.GFIBUpdate) {
+	if !s.haveGroup || m.Group != s.group.Group {
+		return
+	}
+	for _, f := range m.Filters {
+		if f.Switch == s.cfg.ID {
+			continue
+		}
+		// Ignore undecodable filters; the next round repairs them.
+		_ = s.gfib.SetFilterBytes(f.Switch, f.Filter)
+	}
+}
+
+// handleLFIBUpdate merges a peer's incremental L-FIB push (used by the
+// controller when preloading state after regrouping).
+func (s *Switch) handleLFIBUpdate(from model.SwitchID, m *openflow.LFIBUpdate) {
+	if !s.haveGroup {
+		return
+	}
+	// Build a filter from the update and install it for the origin.
+	f := filterFromEntriesWire(m.Entries, s.cfg.FilterBits, s.cfg.FilterHashes)
+	if m.Origin != s.cfg.ID {
+		s.gfib.SetFilter(m.Origin, f)
+	}
+}
+
+// handleARPRelay processes a controller-relayed ARP query (§III-D3
+// level iii). The designated switch fans the query out to group members;
+// every switch owning the target answers the controller directly with
+// its binding (standing in for the host's ARP reply, which the
+// controller observes).
+func (s *Switch) handleARPRelay(m *openflow.ARPRelay) {
+	if s.answerARP(&m.Packet) {
+		return
+	}
+	if s.IsDesignated() {
+		for _, member := range s.group.Members {
+			if member != s.cfg.ID {
+				s.env.Send(member, m)
+			}
+		}
+	}
+}
+
+// answerARP responds to an ARP query if a local host owns the target.
+func (s *Switch) answerARP(p *model.Packet) bool {
+	e := s.lfib.LookupIP(p.ARPTarget)
+	if e == nil {
+		return false
+	}
+	s.sendCtrl(&openflow.LFIBUpdate{
+		Origin:  s.cfg.ID,
+		Entries: []openflow.LFIBEntry{{MAC: e.MAC, IP: e.IP, VLAN: e.VLAN}},
+		Version: s.lfib.Version(),
+	})
+	return true
+}
+
+func (s *Switch) statsReply() *openflow.StatsReply {
+	return &openflow.StatsReply{
+		Switch:       s.cfg.ID,
+		FlowCount:    uint32(s.flows.len()),
+		PacketsSeen:  s.stats.PacketsSeen,
+		BytesSeen:    s.stats.BytesSeen,
+		LFIBEntries:  uint32(s.lfib.Len()),
+		GFIBFilters:  uint32(s.gfib.Len()),
+		GFIBBytes:    uint64(s.gfib.SizeBytes()),
+		EncapPackets: s.stats.EncapSent,
+	}
+}

@@ -1,0 +1,339 @@
+package edge
+
+import (
+	"time"
+
+	"lazyctrl/internal/fib"
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/netsim"
+	"lazyctrl/internal/openflow"
+)
+
+// DeliverFunc is invoked when a packet reaches a locally attached host.
+type DeliverFunc func(p *model.Packet, at time.Duration)
+
+// Config parameterizes an edge switch.
+type Config struct {
+	ID model.SwitchID
+	// FilterBits and FilterHashes set the G-FIB Bloom geometry. Zero
+	// selects the paper's defaults (16×128-byte filters, 7 hashes).
+	FilterBits   uint64
+	FilterHashes uint32
+	// AdvertiseInterval is the state-advertisement cadence (member →
+	// designated). Zero selects 5 s.
+	AdvertiseInterval time.Duration
+	// ReportInterval is the designated switch's state-link cadence
+	// (aggregated report to the controller). Zero selects 10 s.
+	ReportInterval time.Duration
+	// GFIBInterval is the designated switch's G-FIB dissemination
+	// cadence within the group. Zero selects ReportInterval.
+	GFIBInterval time.Duration
+	// SlowPathDelay models the user-space slow path (ovs-vswitchd) taken
+	// by first packets: G-FIB query, encap setup. Zero selects 400 µs
+	// (calibrated so the §V-E intra-group cold cache lands at ≈0.8 ms).
+	SlowPathDelay time.Duration
+	// KeepAliveMisses is the number of silent intervals after which a
+	// wheel neighbor is reported. Zero selects 3.
+	KeepAliveMisses int
+	// ReportFalsePositives enables the optional §III-D4 optimization:
+	// mis-forwarded packets are reported to the controller so it can
+	// install exact rules preventing recurrence.
+	ReportFalsePositives bool
+	// OnDeliver receives packets arriving at locally attached hosts.
+	OnDeliver DeliverFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.FilterBits == 0 {
+		c.FilterBits = fib.DefaultFilterBits
+	}
+	if c.FilterHashes == 0 {
+		c.FilterHashes = fib.DefaultFilterHashes
+	}
+	if c.AdvertiseInterval == 0 {
+		c.AdvertiseInterval = 5 * time.Second
+	}
+	if c.ReportInterval == 0 {
+		c.ReportInterval = 10 * time.Second
+	}
+	if c.GFIBInterval == 0 {
+		c.GFIBInterval = c.ReportInterval
+	}
+	if c.SlowPathDelay == 0 {
+		c.SlowPathDelay = 400 * time.Microsecond
+	}
+	if c.KeepAliveMisses == 0 {
+		c.KeepAliveMisses = 3
+	}
+	return c
+}
+
+// Stats are the switch's datapath counters (exported via StatsReply).
+type Stats struct {
+	PacketsSeen        uint64
+	BytesSeen          uint64
+	Delivered          uint64
+	EncapSent          uint64
+	GFIBMulticopies    uint64
+	FalsePositiveDrops uint64
+	PacketIns          uint64
+	FloodDrops         uint64
+}
+
+// Switch is a LazyCtrl edge switch.
+type Switch struct {
+	cfg Config
+	env netsim.Env
+
+	lfib  *fib.LFIB
+	gfib  *fib.GFIB
+	flows *flowTable
+
+	group     openflow.GroupConfig
+	haveGroup bool
+
+	// Designated-switch state: the latest full L-FIB snapshot and pair
+	// stats from each member.
+	memberLFIBs map[model.SwitchID][]openflow.LFIBEntry
+	memberPairs map[model.SwitchPair]uint32
+
+	// Own per-window pair stats: new flows observed from remote
+	// switches (counted at decap of first packets).
+	pairFlows map[model.SwitchID]uint32
+
+	lastAdvertisedVersion uint64
+
+	// Keep-alive bookkeeping.
+	kaSeq     uint64
+	lastFrom  map[model.SwitchID]time.Duration
+	reported  map[model.SwitchID]bool
+	ctrlRelay bool // control link down: relay via ring predecessor
+	cancels   []func()
+	started   bool
+	stats     Stats
+	xid       uint32
+}
+
+// New constructs a switch bound to its environment. Call Start to begin
+// periodic duties.
+func New(cfg Config, env netsim.Env) *Switch {
+	c := cfg.withDefaults()
+	return &Switch{
+		cfg:         c,
+		env:         env,
+		lfib:        fib.NewLFIB(),
+		gfib:        fib.NewGFIB(),
+		flows:       newFlowTable(),
+		memberLFIBs: make(map[model.SwitchID][]openflow.LFIBEntry),
+		memberPairs: make(map[model.SwitchPair]uint32),
+		pairFlows:   make(map[model.SwitchID]uint32),
+		lastFrom:    make(map[model.SwitchID]time.Duration),
+		reported:    make(map[model.SwitchID]bool),
+	}
+}
+
+// NodeID implements netsim.Node.
+func (s *Switch) NodeID() model.SwitchID { return s.cfg.ID }
+
+// LFIB exposes the local FIB (read-only use).
+func (s *Switch) LFIB() *fib.LFIB { return s.lfib }
+
+// GFIB exposes the group FIB (read-only use).
+func (s *Switch) GFIB() *fib.GFIB { return s.gfib }
+
+// Stats returns a snapshot of the datapath counters.
+func (s *Switch) Stats() Stats { return s.stats }
+
+// FlowCount returns the number of installed flow rules.
+func (s *Switch) FlowCount() int { return s.flows.len() }
+
+// Group returns the current group configuration.
+func (s *Switch) Group() openflow.GroupConfig { return s.group }
+
+// IsDesignated reports whether this switch is its group's designated
+// switch.
+func (s *Switch) IsDesignated() bool {
+	return s.haveGroup && s.group.Designated == s.cfg.ID
+}
+
+// AttachHost seeds the L-FIB with a locally attached VM (the hypervisor
+// knows its virtual interfaces).
+func (s *Switch) AttachHost(mac model.MAC, ip model.IP, vlan model.VLAN) {
+	s.lfib.Learn(mac, ip, vlan, 1, s.env.Now())
+}
+
+// DetachHost removes a local VM (migration away or removal).
+func (s *Switch) DetachHost(mac model.MAC) {
+	s.lfib.Remove(mac)
+}
+
+// Start begins periodic slow-path duties (advertisement; keep-alives and
+// reporting start when a group is configured).
+func (s *Switch) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.cancels = append(s.cancels,
+		s.env.Every(s.cfg.AdvertiseInterval, s.advertise))
+}
+
+// Stop cancels all periodic work.
+func (s *Switch) Stop() {
+	for _, c := range s.cancels {
+		c()
+	}
+	s.cancels = nil
+	s.started = false
+}
+
+func (s *Switch) nextXID() uint32 {
+	s.xid++
+	return s.xid
+}
+
+// InjectLocal processes a packet transmitted by a locally attached host
+// (the "local plain packet" branch of Fig. 5).
+func (s *Switch) InjectLocal(p *model.Packet) {
+	now := s.env.Now()
+	if p.Injected == 0 {
+		p.Injected = now
+	}
+	s.stats.PacketsSeen++
+	s.stats.BytesSeen += uint64(p.Bytes)
+
+	// The switch learns the source address from any local transmission.
+	s.lfib.Learn(p.SrcMAC, p.SrcIP, p.VLAN, 1, now)
+
+	// 1. Flow table.
+	if rule := s.flows.lookup(p, now); rule != nil {
+		s.applyActions(rule.actions, p)
+		return
+	}
+	// 2. L-FIB: destination attached locally.
+	if e := s.lfib.Lookup(p.DstMAC); e != nil {
+		s.deliver(p)
+		return
+	}
+	// 3. G-FIB: candidate peers in the group (may include false
+	// positives; all candidates get a copy).
+	if targets := s.gfib.Query(p.DstMAC); len(targets) > 0 {
+		if len(targets) > 1 {
+			s.stats.GFIBMulticopies += uint64(len(targets) - 1)
+		}
+		s.env.After(s.cfg.SlowPathDelay, func() {
+			for _, t := range targets {
+				s.encapTo(t, p)
+			}
+		})
+		return
+	}
+	// 4. Controller.
+	s.packetIn(openflow.ReasonNoMatch, p)
+}
+
+// handleOverlay processes an encapsulated packet arriving from the
+// core (the second branch of Fig. 5).
+func (s *Switch) handleOverlay(p *model.Packet) {
+	s.stats.PacketsSeen++
+	s.stats.BytesSeen += uint64(p.Bytes)
+	src := model.NoSwitch
+	if p.Encap != nil {
+		src = p.Encap.SrcSwitch
+	}
+	// Decapsulate.
+	inner := *p
+	inner.Bytes -= model.EncapOverheadBytes
+	inner.Encap = nil
+
+	e := s.lfib.Lookup(inner.DstMAC)
+	if e == nil {
+		// Mis-forwarded due to a Bloom-filter false positive: drop.
+		s.stats.FalsePositiveDrops++
+		if s.cfg.ReportFalsePositives {
+			s.packetIn(openflow.ReasonFalsePositive, &inner)
+		}
+		return
+	}
+	if inner.FlowSeq == 0 && src != model.NoSwitch {
+		s.pairFlows[src]++
+	}
+	s.deliver(&inner)
+}
+
+// handleFlood processes a plain packet flooded by the baseline
+// controller: deliver if the destination is local, silently drop
+// otherwise.
+func (s *Switch) handleFlood(p *model.Packet) {
+	if s.lfib.Lookup(p.DstMAC) != nil {
+		s.deliver(p)
+		return
+	}
+	s.stats.FloodDrops++
+}
+
+func (s *Switch) deliver(p *model.Packet) {
+	s.stats.Delivered++
+	if s.cfg.OnDeliver != nil {
+		s.cfg.OnDeliver(p, s.env.Now())
+	}
+}
+
+// encapTo wraps p with the GRE-like outer header and sends it to a
+// remote edge switch over the underlay.
+func (s *Switch) encapTo(remote model.SwitchID, p *model.Packet) {
+	out := *p
+	out.Encap = &model.EncapHeader{SrcSwitch: s.cfg.ID, DstSwitch: remote}
+	out.Bytes += model.EncapOverheadBytes
+	s.stats.EncapSent++
+	s.env.Send(remote, &out)
+}
+
+// packetIn forwards a packet to the controller over the control link
+// (relayed via the ring predecessor while the control link is down,
+// §III-E2).
+func (s *Switch) packetIn(reason openflow.PacketInReason, p *model.Packet) {
+	s.stats.PacketIns++
+	msg := &openflow.PacketIn{Switch: s.cfg.ID, Reason: reason, Packet: *p}
+	s.sendCtrl(msg)
+}
+
+func (s *Switch) sendCtrl(msg netsim.Message) {
+	if s.ctrlRelay && s.haveGroup {
+		prev := s.group.RingPrev
+		if prev != model.NoSwitch && prev != s.cfg.ID {
+			s.env.Send(prev, &relayEnvelope{Origin: s.cfg.ID, Msg: msg})
+			return
+		}
+	}
+	s.env.Send(model.ControllerNode, msg)
+}
+
+// relayEnvelope carries a control message via a ring neighbor while the
+// origin's control link is down (§III-E2). It never crosses the live
+// codec because relays stay inside the DES harness experiments.
+type relayEnvelope struct {
+	Origin model.SwitchID
+	Msg    netsim.Message
+}
+
+// SetControlRelay switches control-channel traffic onto the ring
+// predecessor (true) or back to the direct control link (false).
+func (s *Switch) SetControlRelay(on bool) { s.ctrlRelay = on }
+
+func (s *Switch) applyActions(actions []openflow.Action, p *model.Packet) {
+	for _, a := range actions {
+		switch a.Type {
+		case openflow.ActionTypeOutput:
+			s.deliver(p)
+		case openflow.ActionTypeEncap:
+			s.encapTo(a.Remote, p)
+		case openflow.ActionTypeController:
+			s.packetIn(openflow.ReasonNoMatch, p)
+		case openflow.ActionTypeFlood:
+			s.handleFlood(p)
+		case openflow.ActionTypeDrop:
+			return
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"lazyctrl/internal/controller"
+	"lazyctrl/internal/edge"
+	"lazyctrl/internal/grouping"
+	"lazyctrl/internal/metrics"
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/netsim"
+	"lazyctrl/internal/sim"
+)
+
+// ColdCacheConfig drives the §V-E cold-cache experiment: fresh flows
+// among newly deployed hosts, so no flow rule, C-LIB entry, or learned
+// location exists yet.
+type ColdCacheConfig struct {
+	// Switches is the edge-switch count (paper testbed: 272). Zero
+	// selects 272.
+	Switches int
+	// GroupSizeLimit for the lazy grouping. Zero selects 46.
+	GroupSizeLimit int
+	// FreshHosts is the number of newly deployed hosts (paper: 5). Zero
+	// selects 5.
+	FreshHosts int
+	// Seed drives the simulator.
+	Seed uint64
+	// BackgroundRPS is the unscaled controller load during the probe
+	// (the production controller is busy with the rest of the data
+	// center). Zero selects 7000 — near the paper's observed peak.
+	BackgroundRPS float64
+}
+
+func (c ColdCacheConfig) withDefaults() ColdCacheConfig {
+	if c.Switches == 0 {
+		c.Switches = 272
+	}
+	if c.GroupSizeLimit == 0 {
+		c.GroupSizeLimit = 46
+	}
+	if c.FreshHosts == 0 {
+		c.FreshHosts = 5
+	}
+	if c.BackgroundRPS == 0 {
+		c.BackgroundRPS = 7000
+	}
+	return c
+}
+
+// runColdCase measures the mean first-packet latency of fresh flows
+// among newly deployed hosts. For intra-group placement all hosts land
+// inside one LCG; otherwise they spread across groups.
+func runColdCase(mode controller.Mode, intraGroup bool, cfg ColdCacheConfig) (time.Duration, error) {
+	c := cfg.withDefaults()
+	s := sim.New(c.Seed)
+	net := netsim.New(s, netsim.DefaultLatencies())
+	rec := metrics.NewRecorder(time.Hour, time.Hour)
+
+	switchIDs := make([]model.SwitchID, c.Switches)
+	for i := range switchIDs {
+		switchIDs[i] = model.SwitchID(i + 1)
+	}
+	ctrl, err := controller.New(controller.Config{
+		Mode:              mode,
+		Switches:          switchIDs,
+		GroupSizeLimit:    c.GroupSizeLimit,
+		Seed:              c.Seed,
+		LoadScale:         1,
+		Recorder:          rec,
+		KeepAliveInterval: time.Minute,
+	}, net.Env(model.ControllerNode))
+	if err != nil {
+		return 0, err
+	}
+	net.Attach(ctrl)
+	net.SetSameGroup(ctrl.SameGroup)
+	ctrl.Start()
+
+	var latencies []time.Duration
+	switches := make(map[model.SwitchID]*edge.Switch, len(switchIDs))
+	for _, id := range switchIDs {
+		sw := edge.New(edge.Config{
+			ID:                id,
+			AdvertiseInterval: 500 * time.Millisecond,
+			GFIBInterval:      time.Second,
+			// State reports reach the controller on a production cadence
+			// (minutes): freshly deployed hosts are not yet in the C-LIB
+			// when the probe flows launch, exactly the paper's scenario.
+			ReportInterval: 10 * time.Minute,
+			OnDeliver: func(p *model.Packet, at time.Duration) {
+				if p.FlowSeq == 0 && p.Injected > 0 {
+					latencies = append(latencies, at-p.Injected)
+				}
+			},
+		}, net.Env(id))
+		net.Attach(sw)
+		sw.Start()
+		switches[id] = sw
+	}
+	ctrl.RegisterTenant(1, 1)
+
+	if mode == controller.ModeLazy {
+		// Block affinity: consecutive switches form natural groups.
+		m := grouping.NewIntensity()
+		limit := c.GroupSizeLimit
+		for i := 0; i < len(switchIDs); i++ {
+			m.AddSwitch(switchIDs[i])
+			if (i+1)%limit != 0 && i+1 < len(switchIDs) {
+				m.Add(switchIDs[i], switchIDs[i+1], 100)
+			}
+		}
+		if err := ctrl.InitialGrouping(m); err != nil {
+			return 0, err
+		}
+	}
+
+	// Background load on the controller's queueing model.
+	ctrl.SetBackgroundLoad(c.BackgroundRPS)
+
+	// Let the setup-phase state reports drain BEFORE the fresh hosts
+	// appear: the C-LIB then genuinely does not know them, as in the
+	// paper's newly-deployed-host scenario.
+	s.RunFor(2 * time.Second)
+
+	// Deploy fresh hosts: intra-group on the first few switches of
+	// group 1; inter-group spread one per group.
+	type fresh struct {
+		id model.HostID
+		sw model.SwitchID
+	}
+	hosts := make([]fresh, c.FreshHosts)
+	for i := range hosts {
+		var swid model.SwitchID
+		if intraGroup {
+			swid = switchIDs[i%c.GroupSizeLimit]
+		} else {
+			swid = switchIDs[(i*c.GroupSizeLimit+i)%len(switchIDs)]
+		}
+		h := model.HostID(100000 + i)
+		switches[swid].AttachHost(model.HostMAC(h), model.HostIP(h), 1)
+		hosts[i] = fresh{id: h, sw: swid}
+	}
+
+	// Let intra-group dissemination complete (G-FIBs know the fresh
+	// hosts; the controller's C-LIB does not).
+	s.RunFor(5 * time.Second)
+
+	// Launch fresh flows between all distinct-switch pairs (the paper's
+	// 45 flows among 5 hosts).
+	injected := 0
+	for i, src := range hosts {
+		for j, dst := range hosts {
+			if i == j || src.sw == dst.sw {
+				continue
+			}
+			if mode == controller.ModeLazy && intraGroup != ctrl.SameGroup(src.sw, dst.sw) {
+				continue
+			}
+			p := &model.Packet{
+				SrcMAC:   model.HostMAC(src.id),
+				DstMAC:   model.HostMAC(dst.id),
+				SrcIP:    model.HostIP(src.id),
+				DstIP:    model.HostIP(dst.id),
+				VLAN:     1,
+				Ether:    model.EtherTypeIPv4,
+				Bytes:    1400,
+				Injected: time.Duration(s.Now()),
+			}
+			switches[src.sw].InjectLocal(p)
+			injected++
+			s.RunFor(100 * time.Millisecond)
+		}
+	}
+	s.RunFor(2 * time.Second)
+
+	if len(latencies) == 0 {
+		return 0, fmt.Errorf("eval: cold-cache %v intra=%v: no deliveries (%d injected)", mode, intraGroup, injected)
+	}
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+	}
+	return sum / time.Duration(len(latencies)), nil
+}
+
+// ColdCache runs the three §V-E cases.
+func ColdCache(cfg ColdCacheConfig) (*ColdCacheResult, error) {
+	intra, err := runColdCase(controller.ModeLazy, true, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("eval: intra: %w", err)
+	}
+	inter, err := runColdCase(controller.ModeLazy, false, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("eval: inter: %w", err)
+	}
+	of, err := runColdCase(controller.ModeLearning, false, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("eval: openflow: %w", err)
+	}
+	return &ColdCacheResult{LazyIntra: intra, LazyInter: inter, OpenFlow: of}, nil
+}

@@ -1,0 +1,327 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"lazyctrl/internal/bloom"
+	"lazyctrl/internal/controller"
+	"lazyctrl/internal/fib"
+	"lazyctrl/internal/grouping"
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/trace"
+)
+
+// TableIIRow is one dataset row of Table II.
+type TableIIRow struct {
+	Name string
+	// PaperFlows is the unscaled flow count the paper reports; Measured
+	// is this run's generated count (PaperFlows / Scale).
+	PaperFlows    int64
+	MeasuredFlows int
+	// AvgCentrality is the measured 5-way average centrality; PaperC is
+	// the value Table II reports.
+	AvgCentrality float64
+	PaperC        float64
+	P, Q          int
+}
+
+// TableII regenerates the trace-characteristics table at the given
+// scale.
+func TableII(scale int, seed uint64) ([]TableIIRow, error) {
+	type spec struct {
+		name   string
+		gen    func() (*trace.Trace, error)
+		flows  int64
+		paperC float64
+	}
+	specs := []spec{
+		{"Real", func() (*trace.Trace, error) { return trace.RealLike(scale, seed) }, trace.RealPaperFlows, 0.85},
+		{"Syn-A", func() (*trace.Trace, error) { return trace.SynA(scale*10, seed) }, trace.SynAFlows, 0.85},
+		{"Syn-B", func() (*trace.Trace, error) { return trace.SynB(scale*14, seed) }, trace.SynBFlows, 0.72},
+		{"Syn-C", func() (*trace.Trace, error) { return trace.SynC(scale*19, seed) }, trace.SynCFlows, 0.61},
+	}
+	rows := make([]TableIIRow, 0, len(specs))
+	for _, sp := range specs {
+		tr, err := sp.gen()
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s: %w", sp.name, err)
+		}
+		c, err := trace.AverageCentrality(tr, 5, seed)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s centrality: %w", sp.name, err)
+		}
+		rows = append(rows, TableIIRow{
+			Name:          sp.name,
+			PaperFlows:    sp.flows,
+			MeasuredFlows: tr.NumFlows(),
+			AvgCentrality: c,
+			PaperC:        sp.paperC,
+			P:             tr.P,
+			Q:             tr.Q,
+		})
+	}
+	return rows, nil
+}
+
+// Fig6aPoint is one (trace, #groups) → W_inter sample of Fig. 6(a).
+type Fig6aPoint struct {
+	Trace     string
+	Groups    int
+	WinterPct float64
+}
+
+// Fig6a sweeps the number of groups for each synthetic trace and
+// reports the normalized inter-group traffic intensity, reproducing
+// Fig. 6(a): W_inter grows roughly linearly with the group count and is
+// lower for traces with higher centrality.
+func Fig6a(scale int, seed uint64, groupCounts []int) ([]Fig6aPoint, error) {
+	gens := []struct {
+		name string
+		gen  func() (*trace.Trace, error)
+	}{
+		{"Syn-A", func() (*trace.Trace, error) { return trace.SynA(scale, seed) }},
+		{"Syn-B", func() (*trace.Trace, error) { return trace.SynB(scale*14/10, seed) }},
+		{"Syn-C", func() (*trace.Trace, error) { return trace.SynC(scale*19/10, seed) }},
+	}
+	var out []Fig6aPoint
+	for _, g := range gens {
+		tr, err := g.gen()
+		if err != nil {
+			return nil, err
+		}
+		m := trace.SwitchIntensity(tr, 0, tr.Duration)
+		n := m.NumSwitches()
+		for _, k := range groupCounts {
+			if k < 1 || k > n {
+				continue
+			}
+			limit := (n + k - 1) / k
+			// Allow slack so the partitioner can express affinity while
+			// still producing ≈k groups.
+			limit += limit / 5
+			sgi, err := grouping.New(grouping.Config{SizeLimit: limit, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			grp, err := sgi.IniGroup(m)
+			if err != nil {
+				return nil, fmt.Errorf("eval: fig6a %s k=%d: %w", g.name, k, err)
+			}
+			out = append(out, Fig6aPoint{
+				Trace:     g.name,
+				Groups:    grp.NumGroups(),
+				WinterPct: 100 * grouping.Winter(grp, m),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig6bPoint is one (trace, size limit) → IniGroup wall time sample of
+// Fig. 6(b).
+type Fig6bPoint struct {
+	Trace     string
+	SizeLimit int
+	Elapsed   time.Duration
+	// IncElapsed is the IncUpdate time on the same instance (the paper
+	// notes it is more than an order of magnitude faster).
+	IncElapsed time.Duration
+}
+
+// Fig6b measures switch-grouping computation time against the group
+// size limit.
+func Fig6b(scale int, seed uint64, sizeLimits []int) ([]Fig6bPoint, error) {
+	gens := []struct {
+		name string
+		gen  func() (*trace.Trace, error)
+	}{
+		{"Syn-A", func() (*trace.Trace, error) { return trace.SynA(scale, seed) }},
+		{"Syn-B", func() (*trace.Trace, error) { return trace.SynB(scale*14/10, seed) }},
+		{"Syn-C", func() (*trace.Trace, error) { return trace.SynC(scale*19/10, seed) }},
+	}
+	var out []Fig6bPoint
+	for _, g := range gens {
+		tr, err := g.gen()
+		if err != nil {
+			return nil, err
+		}
+		m := trace.SwitchIntensity(tr, 0, tr.Duration)
+		for _, limit := range sizeLimits {
+			if limit < 1 {
+				continue
+			}
+			sgi, err := grouping.New(grouping.Config{SizeLimit: limit, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			grp, err := sgi.IniGroup(m)
+			if err != nil {
+				return nil, fmt.Errorf("eval: fig6b %s limit=%d: %w", g.name, limit, err)
+			}
+			elapsed := time.Since(start)
+			// One IncUpdate round for the speed comparison.
+			start = time.Now()
+			if _, err := sgi.IncUpdate(grp, m, nil); err != nil {
+				return nil, err
+			}
+			incElapsed := time.Since(start)
+			out = append(out, Fig6bPoint{
+				Trace:      g.name,
+				SizeLimit:  limit,
+				Elapsed:    elapsed,
+				IncElapsed: incElapsed,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Series names for Fig. 7/8/9.
+const (
+	SeriesOpenFlow        = "OpenFlow"
+	SeriesRealStatic      = "LazyCtrl (real, static)"
+	SeriesRealDynamic     = "LazyCtrl (real, dynamic)"
+	SeriesExpandedStatic  = "LazyCtrl (expanded, static)"
+	SeriesExpandedDynamic = "LazyCtrl (expanded, dynamic)"
+)
+
+// Fig789Config drives the three trace-replay figures, which share the
+// same five emulation runs.
+type Fig789Config struct {
+	// Scale divides the real trace's 271M flows. Benchmarks use 5000
+	// (54k flows); unit tests use much larger divisors.
+	Scale int
+	Seed  uint64
+	// Horizon truncates the day (0 = 24h).
+	Horizon time.Duration
+	// GroupSizeLimit for LazyCtrl runs. Zero selects 46.
+	GroupSizeLimit int
+}
+
+// Fig789Result carries one named series per emulation run.
+type Fig789Result struct {
+	Series map[string]*EmulationResult
+	// ReductionStatic/Dynamic are the Fig. 7 headline numbers: workload
+	// reduction of LazyCtrl vs OpenFlow on the real trace.
+	ReductionRealStatic      float64
+	ReductionRealDynamic     float64
+	ReductionExpandedStatic  float64
+	ReductionExpandedDynamic float64
+}
+
+// RunFig789 executes the five runs of Fig. 7 (which also produce Fig. 8
+// and Fig. 9): OpenFlow on the real trace, LazyCtrl static/dynamic on
+// the real trace, and LazyCtrl static/dynamic on the expanded trace
+// (+30% flows among previously silent pairs during hours 8–24).
+func RunFig789(cfg Fig789Config) (*Fig789Result, error) {
+	if cfg.Scale < 1 {
+		return nil, fmt.Errorf("eval: Scale must be ≥ 1")
+	}
+	real, err := trace.RealLike(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	expanded, err := trace.Expand(real, 0.30, 8, 24, cfg.Seed^0xe)
+	if err != nil {
+		return nil, err
+	}
+	// Warmup intensity: the controller sees the full (unscaled) first
+	// hour; sample it from a 10×-denser generation of the same traffic
+	// distribution (identical topology and pair pools under the same
+	// seed).
+	warmScale := cfg.Scale / 10
+	if warmScale < 1 {
+		warmScale = 1
+	}
+	warmTrace, err := trace.RealLike(warmScale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	warm := trace.SwitchIntensity(warmTrace, 0, time.Hour)
+	runs := []struct {
+		name    string
+		tr      *trace.Trace
+		mode    controller.Mode
+		dynamic bool
+	}{
+		{SeriesOpenFlow, real, controller.ModeLearning, false},
+		{SeriesRealStatic, real, controller.ModeLazy, false},
+		{SeriesRealDynamic, real, controller.ModeLazy, true},
+		{SeriesExpandedStatic, expanded, controller.ModeLazy, false},
+		{SeriesExpandedDynamic, expanded, controller.ModeLazy, true},
+	}
+	out := &Fig789Result{Series: make(map[string]*EmulationResult, len(runs))}
+	for _, r := range runs {
+		res, err := RunEmulation(EmulationConfig{
+			Trace:           r.tr,
+			Mode:            r.mode,
+			Dynamic:         r.dynamic,
+			GroupSizeLimit:  cfg.GroupSizeLimit,
+			Horizon:         cfg.Horizon,
+			Seed:            cfg.Seed,
+			WarmupIntensity: warm,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s: %w", r.name, err)
+		}
+		out.Series[r.name] = res
+	}
+	base := out.Series[SeriesOpenFlow].WorkloadKrps
+	out.ReductionRealStatic = Reduction(base, out.Series[SeriesRealStatic].WorkloadKrps)
+	out.ReductionRealDynamic = Reduction(base, out.Series[SeriesRealDynamic].WorkloadKrps)
+	out.ReductionExpandedStatic = Reduction(base, out.Series[SeriesExpandedStatic].WorkloadKrps)
+	out.ReductionExpandedDynamic = Reduction(base, out.Series[SeriesExpandedDynamic].WorkloadKrps)
+	return out, nil
+}
+
+// ColdCacheResult reproduces the §V-E cold-cache comparison: 45 fresh
+// flows among 5 newly deployed hosts.
+type ColdCacheResult struct {
+	// LazyIntra is the mean first-packet latency for intra-group flows
+	// under LazyCtrl (paper: 0.83 ms).
+	LazyIntra time.Duration
+	// LazyInter is the inter-group cold-cache latency (paper: 5.38 ms).
+	LazyInter time.Duration
+	// OpenFlow is the baseline cold-cache latency (paper: 15.06 ms).
+	OpenFlow time.Duration
+}
+
+// StorageRow is one group-size row of the §V-D storage analysis.
+type StorageRow struct {
+	GroupSize int
+	// GFIBBytes is the per-switch G-FIB footprint: (groupSize−1)
+	// filters of 16 128-byte entries.
+	GFIBBytes int
+	// FPP is the false-positive probability at the given hosts/switch
+	// occupancy.
+	FPP float64
+	// HostsPerSwitch used for the FPP estimate.
+	HostsPerSwitch int
+}
+
+// Storage computes the Bloom-filter storage table for the given group
+// sizes (the paper's example: 46 switches → 92,160 bytes, FPP < 0.1%).
+func Storage(groupSizes []int, hostsPerSwitch int) []StorageRow {
+	if hostsPerSwitch <= 0 {
+		hostsPerSwitch = 24 // 6509 hosts / 272 switches
+	}
+	rows := make([]StorageRow, 0, len(groupSizes))
+	for _, size := range groupSizes {
+		if size < 2 {
+			continue
+		}
+		g := fib.NewGFIB()
+		for i := 1; i < size; i++ {
+			g.SetFilter(model.SwitchID(i), bloom.New(fib.DefaultFilterBits, fib.DefaultFilterHashes))
+		}
+		rows = append(rows, StorageRow{
+			GroupSize:      size,
+			GFIBBytes:      g.SizeBytes(),
+			FPP:            bloom.FPPFor(fib.DefaultFilterBits, fib.DefaultFilterHashes, uint64(2*hostsPerSwitch)),
+			HostsPerSwitch: hostsPerSwitch,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,188 @@
+// Package failover implements the control-plane failure handling of
+// LazyCtrl (§III-E): the group-wide failure-detection wheel (a logical
+// ring ordered by management MAC with the controller at the center),
+// keep-alive miss bookkeeping, and the Table I inference that maps
+// observed keep-alive losses to a failure diagnosis.
+package failover
+
+import (
+	"sort"
+	"time"
+
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/openflow"
+)
+
+// BuildWheel orders the switches of a group by the MAC address of their
+// management interface (§III-D1), forming the failure-detection ring.
+func BuildWheel(switches []model.SwitchID) []model.SwitchID {
+	wheel := append([]model.SwitchID(nil), switches...)
+	sort.Slice(wheel, func(i, j int) bool {
+		return model.SwitchMAC(wheel[i]).Uint64() < model.SwitchMAC(wheel[j]).Uint64()
+	})
+	return wheel
+}
+
+// Neighbors returns the ring predecessor and successor of s on the
+// wheel. A wheel of one yields s itself; an absent switch yields zero
+// values.
+func Neighbors(wheel []model.SwitchID, s model.SwitchID) (prev, next model.SwitchID) {
+	for i, w := range wheel {
+		if w == s {
+			prev = wheel[(i-1+len(wheel))%len(wheel)]
+			next = wheel[(i+1)%len(wheel)]
+			return prev, next
+		}
+	}
+	return model.NoSwitch, model.NoSwitch
+}
+
+// Diagnosis is the inferred failure per Table I.
+type Diagnosis uint8
+
+// Diagnoses.
+const (
+	DiagNone Diagnosis = iota
+	// DiagControlLink: only the controller→switch keep-alive is lost.
+	DiagControlLink
+	// DiagPeerLinkUp: only the Sn→Sn−1 keep-alive is lost.
+	DiagPeerLinkUp
+	// DiagPeerLinkDown: only the Sn→Sn+1 keep-alive is lost.
+	DiagPeerLinkDown
+	// DiagSwitch: all three keep-alive streams are lost — the switch
+	// itself is down.
+	DiagSwitch
+	// DiagInconclusive: a loss combination outside Table I (e.g. two of
+	// three): keep observing.
+	DiagInconclusive
+)
+
+// String names the diagnosis.
+func (d Diagnosis) String() string {
+	switch d {
+	case DiagNone:
+		return "none"
+	case DiagControlLink:
+		return "control-link"
+	case DiagPeerLinkUp:
+		return "peer-link-up"
+	case DiagPeerLinkDown:
+		return "peer-link-down"
+	case DiagSwitch:
+		return "switch"
+	default:
+		return "inconclusive"
+	}
+}
+
+// Evidence aggregates which keep-alive streams from/for a suspect
+// switch went silent.
+type Evidence struct {
+	// LossUp: Sn→Sn−1 missing (reported by the ring predecessor).
+	LossUp bool
+	// LossDown: Sn→Sn+1 missing (reported by the ring successor).
+	LossDown bool
+	// LossCtrl: controller→Sn missing (unacknowledged).
+	LossCtrl bool
+}
+
+// Infer applies Table I.
+func Infer(e Evidence) Diagnosis {
+	switch {
+	case e.LossUp && e.LossDown && e.LossCtrl:
+		return DiagSwitch
+	case e.LossCtrl && !e.LossUp && !e.LossDown:
+		return DiagControlLink
+	case e.LossUp && !e.LossDown && !e.LossCtrl:
+		return DiagPeerLinkUp
+	case e.LossDown && !e.LossUp && !e.LossCtrl:
+		return DiagPeerLinkDown
+	case !e.LossUp && !e.LossDown && !e.LossCtrl:
+		return DiagNone
+	default:
+		return DiagInconclusive
+	}
+}
+
+// Detector accumulates FailureReports at the controller and produces
+// diagnoses once the evidence window closes.
+type Detector struct {
+	window   time.Duration
+	evidence map[model.SwitchID]*suspectState
+}
+
+type suspectState struct {
+	e     Evidence
+	since time.Duration
+}
+
+// NewDetector returns a detector that diagnoses a suspect after
+// evidence has been accumulating for at least window.
+func NewDetector(window time.Duration) *Detector {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &Detector{
+		window:   window,
+		evidence: make(map[model.SwitchID]*suspectState),
+	}
+}
+
+// Observe folds in a failure report at time now.
+func (d *Detector) Observe(r *openflow.FailureReport, now time.Duration) {
+	st := d.evidence[r.Suspect]
+	if st == nil {
+		st = &suspectState{since: now}
+		d.evidence[r.Suspect] = st
+	}
+	switch r.Direction {
+	case openflow.LossUp:
+		st.e.LossUp = true
+	case openflow.LossDown:
+		st.e.LossDown = true
+	case openflow.LossCtrl:
+		st.e.LossCtrl = true
+	}
+}
+
+// ObserveCtrlLoss marks the controller's own missing keep-alive
+// acknowledgment for a switch.
+func (d *Detector) ObserveCtrlLoss(suspect model.SwitchID, now time.Duration) {
+	d.Observe(&openflow.FailureReport{Suspect: suspect, Direction: openflow.LossCtrl}, now)
+}
+
+// Clear drops accumulated evidence for a suspect (e.g. a keep-alive
+// arrived after all).
+func (d *Detector) Clear(suspect model.SwitchID) {
+	delete(d.evidence, suspect)
+}
+
+// Ready returns the diagnoses whose evidence windows have closed,
+// removing them from the detector. Inconclusive suspects whose window
+// closed are reported as DiagSwitch candidates only when evidence shows
+// two or more losses; a single stale loss is re-armed for another
+// window.
+func (d *Detector) Ready(now time.Duration) map[model.SwitchID]Diagnosis {
+	out := make(map[model.SwitchID]Diagnosis)
+	for suspect, st := range d.evidence {
+		if now-st.since < d.window {
+			continue
+		}
+		diag := Infer(st.e)
+		if diag == DiagInconclusive {
+			// Two of three streams lost: most consistent with a switch
+			// failure whose third report is delayed; wait one more
+			// window, then call it a switch failure.
+			if now-st.since < 2*d.window {
+				continue
+			}
+			diag = DiagSwitch
+		}
+		out[suspect] = diag
+		delete(d.evidence, suspect)
+	}
+	return out
+}
+
+// Pending reports the number of suspects under observation.
+func (d *Detector) Pending() int { return len(d.evidence) }

@@ -1,0 +1,118 @@
+package failover
+
+import (
+	"testing"
+	"time"
+
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/openflow"
+)
+
+func TestBuildWheelOrderedByMAC(t *testing.T) {
+	wheel := BuildWheel([]model.SwitchID{5, 1, 3})
+	// SwitchMAC embeds the ID in the low bytes, so MAC order equals ID
+	// order here.
+	if len(wheel) != 3 || wheel[0] != 1 || wheel[1] != 3 || wheel[2] != 5 {
+		t.Errorf("wheel = %v, want [1 3 5]", wheel)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	wheel := BuildWheel([]model.SwitchID{1, 2, 3, 4})
+	prev, next := Neighbors(wheel, 1)
+	if prev != 4 || next != 2 {
+		t.Errorf("Neighbors(1) = %v,%v, want 4,2", prev, next)
+	}
+	prev, next = Neighbors(wheel, 4)
+	if prev != 3 || next != 1 {
+		t.Errorf("Neighbors(4) = %v,%v, want 3,1", prev, next)
+	}
+	prev, next = Neighbors(wheel, 99)
+	if prev != model.NoSwitch || next != model.NoSwitch {
+		t.Errorf("Neighbors(absent) = %v,%v, want 0,0", prev, next)
+	}
+	single := BuildWheel([]model.SwitchID{7})
+	prev, next = Neighbors(single, 7)
+	if prev != 7 || next != 7 {
+		t.Errorf("Neighbors(single) = %v,%v, want 7,7", prev, next)
+	}
+}
+
+func TestInferTableI(t *testing.T) {
+	tests := []struct {
+		e    Evidence
+		want Diagnosis
+	}{
+		{Evidence{}, DiagNone},
+		{Evidence{LossCtrl: true}, DiagControlLink},
+		{Evidence{LossUp: true}, DiagPeerLinkUp},
+		{Evidence{LossDown: true}, DiagPeerLinkDown},
+		{Evidence{LossUp: true, LossDown: true, LossCtrl: true}, DiagSwitch},
+		{Evidence{LossUp: true, LossDown: true}, DiagInconclusive},
+		{Evidence{LossUp: true, LossCtrl: true}, DiagInconclusive},
+		{Evidence{LossDown: true, LossCtrl: true}, DiagInconclusive},
+	}
+	for _, tt := range tests {
+		if got := Infer(tt.e); got != tt.want {
+			t.Errorf("Infer(%+v) = %v, want %v", tt.e, got, tt.want)
+		}
+	}
+}
+
+func TestDetectorSingleLoss(t *testing.T) {
+	d := NewDetector(time.Second)
+	d.Observe(&openflow.FailureReport{Observer: 1, Suspect: 2, Direction: openflow.LossUp}, 0)
+	if got := d.Ready(500 * time.Millisecond); len(got) != 0 {
+		t.Errorf("Ready before window = %v", got)
+	}
+	got := d.Ready(1100 * time.Millisecond)
+	if got[2] != DiagPeerLinkUp {
+		t.Errorf("Ready = %v, want suspect 2 → peer-link-up", got)
+	}
+	if d.Pending() != 0 {
+		t.Errorf("Pending = %d after Ready", d.Pending())
+	}
+}
+
+func TestDetectorSwitchFailure(t *testing.T) {
+	d := NewDetector(time.Second)
+	d.Observe(&openflow.FailureReport{Observer: 1, Suspect: 2, Direction: openflow.LossUp}, 0)
+	d.Observe(&openflow.FailureReport{Observer: 3, Suspect: 2, Direction: openflow.LossDown}, 10*time.Millisecond)
+	d.ObserveCtrlLoss(2, 20*time.Millisecond)
+	got := d.Ready(1100 * time.Millisecond)
+	if got[2] != DiagSwitch {
+		t.Errorf("Ready = %v, want switch failure", got)
+	}
+}
+
+func TestDetectorInconclusiveEscalates(t *testing.T) {
+	d := NewDetector(time.Second)
+	d.Observe(&openflow.FailureReport{Observer: 1, Suspect: 2, Direction: openflow.LossUp}, 0)
+	d.Observe(&openflow.FailureReport{Observer: 3, Suspect: 2, Direction: openflow.LossDown}, 0)
+	// Two of three: waits out a second window…
+	if got := d.Ready(1100 * time.Millisecond); len(got) != 0 {
+		t.Errorf("inconclusive diagnosed early: %v", got)
+	}
+	// …then escalates to switch failure.
+	got := d.Ready(2100 * time.Millisecond)
+	if got[2] != DiagSwitch {
+		t.Errorf("Ready = %v, want escalated switch failure", got)
+	}
+}
+
+func TestDetectorClear(t *testing.T) {
+	d := NewDetector(time.Second)
+	d.Observe(&openflow.FailureReport{Observer: 1, Suspect: 2, Direction: openflow.LossUp}, 0)
+	d.Clear(2)
+	if got := d.Ready(5 * time.Second); len(got) != 0 {
+		t.Errorf("cleared suspect diagnosed: %v", got)
+	}
+}
+
+func TestDiagnosisStrings(t *testing.T) {
+	for _, d := range []Diagnosis{DiagNone, DiagControlLink, DiagPeerLinkUp, DiagPeerLinkDown, DiagSwitch, DiagInconclusive} {
+		if d.String() == "" {
+			t.Errorf("diagnosis %d has empty name", d)
+		}
+	}
+}

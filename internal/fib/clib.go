@@ -1,0 +1,150 @@
+package fib
+
+import (
+	"sort"
+
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/openflow"
+)
+
+// CLIBEntry is a host-location binding in the controller's C-LIB,
+// including the group of the hosting switch for inter-group decisions.
+type CLIBEntry struct {
+	MAC    model.MAC
+	IP     model.IP
+	VLAN   model.VLAN
+	Switch model.SwitchID
+	Group  model.GroupID
+}
+
+// CLIB is the Central Location Information Base: the union of all
+// switches' L-FIBs, maintained by the controller from designated-switch
+// state reports (§III-B2). It answers inter-group location queries and
+// scopes ARP relay by tenant.
+type CLIB struct {
+	byMAC    map[model.MAC]*CLIBEntry
+	byIP     map[model.IP]*CLIBEntry
+	bySwitch map[model.SwitchID]map[model.MAC]struct{}
+	byVLAN   map[model.VLAN]map[model.SwitchID]int // VLAN -> switch -> host count
+}
+
+// NewCLIB returns an empty C-LIB.
+func NewCLIB() *CLIB {
+	return &CLIB{
+		byMAC:    make(map[model.MAC]*CLIBEntry),
+		byIP:     make(map[model.IP]*CLIBEntry),
+		bySwitch: make(map[model.SwitchID]map[model.MAC]struct{}),
+		byVLAN:   make(map[model.VLAN]map[model.SwitchID]int),
+	}
+}
+
+// Update installs or moves a binding.
+func (c *CLIB) Update(mac model.MAC, ip model.IP, vlan model.VLAN, sw model.SwitchID, group model.GroupID) {
+	if old, ok := c.byMAC[mac]; ok {
+		c.unindex(old)
+	}
+	e := &CLIBEntry{MAC: mac, IP: ip, VLAN: vlan, Switch: sw, Group: group}
+	c.byMAC[mac] = e
+	c.byIP[ip] = e
+	if c.bySwitch[sw] == nil {
+		c.bySwitch[sw] = make(map[model.MAC]struct{})
+	}
+	c.bySwitch[sw][mac] = struct{}{}
+	if c.byVLAN[vlan] == nil {
+		c.byVLAN[vlan] = make(map[model.SwitchID]int)
+	}
+	c.byVLAN[vlan][sw]++
+}
+
+func (c *CLIB) unindex(e *CLIBEntry) {
+	if cur, ok := c.byIP[e.IP]; ok && cur == e {
+		delete(c.byIP, e.IP)
+	}
+	if set := c.bySwitch[e.Switch]; set != nil {
+		delete(set, e.MAC)
+		if len(set) == 0 {
+			delete(c.bySwitch, e.Switch)
+		}
+	}
+	if m := c.byVLAN[e.VLAN]; m != nil {
+		m[e.Switch]--
+		if m[e.Switch] <= 0 {
+			delete(m, e.Switch)
+		}
+		if len(m) == 0 {
+			delete(c.byVLAN, e.VLAN)
+		}
+	}
+}
+
+// Remove deletes a binding.
+func (c *CLIB) Remove(mac model.MAC) {
+	e, ok := c.byMAC[mac]
+	if !ok {
+		return
+	}
+	c.unindex(e)
+	delete(c.byMAC, mac)
+}
+
+// Lookup returns the entry for a MAC, or nil.
+func (c *CLIB) Lookup(mac model.MAC) *CLIBEntry { return c.byMAC[mac] }
+
+// LookupIP returns the entry owning an IP, or nil.
+func (c *CLIB) LookupIP(ip model.IP) *CLIBEntry { return c.byIP[ip] }
+
+// ApplyLFIB merges an L-FIB snapshot or increment from a switch,
+// tagging entries with the switch's group. When the update is full, any
+// binding previously attributed to that switch but absent from the
+// snapshot is dropped.
+func (c *CLIB) ApplyLFIB(sw model.SwitchID, group model.GroupID, u *openflow.LFIBUpdate) {
+	if u.Full {
+		seen := make(map[model.MAC]struct{}, len(u.Entries))
+		for _, e := range u.Entries {
+			seen[e.MAC] = struct{}{}
+		}
+		if set := c.bySwitch[sw]; set != nil {
+			var stale []model.MAC
+			for mac := range set {
+				if _, ok := seen[mac]; !ok {
+					stale = append(stale, mac)
+				}
+			}
+			for _, mac := range stale {
+				c.Remove(mac)
+			}
+		}
+	}
+	for _, e := range u.Entries {
+		c.Update(e.MAC, e.IP, e.VLAN, sw, group)
+	}
+}
+
+// SetGroup retags every binding on a switch with a new group (after
+// regrouping; the host-to-switch mapping itself is unchanged, §III-D3).
+func (c *CLIB) SetGroup(sw model.SwitchID, group model.GroupID) {
+	for mac := range c.bySwitch[sw] {
+		if e := c.byMAC[mac]; e != nil {
+			e.Group = group
+		}
+	}
+}
+
+// SwitchesWithVLAN returns the switches hosting at least one host of the
+// given VLAN (tenant), ascending. The controller uses it to scope ARP
+// relay (§III-D3 level iii).
+func (c *CLIB) SwitchesWithVLAN(vlan model.VLAN) []model.SwitchID {
+	m := c.byVLAN[vlan]
+	out := make([]model.SwitchID, 0, len(m))
+	for sw := range m {
+		out = append(out, sw)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HostsOn returns how many bindings are attributed to a switch.
+func (c *CLIB) HostsOn(sw model.SwitchID) int { return len(c.bySwitch[sw]) }
+
+// Len returns the total number of bindings.
+func (c *CLIB) Len() int { return len(c.byMAC) }

@@ -1,0 +1,159 @@
+// Package fib implements the three forwarding tables of the LazyCtrl
+// design (§III-D2): the L-FIB each edge switch keeps for its locally
+// attached hosts, the Bloom-filter G-FIB summarizing the L-FIBs of the
+// group peers, and the C-LIB giving the controller global visibility.
+package fib
+
+import (
+	"sort"
+	"time"
+
+	"lazyctrl/internal/bloom"
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/openflow"
+)
+
+// LFIBEntry is a host-location binding in an L-FIB: the host's
+// addresses, the local port it is attached to, and the time the binding
+// was last refreshed (for aging).
+type LFIBEntry struct {
+	MAC      model.MAC
+	IP       model.IP
+	VLAN     model.VLAN
+	Port     uint16
+	LastSeen time.Duration // virtual time of last refresh
+}
+
+// LFIB is the Local Forwarding Information Base of one edge switch: a
+// conventional learning MAC table over the locally attached hosts
+// (virtual machines).
+type LFIB struct {
+	byMAC   map[model.MAC]*LFIBEntry
+	version uint64
+}
+
+// NewLFIB returns an empty L-FIB.
+func NewLFIB() *LFIB {
+	return &LFIB{byMAC: make(map[model.MAC]*LFIBEntry)}
+}
+
+// Learn inserts or refreshes a binding. It returns true when the L-FIB
+// changed structurally (new host or moved port), which is what triggers
+// asynchronous state dissemination.
+func (l *LFIB) Learn(mac model.MAC, ip model.IP, vlan model.VLAN, port uint16, now time.Duration) bool {
+	e, ok := l.byMAC[mac]
+	if ok {
+		changed := e.Port != port || e.IP != ip || e.VLAN != vlan
+		e.Port = port
+		e.IP = ip
+		e.VLAN = vlan
+		e.LastSeen = now
+		if changed {
+			l.version++
+		}
+		return changed
+	}
+	l.byMAC[mac] = &LFIBEntry{MAC: mac, IP: ip, VLAN: vlan, Port: port, LastSeen: now}
+	l.version++
+	return true
+}
+
+// Lookup returns the entry for a MAC, or nil.
+func (l *LFIB) Lookup(mac model.MAC) *LFIBEntry {
+	return l.byMAC[mac]
+}
+
+// LookupIP scans for the entry owning an IP (used to answer ARP
+// requests). Linear in table size, which is bounded by the hosts per
+// switch.
+func (l *LFIB) LookupIP(ip model.IP) *LFIBEntry {
+	for _, e := range l.byMAC {
+		if e.IP == ip {
+			return e
+		}
+	}
+	return nil
+}
+
+// Remove deletes a binding (VM removal or migration away). It reports
+// whether an entry existed.
+func (l *LFIB) Remove(mac model.MAC) bool {
+	if _, ok := l.byMAC[mac]; !ok {
+		return false
+	}
+	delete(l.byMAC, mac)
+	l.version++
+	return true
+}
+
+// Expire drops entries older than maxAge and returns how many were
+// removed.
+func (l *LFIB) Expire(now, maxAge time.Duration) int {
+	removed := 0
+	for mac, e := range l.byMAC {
+		if now-e.LastSeen > maxAge {
+			delete(l.byMAC, mac)
+			removed++
+		}
+	}
+	if removed > 0 {
+		l.version++
+	}
+	return removed
+}
+
+// Len returns the number of bindings.
+func (l *LFIB) Len() int { return len(l.byMAC) }
+
+// Version counts structural changes; dissemination tags updates with it.
+func (l *LFIB) Version() uint64 { return l.version }
+
+// Entries returns all bindings sorted by MAC (deterministic order for
+// dissemination and tests).
+func (l *LFIB) Entries() []LFIBEntry {
+	out := make([]LFIBEntry, 0, len(l.byMAC))
+	for _, e := range l.byMAC {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MAC.Uint64() < out[j].MAC.Uint64() })
+	return out
+}
+
+// WireEntries converts the table to the wire representation for an
+// LFIBUpdate message.
+func (l *LFIB) WireEntries() []openflow.LFIBEntry {
+	entries := l.Entries()
+	out := make([]openflow.LFIBEntry, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, openflow.LFIBEntry{MAC: e.MAC, IP: e.IP, VLAN: e.VLAN})
+	}
+	return out
+}
+
+// MACKey is the Bloom-filter key of a MAC address.
+func MACKey(mac model.MAC) uint64 { return mac.Uint64() }
+
+// IPKey is the Bloom-filter key of an IP address; the tag bit keeps the
+// MAC and IP key spaces disjoint (MACs occupy 48 bits).
+func IPKey(ip model.IP) uint64 { return 1<<50 | uint64(ip) }
+
+// Filter builds a Bloom filter over the MACs and IPs in the table using
+// the given geometry (m bits, k hashes). Including IP keys lets the
+// G-FIB recognize ARP targets (§III-D3 level ii).
+func (l *LFIB) Filter(m uint64, k uint32) *bloom.Filter {
+	f := bloom.New(m, k)
+	for mac, e := range l.byMAC {
+		f.AddUint64(MACKey(mac))
+		f.AddUint64(IPKey(e.IP))
+	}
+	return f
+}
+
+// DefaultFilterBits is the G-FIB Bloom filter size used by the paper's
+// storage analysis (§V-D): 16 entries of 128 bytes = 2048 bytes = 16384
+// bits per peer switch.
+const DefaultFilterBits = 16 * 128 * 8
+
+// DefaultFilterHashes is the hash count paired with DefaultFilterBits;
+// at ~24 hosts per switch it keeps the false-positive rate below 0.1%.
+const DefaultFilterHashes = 7

@@ -1,0 +1,302 @@
+package fib
+
+import (
+	"testing"
+	"time"
+
+	"lazyctrl/internal/bloom"
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/openflow"
+)
+
+func TestLFIBLearnAndLookup(t *testing.T) {
+	l := NewLFIB()
+	mac := model.HostMAC(1)
+	if !l.Learn(mac, model.HostIP(1), 2, 3, 0) {
+		t.Error("first Learn returned false")
+	}
+	e := l.Lookup(mac)
+	if e == nil || e.Port != 3 || e.VLAN != 2 {
+		t.Fatalf("Lookup = %+v", e)
+	}
+	// Refresh without change: no structural update.
+	if l.Learn(mac, model.HostIP(1), 2, 3, time.Second) {
+		t.Error("refresh reported structural change")
+	}
+	if e := l.Lookup(mac); e.LastSeen != time.Second {
+		t.Errorf("LastSeen = %v, want 1s", e.LastSeen)
+	}
+	// Port move is structural.
+	if !l.Learn(mac, model.HostIP(1), 2, 9, 2*time.Second) {
+		t.Error("port move not reported")
+	}
+}
+
+func TestLFIBLookupIP(t *testing.T) {
+	l := NewLFIB()
+	l.Learn(model.HostMAC(1), model.HostIP(1), 1, 1, 0)
+	l.Learn(model.HostMAC(2), model.HostIP(2), 1, 2, 0)
+	e := l.LookupIP(model.HostIP(2))
+	if e == nil || e.MAC != model.HostMAC(2) {
+		t.Errorf("LookupIP = %+v", e)
+	}
+	if l.LookupIP(model.HostIP(99)) != nil {
+		t.Error("LookupIP found nonexistent IP")
+	}
+}
+
+func TestLFIBRemoveAndExpire(t *testing.T) {
+	l := NewLFIB()
+	l.Learn(model.HostMAC(1), model.HostIP(1), 1, 1, 0)
+	l.Learn(model.HostMAC(2), model.HostIP(2), 1, 1, 5*time.Second)
+	if !l.Remove(model.HostMAC(1)) {
+		t.Error("Remove existing = false")
+	}
+	if l.Remove(model.HostMAC(1)) {
+		t.Error("Remove missing = true")
+	}
+	if n := l.Expire(65*time.Second, time.Minute); n != 0 {
+		t.Errorf("Expire removed %d, want 0 (entry is 60s old)", n)
+	}
+	if n := l.Expire(66*time.Second, time.Minute); n != 1 {
+		t.Errorf("Expire removed %d, want 1", n)
+	}
+	if l.Len() != 0 {
+		t.Errorf("Len = %d, want 0", l.Len())
+	}
+}
+
+func TestLFIBVersionAdvances(t *testing.T) {
+	l := NewLFIB()
+	v0 := l.Version()
+	l.Learn(model.HostMAC(1), model.HostIP(1), 1, 1, 0)
+	if l.Version() == v0 {
+		t.Error("version unchanged after Learn")
+	}
+	v1 := l.Version()
+	l.Learn(model.HostMAC(1), model.HostIP(1), 1, 1, time.Second)
+	if l.Version() != v1 {
+		t.Error("version changed on pure refresh")
+	}
+}
+
+func TestLFIBEntriesSorted(t *testing.T) {
+	l := NewLFIB()
+	l.Learn(model.HostMAC(30), model.HostIP(30), 1, 1, 0)
+	l.Learn(model.HostMAC(10), model.HostIP(10), 1, 1, 0)
+	l.Learn(model.HostMAC(20), model.HostIP(20), 1, 1, 0)
+	entries := l.Entries()
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].MAC.Uint64() >= entries[i].MAC.Uint64() {
+			t.Fatalf("entries not sorted: %v", entries)
+		}
+	}
+	wire := l.WireEntries()
+	if len(wire) != 3 || wire[0].MAC != model.HostMAC(10) {
+		t.Errorf("WireEntries = %v", wire)
+	}
+}
+
+func TestLFIBFilter(t *testing.T) {
+	l := NewLFIB()
+	for i := uint32(1); i <= 20; i++ {
+		l.Learn(model.HostMAC(model.HostID(i)), model.HostIP(model.HostID(i)), 1, 1, 0)
+	}
+	f := l.Filter(DefaultFilterBits, DefaultFilterHashes)
+	for i := uint32(1); i <= 20; i++ {
+		if !f.TestUint64(model.HostMAC(model.HostID(i)).Uint64()) {
+			t.Fatalf("filter missing host %d", i)
+		}
+	}
+	if f.SizeBytes() != 2048 {
+		t.Errorf("filter SizeBytes = %d, want 2048", f.SizeBytes())
+	}
+}
+
+func TestGFIBQuery(t *testing.T) {
+	g := NewGFIB()
+	mkFilter := func(hosts ...model.HostID) *bloom.Filter {
+		f := bloom.New(DefaultFilterBits, DefaultFilterHashes)
+		for _, h := range hosts {
+			f.AddUint64(model.HostMAC(h).Uint64())
+		}
+		return f
+	}
+	g.SetFilter(2, mkFilter(100, 101))
+	g.SetFilter(3, mkFilter(200))
+	g.SetFilter(4, mkFilter())
+
+	got := g.Query(model.HostMAC(100))
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("Query(100) = %v, want [2]", got)
+	}
+	got = g.Query(model.HostMAC(200))
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("Query(200) = %v, want [3]", got)
+	}
+	if got = g.Query(model.HostMAC(999)); len(got) != 0 {
+		t.Errorf("Query(999) = %v, want empty", got)
+	}
+}
+
+func TestGFIBSetFilterBytesAndSize(t *testing.T) {
+	g := NewGFIB()
+	f := bloom.New(DefaultFilterBits, DefaultFilterHashes)
+	f.AddUint64(model.HostMAC(7).Uint64())
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetFilterBytes(9, data); err != nil {
+		t.Fatalf("SetFilterBytes: %v", err)
+	}
+	if got := g.Query(model.HostMAC(7)); len(got) != 1 || got[0] != 9 {
+		t.Errorf("Query = %v, want [9]", got)
+	}
+	if err := g.SetFilterBytes(10, []byte("garbage")); err == nil {
+		t.Error("SetFilterBytes accepted garbage")
+	}
+	if g.SizeBytes() != 2048 {
+		t.Errorf("SizeBytes = %d, want 2048", g.SizeBytes())
+	}
+}
+
+func TestGFIBPaperStorage(t *testing.T) {
+	// §V-D: 46-switch group -> 45 filters -> 92,160 bytes.
+	g := NewGFIB()
+	for i := 1; i <= 45; i++ {
+		g.SetFilter(model.SwitchID(i), bloom.New(DefaultFilterBits, DefaultFilterHashes))
+	}
+	if g.SizeBytes() != 92160 {
+		t.Errorf("SizeBytes = %d, want 92160", g.SizeBytes())
+	}
+}
+
+func TestGFIBRemoveAndClear(t *testing.T) {
+	g := NewGFIB()
+	g.SetFilter(1, bloom.New(128, 2))
+	g.SetFilter(2, bloom.New(128, 2))
+	g.RemoveFilter(1)
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+	if peers := g.Peers(); len(peers) != 1 || peers[0] != 2 {
+		t.Errorf("Peers = %v, want [2]", peers)
+	}
+	v := g.Version()
+	g.RemoveFilter(99) // absent: no version bump
+	if g.Version() != v {
+		t.Error("RemoveFilter(absent) bumped version")
+	}
+	g.Clear()
+	if g.Len() != 0 {
+		t.Errorf("Len after Clear = %d, want 0", g.Len())
+	}
+	g.Clear() // idempotent on empty
+}
+
+func TestCLIBUpdateLookup(t *testing.T) {
+	c := NewCLIB()
+	c.Update(model.HostMAC(1), model.HostIP(1), 5, 10, 2)
+	e := c.Lookup(model.HostMAC(1))
+	if e == nil || e.Switch != 10 || e.Group != 2 {
+		t.Fatalf("Lookup = %+v", e)
+	}
+	if e := c.LookupIP(model.HostIP(1)); e == nil || e.MAC != model.HostMAC(1) {
+		t.Errorf("LookupIP = %+v", e)
+	}
+	// Migration: binding moves to another switch.
+	c.Update(model.HostMAC(1), model.HostIP(1), 5, 11, 3)
+	if e := c.Lookup(model.HostMAC(1)); e.Switch != 11 || e.Group != 3 {
+		t.Errorf("after move: %+v", e)
+	}
+	if c.HostsOn(10) != 0 {
+		t.Errorf("HostsOn(10) = %d after move, want 0", c.HostsOn(10))
+	}
+	if c.HostsOn(11) != 1 {
+		t.Errorf("HostsOn(11) = %d, want 1", c.HostsOn(11))
+	}
+}
+
+func TestCLIBRemove(t *testing.T) {
+	c := NewCLIB()
+	c.Update(model.HostMAC(1), model.HostIP(1), 5, 10, 2)
+	c.Remove(model.HostMAC(1))
+	if c.Lookup(model.HostMAC(1)) != nil || c.LookupIP(model.HostIP(1)) != nil {
+		t.Error("binding survives Remove")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+	c.Remove(model.HostMAC(1)) // idempotent
+}
+
+func TestCLIBSwitchesWithVLAN(t *testing.T) {
+	c := NewCLIB()
+	c.Update(model.HostMAC(1), model.HostIP(1), 7, 10, 1)
+	c.Update(model.HostMAC(2), model.HostIP(2), 7, 12, 1)
+	c.Update(model.HostMAC(3), model.HostIP(3), 8, 11, 1)
+	got := c.SwitchesWithVLAN(7)
+	if len(got) != 2 || got[0] != 10 || got[1] != 12 {
+		t.Errorf("SwitchesWithVLAN(7) = %v, want [10 12]", got)
+	}
+	// Removing the only VLAN-7 host on switch 10 shrinks the set.
+	c.Remove(model.HostMAC(1))
+	got = c.SwitchesWithVLAN(7)
+	if len(got) != 1 || got[0] != 12 {
+		t.Errorf("SwitchesWithVLAN(7) = %v after removal, want [12]", got)
+	}
+}
+
+func TestCLIBApplyLFIBFullReplacesStale(t *testing.T) {
+	c := NewCLIB()
+	c.Update(model.HostMAC(1), model.HostIP(1), 1, 10, 1)
+	c.Update(model.HostMAC(2), model.HostIP(2), 1, 10, 1)
+	// Full snapshot from switch 10 now only contains host 2 and a new
+	// host 3.
+	u := &openflow.LFIBUpdate{
+		Origin: 10,
+		Full:   true,
+		Entries: []openflow.LFIBEntry{
+			{MAC: model.HostMAC(2), IP: model.HostIP(2), VLAN: 1},
+			{MAC: model.HostMAC(3), IP: model.HostIP(3), VLAN: 1},
+		},
+	}
+	c.ApplyLFIB(10, 1, u)
+	if c.Lookup(model.HostMAC(1)) != nil {
+		t.Error("stale binding survived full snapshot")
+	}
+	if c.Lookup(model.HostMAC(3)) == nil {
+		t.Error("new binding missing")
+	}
+	if c.HostsOn(10) != 2 {
+		t.Errorf("HostsOn = %d, want 2", c.HostsOn(10))
+	}
+}
+
+func TestCLIBApplyLFIBIncremental(t *testing.T) {
+	c := NewCLIB()
+	c.Update(model.HostMAC(1), model.HostIP(1), 1, 10, 1)
+	u := &openflow.LFIBUpdate{
+		Origin:  10,
+		Entries: []openflow.LFIBEntry{{MAC: model.HostMAC(2), IP: model.HostIP(2), VLAN: 1}},
+	}
+	c.ApplyLFIB(10, 1, u)
+	if c.Lookup(model.HostMAC(1)) == nil || c.Lookup(model.HostMAC(2)) == nil {
+		t.Error("incremental update dropped or missed bindings")
+	}
+}
+
+func TestCLIBSetGroup(t *testing.T) {
+	c := NewCLIB()
+	c.Update(model.HostMAC(1), model.HostIP(1), 1, 10, 1)
+	c.Update(model.HostMAC(2), model.HostIP(2), 1, 10, 1)
+	c.Update(model.HostMAC(3), model.HostIP(3), 1, 11, 1)
+	c.SetGroup(10, 9)
+	if c.Lookup(model.HostMAC(1)).Group != 9 || c.Lookup(model.HostMAC(2)).Group != 9 {
+		t.Error("SetGroup missed bindings on switch 10")
+	}
+	if c.Lookup(model.HostMAC(3)).Group != 1 {
+		t.Error("SetGroup touched another switch")
+	}
+}

@@ -1,0 +1,105 @@
+package fib
+
+import (
+	"fmt"
+	"sort"
+
+	"lazyctrl/internal/bloom"
+	"lazyctrl/internal/model"
+)
+
+// GFIB is the Group Forwarding Information Base: one Bloom filter per
+// peer switch in the local control group, each summarizing that peer's
+// L-FIB. Querying an address returns the candidate peers, which may
+// include false positives but never misses the true location (§III-D2).
+type GFIB struct {
+	filters map[model.SwitchID]*bloom.Filter
+	version uint64
+}
+
+// NewGFIB returns an empty G-FIB.
+func NewGFIB() *GFIB {
+	return &GFIB{filters: make(map[model.SwitchID]*bloom.Filter)}
+}
+
+// SetFilter installs or replaces the filter for a peer switch.
+func (g *GFIB) SetFilter(peer model.SwitchID, f *bloom.Filter) {
+	g.filters[peer] = f
+	g.version++
+}
+
+// SetFilterBytes decodes and installs a serialized filter, as received
+// in a GFIBUpdate message.
+func (g *GFIB) SetFilterBytes(peer model.SwitchID, data []byte) error {
+	var f bloom.Filter
+	if err := f.UnmarshalBinary(data); err != nil {
+		return fmt.Errorf("fib: G-FIB filter for %v: %w", peer, err)
+	}
+	g.SetFilter(peer, &f)
+	return nil
+}
+
+// RemoveFilter drops the filter of a peer (peer left the group).
+func (g *GFIB) RemoveFilter(peer model.SwitchID) {
+	if _, ok := g.filters[peer]; ok {
+		delete(g.filters, peer)
+		g.version++
+	}
+}
+
+// Clear drops all filters (regrouping).
+func (g *GFIB) Clear() {
+	if len(g.filters) == 0 {
+		return
+	}
+	g.filters = make(map[model.SwitchID]*bloom.Filter)
+	g.version++
+}
+
+// Query returns the peers whose filters report (possibly falsely) that
+// they host the MAC, in ascending switch order.
+func (g *GFIB) Query(mac model.MAC) []model.SwitchID {
+	return g.queryKey(MACKey(mac))
+}
+
+// QueryIP returns the peers that possibly host the IP (ARP targets).
+func (g *GFIB) QueryIP(ip model.IP) []model.SwitchID {
+	return g.queryKey(IPKey(ip))
+}
+
+func (g *GFIB) queryKey(key uint64) []model.SwitchID {
+	var out []model.SwitchID
+	for peer, f := range g.filters {
+		if f.TestUint64(key) {
+			out = append(out, peer)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Peers returns the switches with installed filters, ascending.
+func (g *GFIB) Peers() []model.SwitchID {
+	out := make([]model.SwitchID, 0, len(g.filters))
+	for peer := range g.filters {
+		out = append(out, peer)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of peer filters.
+func (g *GFIB) Len() int { return len(g.filters) }
+
+// SizeBytes returns the total storage of all filters — the quantity the
+// paper's storage-overhead analysis bounds (§V-D).
+func (g *GFIB) SizeBytes() int {
+	total := 0
+	for _, f := range g.filters {
+		total += f.SizeBytes()
+	}
+	return total
+}
+
+// Version counts structural changes.
+func (g *GFIB) Version() uint64 { return g.version }

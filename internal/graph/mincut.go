@@ -1,0 +1,112 @@
+package graph
+
+import "errors"
+
+// MinCut computes a global minimum cut of g using the Stoer–Wagner
+// algorithm (the paper's reference [29] for the merge/split refinement in
+// SGI). It returns the cut weight and the side assignment (true for
+// vertices on one side). The graph must have at least 2 vertices.
+//
+// Complexity is O(V·(V+E)·log V) with the simple array-based maximum
+// adjacency search used here, which is ample for per-group subgraphs.
+func MinCut(g *Graph) (int64, []bool, error) {
+	n := g.N()
+	if n < 2 {
+		return 0, nil, errors.New("graph: MinCut requires ≥ 2 vertices")
+	}
+
+	// Dense working copy of the adjacency matrix; merged vertices
+	// accumulate edges.
+	w := make([][]int64, n)
+	for i := range w {
+		w[i] = make([]int64, n)
+	}
+	for u := 0; u < n; u++ {
+		for _, e := range g.Adj(u) {
+			w[u][e.To] = e.W
+		}
+	}
+
+	// members[i] lists the original vertices merged into super-vertex i.
+	members := make([][]int, n)
+	active := make([]int, n)
+	for i := 0; i < n; i++ {
+		members[i] = []int{i}
+		active[i] = i
+	}
+
+	bestCut := int64(1 << 62)
+	var bestSide []int
+
+	for len(active) > 1 {
+		// Maximum adjacency search from active[0].
+		inA := make(map[int]bool, len(active))
+		conn := make(map[int]int64, len(active))
+		order := make([]int, 0, len(active))
+
+		start := active[0]
+		inA[start] = true
+		order = append(order, start)
+		for _, v := range active {
+			if v != start {
+				conn[v] = w[start][v]
+			}
+		}
+		for len(order) < len(active) {
+			// Pick the most connected vertex not in A.
+			best, bestW := -1, int64(-1)
+			for _, v := range active {
+				if inA[v] {
+					continue
+				}
+				if conn[v] > bestW {
+					best, bestW = v, conn[v]
+				}
+			}
+			inA[best] = true
+			order = append(order, best)
+			for _, v := range active {
+				if !inA[v] {
+					conn[v] += w[best][v]
+				}
+			}
+		}
+
+		// Cut-of-the-phase: the last vertex added, separated from the rest.
+		t := order[len(order)-1]
+		s := order[len(order)-2]
+		cutOfPhase := int64(0)
+		for _, v := range active {
+			if v != t {
+				cutOfPhase += w[t][v]
+			}
+		}
+		if cutOfPhase < bestCut {
+			bestCut = cutOfPhase
+			bestSide = append([]int(nil), members[t]...)
+		}
+
+		// Merge t into s.
+		for _, v := range active {
+			if v != s && v != t {
+				w[s][v] += w[t][v]
+				w[v][s] = w[s][v]
+			}
+		}
+		members[s] = append(members[s], members[t]...)
+		// Remove t from active.
+		next := active[:0]
+		for _, v := range active {
+			if v != t {
+				next = append(next, v)
+			}
+		}
+		active = next
+	}
+
+	side := make([]bool, n)
+	for _, v := range bestSide {
+		side[v] = true
+	}
+	return bestCut, side, nil
+}

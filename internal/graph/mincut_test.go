@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinCutTwoVertices(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1, 7)
+	w, side, err := MinCut(b.Build())
+	if err != nil {
+		t.Fatalf("MinCut: %v", err)
+	}
+	if w != 7 {
+		t.Errorf("cut = %d, want 7", w)
+	}
+	if side[0] == side[1] {
+		t.Error("both vertices on the same side")
+	}
+}
+
+func TestMinCutTooSmall(t *testing.T) {
+	if _, _, err := MinCut(NewBuilder(1).Build()); err == nil {
+		t.Error("MinCut on 1 vertex succeeded")
+	}
+}
+
+func TestMinCutBridge(t *testing.T) {
+	// Two triangles joined by a weight-1 bridge: min cut = 1.
+	b := NewBuilder(6)
+	heavy := int64(10)
+	b.AddEdge(0, 1, heavy)
+	b.AddEdge(1, 2, heavy)
+	b.AddEdge(0, 2, heavy)
+	b.AddEdge(3, 4, heavy)
+	b.AddEdge(4, 5, heavy)
+	b.AddEdge(3, 5, heavy)
+	b.AddEdge(2, 3, 1)
+	g := b.Build()
+	w, side, err := MinCut(g)
+	if err != nil {
+		t.Fatalf("MinCut: %v", err)
+	}
+	if w != 1 {
+		t.Errorf("cut = %d, want 1", w)
+	}
+	// Sides must be the triangles.
+	if side[0] != side[1] || side[1] != side[2] {
+		t.Errorf("first triangle split: %v", side)
+	}
+	if side[3] != side[4] || side[4] != side[5] {
+		t.Errorf("second triangle split: %v", side)
+	}
+	if side[0] == side[3] {
+		t.Error("triangles on same side")
+	}
+}
+
+func TestMinCutDisconnected(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(2, 3, 5)
+	w, _, err := MinCut(b.Build())
+	if err != nil {
+		t.Fatalf("MinCut: %v", err)
+	}
+	if w != 0 {
+		t.Errorf("cut = %d, want 0 for disconnected graph", w)
+	}
+}
+
+// cutOf computes the cut weight for a boolean side assignment.
+func cutOf(g *Graph, side []bool) int64 {
+	var w int64
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.Adj(u) {
+			if u < e.To && side[u] != side[e.To] {
+				w += e.W
+			}
+		}
+	}
+	return w
+}
+
+// bruteMinCut enumerates all 2^(n-1) cuts.
+func bruteMinCut(g *Graph) int64 {
+	n := g.N()
+	best := int64(1 << 62)
+	for mask := 1; mask < 1<<(n-1); mask++ {
+		side := make([]bool, n)
+		for v := 0; v < n-1; v++ {
+			side[v] = mask&(1<<v) != 0
+		}
+		if w := cutOf(g, side); w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+func TestMinCutMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 23))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.IntN(5) // 4..8 vertices
+		b := NewBuilder(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.7 {
+					b.AddEdge(i, j, 1+int64(rng.IntN(10)))
+				}
+			}
+		}
+		g := b.Build()
+		got, side, err := MinCut(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := bruteMinCut(g)
+		if got != want {
+			t.Fatalf("trial %d: MinCut = %d, brute force = %d", trial, got, want)
+		}
+		if cutOf(g, side) != got {
+			t.Fatalf("trial %d: reported side has cut %d, reported weight %d",
+				trial, cutOf(g, side), got)
+		}
+	}
+}
+
+func TestMinCutSideNontrivial(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^1))
+		n := 3 + int(seed%6)
+		b := NewBuilder(n)
+		for i := 0; i < n-1; i++ {
+			b.AddEdge(i, i+1, 1+int64(rng.IntN(5)))
+		}
+		g := b.Build()
+		_, side, err := MinCut(g)
+		if err != nil {
+			return false
+		}
+		ones := 0
+		for _, s := range side {
+			if s {
+				ones++
+			}
+		}
+		return ones > 0 && ones < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

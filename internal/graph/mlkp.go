@@ -1,0 +1,395 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+)
+
+// PartitionOptions configures the multilevel k-way partitioner.
+type PartitionOptions struct {
+	// K is the number of parts. Must be ≥ 1.
+	K int
+	// MaxPartWeight caps the vertex weight of every part. Zero means
+	// "balanced": ceil(total/K) plus the default imbalance tolerance.
+	MaxPartWeight int64
+	// Seed drives all randomized choices; equal seeds give equal results.
+	Seed uint64
+	// CoarsenTo stops coarsening once the graph has at most this many
+	// vertices. Zero selects max(20*K, 80).
+	CoarsenTo int
+	// RefinePasses bounds the number of refinement sweeps per level.
+	// Zero selects 8.
+	RefinePasses int
+}
+
+func (o *PartitionOptions) withDefaults(g *Graph) (PartitionOptions, error) {
+	opts := *o
+	if opts.K < 1 {
+		return opts, errors.New("graph: K must be ≥ 1")
+	}
+	if opts.MaxPartWeight == 0 {
+		target := (g.TotalVertexWeight() + int64(opts.K) - 1) / int64(opts.K)
+		opts.MaxPartWeight = target + target/10 + 1
+	}
+	if opts.MaxPartWeight*int64(opts.K) < g.TotalVertexWeight() {
+		return opts, fmt.Errorf("graph: infeasible: %d parts of weight ≤ %d cannot hold total weight %d",
+			opts.K, opts.MaxPartWeight, g.TotalVertexWeight())
+	}
+	maxVW := int64(0)
+	for v := 0; v < g.N(); v++ {
+		if w := g.VertexWeight(v); w > maxVW {
+			maxVW = w
+		}
+	}
+	if maxVW > opts.MaxPartWeight {
+		return opts, fmt.Errorf("graph: infeasible: vertex weight %d exceeds part cap %d", maxVW, opts.MaxPartWeight)
+	}
+	if opts.CoarsenTo == 0 {
+		opts.CoarsenTo = 20 * opts.K
+		if opts.CoarsenTo < 80 {
+			opts.CoarsenTo = 80
+		}
+	}
+	if opts.RefinePasses == 0 {
+		opts.RefinePasses = 8
+	}
+	return opts, nil
+}
+
+// PartitionKWay computes a k-way partition of g minimizing edge cut
+// subject to the per-part weight cap, using the multilevel scheme:
+// heavy-edge-matching coarsening, greedy-growing initial partitioning,
+// and boundary Kernighan–Lin refinement during uncoarsening.
+func PartitionKWay(g *Graph, o PartitionOptions) (Partition, error) {
+	opts, err := o.withDefaults(g)
+	if err != nil {
+		return nil, err
+	}
+	if g.N() == 0 {
+		return Partition{}, nil
+	}
+	rng := rand.New(rand.NewPCG(opts.Seed, opts.Seed^0xa5a5a5a55a5a5a5a))
+
+	// Coarsening phase.
+	type level struct {
+		g    *Graph
+		cmap []int // fine vertex -> coarse vertex (for the NEXT level)
+	}
+	levels := []level{{g: g}}
+	cur := g
+	for cur.N() > opts.CoarsenTo {
+		coarse, cmap := coarsen(cur, opts.MaxPartWeight, rng)
+		if coarse.N() >= cur.N() || float64(coarse.N()) > 0.95*float64(cur.N()) {
+			break // matching stalled; stop coarsening
+		}
+		levels[len(levels)-1].cmap = cmap
+		levels = append(levels, level{g: coarse})
+		cur = coarse
+	}
+
+	// Initial partitioning on the coarsest graph.
+	coarsest := levels[len(levels)-1].g
+	part := growInitial(coarsest, opts.K, opts.MaxPartWeight, rng)
+	refine(coarsest, part, opts.K, opts.MaxPartWeight, opts.RefinePasses, rng)
+
+	// Uncoarsening with refinement.
+	for i := len(levels) - 2; i >= 0; i-- {
+		fine := levels[i].g
+		cmap := levels[i].cmap
+		finePart := make(Partition, fine.N())
+		for v := range finePart {
+			finePart[v] = part[cmap[v]]
+		}
+		part = finePart
+		refine(fine, part, opts.K, opts.MaxPartWeight, opts.RefinePasses, rng)
+	}
+
+	if err := repair(g, part, opts.K, opts.MaxPartWeight); err != nil {
+		return nil, err
+	}
+	return part, nil
+}
+
+// coarsen contracts a heavy-edge matching of g. Matches whose combined
+// vertex weight would exceed cap are skipped so that feasibility is
+// preserved through the hierarchy.
+func coarsen(g *Graph, cap int64, rng *rand.Rand) (*Graph, []int) {
+	n := g.N()
+	match := make([]int, n)
+	for v := range match {
+		match[v] = Unassigned
+	}
+	order := rng.Perm(n)
+	for _, v := range order {
+		if match[v] != Unassigned {
+			continue
+		}
+		best, bestW := v, int64(-1)
+		for _, e := range g.Adj(v) {
+			if match[e.To] != Unassigned {
+				continue
+			}
+			if g.VertexWeight(v)+g.VertexWeight(e.To) > cap {
+				continue
+			}
+			if e.W > bestW {
+				best, bestW = e.To, e.W
+			}
+		}
+		match[v] = best
+		match[best] = v
+	}
+
+	cmap := make([]int, n)
+	for v := range cmap {
+		cmap[v] = Unassigned
+	}
+	nc := 0
+	for v := 0; v < n; v++ {
+		if cmap[v] != Unassigned {
+			continue
+		}
+		cmap[v] = nc
+		if match[v] != v {
+			cmap[match[v]] = nc
+		}
+		nc++
+	}
+
+	b := NewBuilder(nc)
+	cw := make([]int64, nc)
+	for v := 0; v < n; v++ {
+		cw[cmap[v]] += g.VertexWeight(v)
+	}
+	for c, w := range cw {
+		b.SetVertexWeight(c, w)
+	}
+	for v := 0; v < n; v++ {
+		for _, e := range g.Adj(v) {
+			if v < e.To && cmap[v] != cmap[e.To] {
+				b.AddEdge(cmap[v], cmap[e.To], e.W)
+			}
+		}
+	}
+	return b.Build(), cmap
+}
+
+// growInitial produces a feasible initial k-way partition by greedy graph
+// growing: each part grows from a random seed, absorbing the unassigned
+// neighbor with the strongest connection until the part reaches its
+// weight target.
+func growInitial(g *Graph, k int, cap int64, rng *rand.Rand) Partition {
+	n := g.N()
+	part := make(Partition, n)
+	for v := range part {
+		part[v] = Unassigned
+	}
+	target := g.TotalVertexWeight() / int64(k)
+	if target < 1 {
+		target = 1
+	}
+
+	unassigned := n
+	weights := make([]int64, k)
+	conn := make([]int64, n) // connectivity to the part being grown
+
+	for p := 0; p < k && unassigned > 0; p++ {
+		// Pick a random unassigned seed.
+		seed := Unassigned
+		offset := rng.IntN(n)
+		for i := 0; i < n; i++ {
+			v := (offset + i) % n
+			if part[v] == Unassigned {
+				seed = v
+				break
+			}
+		}
+		if seed == Unassigned {
+			break
+		}
+		for i := range conn {
+			conn[i] = 0
+		}
+		frontier := []int{seed}
+		assign := func(v int) {
+			part[v] = p
+			weights[p] += g.VertexWeight(v)
+			unassigned--
+			for _, e := range g.Adj(v) {
+				if part[e.To] == Unassigned {
+					conn[e.To] += e.W
+					frontier = append(frontier, e.To)
+				}
+			}
+		}
+		assign(seed)
+		for weights[p] < target && unassigned > 0 {
+			// Choose the frontier vertex with max connectivity that fits.
+			best, bestConn := Unassigned, int64(-1)
+			for _, v := range frontier {
+				if part[v] != Unassigned {
+					continue
+				}
+				if weights[p]+g.VertexWeight(v) > cap {
+					continue
+				}
+				if conn[v] > bestConn {
+					best, bestConn = v, conn[v]
+				}
+			}
+			if best == Unassigned {
+				break // disconnected or no fitting vertex: stop growing
+			}
+			assign(best)
+			// Compact the frontier occasionally to bound growth.
+			if len(frontier) > 4*n {
+				compact := frontier[:0]
+				for _, v := range frontier {
+					if part[v] == Unassigned {
+						compact = append(compact, v)
+					}
+				}
+				frontier = compact
+			}
+		}
+	}
+
+	// Place leftovers: strongest-connected feasible part, else lightest
+	// feasible part.
+	for v := 0; v < n; v++ {
+		if part[v] != Unassigned {
+			continue
+		}
+		connTo := make([]int64, k)
+		for _, e := range g.Adj(v) {
+			if part[e.To] != Unassigned {
+				connTo[part[e.To]] += e.W
+			}
+		}
+		best, bestScore := -1, int64(-1)
+		for p := 0; p < k; p++ {
+			if weights[p]+g.VertexWeight(v) > cap {
+				continue
+			}
+			if connTo[p] > bestScore {
+				best, bestScore = p, connTo[p]
+			}
+		}
+		if best == -1 {
+			// All parts at cap: pick the lightest regardless; repair will
+			// never be reached because withDefaults guarantees total
+			// feasibility, but stay safe.
+			best = 0
+			for p := 1; p < k; p++ {
+				if weights[p] < weights[best] {
+					best = p
+				}
+			}
+		}
+		part[v] = best
+		weights[best] += g.VertexWeight(v)
+	}
+	return part
+}
+
+// refine runs greedy boundary Kernighan–Lin sweeps: every pass visits
+// boundary vertices in random order and moves a vertex to the adjacent
+// part with the highest positive gain, subject to the weight cap.
+func refine(g *Graph, part Partition, k int, cap int64, passes int, rng *rand.Rand) {
+	n := g.N()
+	weights := g.PartWeights(part, k)
+	connTo := make([]int64, k)
+
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		order := rng.Perm(n)
+		for _, v := range order {
+			own := part[v]
+			// Compute connectivity of v to each part; skip interior
+			// vertices quickly.
+			boundary := false
+			for i := range connTo {
+				connTo[i] = 0
+			}
+			for _, e := range g.Adj(v) {
+				connTo[part[e.To]] += e.W
+				if part[e.To] != own {
+					boundary = true
+				}
+			}
+			if !boundary {
+				continue
+			}
+			bestPart, bestGain := own, int64(0)
+			for p := 0; p < k; p++ {
+				if p == own || connTo[p] == 0 {
+					continue
+				}
+				if weights[p]+g.VertexWeight(v) > cap {
+					continue
+				}
+				gain := connTo[p] - connTo[own]
+				if gain > bestGain {
+					bestPart, bestGain = p, gain
+				} else if gain == bestGain && bestGain > 0 && weights[p] < weights[bestPart] {
+					bestPart = p
+				}
+			}
+			if bestPart != own {
+				weights[own] -= g.VertexWeight(v)
+				weights[bestPart] += g.VertexWeight(v)
+				part[v] = bestPart
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// repair enforces the weight cap by evicting the loosest vertices from
+// overweight parts into the lightest feasible parts.
+func repair(g *Graph, part Partition, k int, cap int64) error {
+	weights := g.PartWeights(part, k)
+	for p := 0; p < k; p++ {
+		for weights[p] > cap {
+			// Evict the vertex with minimum internal connectivity.
+			evict, evictConn := -1, int64(1<<62)
+			for v := range part {
+				if part[v] != p {
+					continue
+				}
+				var internal int64
+				for _, e := range g.Adj(v) {
+					if part[e.To] == p {
+						internal += e.W
+					}
+				}
+				if internal < evictConn {
+					evict, evictConn = v, internal
+				}
+			}
+			if evict == -1 {
+				return fmt.Errorf("graph: repair failed: part %d overweight (%d > %d) but empty", p, weights[p], cap)
+			}
+			dest := -1
+			for q := 0; q < k; q++ {
+				if q == p || weights[q]+g.VertexWeight(evict) > cap {
+					continue
+				}
+				if dest == -1 || weights[q] < weights[dest] {
+					dest = q
+				}
+			}
+			if dest == -1 {
+				return fmt.Errorf("graph: repair failed: no part can absorb vertex %d (weight %d)", evict, g.VertexWeight(evict))
+			}
+			weights[p] -= g.VertexWeight(evict)
+			weights[dest] += g.VertexWeight(evict)
+			part[evict] = dest
+		}
+	}
+	return nil
+}

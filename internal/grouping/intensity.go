@@ -1,0 +1,158 @@
+// Package grouping implements LazyCtrl's switch-grouping machinery: the
+// traffic-intensity matrix W, the SGI algorithm (size-constrained
+// grouping with incremental update, §III-C of the paper), host exclusion,
+// and the Rubinstein-bargaining group-size negotiation from Appendix C.
+package grouping
+
+import (
+	"math"
+	"sort"
+
+	"lazyctrl/internal/model"
+)
+
+// Intensity is the matrix W of the paper: w[i][j] is the normalized
+// traffic intensity (new flows per second) between edge switches i and j.
+// It is sparse and symmetric.
+type Intensity struct {
+	pairs    map[model.SwitchPair]float64
+	switches map[model.SwitchID]struct{}
+	total    float64
+}
+
+// NewIntensity returns an empty intensity matrix.
+func NewIntensity() *Intensity {
+	return &Intensity{
+		pairs:    make(map[model.SwitchPair]float64),
+		switches: make(map[model.SwitchID]struct{}),
+	}
+}
+
+// AddSwitch registers a switch even if it has no traffic, so that it
+// participates in grouping.
+func (m *Intensity) AddSwitch(s model.SwitchID) {
+	m.switches[s] = struct{}{}
+}
+
+// Add accumulates rate onto the (a,b) pair. Self-pairs and non-positive
+// rates register the switches but add no weight.
+func (m *Intensity) Add(a, b model.SwitchID, rate float64) {
+	m.switches[a] = struct{}{}
+	m.switches[b] = struct{}{}
+	if a == b || rate <= 0 {
+		return
+	}
+	m.pairs[model.MakeSwitchPair(a, b)] += rate
+	m.total += rate
+}
+
+// Pair returns the intensity between two switches.
+func (m *Intensity) Pair(a, b model.SwitchID) float64 {
+	if a == b {
+		return 0
+	}
+	return m.pairs[model.MakeSwitchPair(a, b)]
+}
+
+// Total returns the sum of all pairwise intensities.
+func (m *Intensity) Total() float64 { return m.total }
+
+// NumSwitches returns the number of registered switches.
+func (m *Intensity) NumSwitches() int { return len(m.switches) }
+
+// NumPairs returns the number of switch pairs with positive intensity.
+func (m *Intensity) NumPairs() int { return len(m.pairs) }
+
+// Switches returns the registered switches in ascending ID order.
+func (m *Intensity) Switches() []model.SwitchID {
+	out := make([]model.SwitchID, 0, len(m.switches))
+	for s := range m.switches {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Intensity) Clone() *Intensity {
+	c := NewIntensity()
+	for s := range m.switches {
+		c.switches[s] = struct{}{}
+	}
+	for p, w := range m.pairs {
+		c.pairs[p] = w
+	}
+	c.total = m.total
+	return c
+}
+
+// ForEachPair calls fn for every pair with positive intensity, in
+// deterministic (sorted) order.
+func (m *Intensity) ForEachPair(fn func(p model.SwitchPair, w float64)) {
+	keys := make([]model.SwitchPair, 0, len(m.pairs))
+	for p := range m.pairs {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].A != keys[j].A {
+			return keys[i].A < keys[j].A
+		}
+		return keys[i].B < keys[j].B
+	})
+	for _, p := range keys {
+		fn(p, m.pairs[p])
+	}
+}
+
+// InterGroup returns W_inter: the total intensity between switches
+// assigned to different groups. Switches without an assignment
+// (NoGroup) are treated as handled by the controller, so their traffic
+// counts as inter-group.
+func (m *Intensity) InterGroup(assign func(model.SwitchID) model.GroupID) float64 {
+	var inter float64
+	for p, w := range m.pairs {
+		ga, gb := assign(p.A), assign(p.B)
+		if ga != gb || ga == model.NoGroup {
+			inter += w
+		}
+	}
+	return inter
+}
+
+// NormalizedInterGroup returns W_inter / W_total in [0,1]. Zero total
+// yields zero.
+func (m *Intensity) NormalizedInterGroup(assign func(model.SwitchID) model.GroupID) float64 {
+	if m.total == 0 {
+		return 0
+	}
+	return m.InterGroup(assign) / m.total
+}
+
+// Decay multiplies every entry by factor in (0,1], modeling an
+// exponentially weighted moving estimate of traffic intensity between
+// measurement windows.
+func (m *Intensity) Decay(factor float64) {
+	if factor <= 0 || factor >= 1 {
+		return
+	}
+	m.total = 0
+	for p, w := range m.pairs {
+		nw := w * factor
+		if nw < 1e-12 {
+			delete(m.pairs, p)
+			continue
+		}
+		m.pairs[p] = nw
+		m.total += nw
+	}
+}
+
+// weightScale converts float intensities to the int64 edge weights the
+// graph package needs while preserving relative magnitudes.
+func weightScale(maxRate float64) float64 {
+	if maxRate <= 0 {
+		return 1
+	}
+	// Map the max rate to ~2^40 to keep headroom under int64 sums.
+	return math.Exp2(40) / maxRate
+}

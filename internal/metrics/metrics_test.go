@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketLayout(t *testing.T) {
+	r := NewRecorder(24*time.Hour, 2*time.Hour)
+	if r.Buckets() != 12 {
+		t.Errorf("Buckets() = %d, want 12", r.Buckets())
+	}
+	if r.BucketWidth() != 2*time.Hour {
+		t.Errorf("BucketWidth() = %v", r.BucketWidth())
+	}
+	// Degenerate inputs survive.
+	d := NewRecorder(0, 0)
+	if d.Buckets() < 1 {
+		t.Error("degenerate recorder has no buckets")
+	}
+}
+
+func TestCountRequest(t *testing.T) {
+	r := NewRecorder(24*time.Hour, 2*time.Hour)
+	r.CountRequest(ReqPacketIn, 1*time.Hour, 5)
+	r.CountRequest(ReqFloodOut, 1*time.Hour, 2)
+	r.CountRequest(ReqPacketIn, 3*time.Hour, 1)
+	r.CountRequest(ReqPacketIn, 1000*time.Hour, 1) // clamps to last bucket
+
+	per := r.WorkloadPerBucket()
+	if per[0] != 7 {
+		t.Errorf("bucket 0 = %d, want 7", per[0])
+	}
+	if per[1] != 1 {
+		t.Errorf("bucket 1 = %d, want 1", per[1])
+	}
+	if per[11] != 1 {
+		t.Errorf("bucket 11 = %d, want 1 (clamped)", per[11])
+	}
+	if r.TotalWorkload() != 9 {
+		t.Errorf("TotalWorkload = %d, want 9", r.TotalWorkload())
+	}
+	byClass := r.WorkloadByClass()
+	if byClass[ReqPacketIn] != 7 || byClass[ReqFloodOut] != 2 {
+		t.Errorf("WorkloadByClass = %v", byClass)
+	}
+}
+
+func TestWorkloadRPS(t *testing.T) {
+	r := NewRecorder(24*time.Hour, 2*time.Hour)
+	r.CountRequest(ReqPacketIn, time.Hour, 7200) // 1/s over a 2h bucket
+	rps := r.WorkloadRPS(1)
+	if rps[0] != 1 {
+		t.Errorf("rps[0] = %v, want 1", rps[0])
+	}
+	scaled := r.WorkloadRPS(1000)
+	if scaled[0] != 1000 {
+		t.Errorf("scaled rps[0] = %v, want 1000", scaled[0])
+	}
+}
+
+func TestLatencyAveraging(t *testing.T) {
+	r := NewRecorder(4*time.Hour, 2*time.Hour)
+	r.RecordLatency(time.Hour, 400*time.Microsecond, 9)
+	r.RecordColdLatency(time.Hour, 4*time.Millisecond)
+	avg := r.AvgLatencyPerBucket()
+	// (9×0.4ms + 1×4ms)/10 = 0.76ms
+	want := 760 * time.Microsecond
+	if diff := avg[0] - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Errorf("bucket avg = %v, want %v", avg[0], want)
+	}
+	if avg[1] != 0 {
+		t.Errorf("empty bucket avg = %v, want 0", avg[1])
+	}
+	if got := r.AvgColdLatency(); got != 4*time.Millisecond {
+		t.Errorf("AvgColdLatency = %v, want 4ms", got)
+	}
+	if got := r.AvgLatency(); got-want < -time.Microsecond || got-want > time.Microsecond {
+		t.Errorf("AvgLatency = %v, want %v", got, want)
+	}
+	// Zero/negative weights ignored.
+	r.RecordLatency(time.Hour, time.Second, 0)
+	r.RecordLatency(time.Hour, time.Second, -5)
+	if got := r.AvgLatency(); got-want < -time.Microsecond || got-want > time.Microsecond {
+		t.Errorf("AvgLatency after no-op records = %v, want %v", got, want)
+	}
+}
+
+func TestUpdates(t *testing.T) {
+	r := NewRecorder(24*time.Hour, 2*time.Hour)
+	r.RecordUpdate(30 * time.Minute)
+	r.RecordUpdate(90 * time.Minute)
+	r.RecordUpdate(5 * time.Hour)
+	per := r.UpdatesPerHour()
+	if len(per) != 24 {
+		t.Fatalf("UpdatesPerHour length = %d, want 24", len(per))
+	}
+	if per[0] != 1 || per[1] != 1 || per[5] != 1 {
+		t.Errorf("updates = %v", per[:6])
+	}
+	if r.TotalUpdates() != 3 {
+		t.Errorf("TotalUpdates = %d, want 3", r.TotalUpdates())
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	r := NewRecorder(24*time.Hour, 2*time.Hour)
+	if r.AvgLatency() != 0 || r.AvgColdLatency() != 0 {
+		t.Error("empty recorder reports nonzero latency")
+	}
+	if r.TotalWorkload() != 0 || r.TotalUpdates() != 0 {
+		t.Error("empty recorder reports nonzero counts")
+	}
+}
+
+func TestRequestClassString(t *testing.T) {
+	for _, c := range RequestClasses {
+		if c.String() == "unknown" {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+	if RequestClass(99).String() != "unknown" {
+		t.Error("unknown class misnamed")
+	}
+}

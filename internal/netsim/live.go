@@ -1,0 +1,249 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/openflow"
+)
+
+// LiveNetwork runs nodes as goroutines with mailbox serialization, in
+// real time. Control messages (openflow.Message) are round-tripped
+// through the binary codec on every hop, exercising the wire protocol
+// exactly as the prototype's TCP control channels would. It is used by
+// integration tests; experiments use the deterministic Network.
+type LiveNetwork struct {
+	lat Latencies
+
+	mu        sync.Mutex
+	nodes     map[model.SwitchID]*liveNode
+	downLinks map[model.SwitchPair]bool
+	downNodes map[model.SwitchID]bool
+	sameGroup func(a, b model.SwitchID) bool
+	start     time.Time
+	closed    bool
+	wg        sync.WaitGroup
+
+	// CodecErrors counts messages that failed the encode/decode round
+	// trip (always 0 unless the codec is broken).
+	CodecErrors uint64
+}
+
+type liveEnvelope struct {
+	from model.SwitchID
+	msg  Message
+}
+
+type liveNode struct {
+	node Node
+	in   chan liveEnvelope
+	quit chan struct{}
+}
+
+// NewLive creates a live underlay.
+func NewLive(lat Latencies) *LiveNetwork {
+	return &LiveNetwork{
+		lat:       lat,
+		nodes:     make(map[model.SwitchID]*liveNode),
+		downLinks: make(map[model.SwitchPair]bool),
+		downNodes: make(map[model.SwitchID]bool),
+		start:     time.Now(),
+	}
+}
+
+// SetSameGroup installs the peer-link predicate.
+func (n *LiveNetwork) SetSameGroup(fn func(a, b model.SwitchID) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sameGroup = fn
+}
+
+// Attach registers a node and starts its mailbox goroutine.
+func (n *LiveNetwork) Attach(node Node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	id := node.NodeID()
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node %v", id))
+	}
+	ln := &liveNode{
+		node: node,
+		in:   make(chan liveEnvelope, 1024),
+		quit: make(chan struct{}),
+	}
+	n.nodes[id] = ln
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			select {
+			case env := <-ln.in:
+				ln.node.HandleMessage(env.from, env.msg)
+			case <-ln.quit:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops all mailbox goroutines and waits for them to exit.
+func (n *LiveNetwork) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	for _, ln := range n.nodes {
+		close(ln.quit)
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// FailLink takes a link down.
+func (n *LiveNetwork) FailLink(a, b model.SwitchID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.downLinks[model.MakeSwitchPair(a, b)] = true
+}
+
+// HealLink restores a link.
+func (n *LiveNetwork) HealLink(a, b model.SwitchID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.downLinks, model.MakeSwitchPair(a, b))
+}
+
+// roundTripCodec pushes openflow messages through the binary codec,
+// returning the reconstructed message. Non-openflow messages (data
+// packets) pass through untouched.
+func (n *LiveNetwork) roundTripCodec(msg Message) Message {
+	ofMsg, ok := msg.(openflow.Message)
+	if !ok {
+		return msg
+	}
+	data, err := openflow.Encode(ofMsg, 0)
+	if err != nil {
+		n.mu.Lock()
+		n.CodecErrors++
+		n.mu.Unlock()
+		return msg
+	}
+	decoded, _, err := openflow.Decode(data)
+	if err != nil {
+		n.mu.Lock()
+		n.CodecErrors++
+		n.mu.Unlock()
+		return msg
+	}
+	return decoded
+}
+
+func (n *LiveNetwork) send(from, to model.SwitchID, msg Message) {
+	n.mu.Lock()
+	if n.closed || n.downNodes[from] || n.downNodes[to] || n.downLinks[model.MakeSwitchPair(from, to)] {
+		n.mu.Unlock()
+		return
+	}
+	dst, ok := n.nodes[to]
+	kind := classify(from, to, n.sameGroup)
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	msg = n.roundTripCodec(msg)
+	delay := n.lat.delay(kind, liveRand())
+	time.AfterFunc(delay, func() {
+		select {
+		case dst.in <- liveEnvelope{from: from, msg: msg}:
+		case <-dst.quit:
+		}
+	})
+}
+
+// Env returns the live environment for a node address. Timer callbacks
+// are serialized through the node's mailbox, preserving the
+// single-threaded handler invariant.
+func (n *LiveNetwork) Env(id model.SwitchID) Env {
+	return &liveEnv{net: n, id: id}
+}
+
+// timerMsg wraps a timer callback for mailbox delivery.
+type timerMsg struct{ fn func() }
+
+type liveEnv struct {
+	net *LiveNetwork
+	id  model.SwitchID
+}
+
+func (e *liveEnv) Now() time.Duration { return time.Since(e.net.start) }
+
+func (e *liveEnv) deliverTimer(fn func()) {
+	e.net.mu.Lock()
+	ln, ok := e.net.nodes[e.id]
+	closed := e.net.closed
+	e.net.mu.Unlock()
+	if !ok || closed {
+		return
+	}
+	select {
+	case ln.in <- liveEnvelope{from: e.id, msg: timerMsg{fn: fn}}:
+	case <-ln.quit:
+	}
+}
+
+func (e *liveEnv) After(d time.Duration, fn func()) func() {
+	t := time.AfterFunc(d, func() { e.deliverTimer(fn) })
+	return func() { t.Stop() }
+}
+
+func (e *liveEnv) Every(d time.Duration, fn func()) func() {
+	stop := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(d)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				e.deliverTimer(fn)
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(stop) }) }
+}
+
+func (e *liveEnv) Send(to model.SwitchID, msg Message) { e.net.send(e.id, to, msg) }
+
+func (e *liveEnv) Rand() *rand.Rand { return liveRand() }
+
+var (
+	liveRandMu  sync.Mutex
+	liveRandSrc = rand.New(rand.NewPCG(0x1e55, 0xcafe))
+)
+
+// liveRand returns a shared source; live mode does not promise
+// determinism, only safety.
+func liveRand() *rand.Rand {
+	liveRandMu.Lock()
+	defer liveRandMu.Unlock()
+	// rand.Rand is not safe for concurrent use; derive a fresh
+	// per-call source from the shared one.
+	return rand.New(rand.NewPCG(liveRandSrc.Uint64(), liveRandSrc.Uint64()))
+}
+
+// HandleTimer must be called by nodes that receive timerMsg envelopes.
+// Nodes embed NodeBase to get this for free.
+func HandleTimer(msg Message) bool {
+	if tm, ok := msg.(timerMsg); ok {
+		tm.fn()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,227 @@
+// Package netsim provides the simulated network underlay of the LazyCtrl
+// prototype: a core–edge separated IP fabric giving one-hop logical
+// distance between edge switches (§III-B1), with configurable link
+// latencies, link/node failure injection, and two interchangeable
+// runtimes — a deterministic discrete-event mode used by all experiments
+// and a live goroutine mode (see live.go) that exercises the OpenFlow
+// codec and the concurrency behavior of the node state machines.
+package netsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/sim"
+)
+
+// Message is anything delivered between nodes: a data-plane packet
+// (*model.Packet) or a control message (openflow.Message).
+type Message any
+
+// Node is a network element attached to the underlay. Handlers run
+// single-threaded in both runtimes.
+type Node interface {
+	// NodeID returns the node's address. The controller uses
+	// model.ControllerNode.
+	NodeID() model.SwitchID
+	// HandleMessage processes one delivered message.
+	HandleMessage(from model.SwitchID, msg Message)
+}
+
+// Env is the runtime handed to a node: virtual (or real) time, timers,
+// and message sending. Implementations guarantee all callbacks and
+// HandleMessage invocations of one node never run concurrently.
+type Env interface {
+	// Now returns the time since simulation start.
+	Now() time.Duration
+	// After schedules fn after d. The returned cancel function stops a
+	// pending callback.
+	After(d time.Duration, fn func()) (cancel func())
+	// Every schedules fn at a fixed period until canceled.
+	Every(d time.Duration, fn func()) (cancel func())
+	// Send delivers msg to the node with the given address, applying
+	// link latency and loss.
+	Send(to model.SwitchID, msg Message)
+	// Rand returns a deterministic random source (sim mode) or a
+	// process-wide one (live mode).
+	Rand() *rand.Rand
+}
+
+// LinkKind classifies a logical channel for latency selection and
+// failure injection.
+type LinkKind uint8
+
+// Link kinds per §III-B3: the data path through the core, the control
+// link (switch ↔ controller), the state link (designated ↔ controller),
+// and peer links within a group. State links share the control-link
+// latency class.
+const (
+	LinkData LinkKind = iota + 1
+	LinkControl
+	LinkPeer
+)
+
+// Latencies configures one-way delays per link kind plus per-message
+// jitter.
+type Latencies struct {
+	// Data is the one-way edge→edge delay through the IP core.
+	Data time.Duration
+	// Control is the one-way switch↔controller delay.
+	Control time.Duration
+	// Peer is the one-way delay between switches in the same group.
+	Peer time.Duration
+	// JitterFrac adds uniform jitter in [0, JitterFrac·base).
+	JitterFrac float64
+}
+
+// DefaultLatencies reflects the paper's prototype: GigE edges over a
+// 10GigE full-mesh core, controller on a separate PC. Calibrated so the
+// steady-state one-way datapath is ≈0.4 ms (Fig. 9) and a cold-cache
+// intra-group first packet lands at ≈0.8 ms (§V-E).
+func DefaultLatencies() Latencies {
+	return Latencies{
+		Data:       350 * time.Microsecond,
+		Control:    400 * time.Microsecond,
+		Peer:       300 * time.Microsecond,
+		JitterFrac: 0.10,
+	}
+}
+
+func (l Latencies) delay(kind LinkKind, rng *rand.Rand) time.Duration {
+	var base time.Duration
+	switch kind {
+	case LinkControl:
+		base = l.Control
+	case LinkPeer:
+		base = l.Peer
+	default:
+		base = l.Data
+	}
+	if l.JitterFrac > 0 {
+		base += time.Duration(rng.Float64() * l.JitterFrac * float64(base))
+	}
+	return base
+}
+
+// classify selects the link kind for a (from, to) pair.
+func classify(from, to model.SwitchID, samegroup func(a, b model.SwitchID) bool) LinkKind {
+	if from == model.ControllerNode || to == model.ControllerNode {
+		return LinkControl
+	}
+	if samegroup != nil && samegroup(from, to) {
+		return LinkPeer
+	}
+	return LinkData
+}
+
+// Network is the discrete-event underlay.
+type Network struct {
+	sim       *sim.Simulator
+	lat       Latencies
+	nodes     map[model.SwitchID]Node
+	downLinks map[model.SwitchPair]bool
+	downNodes map[model.SwitchID]bool
+	sameGroup func(a, b model.SwitchID) bool
+
+	// Delivered counts messages delivered; Dropped counts messages lost
+	// to failed links or nodes.
+	Delivered uint64
+	Dropped   uint64
+}
+
+// New creates a DES underlay on the given simulator.
+func New(s *sim.Simulator, lat Latencies) *Network {
+	return &Network{
+		sim:       s,
+		lat:       lat,
+		nodes:     make(map[model.SwitchID]Node),
+		downLinks: make(map[model.SwitchPair]bool),
+		downNodes: make(map[model.SwitchID]bool),
+	}
+}
+
+// SetSameGroup installs the predicate used to classify peer links (the
+// controller's grouping decides which switches share a group).
+func (n *Network) SetSameGroup(fn func(a, b model.SwitchID) bool) { n.sameGroup = fn }
+
+// Attach registers a node. It panics on duplicate addresses
+// (a configuration bug, not a runtime condition).
+func (n *Network) Attach(node Node) {
+	id := node.NodeID()
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node %v", id))
+	}
+	n.nodes[id] = node
+}
+
+// Node returns a registered node, or nil.
+func (n *Network) Node(id model.SwitchID) Node { return n.nodes[id] }
+
+// FailLink takes the (a,b) link down in both directions.
+func (n *Network) FailLink(a, b model.SwitchID) { n.downLinks[model.MakeSwitchPair(a, b)] = true }
+
+// HealLink restores the (a,b) link.
+func (n *Network) HealLink(a, b model.SwitchID) { delete(n.downLinks, model.MakeSwitchPair(a, b)) }
+
+// FailNode takes a node down: all its traffic is dropped.
+func (n *Network) FailNode(id model.SwitchID) { n.downNodes[id] = true }
+
+// HealNode restores a node.
+func (n *Network) HealNode(id model.SwitchID) { delete(n.downNodes, id) }
+
+// NodeDown reports whether a node is failed.
+func (n *Network) NodeDown(id model.SwitchID) bool { return n.downNodes[id] }
+
+// send delivers msg from → to with latency; drops on failed links or
+// nodes.
+func (n *Network) send(from, to model.SwitchID, msg Message) {
+	if n.downNodes[from] || n.downNodes[to] || n.downLinks[model.MakeSwitchPair(from, to)] {
+		n.Dropped++
+		return
+	}
+	dst, ok := n.nodes[to]
+	if !ok {
+		n.Dropped++
+		return
+	}
+	kind := classify(from, to, n.sameGroup)
+	d := n.lat.delay(kind, n.sim.Rand())
+	n.sim.After(d, func() {
+		// Re-check failure state at delivery time.
+		if n.downNodes[to] {
+			n.Dropped++
+			return
+		}
+		n.Delivered++
+		dst.HandleMessage(from, msg)
+	})
+}
+
+// Env returns the environment for a node address.
+func (n *Network) Env(id model.SwitchID) Env {
+	return &simEnv{net: n, id: id}
+}
+
+// simEnv adapts the DES network to the Env interface.
+type simEnv struct {
+	net *Network
+	id  model.SwitchID
+}
+
+func (e *simEnv) Now() time.Duration { return e.net.sim.Now().Duration() }
+
+func (e *simEnv) After(d time.Duration, fn func()) func() {
+	t := e.net.sim.After(d, fn)
+	return func() { t.Stop() }
+}
+
+func (e *simEnv) Every(d time.Duration, fn func()) func() {
+	t := e.net.sim.Every(d, fn)
+	return func() { t.Stop() }
+}
+
+func (e *simEnv) Send(to model.SwitchID, msg Message) { e.net.send(e.id, to, msg) }
+
+func (e *simEnv) Rand() *rand.Rand { return e.net.sim.Rand() }

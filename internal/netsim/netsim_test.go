@@ -1,0 +1,319 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/openflow"
+	"lazyctrl/internal/sim"
+)
+
+// recorder is a test node capturing deliveries.
+type recorder struct {
+	id   model.SwitchID
+	mu   sync.Mutex
+	got  []Message
+	from []model.SwitchID
+}
+
+func (r *recorder) NodeID() model.SwitchID { return r.id }
+
+func (r *recorder) HandleMessage(from model.SwitchID, msg Message) {
+	if HandleTimer(msg) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.got = append(r.got, msg)
+	r.from = append(r.from, from)
+}
+
+func (r *recorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.got)
+}
+
+func TestSimDelivery(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, DefaultLatencies())
+	a := &recorder{id: 1}
+	b := &recorder{id: 2}
+	n.Attach(a)
+	n.Attach(b)
+
+	n.Env(1).Send(2, "hello")
+	s.Run()
+	if b.count() != 1 {
+		t.Fatalf("b received %d messages, want 1", b.count())
+	}
+	if b.from[0] != 1 {
+		t.Errorf("from = %v, want 1", b.from[0])
+	}
+	if n.Delivered != 1 || n.Dropped != 0 {
+		t.Errorf("Delivered=%d Dropped=%d", n.Delivered, n.Dropped)
+	}
+	// Latency applied: clock advanced by ≥ Data latency.
+	if s.Now().Duration() < 350*time.Microsecond {
+		t.Errorf("clock = %v, want ≥ 350µs", s.Now())
+	}
+}
+
+func TestSimLinkFailure(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, DefaultLatencies())
+	a := &recorder{id: 1}
+	b := &recorder{id: 2}
+	n.Attach(a)
+	n.Attach(b)
+	n.FailLink(1, 2)
+	n.Env(1).Send(2, "lost")
+	s.Run()
+	if b.count() != 0 {
+		t.Fatal("message delivered over failed link")
+	}
+	if n.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", n.Dropped)
+	}
+	n.HealLink(1, 2)
+	n.Env(1).Send(2, "ok")
+	s.Run()
+	if b.count() != 1 {
+		t.Fatal("message not delivered after heal")
+	}
+}
+
+func TestSimNodeFailure(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, DefaultLatencies())
+	a := &recorder{id: 1}
+	b := &recorder{id: 2}
+	n.Attach(a)
+	n.Attach(b)
+	n.FailNode(2)
+	if !n.NodeDown(2) {
+		t.Error("NodeDown(2) = false")
+	}
+	n.Env(1).Send(2, "lost")
+	s.Run()
+	if b.count() != 0 {
+		t.Fatal("failed node received message")
+	}
+	n.HealNode(2)
+	n.Env(1).Send(2, "ok")
+	s.Run()
+	if b.count() != 1 {
+		t.Fatal("healed node did not receive")
+	}
+}
+
+func TestSimFailureAtDeliveryTime(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, DefaultLatencies())
+	a := &recorder{id: 1}
+	b := &recorder{id: 2}
+	n.Attach(a)
+	n.Attach(b)
+	// Send, then fail the node before the in-flight delivery.
+	n.Env(1).Send(2, "in-flight")
+	n.FailNode(2)
+	s.Run()
+	if b.count() != 0 {
+		t.Error("in-flight message delivered to node that failed before arrival")
+	}
+}
+
+func TestSimUnknownDestination(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, DefaultLatencies())
+	a := &recorder{id: 1}
+	n.Attach(a)
+	n.Env(1).Send(99, "void")
+	s.Run()
+	if n.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", n.Dropped)
+	}
+}
+
+func TestLinkClassLatencies(t *testing.T) {
+	lat := Latencies{Data: time.Millisecond, Control: 2 * time.Millisecond, Peer: 500 * time.Microsecond}
+	s := sim.New(1)
+	n := New(s, lat)
+	n.SetSameGroup(func(a, b model.SwitchID) bool { return a <= 2 && b <= 2 })
+	a := &recorder{id: 1}
+	b := &recorder{id: 2}
+	c := &recorder{id: 3}
+	ctrl := &recorder{id: model.ControllerNode}
+	n.Attach(a)
+	n.Attach(b)
+	n.Attach(c)
+	n.Attach(ctrl)
+
+	// Peer link 1→2 (same group): 500µs.
+	n.Env(1).Send(2, "peer")
+	s.Run()
+	if got := s.Now().Duration(); got != 500*time.Microsecond {
+		t.Errorf("peer delivery at %v, want 500µs", got)
+	}
+	// Data link 1→3: +1ms.
+	n.Env(1).Send(3, "data")
+	s.Run()
+	if got := s.Now().Duration(); got != 1500*time.Microsecond {
+		t.Errorf("data delivery at %v, want 1.5ms total", got)
+	}
+	// Control link 1→controller: +2ms.
+	n.Env(1).Send(model.ControllerNode, "ctrl")
+	s.Run()
+	if got := s.Now().Duration(); got != 3500*time.Microsecond {
+		t.Errorf("control delivery at %v, want 3.5ms total", got)
+	}
+}
+
+func TestEnvTimers(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, DefaultLatencies())
+	a := &recorder{id: 1}
+	n.Attach(a)
+	env := n.Env(1)
+
+	fired := 0
+	env.After(time.Second, func() { fired++ })
+	cancel := env.After(2*time.Second, func() { fired += 100 })
+	cancel()
+	ticks := 0
+	stopTick := env.Every(time.Second, func() {
+		ticks++
+		if ticks == 3 {
+			// Cancel from within the callback.
+			// (stopTick captured below.)
+		}
+	})
+	s.RunFor(3500 * time.Millisecond)
+	stopTick()
+	s.RunFor(10 * time.Second)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1 (canceled timer must not run)", fired)
+	}
+	if ticks != 3 {
+		t.Errorf("ticks = %d, want 3", ticks)
+	}
+}
+
+func TestAttachDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Attach did not panic")
+		}
+	}()
+	s := sim.New(1)
+	n := New(s, DefaultLatencies())
+	n.Attach(&recorder{id: 1})
+	n.Attach(&recorder{id: 1})
+}
+
+func TestLiveDeliveryAndCodec(t *testing.T) {
+	n := NewLive(Latencies{Data: time.Millisecond, Control: time.Millisecond, Peer: time.Millisecond})
+	defer n.Close()
+	a := &recorder{id: 1}
+	b := &recorder{id: 2}
+	n.Attach(a)
+	n.Attach(b)
+
+	// An openflow message must round-trip the codec.
+	ka := &openflow.KeepAlive{From: 1, Seq: 42}
+	n.Env(1).Send(2, ka)
+	// A raw data packet passes through as-is.
+	pkt := &model.Packet{SrcMAC: model.HostMAC(1), DstMAC: model.HostMAC(2), Bytes: 100}
+	n.Env(1).Send(2, pkt)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for b.count() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if b.count() != 2 {
+		t.Fatalf("b received %d messages, want 2", b.count())
+	}
+	if n.CodecErrors != 0 {
+		t.Errorf("CodecErrors = %d", n.CodecErrors)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	foundKA := false
+	for _, m := range b.got {
+		if got, ok := m.(*openflow.KeepAlive); ok {
+			foundKA = true
+			if got.From != 1 || got.Seq != 42 {
+				t.Errorf("KeepAlive = %+v after codec round trip", got)
+			}
+			if got == ka {
+				t.Error("message not round-tripped through codec (same pointer)")
+			}
+		}
+	}
+	if !foundKA {
+		t.Error("KeepAlive not delivered")
+	}
+}
+
+func TestLiveTimers(t *testing.T) {
+	n := NewLive(Latencies{Data: time.Millisecond})
+	defer n.Close()
+	a := &recorder{id: 1}
+	n.Attach(a)
+	env := n.Env(1)
+
+	var mu sync.Mutex
+	var oneShot, canceled, ticks int
+	env.After(10*time.Millisecond, func() { mu.Lock(); oneShot++; mu.Unlock() })
+	cancel := env.After(20*time.Millisecond, func() { mu.Lock(); canceled++; mu.Unlock() })
+	cancel()
+	stop := env.Every(10*time.Millisecond, func() { mu.Lock(); ticks++; mu.Unlock() })
+	time.Sleep(120 * time.Millisecond)
+	stop()
+	time.Sleep(30 * time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if oneShot != 1 {
+		t.Errorf("oneShot = %d, want 1", oneShot)
+	}
+	if canceled != 0 {
+		t.Error("canceled timer ran")
+	}
+	if ticks < 5 {
+		t.Errorf("ticks = %d, want ≥ 5", ticks)
+	}
+}
+
+func TestLiveLinkFailure(t *testing.T) {
+	n := NewLive(Latencies{Data: time.Millisecond})
+	defer n.Close()
+	a := &recorder{id: 1}
+	b := &recorder{id: 2}
+	n.Attach(a)
+	n.Attach(b)
+	n.FailLink(1, 2)
+	n.Env(1).Send(2, "lost")
+	time.Sleep(20 * time.Millisecond)
+	if b.count() != 0 {
+		t.Error("message delivered over failed live link")
+	}
+	n.HealLink(1, 2)
+	n.Env(1).Send(2, "ok")
+	deadline := time.Now().Add(time.Second)
+	for b.count() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if b.count() != 1 {
+		t.Error("message not delivered after live heal")
+	}
+}
+
+func TestLiveCloseIdempotent(t *testing.T) {
+	n := NewLive(Latencies{Data: time.Millisecond})
+	n.Attach(&recorder{id: 1})
+	n.Close()
+	n.Close() // must not panic or deadlock
+}

@@ -1,0 +1,326 @@
+package openflow
+
+import (
+	"time"
+
+	"lazyctrl/internal/model"
+)
+
+// GroupConfig is sent by the controller to every switch at setup and
+// after each regrouping (§III-D1): it carries the group membership, the
+// designated switch and its backups, the switch's neighbors on the
+// failure-detection wheel, and the timing parameters for group
+// synchronization and keep-alives.
+type GroupConfig struct {
+	Group      model.GroupID
+	Members    []model.SwitchID
+	Designated model.SwitchID
+	Backups    []model.SwitchID
+	// RingPrev and RingNext are the receiver's neighbors on the
+	// failure-detection wheel (ordered by management MAC).
+	RingPrev model.SwitchID
+	RingNext model.SwitchID
+	// SyncInterval is the group state synchronization period; KeepAlive
+	// is the wheel heartbeat period.
+	SyncInterval      time.Duration
+	KeepAliveInterval time.Duration
+	// Version is the grouping version this configuration belongs to.
+	Version uint64
+}
+
+// MsgType implements Message.
+func (*GroupConfig) MsgType() MsgType { return TypeGroupConfig }
+
+func encodeSwitches(dst []byte, ids []model.SwitchID) []byte {
+	dst = putU32(dst, uint32(len(ids)))
+	for _, id := range ids {
+		dst = putU32(dst, uint32(id))
+	}
+	return dst
+}
+
+func decodeSwitches(r *reader) []model.SwitchID {
+	n := int(r.u32())
+	if n == 0 || n*4 > r.remain() {
+		if n != 0 {
+			r.fail()
+		}
+		return nil
+	}
+	ids := make([]model.SwitchID, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, model.SwitchID(r.u32()))
+	}
+	return ids
+}
+
+func (m *GroupConfig) encodeBody(dst []byte) []byte {
+	dst = putU32(dst, uint32(m.Group))
+	dst = encodeSwitches(dst, m.Members)
+	dst = putU32(dst, uint32(m.Designated))
+	dst = encodeSwitches(dst, m.Backups)
+	dst = putU32(dst, uint32(m.RingPrev))
+	dst = putU32(dst, uint32(m.RingNext))
+	dst = putU64(dst, uint64(m.SyncInterval))
+	dst = putU64(dst, uint64(m.KeepAliveInterval))
+	return putU64(dst, m.Version)
+}
+
+func (m *GroupConfig) decodeBody(src []byte) error {
+	r := &reader{src: src}
+	m.Group = model.GroupID(r.u32())
+	m.Members = decodeSwitches(r)
+	m.Designated = model.SwitchID(r.u32())
+	m.Backups = decodeSwitches(r)
+	m.RingPrev = model.SwitchID(r.u32())
+	m.RingNext = model.SwitchID(r.u32())
+	m.SyncInterval = time.Duration(r.u64())
+	m.KeepAliveInterval = time.Duration(r.u64())
+	m.Version = r.u64()
+	return r.done()
+}
+
+// LFIBEntry is one host-location binding.
+type LFIBEntry struct {
+	MAC  model.MAC
+	IP   model.IP
+	VLAN model.VLAN
+}
+
+func encodeLFIBEntries(dst []byte, entries []LFIBEntry) []byte {
+	dst = putU32(dst, uint32(len(entries)))
+	for _, e := range entries {
+		dst = append(dst, e.MAC[:]...)
+		dst = putU32(dst, uint32(e.IP))
+		dst = putU16(dst, uint16(e.VLAN))
+	}
+	return dst
+}
+
+func decodeLFIBEntries(r *reader) []LFIBEntry {
+	n := int(r.u32())
+	if n == 0 || n*12 > r.remain() {
+		if n != 0 {
+			r.fail()
+		}
+		return nil
+	}
+	entries := make([]LFIBEntry, 0, n)
+	for i := 0; i < n; i++ {
+		var e LFIBEntry
+		e.MAC = r.mac()
+		e.IP = model.IP(r.u32())
+		e.VLAN = model.VLAN(r.u16())
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// LFIBUpdate propagates a switch's L-FIB over peer links (switch →
+// designated switch → group peers) and state links (designated switch →
+// controller), per §III-D3.
+type LFIBUpdate struct {
+	Origin model.SwitchID
+	// Full marks a complete snapshot (replaces prior state); otherwise
+	// the entries are increments.
+	Full    bool
+	Entries []LFIBEntry
+	Version uint64
+}
+
+// MsgType implements Message.
+func (*LFIBUpdate) MsgType() MsgType { return TypeLFIBUpdate }
+
+func (m *LFIBUpdate) encodeBody(dst []byte) []byte {
+	dst = putU32(dst, uint32(m.Origin))
+	if m.Full {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = encodeLFIBEntries(dst, m.Entries)
+	return putU64(dst, m.Version)
+}
+
+func (m *LFIBUpdate) decodeBody(src []byte) error {
+	r := &reader{src: src}
+	m.Origin = model.SwitchID(r.u32())
+	m.Full = r.u8() == 1
+	m.Entries = decodeLFIBEntries(r)
+	m.Version = r.u64()
+	return r.done()
+}
+
+// GFIBFilter pairs a peer switch with the serialized Bloom filter of its
+// L-FIB.
+type GFIBFilter struct {
+	Switch model.SwitchID
+	Filter []byte
+}
+
+// GFIBUpdate distributes Bloom filters to group members so they can
+// rebuild their G-FIBs, driven by the designated switch (or by the
+// controller after regrouping).
+type GFIBUpdate struct {
+	Group   model.GroupID
+	Filters []GFIBFilter
+	Version uint64
+}
+
+// MsgType implements Message.
+func (*GFIBUpdate) MsgType() MsgType { return TypeGFIBUpdate }
+
+func (m *GFIBUpdate) encodeBody(dst []byte) []byte {
+	dst = putU32(dst, uint32(m.Group))
+	dst = putU32(dst, uint32(len(m.Filters)))
+	for _, f := range m.Filters {
+		dst = putU32(dst, uint32(f.Switch))
+		dst = putU32(dst, uint32(len(f.Filter)))
+		dst = append(dst, f.Filter...)
+	}
+	return putU64(dst, m.Version)
+}
+
+func (m *GFIBUpdate) decodeBody(src []byte) error {
+	r := &reader{src: src}
+	m.Group = model.GroupID(r.u32())
+	n := int(r.u32())
+	if n*8 > r.remain() {
+		r.fail()
+		return ErrTruncated
+	}
+	m.Filters = make([]GFIBFilter, 0, n)
+	for i := 0; i < n; i++ {
+		var f GFIBFilter
+		f.Switch = model.SwitchID(r.u32())
+		f.Filter = r.bytes(int(r.u32()))
+		m.Filters = append(m.Filters, f)
+	}
+	m.Version = r.u64()
+	return r.done()
+}
+
+// PairStat reports the number of new flows observed between two edge
+// switches during the last reporting window; the controller aggregates
+// these into the intensity matrix that drives SGI.
+type PairStat struct {
+	A, B     model.SwitchID
+	NewFlows uint32
+}
+
+// StateReport is sent by a designated switch to the controller over the
+// state link: the aggregated L-FIBs of the group plus traffic
+// statistics.
+type StateReport struct {
+	Group   model.GroupID
+	LFIBs   []LFIBUpdate
+	Pairs   []PairStat
+	Version uint64
+}
+
+// MsgType implements Message.
+func (*StateReport) MsgType() MsgType { return TypeStateReport }
+
+func (m *StateReport) encodeBody(dst []byte) []byte {
+	dst = putU32(dst, uint32(m.Group))
+	dst = putU32(dst, uint32(len(m.LFIBs)))
+	for i := range m.LFIBs {
+		inner := m.LFIBs[i].encodeBody(nil)
+		dst = putU32(dst, uint32(len(inner)))
+		dst = append(dst, inner...)
+	}
+	dst = putU32(dst, uint32(len(m.Pairs)))
+	for _, p := range m.Pairs {
+		dst = putU32(dst, uint32(p.A))
+		dst = putU32(dst, uint32(p.B))
+		dst = putU32(dst, p.NewFlows)
+	}
+	return putU64(dst, m.Version)
+}
+
+func (m *StateReport) decodeBody(src []byte) error {
+	r := &reader{src: src}
+	m.Group = model.GroupID(r.u32())
+	n := int(r.u32())
+	if n*4 > r.remain() {
+		r.fail()
+		return ErrTruncated
+	}
+	if n > 0 {
+		m.LFIBs = make([]LFIBUpdate, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		body := r.bytes(int(r.u32()))
+		if r.err != nil {
+			return r.err
+		}
+		var u LFIBUpdate
+		if err := u.decodeBody(body); err != nil {
+			return err
+		}
+		m.LFIBs = append(m.LFIBs, u)
+	}
+	np := int(r.u32())
+	if np*12 > r.remain() {
+		r.fail()
+		return ErrTruncated
+	}
+	if np > 0 {
+		m.Pairs = make([]PairStat, 0, np)
+	}
+	for i := 0; i < np; i++ {
+		var p PairStat
+		p.A = model.SwitchID(r.u32())
+		p.B = model.SwitchID(r.u32())
+		p.NewFlows = r.u32()
+		m.Pairs = append(m.Pairs, p)
+	}
+	m.Version = r.u64()
+	return r.done()
+}
+
+// KeepAlive is the failure-detection wheel heartbeat (§III-E1), sent
+// from upstream to downstream switches and from the controller to each
+// switch.
+type KeepAlive struct {
+	From model.SwitchID
+	Seq  uint64
+}
+
+// MsgType implements Message.
+func (*KeepAlive) MsgType() MsgType { return TypeKeepAlive }
+
+func (m *KeepAlive) encodeBody(dst []byte) []byte {
+	dst = putU32(dst, uint32(m.From))
+	return putU64(dst, m.Seq)
+}
+
+func (m *KeepAlive) decodeBody(src []byte) error {
+	r := &reader{src: src}
+	m.From = model.SwitchID(r.u32())
+	m.Seq = r.u64()
+	return r.done()
+}
+
+// ARPRelay carries an ARP request from the controller to the designated
+// switches of the groups hosting the relevant tenant (level-iii of live
+// state dissemination, §III-D3).
+type ARPRelay struct {
+	Tenant model.TenantID
+	Packet model.Packet
+}
+
+// MsgType implements Message.
+func (*ARPRelay) MsgType() MsgType { return TypeARPRelay }
+
+func (m *ARPRelay) encodeBody(dst []byte) []byte {
+	dst = putU32(dst, uint32(m.Tenant))
+	return encodePacket(dst, &m.Packet)
+}
+
+func (m *ARPRelay) decodeBody(src []byte) error {
+	r := &reader{src: src}
+	m.Tenant = model.TenantID(r.u32())
+	m.Packet = decodePacket(r)
+	return r.done()
+}

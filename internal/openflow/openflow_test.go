@@ -1,0 +1,419 @@
+package openflow
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lazyctrl/internal/model"
+)
+
+// roundTrip encodes and decodes a message, failing the test on any
+// mismatch.
+func roundTrip(t *testing.T, m Message, xid uint32) Message {
+	t.Helper()
+	data, err := Encode(m, xid)
+	if err != nil {
+		t.Fatalf("Encode(%v): %v", m.MsgType(), err)
+	}
+	got, gotXID, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode(%v): %v", m.MsgType(), err)
+	}
+	if gotXID != xid {
+		t.Errorf("xid = %d, want %d", gotXID, xid)
+	}
+	if got.MsgType() != m.MsgType() {
+		t.Errorf("type = %v, want %v", got.MsgType(), m.MsgType())
+	}
+	return got
+}
+
+func samplePacket() model.Packet {
+	return model.Packet{
+		SrcMAC:  model.HostMAC(10),
+		DstMAC:  model.HostMAC(20),
+		SrcIP:   model.HostIP(10),
+		DstIP:   model.HostIP(20),
+		VLAN:    7,
+		Ether:   model.EtherTypeIPv4,
+		Bytes:   1500,
+		FlowSeq: 3,
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	roundTrip(t, &Hello{}, 1)
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	req := &EchoRequest{Data: []byte("ping")}
+	got, ok := roundTrip(t, req, 2).(*EchoRequest)
+	if !ok || !bytes.Equal(got.Data, req.Data) {
+		t.Errorf("EchoRequest round trip = %+v, want %+v", got, req)
+	}
+	rep := &EchoReply{Data: []byte("pong")}
+	gotRep, ok := roundTrip(t, rep, 3).(*EchoReply)
+	if !ok || !bytes.Equal(gotRep.Data, rep.Data) {
+		t.Errorf("EchoReply round trip = %+v, want %+v", gotRep, rep)
+	}
+}
+
+func TestPacketInRoundTrip(t *testing.T) {
+	m := &PacketIn{Switch: 42, Reason: ReasonNoMatch, Packet: samplePacket()}
+	got, ok := roundTrip(t, m, 7).(*PacketIn)
+	if !ok || !reflect.DeepEqual(got, m) {
+		t.Errorf("PacketIn round trip = %+v, want %+v", got, m)
+	}
+}
+
+func TestPacketInEncapRoundTrip(t *testing.T) {
+	p := samplePacket()
+	p.Encap = &model.EncapHeader{SrcSwitch: 1, DstSwitch: 9}
+	m := &PacketIn{Switch: 1, Reason: ReasonFalsePositive, Packet: p}
+	got, ok := roundTrip(t, m, 8).(*PacketIn)
+	if !ok || !reflect.DeepEqual(got, m) {
+		t.Errorf("encap PacketIn round trip = %+v, want %+v", got, m)
+	}
+}
+
+func TestARPPacketRoundTrip(t *testing.T) {
+	p := samplePacket()
+	p.Ether = model.EtherTypeARP
+	p.ARPOp = model.ARPRequest
+	p.ARPTarget = model.HostIP(20)
+	p.DstMAC = model.BroadcastMAC
+	m := &PacketIn{Switch: 3, Reason: ReasonARP, Packet: p}
+	got, ok := roundTrip(t, m, 9).(*PacketIn)
+	if !ok || !reflect.DeepEqual(got, m) {
+		t.Errorf("ARP PacketIn round trip = %+v, want %+v", got, m)
+	}
+}
+
+func TestPacketOutRoundTrip(t *testing.T) {
+	m := &PacketOut{
+		Actions: []Action{Output(3), Encap(12), Flood()},
+		Packet:  samplePacket(),
+	}
+	got, ok := roundTrip(t, m, 11).(*PacketOut)
+	if !ok || !reflect.DeepEqual(got, m) {
+		t.Errorf("PacketOut round trip = %+v, want %+v", got, m)
+	}
+}
+
+func TestFlowModRoundTrip(t *testing.T) {
+	m := &FlowMod{
+		Command:     FlowAdd,
+		Match:       ExactDst(model.HostMAC(5), 3),
+		Priority:    100,
+		IdleTimeout: 30 * time.Second,
+		HardTimeout: 5 * time.Minute,
+		Actions:     []Action{Encap(77)},
+	}
+	got, ok := roundTrip(t, m, 13).(*FlowMod)
+	if !ok || !reflect.DeepEqual(got, m) {
+		t.Errorf("FlowMod round trip = %+v, want %+v", got, m)
+	}
+}
+
+func TestFlowRemovedRoundTrip(t *testing.T) {
+	m := &FlowRemoved{Match: ExactDst(model.HostMAC(5), 1), Priority: 10, Packets: 1000, Bytes: 1 << 30}
+	got, ok := roundTrip(t, m, 14).(*FlowRemoved)
+	if !ok || !reflect.DeepEqual(got, m) {
+		t.Errorf("FlowRemoved round trip = %+v, want %+v", got, m)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	roundTrip(t, &StatsRequest{}, 15)
+	m := &StatsReply{
+		Switch: 4, FlowCount: 9, PacketsSeen: 100, BytesSeen: 200,
+		LFIBEntries: 24, GFIBFilters: 45, GFIBBytes: 92160, EncapPackets: 88,
+	}
+	got, ok := roundTrip(t, m, 16).(*StatsReply)
+	if !ok || !reflect.DeepEqual(got, m) {
+		t.Errorf("StatsReply round trip = %+v, want %+v", got, m)
+	}
+}
+
+func TestGroupConfigRoundTrip(t *testing.T) {
+	m := &GroupConfig{
+		Group:             3,
+		Members:           []model.SwitchID{1, 2, 5},
+		Designated:        2,
+		Backups:           []model.SwitchID{5},
+		RingPrev:          5,
+		RingNext:          1,
+		SyncInterval:      10 * time.Second,
+		KeepAliveInterval: time.Second,
+		Version:           42,
+	}
+	got, ok := roundTrip(t, m, 17).(*GroupConfig)
+	if !ok || !reflect.DeepEqual(got, m) {
+		t.Errorf("GroupConfig round trip = %+v, want %+v", got, m)
+	}
+}
+
+func TestLFIBUpdateRoundTrip(t *testing.T) {
+	m := &LFIBUpdate{
+		Origin: 9,
+		Full:   true,
+		Entries: []LFIBEntry{
+			{MAC: model.HostMAC(1), IP: model.HostIP(1), VLAN: 2},
+			{MAC: model.HostMAC(2), IP: model.HostIP(2), VLAN: 2},
+		},
+		Version: 5,
+	}
+	got, ok := roundTrip(t, m, 18).(*LFIBUpdate)
+	if !ok || !reflect.DeepEqual(got, m) {
+		t.Errorf("LFIBUpdate round trip = %+v, want %+v", got, m)
+	}
+}
+
+func TestGFIBUpdateRoundTrip(t *testing.T) {
+	m := &GFIBUpdate{
+		Group: 2,
+		Filters: []GFIBFilter{
+			{Switch: 1, Filter: []byte{1, 2, 3}},
+			{Switch: 4, Filter: []byte{}},
+		},
+		Version: 6,
+	}
+	got, ok := roundTrip(t, m, 19).(*GFIBUpdate)
+	if !ok {
+		t.Fatal("wrong type")
+	}
+	if got.Group != m.Group || got.Version != m.Version || len(got.Filters) != 2 {
+		t.Errorf("GFIBUpdate round trip = %+v, want %+v", got, m)
+	}
+	if !bytes.Equal(got.Filters[0].Filter, []byte{1, 2, 3}) || got.Filters[0].Switch != 1 {
+		t.Errorf("filter 0 = %+v", got.Filters[0])
+	}
+}
+
+func TestStateReportRoundTrip(t *testing.T) {
+	m := &StateReport{
+		Group: 1,
+		LFIBs: []LFIBUpdate{
+			{Origin: 2, Entries: []LFIBEntry{{MAC: model.HostMAC(3), IP: model.HostIP(3), VLAN: 1}}, Version: 1},
+			{Origin: 5, Full: true, Version: 2},
+		},
+		Pairs:   []PairStat{{A: 2, B: 5, NewFlows: 120}},
+		Version: 7,
+	}
+	got, ok := roundTrip(t, m, 20).(*StateReport)
+	if !ok || !reflect.DeepEqual(got, m) {
+		t.Errorf("StateReport round trip = %+v, want %+v", got, m)
+	}
+}
+
+func TestKeepAliveAndARPRelayRoundTrip(t *testing.T) {
+	ka := &KeepAlive{From: 6, Seq: 99}
+	gotKA, ok := roundTrip(t, ka, 21).(*KeepAlive)
+	if !ok || !reflect.DeepEqual(gotKA, ka) {
+		t.Errorf("KeepAlive round trip = %+v, want %+v", gotKA, ka)
+	}
+	p := samplePacket()
+	p.Ether = model.EtherTypeARP
+	p.ARPOp = model.ARPRequest
+	ar := &ARPRelay{Tenant: 8, Packet: p}
+	gotAR, ok := roundTrip(t, ar, 22).(*ARPRelay)
+	if !ok || !reflect.DeepEqual(gotAR, ar) {
+		t.Errorf("ARPRelay round trip = %+v, want %+v", gotAR, ar)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("Decode(nil) succeeded")
+	}
+	if _, _, err := Decode(make([]byte, 5)); err == nil {
+		t.Error("Decode(short) succeeded")
+	}
+	data, err := Encode(&Hello{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 0x01 // plain OpenFlow version, not the LazyCtrl extension
+	if _, _, err := Decode(bad); err == nil {
+		t.Error("Decode with wrong version succeeded")
+	}
+	bad = append([]byte(nil), data...)
+	bad[1] = 0xee
+	if _, _, err := Decode(bad); err == nil {
+		t.Error("Decode with unknown type succeeded")
+	}
+	// Length mismatch.
+	bad = append(append([]byte(nil), data...), 0xff)
+	if _, _, err := Decode(bad); err == nil {
+		t.Error("Decode with trailing bytes succeeded")
+	}
+}
+
+func TestDecodeTruncatedBodies(t *testing.T) {
+	msgs := []Message{
+		&PacketIn{Switch: 1, Reason: ReasonNoMatch, Packet: samplePacket()},
+		&FlowMod{Command: FlowAdd, Match: ExactDst(model.HostMAC(1), 1), Actions: []Action{Output(1)}},
+		&GroupConfig{Group: 1, Members: []model.SwitchID{1, 2}},
+		&LFIBUpdate{Origin: 1, Entries: []LFIBEntry{{MAC: model.HostMAC(1)}}},
+		&StateReport{Group: 1, Pairs: []PairStat{{A: 1, B: 2, NewFlows: 3}}},
+	}
+	for _, m := range msgs {
+		data, err := Encode(m, 5)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", m.MsgType(), err)
+		}
+		// Truncate the body but fix up the header length so only body
+		// parsing can catch it.
+		for cut := headerLen; cut < len(data); cut += 3 {
+			trunc := append([]byte(nil), data[:cut]...)
+			trunc[2], trunc[3], trunc[4], trunc[5] = 0, 0, byte(cut>>8), byte(cut)
+			if _, _, err := Decode(trunc); err == nil {
+				t.Errorf("%v: truncation to %d bytes decoded successfully", m.MsgType(), cut)
+			}
+		}
+	}
+}
+
+func TestMatchSemantics(t *testing.T) {
+	p := samplePacket()
+	all := Match{Wildcards: WildcardAll}
+	if !all.Matches(&p) {
+		t.Error("wildcard-all match failed")
+	}
+	exact := ExactDst(p.DstMAC, p.VLAN)
+	if !exact.Matches(&p) {
+		t.Error("exact dst match failed")
+	}
+	other := ExactDst(model.HostMAC(99), p.VLAN)
+	if other.Matches(&p) {
+		t.Error("mismatched dst MAC matched")
+	}
+	wrongVLAN := ExactDst(p.DstMAC, p.VLAN+1)
+	if wrongVLAN.Matches(&p) {
+		t.Error("mismatched VLAN matched")
+	}
+	srcMatch := Match{Wildcards: WildcardAll &^ WildcardSrcMAC, SrcMAC: p.SrcMAC}
+	if !srcMatch.Matches(&p) {
+		t.Error("src match failed")
+	}
+	ipMatch := Match{Wildcards: WildcardAll &^ (WildcardSrcIP | WildcardDstIP), SrcIP: p.SrcIP, DstIP: p.DstIP}
+	if !ipMatch.Matches(&p) {
+		t.Error("IP match failed")
+	}
+	etherMatch := Match{Wildcards: WildcardAll &^ WildcardEther, Ether: model.EtherTypeARP}
+	if etherMatch.Matches(&p) {
+		t.Error("ARP ether match hit an IPv4 packet")
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	tests := []struct {
+		a    Action
+		want string
+	}{
+		{Output(3), "output:3"},
+		{Flood(), "flood"},
+		{Drop(), "drop"},
+		{ToController(), "controller"},
+		{Encap(9), "encap:S9"},
+	}
+	for _, tt := range tests {
+		if got := tt.a.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if TypePacketIn.String() != "PacketIn" {
+		t.Errorf("String() = %q", TypePacketIn.String())
+	}
+	if MsgType(200).String() != "MsgType(200)" {
+		t.Errorf("unknown String() = %q", MsgType(200).String())
+	}
+}
+
+func TestPropertyEchoRoundTrip(t *testing.T) {
+	f := func(data []byte, xid uint32) bool {
+		m := &EchoRequest{Data: data}
+		enc, err := Encode(m, xid)
+		if err != nil {
+			return false
+		}
+		dec, gotXID, err := Decode(enc)
+		if err != nil || gotXID != xid {
+			return false
+		}
+		got, ok := dec.(*EchoRequest)
+		return ok && bytes.Equal(got.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLFIBUpdateRoundTrip(t *testing.T) {
+	f := func(origin uint32, macs []uint64, version uint64, full bool) bool {
+		m := &LFIBUpdate{Origin: model.SwitchID(origin), Full: full, Version: version}
+		for _, raw := range macs {
+			m.Entries = append(m.Entries, LFIBEntry{
+				MAC:  model.MACFromUint64(raw),
+				IP:   model.IP(raw),
+				VLAN: model.VLAN(raw & 0xfff),
+			})
+		}
+		enc, err := Encode(m, 1)
+		if err != nil {
+			return false
+		}
+		dec, _, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		got, ok := dec.(*LFIBUpdate)
+		if !ok || got.Origin != m.Origin || got.Full != m.Full || got.Version != m.Version {
+			return false
+		}
+		if len(got.Entries) != len(m.Entries) {
+			return false
+		}
+		for i := range got.Entries {
+			if got.Entries[i] != m.Entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodePacketIn(b *testing.B) {
+	m := &PacketIn{Switch: 42, Reason: ReasonNoMatch, Packet: samplePacket()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(m, uint32(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodePacketIn(b *testing.B) {
+	m := &PacketIn{Switch: 42, Reason: ReasonNoMatch, Packet: samplePacket()}
+	data, err := Encode(m, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package sim provides a deterministic discrete-event simulator with a
+// virtual clock. All LazyCtrl experiments run on top of it so that a
+// 24-hour trace replays in seconds and every run is reproducible from a
+// seed.
+//
+// The simulator is single-threaded: events execute one at a time in
+// timestamp order (ties broken by scheduling order). Components built on
+// the simulator are therefore written as plain state machines without
+// internal locking.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// Time is a point in virtual time, measured as a duration since the start
+// of the simulation.
+type Time time.Duration
+
+// String formats the virtual time like a duration.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Duration converts the virtual time to a time.Duration since simulation
+// start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports the virtual time in seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among equal timestamps
+	fn  func()
+
+	canceled bool
+	index    int // heap index, maintained by eventHeap
+}
+
+// eventHeap is a min-heap of events ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		panic(fmt.Sprintf("sim: eventHeap.Push got %T, want *event", x))
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator is a discrete-event simulation kernel. The zero value is not
+// usable; construct with New.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	rng     *rand.Rand
+	stopped bool
+
+	// Stats.
+	executed uint64
+}
+
+// New returns a simulator whose random source is seeded deterministically
+// from seed.
+func New(seed uint64) *Simulator {
+	return &Simulator{
+		rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random source. It must only
+// be used from event callbacks (the simulator is single-threaded).
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Executed reports how many events have run so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Pending reports how many events are scheduled and not yet executed or
+// canceled.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Timer is a handle to a scheduled event that can be canceled.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending
+// (false if it already fired or was already stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index == -1 {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past (at < Now) runs the event at the current time, preserving order.
+func (s *Simulator) At(at Time, fn func()) *Timer {
+	if at < s.now {
+		at = s.now
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Simulator) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+Time(d), fn)
+}
+
+// Every schedules fn to run every interval, starting one interval from
+// now, until the returned Ticker is stopped.
+func (s *Simulator) Every(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: Every requires a positive interval")
+	}
+	tk := &Ticker{sim: s, interval: interval, fn: fn}
+	tk.schedule()
+	return tk
+}
+
+// Ticker repeatedly fires a callback at a fixed virtual-time interval.
+type Ticker struct {
+	sim      *Simulator
+	interval time.Duration
+	fn       func()
+	timer    *Timer
+	stopped  bool
+}
+
+func (tk *Ticker) schedule() {
+	tk.timer = tk.sim.After(tk.interval, func() {
+		if tk.stopped {
+			return
+		}
+		tk.fn()
+		if !tk.stopped {
+			tk.schedule()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (tk *Ticker) Stop() {
+	tk.stopped = true
+	if tk.timer != nil {
+		tk.timer.Stop()
+	}
+}
+
+// Stop halts Run/RunUntil after the current event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// step executes the next pending event, if any, and reports whether one ran.
+func (s *Simulator) step(limit Time, bounded bool) bool {
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if bounded && next.at > limit {
+			return false
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		s.executed++
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.step(0, false) {
+	}
+}
+
+// RunUntil executes events with timestamps ≤ until, then advances the
+// clock to until. It stops early if Stop is called.
+func (s *Simulator) RunUntil(until Time) {
+	s.stopped = false
+	for !s.stopped && s.step(until, true) {
+	}
+	if !s.stopped && s.now < until {
+		s.now = until
+	}
+}
+
+// RunFor executes events for d of virtual time from the current instant.
+func (s *Simulator) RunFor(d time.Duration) {
+	s.RunUntil(s.now + Time(d))
+}

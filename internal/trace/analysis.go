@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"lazyctrl/internal/graph"
+	"lazyctrl/internal/grouping"
+	"lazyctrl/internal/model"
+)
+
+// Expand produces the paper's "expanded" trace (§V-D): the base trace
+// plus extraFraction (0.30) additional flows among host pairs that did
+// NOT communicate in the base trace, injected during [fromHour, toHour)
+// (8–24). Most new communication appears within tenants (applications
+// growing inside their slices); the rest is uniform across the data
+// center. The extra flows keep breaking traffic skewness over time,
+// forcing grouping updates.
+func Expand(base *Trace, extraFraction float64, fromHour, toHour int, seed uint64) (*Trace, error) {
+	if extraFraction <= 0 {
+		return nil, errors.New("trace: extraFraction must be positive")
+	}
+	if fromHour < 0 || toHour > 24 || fromHour >= toHour {
+		return nil, fmt.Errorf("trace: invalid hour window [%d,%d)", fromHour, toHour)
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x0ddc0ffee))
+
+	existing := make(map[model.FlowKey]struct{}, len(base.Flows))
+	for i := range base.Flows {
+		existing[model.FlowKey{Src: base.Flows[i].Src, Dst: base.Flows[i].Dst}.Canonical()] = struct{}{}
+	}
+	dir := base.Directory
+	numHosts := dir.NumHosts()
+	tenantIDs := dir.TenantIDs()
+	extra := int(float64(len(base.Flows)) * extraFraction)
+	hourLen := base.Duration / 24
+	windowStart := time.Duration(fromHour) * hourLen
+	windowLen := time.Duration(toHour-fromHour) * hourLen
+
+	// intraShare of the extra flows connect previously silent pairs
+	// within a tenant; the rest are uniform over all host pairs.
+	const intraShare = 0.7
+
+	flows := make([]Flow, 0, len(base.Flows)+extra)
+	flows = append(flows, base.Flows...)
+	for added := 0; added < extra; {
+		var a, b model.HostID
+		if rng.Float64() < intraShare && len(tenantIDs) > 0 {
+			tn := dir.Tenant(tenantIDs[rng.IntN(len(tenantIDs))])
+			if len(tn.Hosts) < 2 {
+				continue
+			}
+			a = tn.Hosts[rng.IntN(len(tn.Hosts))]
+			b = tn.Hosts[rng.IntN(len(tn.Hosts))]
+		} else {
+			a = model.HostID(1 + rng.IntN(numHosts))
+			b = model.HostID(1 + rng.IntN(numHosts))
+		}
+		if a == b {
+			continue
+		}
+		key := model.FlowKey{Src: a, Dst: b}.Canonical()
+		if _, dup := existing[key]; dup {
+			continue
+		}
+		bytes, packets := samplePayload(rng)
+		flows = append(flows, Flow{
+			Start:   windowStart + time.Duration(rng.Float64()*float64(windowLen)),
+			Src:     a,
+			Dst:     b,
+			Bytes:   bytes,
+			Packets: packets,
+		})
+		added++
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i].Start < flows[j].Start })
+
+	return &Trace{
+		Name:      base.Name + "-expanded",
+		Duration:  base.Duration,
+		Flows:     flows,
+		Directory: base.Directory,
+		P:         base.P,
+		Q:         base.Q,
+		Scale:     base.Scale,
+	}, nil
+}
+
+// Stats summarizes a trace the way §II-A characterizes the real one.
+type Stats struct {
+	Flows int
+	// DistinctPairs is the number of host pairs that exchanged traffic.
+	DistinctPairs int
+	// PossiblePairs is n·(n-1)/2 over all hosts.
+	PossiblePairs int64
+	// TopDecileShare is the fraction of flows contributed by the top 10%
+	// of communicating pairs.
+	TopDecileShare float64
+}
+
+// ComputeStats scans the trace.
+func ComputeStats(t *Trace) Stats {
+	perPair := pairCountsDescending(t)
+	top := len(perPair) / 10
+	if top < 1 && len(perPair) > 0 {
+		top = 1
+	}
+	n := int64(t.Directory.NumHosts())
+	return Stats{
+		Flows:          len(t.Flows),
+		DistinctPairs:  len(perPair),
+		PossiblePairs:  n * (n - 1) / 2,
+		TopDecileShare: topShare(t, perPair, top),
+	}
+}
+
+// TopPairsShare returns the fraction of flows carried by the n busiest
+// host pairs. Use n = 10% of the communicating-pair pool to check the
+// paper's skew statistic independently of trace scale (at reduced scale
+// the cold pairs under-sample, so a realized-pair decile understates the
+// skew).
+func TopPairsShare(t *Trace, n int) float64 {
+	return topShare(t, pairCountsDescending(t), n)
+}
+
+func pairCountsDescending(t *Trace) []int {
+	counts := make(map[model.FlowKey]int)
+	for i := range t.Flows {
+		counts[model.FlowKey{Src: t.Flows[i].Src, Dst: t.Flows[i].Dst}.Canonical()]++
+	}
+	perPair := make([]int, 0, len(counts))
+	for _, c := range counts {
+		perPair = append(perPair, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(perPair)))
+	return perPair
+}
+
+func topShare(t *Trace, perPair []int, n int) float64 {
+	if len(t.Flows) == 0 {
+		return 0
+	}
+	if n > len(perPair) {
+		n = len(perPair)
+	}
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += perPair[i]
+	}
+	return float64(sum) / float64(len(t.Flows))
+}
+
+// AverageCentrality partitions the hosts into k balanced groups
+// (k-way partitioning of the host traffic graph, as in §II-A) and
+// returns the average group centrality: for each group, intra-group
+// traffic divided by all traffic touching the group's hosts.
+func AverageCentrality(t *Trace, k int, seed uint64) (float64, error) {
+	if k < 2 {
+		return 0, errors.New("trace: centrality needs k ≥ 2")
+	}
+	counts := make(map[model.FlowKey]int64)
+	hostSet := make(map[model.HostID]struct{})
+	for i := range t.Flows {
+		f := &t.Flows[i]
+		counts[model.FlowKey{Src: f.Src, Dst: f.Dst}.Canonical()]++
+		hostSet[f.Src] = struct{}{}
+		hostSet[f.Dst] = struct{}{}
+	}
+	if len(hostSet) < k {
+		return 0, fmt.Errorf("trace: only %d active hosts for k=%d", len(hostSet), k)
+	}
+	hosts := make([]model.HostID, 0, len(hostSet))
+	for h := range hostSet {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	index := make(map[model.HostID]int, len(hosts))
+	for i, h := range hosts {
+		index[h] = i
+	}
+	b := graph.NewBuilder(len(hosts))
+	for key, c := range counts {
+		b.AddEdge(index[key.Src], index[key.Dst], c)
+	}
+	g := b.Build()
+	// The paper partitions the hosts "evenly": enforce tight balance
+	// (2%) so the partitioner cannot dodge shared-service traffic by
+	// skewing group sizes.
+	even := (g.TotalVertexWeight() + int64(k) - 1) / int64(k)
+	part, err := graph.PartitionKWay(g, graph.PartitionOptions{
+		K:             k,
+		MaxPartWeight: even + even/50 + 1,
+		Seed:          seed,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("trace: centrality partition: %w", err)
+	}
+	intra := make([]float64, k)
+	touch := make([]float64, k)
+	for key, c := range counts {
+		pa, pb := part[index[key.Src]], part[index[key.Dst]]
+		w := float64(c)
+		if pa == pb {
+			intra[pa] += w
+			touch[pa] += w
+		} else {
+			touch[pa] += w
+			touch[pb] += w
+		}
+	}
+	var sum float64
+	groups := 0
+	for p := 0; p < k; p++ {
+		if touch[p] > 0 {
+			sum += intra[p] / touch[p]
+			groups++
+		}
+	}
+	if groups == 0 {
+		return 0, errors.New("trace: no traffic")
+	}
+	return sum / float64(groups), nil
+}
+
+// SwitchIntensity aggregates the flows in [from, to) into the switch-pair
+// intensity matrix W (new flows per second between edge switches), using
+// the trace's host placement. Every switch is registered even if idle.
+func SwitchIntensity(t *Trace, from, to time.Duration) *grouping.Intensity {
+	m := grouping.NewIntensity()
+	for _, sw := range t.Directory.Switches() {
+		m.AddSwitch(sw)
+	}
+	seconds := (to - from).Seconds()
+	if seconds <= 0 {
+		return m
+	}
+	perFlow := 1.0 / seconds
+	for _, f := range t.Window(from, to) {
+		src := t.Directory.Host(f.Src)
+		dst := t.Directory.Host(f.Dst)
+		if src == nil || dst == nil || src.Switch == dst.Switch {
+			continue
+		}
+		m.Add(src.Switch, dst.Switch, perFlow)
+	}
+	return m
+}

@@ -1,0 +1,429 @@
+// Package lazyctrl is a faithful reimplementation of LazyCtrl, the
+// hybrid SDN control plane for cloud data centers by Zheng, Wang, Yang,
+// Sun, Zhang and Uhlig (ICDCS 2015). Edge switches are clustered into
+// local control groups by communication affinity; frequent intra-group
+// control runs near the datapath through Bloom-filter G-FIBs, while a
+// lazy central controller handles only inter-group and fine-grained
+// events, adapting the grouping with the SGI algorithm as traffic
+// drifts.
+//
+// The package exposes a simulated data center: a deterministic
+// discrete-event underlay carrying an extended OpenFlow control
+// protocol between an in-process Floodlight-style controller and Open
+// vSwitch-style edge switches. The same state machines also run in a
+// live goroutine mode used by the integration tests.
+//
+// A minimal session:
+//
+//	dc, err := lazyctrl.New(lazyctrl.Config{Switches: 6, GroupSizeLimit: 3})
+//	...
+//	dc.AddTenant(1)
+//	dc.AddHost(1, 1, 1)    // host 1, tenant 1, switch S1
+//	dc.AddHost(2, 1, 2)
+//	dc.SeedGroupingFromPlacement()
+//	dc.Run(10 * time.Second)
+//	dc.SendFlow(1, 2, 1400)
+//	dc.Run(time.Second)
+//	fmt.Println(dc.Report())
+package lazyctrl
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lazyctrl/internal/controller"
+	"lazyctrl/internal/edge"
+	"lazyctrl/internal/failover"
+	"lazyctrl/internal/grouping"
+	"lazyctrl/internal/metrics"
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/netsim"
+	"lazyctrl/internal/sim"
+)
+
+// Identifier aliases, so applications can speak the paper's vocabulary
+// without importing internal packages.
+type (
+	// SwitchID identifies an edge switch.
+	SwitchID = model.SwitchID
+	// HostID identifies a host (virtual machine).
+	HostID = model.HostID
+	// TenantID identifies a tenant.
+	TenantID = model.TenantID
+	// GroupID identifies a local control group.
+	GroupID = model.GroupID
+	// VLAN is a tenant's VLAN tag.
+	VLAN = model.VLAN
+	// Diagnosis is a failover diagnosis (Table I).
+	Diagnosis = failover.Diagnosis
+)
+
+// Mode selects the control plane.
+type Mode uint8
+
+// Control-plane modes.
+const (
+	// LazyCtrl is the paper's hybrid control plane.
+	LazyCtrl Mode = iota + 1
+	// OpenFlow is the standard centralized baseline (learning switch).
+	OpenFlow
+)
+
+// Config describes a simulated data center.
+type Config struct {
+	// Switches is the number of edge switches (S1..Sn).
+	Switches int
+	// Mode selects LazyCtrl (default) or the OpenFlow baseline.
+	Mode Mode
+	// GroupSizeLimit caps local control group sizes. Zero selects 46.
+	GroupSizeLimit int
+	// Dynamic enables incremental regrouping under traffic drift.
+	Dynamic bool
+	// Seed makes the run reproducible.
+	Seed uint64
+	// OnDeliver observes every packet delivered to a host, with its
+	// one-way forwarding latency.
+	OnDeliver func(src, dst HostID, latency time.Duration)
+	// OnDiagnosis observes failover diagnoses.
+	OnDiagnosis func(suspect SwitchID, diag Diagnosis)
+}
+
+// DataCenter is a simulated LazyCtrl deployment: controller, edge
+// switches, tenants, and hosts over a virtual-time underlay.
+type DataCenter struct {
+	cfg      Config
+	sim      *sim.Simulator
+	net      *netsim.Network
+	ctrl     *controller.Controller
+	switches map[SwitchID]*edge.Switch
+	hosts    map[HostID]hostRecord
+	tenants  map[TenantID]VLAN
+	rec      *metrics.Recorder
+	flowSeq  map[flowKey]int
+}
+
+type hostRecord struct {
+	tenant TenantID
+	vlan   VLAN
+	sw     SwitchID
+}
+
+type flowKey struct {
+	src, dst HostID
+}
+
+// New builds a data center.
+func New(cfg Config) (*DataCenter, error) {
+	if cfg.Switches < 1 {
+		return nil, errors.New("lazyctrl: need at least one switch")
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = LazyCtrl
+	}
+	mode := controller.ModeLazy
+	if cfg.Mode == OpenFlow {
+		mode = controller.ModeLearning
+	}
+	s := sim.New(cfg.Seed)
+	net := netsim.New(s, netsim.DefaultLatencies())
+	rec := metrics.NewRecorder(24*time.Hour, time.Hour)
+
+	ids := make([]SwitchID, cfg.Switches)
+	for i := range ids {
+		ids[i] = SwitchID(i + 1)
+	}
+	dc := &DataCenter{
+		cfg:      cfg,
+		sim:      s,
+		net:      net,
+		switches: make(map[SwitchID]*edge.Switch, cfg.Switches),
+		hosts:    make(map[HostID]hostRecord),
+		tenants:  make(map[TenantID]VLAN),
+		rec:      rec,
+		flowSeq:  make(map[flowKey]int),
+	}
+	ctrl, err := controller.New(controller.Config{
+		Mode:           mode,
+		Switches:       ids,
+		GroupSizeLimit: cfg.GroupSizeLimit,
+		Seed:           cfg.Seed,
+		Dynamic:        cfg.Dynamic,
+		Recorder:       rec,
+		OnDiagnosis: func(s model.SwitchID, d failover.Diagnosis) {
+			if cfg.OnDiagnosis != nil {
+				cfg.OnDiagnosis(s, d)
+			}
+		},
+	}, net.Env(model.ControllerNode))
+	if err != nil {
+		return nil, fmt.Errorf("lazyctrl: %w", err)
+	}
+	dc.ctrl = ctrl
+	net.Attach(ctrl)
+	net.SetSameGroup(ctrl.SameGroup)
+	ctrl.Start()
+
+	for _, id := range ids {
+		id := id
+		sw := edge.New(edge.Config{
+			ID:                id,
+			AdvertiseInterval: time.Second,
+			ReportInterval:    2 * time.Second,
+			OnDeliver: func(p *model.Packet, at time.Duration) {
+				if cfg.OnDeliver == nil {
+					return
+				}
+				src, dst := dc.hostsByMAC(p.SrcMAC, p.DstMAC)
+				cfg.OnDeliver(src, dst, at-p.Injected)
+			},
+		}, net.Env(id))
+		net.Attach(sw)
+		sw.Start()
+		dc.switches[id] = sw
+	}
+	return dc, nil
+}
+
+func (dc *DataCenter) hostsByMAC(src, dst model.MAC) (HostID, HostID) {
+	var s, d HostID
+	for id := range dc.hosts {
+		mac := model.HostMAC(id)
+		if mac == src {
+			s = id
+		}
+		if mac == dst {
+			d = id
+		}
+	}
+	return s, d
+}
+
+// AddTenant registers a tenant; its VLAN is derived from the ID.
+func (dc *DataCenter) AddTenant(id TenantID) VLAN {
+	vlan := VLAN(id % 4094)
+	if vlan == 0 {
+		vlan = 4094
+	}
+	dc.tenants[id] = vlan
+	dc.ctrl.RegisterTenant(vlan, id)
+	return vlan
+}
+
+// AddHost deploys a VM for a tenant on a switch.
+func (dc *DataCenter) AddHost(h HostID, tenant TenantID, sw SwitchID) error {
+	vlan, ok := dc.tenants[tenant]
+	if !ok {
+		return fmt.Errorf("lazyctrl: unknown tenant %v", tenant)
+	}
+	esw, ok := dc.switches[sw]
+	if !ok {
+		return fmt.Errorf("lazyctrl: unknown switch %v", sw)
+	}
+	if _, dup := dc.hosts[h]; dup {
+		return fmt.Errorf("lazyctrl: duplicate host %v", h)
+	}
+	esw.AttachHost(model.HostMAC(h), model.HostIP(h), vlan)
+	dc.hosts[h] = hostRecord{tenant: tenant, vlan: vlan, sw: sw}
+	return nil
+}
+
+// MigrateHost live-migrates a VM to another switch (§III-D3 live state
+// dissemination is triggered by the attach/detach).
+func (dc *DataCenter) MigrateHost(h HostID, to SwitchID) error {
+	rec, ok := dc.hosts[h]
+	if !ok {
+		return fmt.Errorf("lazyctrl: unknown host %v", h)
+	}
+	dst, ok := dc.switches[to]
+	if !ok {
+		return fmt.Errorf("lazyctrl: unknown switch %v", to)
+	}
+	dc.switches[rec.sw].DetachHost(model.HostMAC(h))
+	dst.AttachHost(model.HostMAC(h), model.HostIP(h), rec.vlan)
+	rec.sw = to
+	dc.hosts[h] = rec
+	return nil
+}
+
+// SwitchOf returns the switch currently hosting a VM.
+func (dc *DataCenter) SwitchOf(h HostID) (SwitchID, bool) {
+	rec, ok := dc.hosts[h]
+	return rec.sw, ok
+}
+
+// SeedGroupingFromPlacement computes the initial grouping assuming
+// tenant-local traffic: switches sharing tenants have high affinity.
+// Applications with real traffic histories should use SeedGrouping.
+func (dc *DataCenter) SeedGroupingFromPlacement() error {
+	m := grouping.NewIntensity()
+	for id := range dc.switches {
+		m.AddSwitch(id)
+	}
+	perTenant := make(map[TenantID][]SwitchID)
+	for _, rec := range dc.hosts {
+		perTenant[rec.tenant] = append(perTenant[rec.tenant], rec.sw)
+	}
+	for _, sws := range perTenant {
+		for i := 0; i < len(sws); i++ {
+			for j := i + 1; j < len(sws); j++ {
+				m.Add(sws[i], sws[j], 10)
+			}
+		}
+	}
+	return dc.ctrl.InitialGrouping(m)
+}
+
+// PairRate is a switch-pair traffic intensity observation used to seed
+// the initial grouping.
+type PairRate struct {
+	A, B SwitchID
+	// FlowsPerSecond is the normalized traffic intensity between A and B.
+	FlowsPerSecond float64
+}
+
+// SeedGrouping computes the initial grouping from measured switch-pair
+// intensities (the paper seeds from the first hour of traffic).
+func (dc *DataCenter) SeedGrouping(rates []PairRate) error {
+	m := grouping.NewIntensity()
+	for id := range dc.switches {
+		m.AddSwitch(id)
+	}
+	for _, r := range rates {
+		m.Add(r.A, r.B, r.FlowsPerSecond)
+	}
+	return dc.ctrl.InitialGrouping(m)
+}
+
+// SendFlow injects the first packet of a flow from src to dst with the
+// given payload size. Subsequent packets of the same pair reuse
+// installed state automatically.
+func (dc *DataCenter) SendFlow(src, dst HostID, bytes int) error {
+	s, ok := dc.hosts[src]
+	if !ok {
+		return fmt.Errorf("lazyctrl: unknown src host %v", src)
+	}
+	d, ok := dc.hosts[dst]
+	if !ok {
+		return fmt.Errorf("lazyctrl: unknown dst host %v", dst)
+	}
+	key := flowKey{src: src, dst: dst}
+	seq := dc.flowSeq[key]
+	dc.flowSeq[key] = seq + 1
+	if bytes <= 0 {
+		bytes = 1400
+	}
+	p := &model.Packet{
+		SrcMAC:   model.HostMAC(src),
+		DstMAC:   model.HostMAC(dst),
+		SrcIP:    model.HostIP(src),
+		DstIP:    model.HostIP(dst),
+		VLAN:     s.vlan,
+		Ether:    model.EtherTypeIPv4,
+		Bytes:    bytes,
+		FlowSeq:  0,
+		Injected: time.Duration(dc.sim.Now()),
+	}
+	_ = d
+	dc.switches[s.sw].InjectLocal(p)
+	return nil
+}
+
+// Run advances virtual time by d, processing all scheduled work.
+func (dc *DataCenter) Run(d time.Duration) { dc.sim.RunFor(d) }
+
+// Now returns the current virtual time.
+func (dc *DataCenter) Now() time.Duration { return dc.sim.Now().Duration() }
+
+// FailSwitch injects a switch (node) failure into the underlay.
+func (dc *DataCenter) FailSwitch(id SwitchID) { dc.net.FailNode(id) }
+
+// RecoverSwitch heals a failed switch and informs the controller
+// (§III-E3 reboot-and-resync).
+func (dc *DataCenter) RecoverSwitch(id SwitchID) {
+	dc.net.HealNode(id)
+	dc.ctrl.MarkRecovered(id)
+}
+
+// FailLink injects a link failure between two nodes (use
+// ControllerNode for the control link).
+func (dc *DataCenter) FailLink(a, b SwitchID) { dc.net.FailLink(a, b) }
+
+// HealLink restores a failed link.
+func (dc *DataCenter) HealLink(a, b SwitchID) { dc.net.HealLink(a, b) }
+
+// ControllerNode is the controller's address for FailLink/HealLink.
+const ControllerNode = model.ControllerNode
+
+// GroupOf returns the local control group of a switch.
+func (dc *DataCenter) GroupOf(sw SwitchID) GroupID { return dc.ctrl.Grouping().GroupOf(sw) }
+
+// Groups returns the current group membership map.
+func (dc *DataCenter) Groups() map[GroupID][]SwitchID {
+	grp := dc.ctrl.Grouping()
+	out := make(map[GroupID][]SwitchID, grp.NumGroups())
+	for _, gid := range grp.GroupIDs() {
+		out[gid] = append([]SwitchID(nil), grp.Members(gid)...)
+	}
+	return out
+}
+
+// IsDesignated reports whether a switch currently holds its group's
+// designated role.
+func (dc *DataCenter) IsDesignated(sw SwitchID) bool {
+	s, ok := dc.switches[sw]
+	return ok && s.IsDesignated()
+}
+
+// Report summarizes the run.
+type Report struct {
+	Mode               Mode
+	Groups             int
+	GroupingVersion    uint64
+	ControllerRequests uint64
+	PacketIns          uint64
+	ARPRelays          uint64
+	StateReports       uint64
+	Floods             uint64
+	FlowMods           uint64
+	Regroupings        uint64
+}
+
+// Report returns the control-plane summary.
+func (dc *DataCenter) Report() Report {
+	st := dc.ctrl.Stats()
+	return Report{
+		Mode:               dc.cfg.Mode,
+		Groups:             dc.ctrl.Grouping().NumGroups(),
+		GroupingVersion:    dc.ctrl.GroupingVersion(),
+		ControllerRequests: dc.rec.TotalWorkload(),
+		PacketIns:          st.PacketIns,
+		ARPRelays:          st.ARPRelays,
+		StateReports:       st.StateReports,
+		Floods:             st.Floods,
+		FlowMods:           st.FlowModsSent,
+		Regroupings:        st.Regroupings,
+	}
+}
+
+// String renders the report.
+func (r Report) String() string {
+	mode := "lazyctrl"
+	if r.Mode == OpenFlow {
+		mode = "openflow"
+	}
+	return fmt.Sprintf("mode=%s groups=%d v%d requests=%d packetIns=%d relays=%d reports=%d floods=%d flowMods=%d regroupings=%d",
+		mode, r.Groups, r.GroupingVersion, r.ControllerRequests, r.PacketIns,
+		r.ARPRelays, r.StateReports, r.Floods, r.FlowMods, r.Regroupings)
+}
+
+// NegotiateGroupSize runs the Appendix-C Rubinstein bargaining between
+// the controller's preferred group size and per-switch offers.
+func NegotiateGroupSize(controllerLimit int, offers []grouping.SwitchOffer) (int, error) {
+	return grouping.Negotiate(grouping.AggregateOffers(offers), grouping.BargainConfig{
+		ControllerLimit: controllerLimit,
+	})
+}
+
+// SwitchOffer re-exports the bargaining offer type.
+type SwitchOffer = grouping.SwitchOffer

@@ -1,0 +1,257 @@
+package lazyctrl
+
+import (
+	"testing"
+	"time"
+)
+
+// twoGroupDC builds a 6-switch data center with two tenants placed so
+// that groups {1,2,3} and {4,5,6} emerge.
+func twoGroupDC(t *testing.T, mode Mode) (*DataCenter, *[]time.Duration) {
+	t.Helper()
+	var latencies []time.Duration
+	dc, err := New(Config{
+		Switches:       6,
+		Mode:           mode,
+		GroupSizeLimit: 3,
+		Seed:           5,
+		OnDeliver: func(src, dst HostID, lat time.Duration) {
+			latencies = append(latencies, lat)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc.AddTenant(1)
+	dc.AddTenant(2)
+	// Tenant 1 on switches 1-3; tenant 2 on switches 4-6.
+	for i, sw := range []SwitchID{1, 2, 3} {
+		if err := dc.AddHost(HostID(10+i), 1, sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, sw := range []SwitchID{4, 5, 6} {
+		if err := dc.AddHost(HostID(20+i), 2, sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mode == LazyCtrl {
+		if err := dc.SeedGroupingFromPlacement(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dc.Run(5 * time.Second)
+	return dc, &latencies
+}
+
+func TestGroupingFollowsTenancy(t *testing.T) {
+	dc, _ := twoGroupDC(t, LazyCtrl)
+	if g := dc.Groups(); len(g) != 2 {
+		t.Fatalf("groups = %v, want 2", g)
+	}
+	if dc.GroupOf(1) != dc.GroupOf(2) || dc.GroupOf(4) != dc.GroupOf(5) {
+		t.Error("tenant switches split across groups")
+	}
+	if dc.GroupOf(1) == dc.GroupOf(4) {
+		t.Error("tenants merged into one group")
+	}
+	designatedCount := 0
+	for _, sw := range []SwitchID{1, 2, 3} {
+		if dc.IsDesignated(sw) {
+			designatedCount++
+		}
+	}
+	if designatedCount != 1 {
+		t.Errorf("group has %d designated switches, want 1", designatedCount)
+	}
+}
+
+func TestIntraGroupFlowStaysLocal(t *testing.T) {
+	dc, lats := twoGroupDC(t, LazyCtrl)
+	before := dc.Report().PacketIns
+	if err := dc.SendFlow(10, 11, 1400); err != nil {
+		t.Fatal(err)
+	}
+	dc.Run(time.Second)
+	if len(*lats) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(*lats))
+	}
+	if (*lats)[0] <= 0 || (*lats)[0] > 2*time.Millisecond {
+		t.Errorf("intra-group latency = %v", (*lats)[0])
+	}
+	if dc.Report().PacketIns != before {
+		t.Error("intra-group flow reached the controller")
+	}
+}
+
+func TestInterGroupFlowUsesController(t *testing.T) {
+	dc, lats := twoGroupDC(t, LazyCtrl)
+	if err := dc.SendFlow(10, 21, 1400); err != nil {
+		t.Fatal(err)
+	}
+	dc.Run(time.Second)
+	if len(*lats) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(*lats))
+	}
+	rep := dc.Report()
+	if rep.PacketIns == 0 || rep.FlowMods == 0 {
+		t.Errorf("inter-group flow bypassed the controller: %+v", rep)
+	}
+}
+
+func TestOpenFlowBaseline(t *testing.T) {
+	dc, lats := twoGroupDC(t, OpenFlow)
+	if err := dc.SendFlow(10, 21, 1400); err != nil {
+		t.Fatal(err)
+	}
+	dc.Run(time.Second)
+	if len(*lats) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(*lats))
+	}
+	rep := dc.Report()
+	if rep.Floods == 0 {
+		t.Error("baseline did not flood the first unknown destination")
+	}
+	if rep.Groups != 0 {
+		t.Error("baseline formed groups")
+	}
+}
+
+func TestMigration(t *testing.T) {
+	dc, lats := twoGroupDC(t, LazyCtrl)
+	if err := dc.MigrateHost(11, 3); err != nil {
+		t.Fatal(err)
+	}
+	if sw, _ := dc.SwitchOf(11); sw != 3 {
+		t.Fatalf("SwitchOf(11) = %v, want 3", sw)
+	}
+	// Dissemination catches up; the flow then reaches the new location.
+	dc.Run(5 * time.Second)
+	if err := dc.SendFlow(10, 11, 1400); err != nil {
+		t.Fatal(err)
+	}
+	dc.Run(time.Second)
+	if len(*lats) != 1 {
+		t.Errorf("deliveries = %d, want 1 after migration", len(*lats))
+	}
+}
+
+func TestFailoverRoundTrip(t *testing.T) {
+	var diags []Diagnosis
+	var suspects []SwitchID
+	dc, _ := func() (*DataCenter, *[]time.Duration) {
+		var latencies []time.Duration
+		dc, err := New(Config{
+			Switches:       6,
+			GroupSizeLimit: 3,
+			Seed:           5,
+			OnDiagnosis: func(s SwitchID, d Diagnosis) {
+				suspects = append(suspects, s)
+				diags = append(diags, d)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc.AddTenant(1)
+		for i, sw := range []SwitchID{1, 2, 3} {
+			if err := dc.AddHost(HostID(10+i), 1, sw); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := dc.SeedGroupingFromPlacement(); err != nil {
+			t.Fatal(err)
+		}
+		dc.Run(5 * time.Second)
+		return dc, &latencies
+	}()
+
+	wasDesignated := SwitchID(0)
+	for _, sw := range []SwitchID{1, 2, 3} {
+		if dc.IsDesignated(sw) {
+			wasDesignated = sw
+		}
+	}
+	if wasDesignated == 0 {
+		t.Fatal("no designated switch")
+	}
+	dc.FailSwitch(wasDesignated)
+	dc.Run(2 * time.Minute)
+	if len(suspects) == 0 {
+		t.Fatal("failure never diagnosed")
+	}
+	// A replacement designated switch exists among the survivors.
+	replacement := false
+	for _, sw := range []SwitchID{1, 2, 3} {
+		if sw != wasDesignated && dc.IsDesignated(sw) {
+			replacement = true
+		}
+	}
+	if !replacement {
+		t.Error("no replacement designated switch")
+	}
+	// Recovery restores the original (lowest-MAC) designated switch.
+	dc.RecoverSwitch(wasDesignated)
+	dc.Run(time.Minute)
+	if !dc.IsDesignated(wasDesignated) {
+		t.Error("recovered switch did not resume designated role")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := New(Config{Switches: 0}); err == nil {
+		t.Error("zero switches accepted")
+	}
+	dc, err := New(Config{Switches: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.AddHost(1, 99, 1); err == nil {
+		t.Error("host for unknown tenant accepted")
+	}
+	dc.AddTenant(1)
+	if err := dc.AddHost(1, 1, 99); err == nil {
+		t.Error("host on unknown switch accepted")
+	}
+	if err := dc.AddHost(1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.AddHost(1, 1, 2); err == nil {
+		t.Error("duplicate host accepted")
+	}
+	if err := dc.MigrateHost(99, 1); err == nil {
+		t.Error("migrating unknown host accepted")
+	}
+	if err := dc.MigrateHost(1, 99); err == nil {
+		t.Error("migrating to unknown switch accepted")
+	}
+	if err := dc.SendFlow(99, 1, 0); err == nil {
+		t.Error("flow from unknown host accepted")
+	}
+	if err := dc.SendFlow(1, 99, 0); err == nil {
+		t.Error("flow to unknown host accepted")
+	}
+}
+
+func TestNegotiateGroupSize(t *testing.T) {
+	offers := []SwitchOffer{
+		{PreferredLimit: 30, Capacity: 1},
+		{PreferredLimit: 40, Capacity: 1},
+		{PreferredLimit: 50, Capacity: 1},
+	}
+	limit, err := NegotiateGroupSize(100, offers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limit < 30 || limit > 100 {
+		t.Errorf("negotiated limit = %d, want within [30,100]", limit)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	dc, _ := twoGroupDC(t, LazyCtrl)
+	s := dc.Report().String()
+	if s == "" {
+		t.Error("empty report string")
+	}
+}
