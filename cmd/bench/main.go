@@ -1,0 +1,150 @@
+// Command bench runs the repository's tier-1 benchmarks with -benchmem
+// and emits a machine-readable JSON report (BENCH_<n>.json), so the
+// performance trajectory of the hot paths is tracked PR over PR.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-bench regex] [-benchtime 1x] [-count 1] \
+//	    [-pkg ./...] [-out BENCH_1.json]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	NumCPU      int      `json:"num_cpu"`
+	BenchRegex  string   `json:"bench_regex"`
+	BenchTime   string   `json:"bench_time"`
+	Benchmarks  []Result `json:"benchmarks"`
+	// Baseline embeds a previous report's results (-baseline flag), so
+	// one file carries the before/after pair for a PR.
+	Baseline *Report `json:"baseline,omitempty"`
+}
+
+// benchLine matches "BenchmarkName-8  10  123456 ns/op  99 B/op  3 allocs/op"
+// (the B/op and allocs/op columns are optional).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "BenchmarkFig6b|BenchmarkFig7$|BenchmarkIniGroup|BenchmarkIncUpdate|BenchmarkPartitionKWay|BenchmarkBisect|BenchmarkEventChurn|BenchmarkIntensityAdd|BenchmarkForEachPair", "benchmark regex passed to go test -bench")
+		benchtime = flag.String("benchtime", "1x", "value for go test -benchtime")
+		count     = flag.Int("count", 1, "value for go test -count")
+		pkgs      = flag.String("pkg", "./...", "package pattern to benchmark")
+		out       = flag.String("out", "BENCH_1.json", "output JSON path")
+		dir       = flag.String("dir", "", "directory to run go test in (default: current; use to benchmark another checkout)")
+		baseline  = flag.String("baseline", "", "previous report JSON to embed as the before numbers")
+	)
+	flag.Parse()
+
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", *bench,
+		"-benchmem",
+		"-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count),
+		*pkgs,
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = *dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: go test: %v\n", err)
+		os.Exit(1)
+	}
+
+	report := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		BenchRegex:  *bench,
+		BenchTime:   *benchtime,
+	}
+	pkg := ""
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Name: m[1], Package: pkg, Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		report.Benchmarks = append(report.Benchmarks, r)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no benchmark lines parsed")
+		os.Exit(1)
+	}
+	if *baseline != "" {
+		prev, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: read baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(prev, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: parse baseline: %v\n", err)
+			os.Exit(1)
+		}
+		base.Baseline = nil // never nest more than one level
+		report.Baseline = &base
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("bench: wrote %d results to %s\n", len(report.Benchmarks), *out)
+}

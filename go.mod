@@ -1,0 +1,3 @@
+module lazyctrl
+
+go 1.24

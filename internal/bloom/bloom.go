@@ -213,7 +213,9 @@ func (f *Filter) MarshalBinary() ([]byte, error) {
 // ErrCorrupt reports a malformed filter encoding.
 var ErrCorrupt = errors.New("bloom: corrupt encoding")
 
-// UnmarshalBinary decodes a filter produced by MarshalBinary.
+// UnmarshalBinary decodes a filter produced by MarshalBinary. When the
+// receiver already holds a bit array of the right geometry it is decoded
+// into in place, so periodic re-dissemination does not allocate.
 func (f *Filter) UnmarshalBinary(data []byte) error {
 	if len(data) < 28 {
 		return ErrCorrupt
@@ -228,9 +230,13 @@ func (f *Filter) UnmarshalBinary(data []byte) error {
 	if m%64 != 0 || len(data) != 28+words*8 || k == 0 {
 		return ErrCorrupt
 	}
-	bits := make([]uint64, words)
+	bits := f.bits
+	if len(bits) != words {
+		bits = make([]uint64, words)
+	}
+	payload := data[28:]
 	for i := range bits {
-		bits[i] = binary.BigEndian.Uint64(data[28+i*8:])
+		bits[i] = binary.BigEndian.Uint64(payload[i*8 : i*8+8])
 	}
 	f.m, f.k, f.count, f.bits = m, k, count, bits
 	return nil

@@ -226,13 +226,20 @@ func New(cfg Config, env netsim.Env) (*Controller, error) {
 	if err != nil {
 		return nil, fmt.Errorf("controller: %w", err)
 	}
+	// Pre-register every switch so the intensity matrix's dense index
+	// layout is fixed from t=0: later traffic accounting is pure O(degree)
+	// weight updates, and silent switches still participate in regrouping.
+	intensity := grouping.NewIntensity()
+	for _, sw := range c.Switches {
+		intensity.AddSwitch(sw)
+	}
 	return &Controller{
 		cfg:       c,
 		env:       env,
 		clib:      fib.NewCLIB(),
 		grp:       grouping.NewGrouping(),
 		sgi:       sgi,
-		intensity: grouping.NewIntensity(),
+		intensity: intensity,
 		tenants:   make(map[model.VLAN]model.TenantID),
 		learned:   make(map[model.MAC]model.SwitchID),
 		pending:   make(map[model.MAC][]pendingFlow),

@@ -90,8 +90,14 @@ func (s *Switch) handleGroupConfig(m *openflow.GroupConfig) {
 	if membersChanged {
 		s.gfib.Clear()
 		s.memberLFIBs = make(map[model.SwitchID][]openflow.LFIBEntry)
+		s.memberLFIBVersions = make(map[model.SwitchID]uint64)
 		s.memberPairs = make(map[model.SwitchPair]uint32)
 	}
+	// Any reconfiguration restarts delta tracking: the next dissemination
+	// and controller report carry full state again (peers may have
+	// cleared their G-FIBs, and the controller re-tags C-LIB groups).
+	s.gfibSent = make(map[model.SwitchID]uint64)
+	s.ctrlSent = make(map[model.SwitchID]uint64)
 	// Restart group timers.
 	s.restartGroupTimers()
 	// Immediate advertisement bootstraps the new group's state.
@@ -192,34 +198,80 @@ func (s *Switch) handleMemberReport(from model.SwitchID, m *openflow.StateReport
 	for i := range m.LFIBs {
 		u := &m.LFIBs[i]
 		s.memberLFIBs[u.Origin] = u.Entries
+		s.memberLFIBVersions[u.Origin] = u.Version
 	}
 	for _, p := range m.Pairs {
 		s.memberPairs[model.MakeSwitchPair(p.A, p.B)] += p.NewFlows
 	}
 }
 
-// disseminateGFIB rebuilds the group's Bloom filters from member L-FIBs
-// and sends them to every member over peer links (multiple unicasts —
-// no native multicast assumed, §III-B3).
-func (s *Switch) disseminateGFIB() {
-	if !s.IsDesignated() {
-		return
+// refreshOwnSnapshot folds the designated switch's own L-FIB into the
+// aggregation state, re-materializing the wire snapshot only when the
+// L-FIB actually changed.
+func (s *Switch) refreshOwnSnapshot() {
+	v := s.lfib.Version()
+	if s.memberLFIBs[s.cfg.ID] == nil || s.memberLFIBVersions[s.cfg.ID] != v {
+		s.memberLFIBs[s.cfg.ID] = s.lfib.WireEntries()
+		s.memberLFIBVersions[s.cfg.ID] = v
 	}
-	// Own L-FIB participates too.
-	s.memberLFIBs[s.cfg.ID] = s.lfib.WireEntries()
+}
 
-	update := &openflow.GFIBUpdate{Group: s.group.Group, Version: s.group.Version}
+// changedMembers yields every member whose aggregated L-FIB snapshot
+// must be included this round — its advertised version moved past what
+// the given sent-map recorded, or full is set (anti-entropy refresh) —
+// and records the yielded version in the sent-map. The gate is shared
+// by G-FIB dissemination and controller reporting so the two delta
+// paths cannot diverge.
+func (s *Switch) changedMembers(sent map[model.SwitchID]uint64, full bool, yield func(member model.SwitchID, entries []openflow.LFIBEntry, v uint64)) {
 	for _, member := range s.group.Members {
 		entries, ok := s.memberLFIBs[member]
 		if !ok {
 			continue
 		}
+		v := s.memberLFIBVersions[member]
+		if prev, seen := sent[member]; !full && seen && prev == v {
+			continue // unchanged since the last round
+		}
+		yield(member, entries, v)
+		sent[member] = v
+	}
+}
+
+// refreshEveryRounds is the anti-entropy cadence of the delta
+// dissemination/report paths: deltas assume the previous send arrived,
+// which a down link or a not-yet-configured receiver can violate, so
+// every Nth round resends full state. Staleness after a lost delta is
+// therefore bounded by N×interval (5 min at the 30 s default) instead
+// of "until the origin's L-FIB next changes".
+const refreshEveryRounds = 10
+
+// disseminateGFIB rebuilds the group's Bloom filters from member L-FIBs
+// and sends them to every member over peer links (multiple unicasts —
+// no native multicast assumed, §III-B3). Dissemination is incremental:
+// a member's filter is rebuilt and resent only when its advertised
+// L-FIB version moved, and a round with no changed filters sends
+// nothing — in steady state (hosts don't move) the periodic cost drops
+// to a version comparison per member, with a full refresh every
+// refreshEveryRounds rounds.
+func (s *Switch) disseminateGFIB() {
+	if !s.IsDesignated() {
+		return
+	}
+	// Own L-FIB participates too.
+	s.refreshOwnSnapshot()
+
+	s.gfibRound++
+	update := &openflow.GFIBUpdate{Group: s.group.Group, Version: s.group.Version}
+	s.changedMembers(s.gfibSent, s.gfibRound%refreshEveryRounds == 0, func(member model.SwitchID, entries []openflow.LFIBEntry, _ uint64) {
 		f := filterFromEntries(entries, s.cfg.FilterBits, s.cfg.FilterHashes)
 		data, err := f.MarshalBinary()
 		if err != nil {
-			continue // cannot happen with valid geometry
+			return // cannot happen with valid geometry
 		}
 		update.Filters = append(update.Filters, openflow.GFIBFilter{Switch: member, Filter: data})
+	})
+	if len(update.Filters) == 0 {
+		return
 	}
 	for _, member := range s.group.Members {
 		if member == s.cfg.ID {
@@ -237,19 +289,23 @@ func (s *Switch) reportToController() {
 	if !s.IsDesignated() {
 		return
 	}
-	s.memberLFIBs[s.cfg.ID] = s.lfib.WireEntries()
+	s.refreshOwnSnapshot()
+	s.ctrlRound++
 	report := &openflow.StateReport{Group: s.group.Group, Version: s.group.Version}
-	for _, member := range s.group.Members {
-		entries, ok := s.memberLFIBs[member]
-		if !ok {
-			continue
-		}
+	// The report itself goes out every interval (it is the state link's
+	// liveness and carries the pair statistics), but an L-FIB snapshot is
+	// attached only when its version moved since the last report — the
+	// controller already holds the unchanged ones. Every
+	// refreshEveryRounds-th report is full, bounding staleness after a
+	// report lost on a failing control link.
+	s.changedMembers(s.ctrlSent, s.ctrlRound%refreshEveryRounds == 0, func(member model.SwitchID, entries []openflow.LFIBEntry, v uint64) {
 		report.LFIBs = append(report.LFIBs, openflow.LFIBUpdate{
 			Origin:  member,
 			Full:    true,
 			Entries: entries,
+			Version: v,
 		})
-	}
+	})
 	for pair, n := range s.memberPairs {
 		report.Pairs = append(report.Pairs, openflow.PairStat{A: pair.A, B: pair.B, NewFlows: n})
 	}

@@ -93,9 +93,21 @@ type Switch struct {
 	haveGroup bool
 
 	// Designated-switch state: the latest full L-FIB snapshot and pair
-	// stats from each member.
-	memberLFIBs map[model.SwitchID][]openflow.LFIBEntry
-	memberPairs map[model.SwitchPair]uint32
+	// stats from each member, plus the advertised L-FIB version per
+	// member. gfibSent and ctrlSent record the version last folded into a
+	// G-FIB dissemination / controller report, so an unchanged snapshot
+	// is never re-encoded, re-sent, or re-decoded interval after interval.
+	memberLFIBs        map[model.SwitchID][]openflow.LFIBEntry
+	memberLFIBVersions map[model.SwitchID]uint64
+	gfibSent           map[model.SwitchID]uint64
+	ctrlSent           map[model.SwitchID]uint64
+	memberPairs        map[model.SwitchPair]uint32
+	// gfibRound/ctrlRound count dissemination/report rounds; every
+	// refreshEveryRounds-th round ignores the sent-version gate so a
+	// receiver that missed a delta (dropped link, late GroupConfig)
+	// converges within a bounded number of intervals.
+	gfibRound uint64
+	ctrlRound uint64
 
 	// Own per-window pair stats: new flows observed from remote
 	// switches (counted at decap of first packets).
@@ -119,16 +131,19 @@ type Switch struct {
 func New(cfg Config, env netsim.Env) *Switch {
 	c := cfg.withDefaults()
 	return &Switch{
-		cfg:         c,
-		env:         env,
-		lfib:        fib.NewLFIB(),
-		gfib:        fib.NewGFIB(),
-		flows:       newFlowTable(),
-		memberLFIBs: make(map[model.SwitchID][]openflow.LFIBEntry),
-		memberPairs: make(map[model.SwitchPair]uint32),
-		pairFlows:   make(map[model.SwitchID]uint32),
-		lastFrom:    make(map[model.SwitchID]time.Duration),
-		reported:    make(map[model.SwitchID]bool),
+		cfg:                c,
+		env:                env,
+		lfib:               fib.NewLFIB(),
+		gfib:               fib.NewGFIB(),
+		flows:              newFlowTable(),
+		memberLFIBs:        make(map[model.SwitchID][]openflow.LFIBEntry),
+		memberLFIBVersions: make(map[model.SwitchID]uint64),
+		gfibSent:           make(map[model.SwitchID]uint64),
+		ctrlSent:           make(map[model.SwitchID]uint64),
+		memberPairs:        make(map[model.SwitchPair]uint32),
+		pairFlows:          make(map[model.SwitchID]uint32),
+		lastFrom:           make(map[model.SwitchID]time.Duration),
+		reported:           make(map[model.SwitchID]bool),
 	}
 }
 

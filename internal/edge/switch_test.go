@@ -320,15 +320,33 @@ func TestDesignatedAggregationAndReport(t *testing.T) {
 	if last.Group != 1 {
 		t.Errorf("report group = %v", last.Group)
 	}
-	// All three members' L-FIBs aggregated.
+	// All three members' L-FIBs reach the controller. Reports are deltas
+	// (a snapshot is attached only when its version moved), so aggregate
+	// over the whole report stream.
 	origins := map[model.SwitchID]bool{}
-	for _, u := range last.LFIBs {
-		origins[u.Origin] = true
+	for _, rep := range reports {
+		for _, u := range rep.LFIBs {
+			origins[u.Origin] = true
+		}
 	}
 	for _, id := range []model.SwitchID{1, 2, 3} {
 		if !origins[id] {
-			t.Errorf("report missing L-FIB of %v (have %v)", id, origins)
+			t.Errorf("no report carried the L-FIB of %v (have %v)", id, origins)
 		}
+	}
+	// Steady state: with no L-FIB churn, reports after the first must be
+	// pure deltas (zero snapshots) — except every refreshEveryRounds-th
+	// round, which is deliberately a full anti-entropy refresh. Require
+	// at least one later report to be a pure delta.
+	pureDelta := false
+	for _, rep := range reports[1:] {
+		if len(rep.LFIBs) == 0 {
+			pureDelta = true
+			break
+		}
+	}
+	if !pureDelta {
+		t.Error("no steady-state report was a pure delta: snapshots are re-encoded every round")
 	}
 }
 

@@ -71,12 +71,14 @@ type Fig6aPoint struct {
 	WinterPct float64
 }
 
-// Fig6a sweeps the number of groups for each synthetic trace and
-// reports the normalized inter-group traffic intensity, reproducing
-// Fig. 6(a): W_inter grows roughly linearly with the group count and is
-// lower for traces with higher centrality.
-func Fig6a(scale int, seed uint64, groupCounts []int) ([]Fig6aPoint, error) {
-	gens := []struct {
+// synTraces names the three synthetic workloads shared by the Fig. 6
+// sweeps. The returned intensity matrices are read-only from that point
+// on, so sweep points can share them across the worker pool.
+func synTraces(scale int, seed uint64) []struct {
+	name string
+	gen  func() (*trace.Trace, error)
+} {
+	return []struct {
 		name string
 		gen  func() (*trace.Trace, error)
 	}{
@@ -84,36 +86,77 @@ func Fig6a(scale int, seed uint64, groupCounts []int) ([]Fig6aPoint, error) {
 		{"Syn-B", func() (*trace.Trace, error) { return trace.SynB(scale*14/10, seed) }},
 		{"Syn-C", func() (*trace.Trace, error) { return trace.SynC(scale*19/10, seed) }},
 	}
-	var out []Fig6aPoint
-	for _, g := range gens {
-		tr, err := g.gen()
+}
+
+// synIntensities generates the three synthetic traces concurrently and
+// reduces each to its switch-intensity matrix.
+func synIntensities(scale int, seed uint64) ([]string, []*grouping.Intensity, error) {
+	gens := synTraces(scale, seed)
+	names := make([]string, len(gens))
+	ms := make([]*grouping.Intensity, len(gens))
+	err := parallelFor(len(gens), func(i int) error {
+		tr, err := gens[i].gen()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		m := trace.SwitchIntensity(tr, 0, tr.Duration)
-		n := m.NumSwitches()
+		names[i] = gens[i].name
+		ms[i] = trace.SwitchIntensity(tr, 0, tr.Duration)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return names, ms, nil
+}
+
+// Fig6a sweeps the number of groups for each synthetic trace and
+// reports the normalized inter-group traffic intensity, reproducing
+// Fig. 6(a): W_inter grows roughly linearly with the group count and is
+// lower for traces with higher centrality. Every (trace, k) point is an
+// independent partitioning problem, so the sweep fans out across the
+// worker pool; output order matches the sequential sweep.
+func Fig6a(scale int, seed uint64, groupCounts []int) ([]Fig6aPoint, error) {
+	names, ms, err := synIntensities(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	type job struct{ ti, k int }
+	var jobs []job
+	for ti := range ms {
+		n := ms[ti].NumSwitches()
 		for _, k := range groupCounts {
 			if k < 1 || k > n {
 				continue
 			}
-			limit := (n + k - 1) / k
-			// Allow slack so the partitioner can express affinity while
-			// still producing ≈k groups.
-			limit += limit / 5
-			sgi, err := grouping.New(grouping.Config{SizeLimit: limit, Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			grp, err := sgi.IniGroup(m)
-			if err != nil {
-				return nil, fmt.Errorf("eval: fig6a %s k=%d: %w", g.name, k, err)
-			}
-			out = append(out, Fig6aPoint{
-				Trace:     g.name,
-				Groups:    grp.NumGroups(),
-				WinterPct: 100 * grouping.Winter(grp, m),
-			})
+			jobs = append(jobs, job{ti, k})
 		}
+	}
+	out := make([]Fig6aPoint, len(jobs))
+	err = parallelFor(len(jobs), func(j int) error {
+		ti, k := jobs[j].ti, jobs[j].k
+		m := ms[ti]
+		n := m.NumSwitches()
+		limit := (n + k - 1) / k
+		// Allow slack so the partitioner can express affinity while
+		// still producing ≈k groups.
+		limit += limit / 5
+		sgi, err := grouping.New(grouping.Config{SizeLimit: limit, Seed: seed})
+		if err != nil {
+			return err
+		}
+		grp, err := sgi.IniGroup(m)
+		if err != nil {
+			return fmt.Errorf("eval: fig6a %s k=%d: %w", names[ti], k, err)
+		}
+		out[j] = Fig6aPoint{
+			Trace:     names[ti],
+			Groups:    grp.NumGroups(),
+			WinterPct: 100 * grouping.Winter(grp, m),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -130,23 +173,19 @@ type Fig6bPoint struct {
 }
 
 // Fig6b measures switch-grouping computation time against the group
-// size limit.
+// size limit. Trace generation fans out across the worker pool, but
+// the timed points themselves run sequentially: Fig. 6(b) is a
+// computation-time figure, and wall-clock measured under CPU
+// contention from sibling points would not be comparable across runs
+// or machines.
 func Fig6b(scale int, seed uint64, sizeLimits []int) ([]Fig6bPoint, error) {
-	gens := []struct {
-		name string
-		gen  func() (*trace.Trace, error)
-	}{
-		{"Syn-A", func() (*trace.Trace, error) { return trace.SynA(scale, seed) }},
-		{"Syn-B", func() (*trace.Trace, error) { return trace.SynB(scale*14/10, seed) }},
-		{"Syn-C", func() (*trace.Trace, error) { return trace.SynC(scale*19/10, seed) }},
+	names, ms, err := synIntensities(scale, seed)
+	if err != nil {
+		return nil, err
 	}
 	var out []Fig6bPoint
-	for _, g := range gens {
-		tr, err := g.gen()
-		if err != nil {
-			return nil, err
-		}
-		m := trace.SwitchIntensity(tr, 0, tr.Duration)
+	for ti := range ms {
+		m := ms[ti]
 		for _, limit := range sizeLimits {
 			if limit < 1 {
 				continue
@@ -158,7 +197,7 @@ func Fig6b(scale int, seed uint64, sizeLimits []int) ([]Fig6bPoint, error) {
 			start := time.Now()
 			grp, err := sgi.IniGroup(m)
 			if err != nil {
-				return nil, fmt.Errorf("eval: fig6b %s limit=%d: %w", g.name, limit, err)
+				return nil, fmt.Errorf("eval: fig6b %s limit=%d: %w", names[ti], limit, err)
 			}
 			elapsed := time.Since(start)
 			// One IncUpdate round for the speed comparison.
@@ -168,7 +207,7 @@ func Fig6b(scale int, seed uint64, sizeLimits []int) ([]Fig6bPoint, error) {
 			}
 			incElapsed := time.Since(start)
 			out = append(out, Fig6bPoint{
-				Trace:      g.name,
+				Trace:      names[ti],
 				SizeLimit:  limit,
 				Elapsed:    elapsed,
 				IncElapsed: incElapsed,
@@ -219,27 +258,41 @@ func RunFig789(cfg Fig789Config) (*Fig789Result, error) {
 	if cfg.Scale < 1 {
 		return nil, fmt.Errorf("eval: Scale must be ≥ 1")
 	}
-	real, err := trace.RealLike(cfg.Scale, cfg.Seed)
+	// The real→expanded trace chain and the warmup-intensity generation
+	// are independent: overlap them. Warmup sees the full (unscaled)
+	// first hour; sample it from a 10×-denser generation of the same
+	// traffic distribution (identical topology and pair pools under the
+	// same seed).
+	var (
+		real, expanded *trace.Trace
+		warm           *grouping.Intensity
+	)
+	err := parallelFor(2, func(i int) error {
+		switch i {
+		case 0:
+			var err error
+			real, err = trace.RealLike(cfg.Scale, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			expanded, err = trace.Expand(real, 0.30, 8, 24, cfg.Seed^0xe)
+			return err
+		default:
+			warmScale := cfg.Scale / 10
+			if warmScale < 1 {
+				warmScale = 1
+			}
+			warmTrace, err := trace.RealLike(warmScale, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			warm = trace.SwitchIntensity(warmTrace, 0, time.Hour)
+			return nil
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	expanded, err := trace.Expand(real, 0.30, 8, 24, cfg.Seed^0xe)
-	if err != nil {
-		return nil, err
-	}
-	// Warmup intensity: the controller sees the full (unscaled) first
-	// hour; sample it from a 10×-denser generation of the same traffic
-	// distribution (identical topology and pair pools under the same
-	// seed).
-	warmScale := cfg.Scale / 10
-	if warmScale < 1 {
-		warmScale = 1
-	}
-	warmTrace, err := trace.RealLike(warmScale, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	warm := trace.SwitchIntensity(warmTrace, 0, time.Hour)
 	runs := []struct {
 		name    string
 		tr      *trace.Trace
@@ -252,8 +305,12 @@ func RunFig789(cfg Fig789Config) (*Fig789Result, error) {
 		{SeriesExpandedStatic, expanded, controller.ModeLazy, false},
 		{SeriesExpandedDynamic, expanded, controller.ModeLazy, true},
 	}
-	out := &Fig789Result{Series: make(map[string]*EmulationResult, len(runs))}
-	for _, r := range runs {
+	// The five emulations are deterministic per seed and share no mutable
+	// state (each owns its simulator; traces and the warmup matrix are
+	// read-only), so they fan out across the worker pool.
+	results := make([]*EmulationResult, len(runs))
+	err = parallelFor(len(runs), func(i int) error {
+		r := runs[i]
 		res, err := RunEmulation(EmulationConfig{
 			Trace:           r.tr,
 			Mode:            r.mode,
@@ -264,9 +321,17 @@ func RunFig789(cfg Fig789Config) (*Fig789Result, error) {
 			WarmupIntensity: warm,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("eval: %s: %w", r.name, err)
+			return fmt.Errorf("eval: %s: %w", r.name, err)
 		}
-		out.Series[r.name] = res
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig789Result{Series: make(map[string]*EmulationResult, len(runs))}
+	for i, r := range runs {
+		out.Series[r.name] = results[i]
 	}
 	base := out.Series[SeriesOpenFlow].WorkloadKrps
 	out.ReductionRealStatic = Reduction(base, out.Series[SeriesRealStatic].WorkloadKrps)

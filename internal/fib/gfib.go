@@ -29,8 +29,17 @@ func (g *GFIB) SetFilter(peer model.SwitchID, f *bloom.Filter) {
 }
 
 // SetFilterBytes decodes and installs a serialized filter, as received
-// in a GFIBUpdate message.
+// in a GFIBUpdate message. An existing filter for the peer is decoded
+// into in place (same geometry ⇒ no allocation); decode errors leave
+// the previous filter untouched.
 func (g *GFIB) SetFilterBytes(peer model.SwitchID, data []byte) error {
+	if f := g.filters[peer]; f != nil {
+		if err := f.UnmarshalBinary(data); err != nil {
+			return fmt.Errorf("fib: G-FIB filter for %v: %w", peer, err)
+		}
+		g.version++
+		return nil
+	}
 	var f bloom.Filter
 	if err := f.UnmarshalBinary(data); err != nil {
 		return fmt.Errorf("fib: G-FIB filter for %v: %w", peer, err)

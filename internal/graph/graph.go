@@ -111,6 +111,27 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
+// NewFromAdjacency adopts prebuilt adjacency lists without the
+// Builder's dedup map (the coarsening and subgraph fast paths). The
+// caller guarantees the invariants the Builder would otherwise enforce:
+// both directions present with equal weights, no self-loops, no
+// duplicate neighbors, positive weights. vwgt must have one entry per
+// vertex.
+func NewFromAdjacency(adj [][]Edge, vwgt []int64) *Graph {
+	g := &Graph{adj: adj, vwgt: vwgt}
+	for _, w := range vwgt {
+		g.totalVW += w
+	}
+	for u, list := range adj {
+		for _, e := range list {
+			if u < e.To {
+				g.totalEW += e.W
+			}
+		}
+	}
+	return g
+}
+
 // N returns the number of vertices.
 func (g *Graph) N() int { return len(g.adj) }
 

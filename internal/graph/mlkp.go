@@ -1,9 +1,11 @@
 package graph
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"slices"
 )
 
 // PartitionOptions configures the multilevel k-way partitioner.
@@ -71,15 +73,17 @@ func PartitionKWay(g *Graph, o PartitionOptions) (Partition, error) {
 	}
 	rng := rand.New(rand.NewPCG(opts.Seed, opts.Seed^0xa5a5a5a55a5a5a5a))
 
-	// Coarsening phase.
+	// Coarsening phase. The scratch buffers are shared across levels so
+	// each contraction only allocates its own cmap and coarse graph.
 	type level struct {
 		g    *Graph
 		cmap []int // fine vertex -> coarse vertex (for the NEXT level)
 	}
 	levels := []level{{g: g}}
 	cur := g
+	var cs coarsenScratch
 	for cur.N() > opts.CoarsenTo {
-		coarse, cmap := coarsen(cur, opts.MaxPartWeight, rng)
+		coarse, cmap := coarsen(cur, opts.MaxPartWeight, rng, &cs)
 		if coarse.N() >= cur.N() || float64(coarse.N()) > 0.95*float64(cur.N()) {
 			break // matching stalled; stop coarsening
 		}
@@ -111,17 +115,52 @@ func PartitionKWay(g *Graph, o PartitionOptions) (Partition, error) {
 	return part, nil
 }
 
+// coarsenScratch holds the buffers coarsen reuses across levels: the
+// matching state, the shuffled visit order, the constituent lists, and
+// the duplicate-merging position markers. Only cmap and the coarse
+// graph itself outlive a level, so only they are freshly allocated.
+type coarsenScratch struct {
+	match  []int
+	order  []int
+	first  []int // coarse vertex -> first fine constituent
+	second []int // coarse vertex -> matched partner, or -1
+	pos    []int // coarse target -> position in the list under construction
+}
+
+func intsOf(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// shuffledOrder fills buf with a random permutation of [0,n).
+func shuffledOrder(buf []int, n int, rng *rand.Rand) []int {
+	order := intsOf(buf, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.IntN(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
 // coarsen contracts a heavy-edge matching of g. Matches whose combined
 // vertex weight would exceed cap are skipped so that feasibility is
-// preserved through the hierarchy.
-func coarsen(g *Graph, cap int64, rng *rand.Rand) (*Graph, []int) {
+// preserved through the hierarchy. The coarse graph is assembled
+// directly into an edge arena — no dedup map — so a contraction costs
+// two allocations plus cmap instead of one map entry per coarse edge.
+func coarsen(g *Graph, cap int64, rng *rand.Rand, cs *coarsenScratch) (*Graph, []int) {
 	n := g.N()
-	match := make([]int, n)
+	match := intsOf(cs.match, n)
+	cs.match = match
 	for v := range match {
 		match[v] = Unassigned
 	}
-	order := rng.Perm(n)
-	for _, v := range order {
+	cs.order = shuffledOrder(cs.order, n, rng)
+	for _, v := range cs.order {
 		if match[v] != Unassigned {
 			continue
 		}
@@ -141,38 +180,76 @@ func coarsen(g *Graph, cap int64, rng *rand.Rand) (*Graph, []int) {
 		match[best] = v
 	}
 
-	cmap := make([]int, n)
+	cmap := make([]int, n) // outlives the level: stored in the hierarchy
 	for v := range cmap {
 		cmap[v] = Unassigned
 	}
+	first := intsOf(cs.first, n)[:0]
+	second := intsOf(cs.second, n)[:0]
 	nc := 0
 	for v := 0; v < n; v++ {
 		if cmap[v] != Unassigned {
 			continue
 		}
 		cmap[v] = nc
+		first = append(first, v)
 		if match[v] != v {
 			cmap[match[v]] = nc
+			second = append(second, match[v])
+		} else {
+			second = append(second, -1)
 		}
 		nc++
 	}
+	cs.first, cs.second = first, second
 
-	b := NewBuilder(nc)
-	cw := make([]int64, nc)
+	vwgt := make([]int64, nc)
+	directed := 0
 	for v := 0; v < n; v++ {
-		cw[cmap[v]] += g.VertexWeight(v)
+		vwgt[cmap[v]] += g.VertexWeight(v)
+		directed += len(g.Adj(v))
 	}
-	for c, w := range cw {
-		b.SetVertexWeight(c, w)
+
+	pos := intsOf(cs.pos, nc)
+	cs.pos = pos
+	for i := range pos {
+		pos[i] = -1
 	}
-	for v := 0; v < n; v++ {
-		for _, e := range g.Adj(v) {
-			if v < e.To && cmap[v] != cmap[e.To] {
-				b.AddEdge(cmap[v], cmap[e.To], e.W)
+	// Every coarse directed edge comes from at least one fine directed
+	// edge, so the arena never reallocates and the sub-slices below stay
+	// valid.
+	arena := make([]Edge, 0, directed)
+	adj := make([][]Edge, nc)
+	for c := 0; c < nc; c++ {
+		start := len(arena)
+		for _, u := range [2]int{first[c], second[c]} {
+			if u < 0 {
+				continue
+			}
+			for _, e := range g.Adj(u) {
+				tc := cmap[e.To]
+				if tc == c {
+					continue // contracted: internal edge disappears
+				}
+				if p := pos[tc]; p >= 0 {
+					arena[start+p].W += e.W
+				} else {
+					pos[tc] = len(arena) - start
+					arena = append(arena, Edge{To: tc, W: e.W})
+				}
 			}
 		}
+		list := arena[start:len(arena):len(arena)]
+		for _, e := range list {
+			pos[e.To] = -1
+		}
+		// Ascending neighbor order, matching what the Builder produced:
+		// greedy tie-breaks downstream are order-sensitive, so adjacency
+		// order is part of the deterministic contract.
+		slices.SortFunc(list, func(a, b Edge) int { return cmp.Compare(a.To, b.To) })
+		adj[c] = list
 	}
-	return b.Build(), cmap
+	return NewFromAdjacency(adj, vwgt), cmap
 }
 
 // growInitial produces a feasible initial k-way partition by greedy graph
@@ -300,11 +377,12 @@ func refine(g *Graph, part Partition, k int, cap int64, passes int, rng *rand.Ra
 	n := g.N()
 	weights := g.PartWeights(part, k)
 	connTo := make([]int64, k)
+	var orderBuf []int
 
 	for pass := 0; pass < passes; pass++ {
 		improved := false
-		order := rng.Perm(n)
-		for _, v := range order {
+		orderBuf = shuffledOrder(orderBuf, n, rng)
+		for _, v := range orderBuf {
 			own := part[v]
 			// Compute connectivity of v to each part; skip interior
 			// vertices quickly.

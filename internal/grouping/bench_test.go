@@ -1,0 +1,89 @@
+package grouping
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"lazyctrl/internal/model"
+)
+
+// benchMatrix builds a community matrix plus a drifted copy, the inputs
+// of one IniGroup + IncUpdate cycle.
+func benchMatrix(b *testing.B, nGroups, groupSize int) (*Intensity, *Intensity) {
+	b.Helper()
+	m, _ := communityIntensity(nGroups, groupSize, 17)
+	rng := rand.New(rand.NewPCG(23, 29))
+	n := nGroups * groupSize
+	cur := m.Clone()
+	for e := 0; e < n*4; e++ {
+		cur.Add(model.SwitchID(1+rng.IntN(n)), model.SwitchID(1+rng.IntN(n)), 30+rng.Float64()*60)
+	}
+	return m, cur
+}
+
+// BenchmarkIniGroup measures the full initial-grouping path: buildGraph
+// over the indexed matrix plus MLkP.
+func BenchmarkIniGroup(b *testing.B) {
+	m, _ := benchMatrix(b, 10, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(Config{SizeLimit: 24, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.IniGroup(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncUpdate measures the incremental path the paper cites as
+// ~100× cheaper than IniGroup: cut-tracker construction plus
+// delta-maintained merge/split rounds.
+func BenchmarkIncUpdate(b *testing.B) {
+	m, cur := benchMatrix(b, 10, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := New(Config{SizeLimit: 24, Seed: uint64(i) + 1, HighLoad: 0.02, LowLoad: 0.01})
+		if err != nil {
+			b.Fatal(err)
+		}
+		grp, err := s.IniGroup(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := s.IncUpdate(grp, cur, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIntensityAdd measures the O(degree) point-update path of the
+// indexed adjacency structure.
+func BenchmarkIntensityAdd(b *testing.B) {
+	rng := rand.New(rand.NewPCG(31, 37))
+	m := NewIntensity()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Add(model.SwitchID(1+rng.IntN(300)), model.SwitchID(1+rng.IntN(300)), rng.Float64())
+	}
+}
+
+// BenchmarkForEachPair measures a full deterministic scan over a
+// read-only matrix (the cached-iteration fast path).
+func BenchmarkForEachPair(b *testing.B) {
+	m, _ := benchMatrix(b, 10, 20)
+	var sink float64
+	m.ForEachPair(func(_ model.SwitchPair, w float64) { sink += w }) // prime cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForEachPair(func(_ model.SwitchPair, w float64) { sink += w })
+	}
+	_ = sink
+}

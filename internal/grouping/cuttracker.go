@@ -1,0 +1,332 @@
+package grouping
+
+import (
+	"sort"
+
+	"lazyctrl/internal/model"
+)
+
+// intensityMatrix abstracts the matrix operations SGI consumes, so the
+// differential tests can drive the exact same algorithm with the legacy
+// map-based implementation and compare the resulting groupings against
+// the indexed one.
+type intensityMatrix interface {
+	// Switches returns the registered switches in ascending ID order;
+	// callers must not modify the returned slice.
+	Switches() []model.SwitchID
+	// ForEachPair visits every positive pair in deterministic
+	// (A,B)-sorted order.
+	ForEachPair(fn func(p model.SwitchPair, w float64))
+	// ForEachNeighbor visits the positive-intensity neighbors of s in a
+	// deterministic order.
+	ForEachNeighbor(s model.SwitchID, fn func(t model.SwitchID, w float64))
+	// Total is the sum of all pairwise intensities.
+	Total() float64
+	// MaxPair is the largest single pairwise intensity.
+	MaxPair() float64
+	// cloneMatrix returns an independent deep copy.
+	cloneMatrix() intensityMatrix
+}
+
+func (m *Intensity) cloneMatrix() intensityMatrix { return m.Clone() }
+
+// gpKey is an unordered group pair (a < b).
+type gpKey struct {
+	a, b model.GroupID
+}
+
+func makeGPKey(a, b model.GroupID) gpKey {
+	if a > b {
+		a, b = b, a
+	}
+	return gpKey{a, b}
+}
+
+// cutEps is the cancellation floor of the tracker: a delta-maintained
+// group-pair weight whose magnitude drops below it is treated as exactly
+// zero and evicted, so floating-point residue left behind by moves that
+// cancel a pair's entire traffic cannot keep a dead pair alive. It
+// matches the matrix's Decay floor (1e-12 flows/s), below which a weight
+// is physically meaningless.
+const cutEps = decayFloor
+
+// cutTracker maintains W_inter and the per-group-pair cut weights of a
+// grouping incrementally (§III-C: IncUpdate must be ~100× cheaper than
+// IniGroup, which it cannot be if every iteration rescans all P pairs).
+// It is built once per IncUpdate call — O(P) — and updated in O(moved ×
+// degree) on every merge/split, replacing the O(P) NormalizedInterGroup
+// rescans and pairChanges accumulations in the inner loop.
+//
+// The tracker works in a dense index space so the per-move delta loops
+// are pure array walks. When the matrices are indexed (*Intensity) and
+// the snapshot derives from the current matrix's lineage — indices are
+// assigned append-only, so a clone's index space is a prefix of its
+// descendant's — the tracker aliases their adjacency directly with zero
+// copying; otherwise it builds its own copy. The matrices must not be
+// mutated while the tracker is live (IncUpdate treats them read-only).
+type cutTracker struct {
+	ids     []model.SwitchID         // dense index → switch
+	ix      map[model.SwitchID]int32 // switch → dense index
+	adj     [][]nbr                  // current-matrix adjacency (both directions)
+	prevAdj [][]nbr                  // snapshot adjacency; may be nil or shorter (prefix space)
+
+	assign []model.GroupID // dense index → current group
+	// cur and prevW hold the inter-group weight per assigned group pair
+	// under the current and snapshot matrices, both keyed by the CURRENT
+	// grouping (pairChanges ranks growth under the present assignment).
+	cur   map[gpKey]float64
+	prevW map[gpKey]float64
+	// inter is W_inter over the current matrix: all traffic crossing
+	// groups, including traffic touching unassigned (controller-handled)
+	// switches.
+	inter float64
+	total float64
+}
+
+// crossing reports whether traffic between groups ga and gb counts as
+// inter-group: it does unless both endpoints share a real group.
+func crossing(ga, gb model.GroupID) bool {
+	return ga != gb || ga == model.NoGroup
+}
+
+// isIndexPrefix reports whether prev's dense index space is a prefix of
+// src's, i.e. every switch has the same index in both. True whenever
+// prev is an earlier clone of src's lineage (indices are append-only).
+func isIndexPrefix(prev, src *Intensity) bool {
+	if len(prev.ids) > len(src.ids) {
+		return false
+	}
+	for i, s := range prev.ids {
+		if src.ids[i] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// newCutTracker builds the tracker for grp over the current and snapshot
+// matrices in one O(P) pass each.
+func newCutTracker(grp *Grouping, src, prev intensityMatrix) *cutTracker {
+	t := &cutTracker{
+		cur:   make(map[gpKey]float64),
+		prevW: make(map[gpKey]float64),
+		total: src.Total(),
+	}
+	si, fast := src.(*Intensity)
+	var pi *Intensity
+	if fast && prev != nil {
+		pi, fast = prev.(*Intensity)
+		fast = fast && isIndexPrefix(pi, si)
+	}
+	if fast {
+		// Zero-copy: alias the matrices' own index space and adjacency.
+		t.ids = si.ids
+		t.ix = si.idx
+		t.adj = si.adj
+		if pi != nil {
+			t.prevAdj = pi.adj
+		}
+	} else {
+		t.buildCopies(src, prev)
+	}
+
+	n := len(t.ids)
+	t.assign = make([]model.GroupID, n)
+	for i, s := range t.ids {
+		t.assign[i] = grp.GroupOf(s)
+	}
+
+	// One pass per matrix, visiting each undirected pair once.
+	for ia := range t.adj {
+		ga := t.assign[ia]
+		a := t.ids[ia]
+		for _, e := range t.adj[ia] {
+			if t.ids[e.to] <= a {
+				continue
+			}
+			gb := t.assign[e.to]
+			if crossing(ga, gb) {
+				t.inter += e.w
+				if ga != model.NoGroup && gb != model.NoGroup {
+					t.cur[makeGPKey(ga, gb)] += e.w
+				}
+			}
+		}
+	}
+	for ia := range t.prevAdj {
+		ga := t.assign[ia]
+		a := t.ids[ia]
+		for _, e := range t.prevAdj[ia] {
+			if t.ids[e.to] <= a {
+				continue
+			}
+			gb := t.assign[e.to]
+			if ga != model.NoGroup && gb != model.NoGroup && ga != gb {
+				t.prevW[makeGPKey(ga, gb)] += e.w
+			}
+		}
+	}
+	return t
+}
+
+// buildCopies materializes the tracker's own dense index space and
+// adjacency from arbitrary intensityMatrix implementations (the slow
+// path, used by the legacy reference matrix in tests).
+func (t *cutTracker) buildCopies(src, prev intensityMatrix) {
+	srcIDs := src.Switches()
+	t.ix = make(map[model.SwitchID]int32, len(srcIDs))
+	reg := func(s model.SwitchID) int32 {
+		if i, ok := t.ix[s]; ok {
+			return i
+		}
+		i := int32(len(t.ids))
+		t.ix[s] = i
+		t.ids = append(t.ids, s)
+		return i
+	}
+	for _, s := range srcIDs {
+		reg(s)
+	}
+	var prevIDs []model.SwitchID
+	if prev != nil {
+		prevIDs = prev.Switches()
+		for _, s := range prevIDs {
+			reg(s)
+		}
+	}
+	n := len(t.ids)
+	copyAdj := func(m intensityMatrix, ids []model.SwitchID) [][]nbr {
+		adj := make([][]nbr, n)
+		for _, s := range ids {
+			ia := t.ix[s]
+			m.ForEachNeighbor(s, func(b model.SwitchID, w float64) {
+				adj[ia] = append(adj[ia], nbr{to: t.ix[b], w: w})
+			})
+		}
+		return adj
+	}
+	t.adj = copyAdj(src, srcIDs)
+	if prev != nil {
+		t.prevAdj = copyAdj(prev, prevIDs)
+	}
+}
+
+// groupOf returns the tracker's current assignment of s.
+func (t *cutTracker) groupOf(s model.SwitchID) model.GroupID {
+	if i, ok := t.ix[s]; ok {
+		return t.assign[i]
+	}
+	return model.NoGroup
+}
+
+// winter returns the normalized inter-group intensity W_inter/W_total.
+func (t *cutTracker) winter() float64 {
+	if t.total == 0 {
+		return 0
+	}
+	return t.inter / t.total
+}
+
+// bump adjusts a tracked group-pair weight, evicting entries that cancel
+// to (floating-point) zero.
+func bump(m map[gpKey]float64, k gpKey, d float64) {
+	v := m[k] + d
+	if v > cutEps || v < -cutEps {
+		m[k] = v
+	} else {
+		delete(m, k)
+	}
+}
+
+// move reassigns switch s to group g (possibly NoGroup) and folds the
+// weight deltas of s's incident edges into the tracker. O(degree).
+func (t *cutTracker) move(s model.SwitchID, g model.GroupID) {
+	ia, ok := t.ix[s]
+	if !ok {
+		return // unknown to both matrices: no tracked traffic
+	}
+	old := t.assign[ia]
+	if old == g {
+		return
+	}
+	t.assign[ia] = g
+	for _, e := range t.adj[ia] {
+		gn := t.assign[e.to]
+		if crossing(old, gn) {
+			t.inter -= e.w
+			if old != model.NoGroup && gn != model.NoGroup && old != gn {
+				bump(t.cur, makeGPKey(old, gn), -e.w)
+			}
+		}
+		if crossing(g, gn) {
+			t.inter += e.w
+			if g != model.NoGroup && gn != model.NoGroup && g != gn {
+				bump(t.cur, makeGPKey(g, gn), e.w)
+			}
+		}
+	}
+	if int(ia) >= len(t.prevAdj) {
+		return // switch joined after the snapshot: no prev-side edges
+	}
+	for _, e := range t.prevAdj[ia] {
+		gn := t.assign[e.to]
+		if old != model.NoGroup && gn != model.NoGroup && old != gn {
+			bump(t.prevW, makeGPKey(old, gn), -e.w)
+		}
+		if g != model.NoGroup && gn != model.NoGroup && g != gn {
+			bump(t.prevW, makeGPKey(g, gn), e.w)
+		}
+	}
+}
+
+// regroup folds one merge/split into the tracker: groups a and b were
+// replaced by g0 (members side0) and g1 (members side1). Residual keys
+// of the retired groups are purged so pairChanges never resurrects them.
+func (t *cutTracker) regroup(a, b model.GroupID, side0 []model.SwitchID, g0 model.GroupID, side1 []model.SwitchID, g1 model.GroupID) {
+	for _, s := range side0 {
+		t.move(s, g0)
+	}
+	for _, s := range side1 {
+		t.move(s, g1)
+	}
+	purge := func(m map[gpKey]float64) {
+		for k := range m {
+			if k.a == a || k.b == a || k.a == b || k.b == b {
+				delete(m, k)
+			}
+		}
+	}
+	purge(t.cur)
+	purge(t.prevW)
+}
+
+// pairChanges ranks group pairs by traffic growth since the snapshot
+// (then by absolute current traffic). Only pairs with positive current
+// traffic are returned. O(active group pairs), no matrix rescans.
+func (t *cutTracker) pairChanges() []groupPairChange {
+	out := make([]groupPairChange, 0, len(t.cur))
+	for k, w := range t.cur {
+		if w <= 0 {
+			continue
+		}
+		out = append(out, groupPairChange{
+			a:       k.a,
+			b:       k.b,
+			current: w,
+			change:  w - t.prevW[k],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].change != out[j].change {
+			return out[i].change > out[j].change
+		}
+		if out[i].current != out[j].current {
+			return out[i].current > out[j].current
+		}
+		if out[i].a != out[j].a {
+			return out[i].a < out[j].a
+		}
+		return out[i].b < out[j].b
+	})
+	return out
+}

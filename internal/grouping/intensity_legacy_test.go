@@ -1,0 +1,149 @@
+package grouping
+
+// The legacy map-of-pairs Intensity implementation, retained verbatim as
+// a test-only reference. The differential tests below prove the indexed
+// adjacency implementation plus the delta-tracked W_inter produce
+// byte-identical groupings under the same seeds before the map-based
+// code is retired from production.
+
+import (
+	"sort"
+
+	"lazyctrl/internal/model"
+)
+
+type legacyIntensity struct {
+	pairs    map[model.SwitchPair]float64
+	switches map[model.SwitchID]struct{}
+	total    float64
+}
+
+func newLegacyIntensity() *legacyIntensity {
+	return &legacyIntensity{
+		pairs:    make(map[model.SwitchPair]float64),
+		switches: make(map[model.SwitchID]struct{}),
+	}
+}
+
+func (m *legacyIntensity) AddSwitch(s model.SwitchID) {
+	m.switches[s] = struct{}{}
+}
+
+func (m *legacyIntensity) Add(a, b model.SwitchID, rate float64) {
+	m.switches[a] = struct{}{}
+	m.switches[b] = struct{}{}
+	if a == b || rate <= 0 {
+		return
+	}
+	m.pairs[model.MakeSwitchPair(a, b)] += rate
+	m.total += rate
+}
+
+func (m *legacyIntensity) Pair(a, b model.SwitchID) float64 {
+	if a == b {
+		return 0
+	}
+	return m.pairs[model.MakeSwitchPair(a, b)]
+}
+
+func (m *legacyIntensity) Total() float64 { return m.total }
+
+func (m *legacyIntensity) NumPairs() int { return len(m.pairs) }
+
+func (m *legacyIntensity) MaxPair() float64 {
+	var maxRate float64
+	for _, w := range m.pairs {
+		if w > maxRate {
+			maxRate = w
+		}
+	}
+	return maxRate
+}
+
+func (m *legacyIntensity) Switches() []model.SwitchID {
+	out := make([]model.SwitchID, 0, len(m.switches))
+	for s := range m.switches {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (m *legacyIntensity) clone() *legacyIntensity {
+	c := newLegacyIntensity()
+	for s := range m.switches {
+		c.switches[s] = struct{}{}
+	}
+	for p, w := range m.pairs {
+		c.pairs[p] = w
+	}
+	c.total = m.total
+	return c
+}
+
+func (m *legacyIntensity) cloneMatrix() intensityMatrix { return m.clone() }
+
+func (m *legacyIntensity) ForEachPair(fn func(p model.SwitchPair, w float64)) {
+	keys := make([]model.SwitchPair, 0, len(m.pairs))
+	for p := range m.pairs {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].A != keys[j].A {
+			return keys[i].A < keys[j].A
+		}
+		return keys[i].B < keys[j].B
+	})
+	for _, p := range keys {
+		fn(p, m.pairs[p])
+	}
+}
+
+// ForEachNeighbor visits s's neighbors in ascending ID order (any
+// deterministic order satisfies the intensityMatrix contract).
+func (m *legacyIntensity) ForEachNeighbor(s model.SwitchID, fn func(t model.SwitchID, w float64)) {
+	type entry struct {
+		t model.SwitchID
+		w float64
+	}
+	var out []entry
+	for p, w := range m.pairs {
+		switch s {
+		case p.A:
+			out = append(out, entry{p.B, w})
+		case p.B:
+			out = append(out, entry{p.A, w})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].t < out[j].t })
+	for _, e := range out {
+		fn(e.t, e.w)
+	}
+}
+
+func (m *legacyIntensity) InterGroup(assign func(model.SwitchID) model.GroupID) float64 {
+	var inter float64
+	m.ForEachPair(func(p model.SwitchPair, w float64) {
+		ga, gb := assign(p.A), assign(p.B)
+		if ga != gb || ga == model.NoGroup {
+			inter += w
+		}
+	})
+	return inter
+}
+
+func (m *legacyIntensity) Decay(factor float64) {
+	if factor <= 0 || factor >= 1 {
+		return
+	}
+	m.total = 0
+	for p, w := range m.pairs {
+		nw := w * factor
+		if nw < decayFloor {
+			delete(m.pairs, p)
+			continue
+		}
+		m.pairs[p] = nw
+		m.total += nw
+	}
+}

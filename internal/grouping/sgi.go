@@ -1,8 +1,10 @@
 package grouping
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -61,8 +63,8 @@ func (c Config) withDefaults() (Config, error) {
 // most.
 type SGI struct {
 	cfg  Config
-	prev *Intensity // snapshot at last IniGroup/IncUpdate
-	seed uint64     // advances so successive calls differ deterministically
+	prev intensityMatrix // snapshot at last IniGroup/IncUpdate
+	seed uint64          // advances so successive calls differ deterministically
 }
 
 // New returns an SGI instance. It returns an error for invalid
@@ -80,7 +82,7 @@ func (s *SGI) Config() Config { return s.cfg }
 
 // filtered returns the switches that participate in grouping, honoring
 // exclusions.
-func (s *SGI) filtered(m *Intensity) []model.SwitchID {
+func (s *SGI) filtered(m intensityMatrix) []model.SwitchID {
 	all := m.Switches()
 	if len(s.cfg.ExcludedSwitches) == 0 {
 		return all
@@ -95,43 +97,70 @@ func (s *SGI) filtered(m *Intensity) []model.SwitchID {
 }
 
 // buildGraph converts the intensity matrix restricted to the given
-// switches into a weighted graph plus the vertex ↔ switch mapping.
-func buildGraph(m *Intensity, switches []model.SwitchID) (*graph.Graph, []model.SwitchID) {
-	index := make(map[model.SwitchID]int, len(switches))
+// switches into a weighted graph plus the vertex ↔ switch mapping. It
+// walks only the adjacency of the requested switches — O(Σ degree), not
+// O(P) — and assembles the graph directly into an edge arena: matrix
+// adjacency has no duplicate neighbors, so the Builder's dedup map is
+// unnecessary. Per-vertex lists are sorted ascending to preserve the
+// Builder's deterministic adjacency order (greedy tie-breaks downstream
+// depend on it).
+func buildGraph(m intensityMatrix, switches []model.SwitchID) (*graph.Graph, []model.SwitchID) {
+	n := len(switches)
+	index := make(map[model.SwitchID]int, n)
 	for i, sw := range switches {
 		index[sw] = i
 	}
-	var maxRate float64
-	m.ForEachPair(func(p model.SwitchPair, w float64) {
-		if w > maxRate {
-			maxRate = w
-		}
-	})
-	scale := weightScale(maxRate)
-	b := graph.NewBuilder(len(switches))
-	m.ForEachPair(func(p model.SwitchPair, w float64) {
-		i, okA := index[p.A]
-		j, okB := index[p.B]
-		if !okA || !okB {
-			return
-		}
-		wi := int64(w * scale)
-		if wi < 1 {
-			wi = 1
-		}
-		b.AddEdge(i, j, wi)
-	})
-	return b.Build(), switches
+	scale := weightScale(m.MaxPair())
+	deg := make([]int, n)
+	for i, sw := range switches {
+		m.ForEachNeighbor(sw, func(t model.SwitchID, w float64) {
+			if _, ok := index[t]; ok {
+				deg[i]++
+			}
+		})
+	}
+	total := 0
+	for _, d := range deg {
+		total += d
+	}
+	backing := make([]graph.Edge, total)
+	adj := make([][]graph.Edge, n)
+	vwgt := make([]int64, n)
+	off := 0
+	for i := range adj {
+		adj[i] = backing[off:off:off+deg[i]]
+		off += deg[i]
+		vwgt[i] = 1
+	}
+	for i, sw := range switches {
+		m.ForEachNeighbor(sw, func(t model.SwitchID, w float64) {
+			j, ok := index[t]
+			if !ok {
+				return
+			}
+			wi := int64(w * scale)
+			if wi < 1 {
+				wi = 1
+			}
+			adj[i] = append(adj[i], graph.Edge{To: j, W: wi})
+		})
+		slices.SortFunc(adj[i], func(a, b graph.Edge) int { return cmp.Compare(a.To, b.To) })
+	}
+	return graph.NewFromAdjacency(adj, vwgt), switches
 }
 
 // IniGroup computes an initial grouping of the switches in m (the
 // IniGroup function of Fig. 3): it estimates the number of groups as
 // ⌈N / SizeLimit⌉ and runs size-constrained MLkP on the intensity graph.
 func (s *SGI) IniGroup(m *Intensity) (*Grouping, error) {
+	return s.iniGroup(m)
+}
+
+func (s *SGI) iniGroup(m intensityMatrix) (*Grouping, error) {
 	switches := s.filtered(m)
 	grp := NewGrouping()
 	if len(switches) == 0 {
-		s.prev = m.Clone()
+		s.prev = m.cloneMatrix()
 		return grp, nil
 	}
 	k := (len(switches) + s.cfg.SizeLimit - 1) / s.cfg.SizeLimit
@@ -159,7 +188,7 @@ func (s *SGI) IniGroup(m *Intensity) (*Grouping, error) {
 	for _, p := range parts {
 		grp.AddGroup(byPart[p])
 	}
-	s.prev = m.Clone()
+	s.prev = m.cloneMatrix()
 	return grp, nil
 }
 
@@ -176,59 +205,13 @@ type groupPairChange struct {
 	change  float64
 }
 
-// pairChanges ranks group pairs by traffic growth (then by absolute
-// current traffic). Only pairs with positive current traffic are
-// returned.
-func (s *SGI) pairChanges(grp *Grouping, cur *Intensity) []groupPairChange {
-	type gp struct{ a, b model.GroupID }
-	curW := make(map[gp]float64)
-	prevW := make(map[gp]float64)
-	accumulate := func(m *Intensity, dst map[gp]float64) {
-		m.ForEachPair(func(p model.SwitchPair, w float64) {
-			ga, gb := grp.GroupOf(p.A), grp.GroupOf(p.B)
-			if ga == model.NoGroup || gb == model.NoGroup || ga == gb {
-				return
-			}
-			if ga > gb {
-				ga, gb = gb, ga
-			}
-			dst[gp{ga, gb}] += w
-		})
-	}
-	accumulate(cur, curW)
-	if s.prev != nil {
-		accumulate(s.prev, prevW)
-	}
-	out := make([]groupPairChange, 0, len(curW))
-	for key, w := range curW {
-		out = append(out, groupPairChange{
-			a:       key.a,
-			b:       key.b,
-			current: w,
-			change:  w - prevW[key],
-		})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].change != out[j].change {
-			return out[i].change > out[j].change
-		}
-		if out[i].current != out[j].current {
-			return out[i].current > out[j].current
-		}
-		if out[i].a != out[j].a {
-			return out[i].a < out[j].a
-		}
-		return out[i].b < out[j].b
-	})
-	return out
-}
-
 // mergeSplit merges groups a and b of grp and re-splits the union via
 // size-constrained minimum bisection. When the bisection reproduces the
 // existing partition (the grouping was already optimal for this pair),
 // the grouping is left untouched and changed is false — only structural
-// changes count as updates (Fig. 8) and reach the switches.
-func (s *SGI) mergeSplit(grp *Grouping, cur *Intensity, a, b model.GroupID) (changed bool, err error) {
+// changes count as updates (Fig. 8) and reach the switches. On a change,
+// the cut tracker is updated with the delta.
+func (s *SGI) mergeSplit(grp *Grouping, cur intensityMatrix, t *cutTracker, a, b model.GroupID) (changed bool, err error) {
 	union := make([]model.SwitchID, 0, len(grp.Members(a))+len(grp.Members(b)))
 	union = append(union, grp.Members(a)...)
 	union = append(union, grp.Members(b)...)
@@ -256,8 +239,9 @@ func (s *SGI) mergeSplit(grp *Grouping, cur *Intensity, a, b model.GroupID) (cha
 	}
 	grp.RemoveGroup(a)
 	grp.RemoveGroup(b)
-	grp.AddGroup(side0)
-	grp.AddGroup(side1)
+	g0 := grp.AddGroup(side0)
+	g1 := grp.AddGroup(side1)
+	t.regroup(a, b, side0, g0, side1, g1)
 	return true, nil
 }
 
@@ -286,11 +270,16 @@ func samePartition(grp *Grouping, a, b model.GroupID, side0, side1 []model.Switc
 
 // LoadFunc reports the controller's current normalized load for the
 // IncUpdate loop. The default (nil) uses W_inter/W_total of the candidate
-// grouping, which is the quantity the controller's workload tracks.
+// grouping, which is the quantity the controller's workload tracks — and
+// is maintained incrementally by the cut tracker, so the default costs
+// O(1) per check instead of a full matrix rescan.
 type LoadFunc func(grp *Grouping, cur *Intensity) float64
 
-func defaultLoad(grp *Grouping, cur *Intensity) float64 {
-	return cur.NormalizedInterGroup(grp.GroupOf)
+// Winter is a convenience wrapper returning the normalized inter-group
+// intensity of a grouping under a matrix (the paper's W_inter, expressed
+// as a fraction of total intensity).
+func Winter(grp *Grouping, m *Intensity) float64 {
+	return m.NormalizedInterGroup(grp.GroupOf)
 }
 
 // IncUpdate performs the incremental refinement of Fig. 3: while the
@@ -298,20 +287,29 @@ func defaultLoad(grp *Grouping, cur *Intensity) float64 {
 // significant traffic growth and re-split them via minimum bisection.
 // It returns the number of merge/split operations applied.
 func (s *SGI) IncUpdate(grp *Grouping, cur *Intensity, load LoadFunc) (int, error) {
+	var bound func(*Grouping) float64
+	if load != nil {
+		bound = func(g *Grouping) float64 { return load(g, cur) }
+	}
+	return s.incUpdate(grp, cur, bound)
+}
+
+func (s *SGI) incUpdate(grp *Grouping, cur intensityMatrix, load func(*Grouping) float64) (int, error) {
+	t := newCutTracker(grp, cur, s.prev)
 	if load == nil {
-		load = defaultLoad
+		load = func(*Grouping) float64 { return t.winter() }
 	}
 	ops := 0
 	for iter := 0; iter < s.cfg.MaxIterations; iter++ {
-		if load(grp, cur) <= s.cfg.HighLoad {
+		if load(grp) <= s.cfg.HighLoad {
 			break
 		}
-		changes := s.pairChanges(grp, cur)
+		changes := t.pairChanges()
 		if len(changes) == 0 {
 			break
 		}
 		if s.cfg.Parallel {
-			n, err := s.parallelRound(grp, cur, changes)
+			n, err := s.parallelRound(grp, cur, t, changes)
 			if err != nil {
 				return ops, err
 			}
@@ -321,8 +319,8 @@ func (s *SGI) IncUpdate(grp *Grouping, cur *Intensity, load LoadFunc) (int, erro
 			ops += n
 		} else {
 			c := changes[0]
-			before := cur.NormalizedInterGroup(grp.GroupOf)
-			changed, err := s.mergeSplit(grp, cur, c.a, c.b)
+			before := t.winter()
+			changed, err := s.mergeSplit(grp, cur, t, c.a, c.b)
 			if err != nil {
 				return ops, err
 			}
@@ -332,16 +330,16 @@ func (s *SGI) IncUpdate(grp *Grouping, cur *Intensity, load LoadFunc) (int, erro
 				break
 			}
 			ops++
-			if cur.NormalizedInterGroup(grp.GroupOf) >= before {
+			if t.winter() >= before {
 				break
 			}
 		}
-		if load(grp, cur) < s.cfg.LowLoad {
+		if load(grp) < s.cfg.LowLoad {
 			break
 		}
 	}
 	if ops > 0 {
-		s.prev = cur.Clone()
+		s.prev = cur.cloneMatrix()
 	}
 	return ops, nil
 }
@@ -350,7 +348,7 @@ func (s *SGI) IncUpdate(grp *Grouping, cur *Intensity, load LoadFunc) (int, erro
 // (Appendix B, "acceleration by parallelism"). Pairs are taken greedily
 // in descending change order, skipping any pair that shares a group with
 // an already selected pair.
-func (s *SGI) parallelRound(grp *Grouping, cur *Intensity, changes []groupPairChange) (int, error) {
+func (s *SGI) parallelRound(grp *Grouping, cur intensityMatrix, t *cutTracker, changes []groupPairChange) (int, error) {
 	used := make(map[model.GroupID]bool)
 	var selected []groupPairChange
 	for _, c := range changes {
@@ -415,16 +413,10 @@ func (s *SGI) parallelRound(grp *Grouping, cur *Intensity, changes []groupPairCh
 		}
 		grp.RemoveGroup(r.pair.a)
 		grp.RemoveGroup(r.pair.b)
-		grp.AddGroup(r.side0)
-		grp.AddGroup(r.side1)
+		g0 := grp.AddGroup(r.side0)
+		g1 := grp.AddGroup(r.side1)
+		t.regroup(r.pair.a, r.pair.b, r.side0, g0, r.side1, g1)
 		ops++
 	}
 	return ops, nil
-}
-
-// Winter is a convenience wrapper returning the normalized inter-group
-// intensity of a grouping under a matrix (the paper's W_inter, expressed
-// as a fraction of total intensity).
-func Winter(grp *Grouping, m *Intensity) float64 {
-	return m.NormalizedInterGroup(grp.GroupOf)
 }

@@ -30,14 +30,19 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 // Seconds reports the virtual time in seconds.
 func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are pooled: once executed or
+// collected after cancellation they return to the simulator's free list
+// and are recycled by later At/After calls, so steady-state scheduling
+// does not allocate. The generation counter distinguishes a recycled
+// event from the one a Timer was issued for.
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker: FIFO among equal timestamps
 	fn  func()
 
 	canceled bool
-	index    int // heap index, maintained by eventHeap
+	index    int    // heap index, maintained by eventHeap
+	gen      uint32 // incremented on every recycle
 }
 
 // eventHeap is a min-heap of events ordered by (at, seq).
@@ -85,9 +90,32 @@ type Simulator struct {
 	queue   eventHeap
 	rng     *rand.Rand
 	stopped bool
+	free    []*event // recycled events (see event)
 
 	// Stats.
 	executed uint64
+}
+
+// alloc takes an event from the free list, or a fresh one.
+func (s *Simulator) alloc() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// release recycles an executed or collected event. The generation bump
+// invalidates any Timer still pointing at it; dropping fn releases the
+// captured closure.
+func (s *Simulator) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.canceled = false
+	ev.index = -1
+	s.free = append(s.free, ev)
 }
 
 // New returns a simulator whose random source is seeded deterministically
@@ -120,15 +148,19 @@ func (s *Simulator) Pending() int {
 	return n
 }
 
-// Timer is a handle to a scheduled event that can be canceled.
+// Timer is a handle to a scheduled event that can be canceled. The zero
+// value is inert. Timers are values: holding one does not keep the
+// underlying event alive, and a Timer whose event already fired (and was
+// recycled for a later schedule) is detected via the generation counter.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint32
 }
 
 // Stop cancels the timer. It reports whether the timer was still pending
 // (false if it already fired or was already stopped).
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index == -1 {
+	if t == nil || t.ev == nil || t.ev.gen != t.gen || t.ev.canceled || t.ev.index == -1 {
 		return false
 	}
 	t.ev.canceled = true
@@ -137,18 +169,21 @@ func (t *Timer) Stop() bool {
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the
 // past (at < Now) runs the event at the current time, preserving order.
-func (s *Simulator) At(at Time, fn func()) *Timer {
+func (s *Simulator) At(at Time, fn func()) Timer {
 	if at < s.now {
 		at = s.now
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
+	ev := s.alloc()
+	ev.at = at
+	ev.seq = s.seq
+	ev.fn = fn
 	s.seq++
 	heap.Push(&s.queue, ev)
-	return &Timer{ev: ev}
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current virtual time.
-func (s *Simulator) After(d time.Duration, fn func()) *Timer {
+func (s *Simulator) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -171,7 +206,7 @@ type Ticker struct {
 	sim      *Simulator
 	interval time.Duration
 	fn       func()
-	timer    *Timer
+	timer    Timer
 	stopped  bool
 }
 
@@ -190,9 +225,7 @@ func (tk *Ticker) schedule() {
 // Stop cancels future ticks.
 func (tk *Ticker) Stop() {
 	tk.stopped = true
-	if tk.timer != nil {
-		tk.timer.Stop()
-	}
+	tk.timer.Stop()
 }
 
 // Stop halts Run/RunUntil after the current event completes.
@@ -204,6 +237,7 @@ func (s *Simulator) step(limit Time, bounded bool) bool {
 		next := s.queue[0]
 		if next.canceled {
 			heap.Pop(&s.queue)
+			s.release(next)
 			continue
 		}
 		if bounded && next.at > limit {
@@ -212,7 +246,11 @@ func (s *Simulator) step(limit Time, bounded bool) bool {
 		heap.Pop(&s.queue)
 		s.now = next.at
 		s.executed++
-		next.fn()
+		fn := next.fn
+		// Recycle before running so fn's own scheduling can reuse the
+		// slot; the generation bump already invalidated its Timers.
+		s.release(next)
+		fn()
 		return true
 	}
 	return false
