@@ -2,10 +2,17 @@
 // and emits a machine-readable JSON report (BENCH_<n>.json), so the
 // performance trajectory of the hot paths is tracked PR over PR.
 //
+// With no flags it finds the latest BENCH_<n>.json, writes BENCH_<n+1>,
+// embeds the previous report as the baseline, and gates the headline
+// benchmarks (-gate, default Fig6b and Fig7) against it: a >10%
+// (-maxregress) regression in wall-clock or allocs/op exits non-zero,
+// which is what CI keys off.
+//
 // Usage:
 //
 //	go run ./cmd/bench [-bench regex] [-benchtime 1x] [-count 1] \
-//	    [-pkg ./...] [-out BENCH_1.json]
+//	    [-pkg ./...] [-out BENCH_2.json] [-baseline BENCH_1.json|none] \
+//	    [-gate Name1,Name2] [-maxregress 0.10]
 package main
 
 import (
@@ -55,15 +62,29 @@ var benchLine = regexp.MustCompile(
 
 func main() {
 	var (
-		bench     = flag.String("bench", "BenchmarkFig6b|BenchmarkFig7$|BenchmarkIniGroup|BenchmarkIncUpdate|BenchmarkPartitionKWay|BenchmarkBisect|BenchmarkEventChurn|BenchmarkIntensityAdd|BenchmarkForEachPair", "benchmark regex passed to go test -bench")
-		benchtime = flag.String("benchtime", "1x", "value for go test -benchtime")
-		count     = flag.Int("count", 1, "value for go test -count")
-		pkgs      = flag.String("pkg", "./...", "package pattern to benchmark")
-		out       = flag.String("out", "BENCH_1.json", "output JSON path")
-		dir       = flag.String("dir", "", "directory to run go test in (default: current; use to benchmark another checkout)")
-		baseline  = flag.String("baseline", "", "previous report JSON to embed as the before numbers")
+		bench       = flag.String("bench", "BenchmarkFig6b|BenchmarkFig7$|BenchmarkIniGroup|BenchmarkIncUpdate|BenchmarkPartitionKWay|BenchmarkBisect|BenchmarkEventChurn|BenchmarkIntensityAdd|BenchmarkForEachPair|BenchmarkPacketInStorm", "benchmark regex passed to go test -bench")
+		benchtime   = flag.String("benchtime", "1x", "value for go test -benchtime")
+		count       = flag.Int("count", 1, "value for go test -count")
+		pkgs        = flag.String("pkg", "./...", "package pattern to benchmark")
+		out         = flag.String("out", "", "output JSON path (default: BENCH_<latest+1>.json)")
+		dir         = flag.String("dir", "", "directory to run go test in (default: current; use to benchmark another checkout)")
+		baseline    = flag.String("baseline", "", "previous report JSON to embed and gate against (default: latest BENCH_<n>.json; \"none\" disables)")
+		gate        = flag.String("gate", "BenchmarkFig6b,BenchmarkFig7", "comma-separated benchmark names gated against the baseline")
+		maxregress  = flag.Float64("maxregress", 0.10, "maximum tolerated fractional regression in ns/op or allocs/op for gated benchmarks")
+		gatemetrics = flag.String("gatemetrics", "ns,allocs", "metrics the gate enforces: ns, allocs, or both; allocs/op is the only metric comparable across machines, so CI gates allocs only")
 	)
 	flag.Parse()
+
+	latestPath, latestN := latestReport(".")
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%d.json", latestN+1)
+	}
+	switch *baseline {
+	case "":
+		*baseline = latestPath // empty when no prior report exists
+	case "none":
+		*baseline = ""
+	}
 
 	args := []string{
 		"test", "-run", "^$",
@@ -147,4 +168,89 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("bench: wrote %d results to %s\n", len(report.Benchmarks), *out)
+
+	if report.Baseline != nil {
+		if violations := gateAgainstBaseline(&report, *gate, *gatemetrics, *maxregress); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "bench: REGRESSION %s\n", v)
+			}
+			os.Exit(1)
+		}
+	}
+}
+
+// latestReport finds the highest-numbered BENCH_<n>.json in dir.
+func latestReport(dir string) (path string, n int) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0
+	}
+	re := regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+	for _, e := range entries {
+		m := re.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if i, err := strconv.Atoi(m[1]); err == nil && i > n {
+			n = i
+			path = e.Name()
+		}
+	}
+	return path, n
+}
+
+// gateAgainstBaseline compares the gated benchmarks to the embedded
+// baseline and returns one violation string per enforced metric that
+// regressed past maxregress. A gated benchmark missing from either
+// side is reported too — silently dropping a headline benchmark must
+// not pass. The metrics string selects what is enforced: ns/op only
+// means anything against a baseline recorded on the same machine,
+// allocs/op is machine-independent.
+func gateAgainstBaseline(r *Report, gate, metrics string, maxregress float64) []string {
+	gateNs := strings.Contains(metrics, "ns")
+	gateAllocs := strings.Contains(metrics, "allocs")
+	find := func(results []Result, name string) *Result {
+		for i := range results {
+			if results[i].Name == name {
+				return &results[i]
+			}
+		}
+		return nil
+	}
+	var violations []string
+	for _, name := range strings.Split(gate, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		cur, base := find(r.Benchmarks, name), find(r.Baseline.Benchmarks, name)
+		if base == nil {
+			fmt.Printf("bench: gate %s: no baseline result, skipping\n", name)
+			continue
+		}
+		if cur == nil {
+			violations = append(violations, fmt.Sprintf("%s: present in baseline but missing from this run", name))
+			continue
+		}
+		limit := 1 + maxregress
+		fmt.Printf("bench: gate %-18s ns/op %.3g -> %.3g (%+.1f%%), allocs/op %d -> %d (%+.1f%%)\n",
+			name, base.NsPerOp, cur.NsPerOp, 100*(cur.NsPerOp/base.NsPerOp-1),
+			base.AllocsPerOp, cur.AllocsPerOp, pctChange(base.AllocsPerOp, cur.AllocsPerOp))
+		if gateNs && cur.NsPerOp > base.NsPerOp*limit {
+			violations = append(violations, fmt.Sprintf("%s: ns/op %.4g -> %.4g exceeds +%.0f%%",
+				name, base.NsPerOp, cur.NsPerOp, 100*maxregress))
+		}
+		if gateAllocs && base.AllocsPerOp > 0 && float64(cur.AllocsPerOp) > float64(base.AllocsPerOp)*limit {
+			violations = append(violations, fmt.Sprintf("%s: allocs/op %d -> %d exceeds +%.0f%%",
+				name, base.AllocsPerOp, cur.AllocsPerOp, 100*maxregress))
+		}
+	}
+	return violations
+}
+
+func pctChange(base, cur int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (float64(cur)/float64(base) - 1)
 }

@@ -5,6 +5,29 @@
 // module, and — for the evaluation baseline — a standard OpenFlow
 // "learning switch" mode that reproduces the original Floodlight
 // behavior the paper compares against.
+//
+// # Sharded hot state
+//
+// The controller's per-MAC hot state — the C-LIB (fib.CLIB), the
+// learning-mode location table, and the pending-flow table — is
+// lock-striped into power-of-two shards keyed by a Fibonacci hash of
+// the MAC (Config.StateShards stripes for the controller tables, a
+// fixed 16 for the C-LIB). Packet-in handling is split into a decide
+// phase (hash, shard-local reads/writes, forwarding decision) and an
+// apply phase (workload accounting, intensity updates, message
+// emission). ProcessBurst fans the decide phase of a packet-in storm
+// out across per-shard workers and then applies the decisions
+// sequentially in input order, so shared non-sharded state (queueing
+// model, intensity matrix, stats) is merged in a deterministic order
+// and the final table state matches the single-shard run for stable
+// workloads.
+//
+// # Batched pushes
+//
+// Group reconfiguration coalesces everything a switch must receive in
+// a regroup round — its GroupConfig plus L-FIB preloads of its new
+// peers out of the C-LIB — into one openflow.Batch per destination, so
+// each round encodes and sends at most one control message per switch.
 package controller
 
 import (
@@ -94,6 +117,18 @@ type Config struct {
 	// ARPTimeout bounds how long an unresolved destination stays pending.
 	// Zero selects 200 ms.
 	ARPTimeout time.Duration
+	// StateShards is the number of lock stripes for the controller's
+	// per-MAC hot state (learning-mode locations, pending flows) and the
+	// worker count of ProcessBurst. Rounded up to a power of two and
+	// capped at 1024 (a stripe per core is plenty); zero selects 8.
+	// Final table state is shard-count independent for stable burst
+	// workloads (see ProcessBurst for the exact contract).
+	StateShards int
+	// FilterBits and FilterHashes set the Bloom geometry of G-FIB
+	// preloads and must match the edge switches' configured geometry
+	// (edge.Config). Zero selects the shared fib defaults.
+	FilterBits   uint64
+	FilterHashes uint32
 	// Recorder receives workload accounting (may be nil).
 	Recorder *metrics.Recorder
 	// OnDiagnosis is invoked when the failover module reaches a
@@ -141,6 +176,18 @@ func (c Config) withDefaults() Config {
 	if c.ARPTimeout == 0 {
 		c.ARPTimeout = 200 * time.Millisecond
 	}
+	if c.StateShards == 0 {
+		c.StateShards = 8
+	}
+	if c.StateShards > 1024 {
+		c.StateShards = 1024
+	}
+	if c.FilterBits == 0 {
+		c.FilterBits = fib.DefaultFilterBits
+	}
+	if c.FilterHashes == 0 {
+		c.FilterHashes = fib.DefaultFilterHashes
+	}
 	return c
 }
 
@@ -164,11 +211,9 @@ type Controller struct {
 	// Tenant information management: VLAN → tenant.
 	tenants map[model.VLAN]model.TenantID
 
-	// Learning mode: passively learned host locations.
-	learned map[model.MAC]model.SwitchID
-
-	// Pending PacketIns per destination MAC.
-	pending map[model.MAC][]pendingFlow
+	// Lock-striped per-MAC hot state: the learning-mode location table
+	// and the pending-flow table (see shard.go).
+	state *stateShards
 
 	// Queueing model state.
 	reqWindowStart time.Duration
@@ -180,6 +225,11 @@ type Controller struct {
 	lastRegroupAt   time.Duration
 	rateAtRegroup   float64
 	groupingVersion uint64
+	// pushedMembers fingerprints the member list last pushed per group,
+	// so preloads ship only to groups whose membership actually changed
+	// (unchanged groups kept their G-FIBs warm — re-preloading them
+	// would rebuild every peer filter for nothing).
+	pushedMembers map[model.GroupID]uint64
 
 	// Failover.
 	detector *failover.Detector
@@ -206,6 +256,13 @@ type Stats struct {
 	FailuresSeen  uint64
 	RulesPreload  uint64
 	KeepAliveLost uint64
+	// BatchedPushes counts openflow.Batch messages sent by regroup
+	// rounds (≤1 per destination switch per round).
+	BatchedPushes uint64
+	// LearnedEvicted and PendingEvicted count entries purged from the
+	// sharded tables when a switch is diagnosed dead.
+	LearnedEvicted uint64
+	PendingEvicted uint64
 }
 
 // New constructs a controller.
@@ -234,18 +291,18 @@ func New(cfg Config, env netsim.Env) (*Controller, error) {
 		intensity.AddSwitch(sw)
 	}
 	return &Controller{
-		cfg:       c,
-		env:       env,
-		clib:      fib.NewCLIB(),
-		grp:       grouping.NewGrouping(),
-		sgi:       sgi,
-		intensity: intensity,
-		tenants:   make(map[model.VLAN]model.TenantID),
-		learned:   make(map[model.MAC]model.SwitchID),
-		pending:   make(map[model.MAC][]pendingFlow),
-		detector:  failover.NewDetector(3 * c.KeepAliveInterval),
-		lastAck:   make(map[model.SwitchID]time.Duration),
-		dead:      make(map[model.SwitchID]bool),
+		cfg:           c,
+		env:           env,
+		clib:          fib.NewCLIB(),
+		grp:           grouping.NewGrouping(),
+		sgi:           sgi,
+		intensity:     intensity,
+		tenants:       make(map[model.VLAN]model.TenantID),
+		state:         newStateShards(c.StateShards),
+		pushedMembers: make(map[model.GroupID]uint64),
+		detector:      failover.NewDetector(3 * c.KeepAliveInterval),
+		lastAck:       make(map[model.SwitchID]time.Duration),
+		dead:          make(map[model.SwitchID]bool),
 	}, nil
 }
 
@@ -331,8 +388,19 @@ func (c *Controller) InitialGrouping(m *grouping.Intensity) error {
 }
 
 // pushGroupConfigs sends every switch its group view (§III-D1 setup
-// phase: designated selection, wheel ordering, timing parameters).
+// phase: designated selection, wheel ordering, timing parameters),
+// coalesced with L-FIB preloads of the switch's new peers into at most
+// one OpenFlow message per destination per round. The preloads let a
+// regrouped switch rebuild its G-FIB immediately out of the C-LIB (the
+// Appendix-B "preload for seamless grouping update") instead of
+// black-holing until the first dissemination round; each peer's
+// snapshot is materialized once per group, not once per destination.
 func (c *Controller) pushGroupConfigs() {
+	// Fingerprints are rebuilt from scratch each round: groups that
+	// disappeared don't linger, and a reused group ID can't inherit a
+	// stale fingerprint.
+	freshFPs := make(map[model.GroupID]uint64, c.grp.NumGroups())
+	defer func() { c.pushedMembers = freshFPs }()
 	for _, gid := range c.grp.GroupIDs() {
 		members := c.grp.Members(gid)
 		wheel := failover.BuildWheel(members)
@@ -344,6 +412,35 @@ func (c *Controller) pushGroupConfigs() {
 					backups = append(backups, m)
 					break
 				}
+			}
+		}
+		// Preload peer state only into groups whose membership changed:
+		// a switch keeps its G-FIB across regroupings that leave its
+		// group intact (see edge.handleGroupConfig), so re-preloading an
+		// unchanged group would rebuild every peer filter for nothing.
+		// The preload is a GFIBUpdate whose filters are built once per
+		// group out of the C-LIB (default geometry) and shared across
+		// every destination; receivers skip their own filter.
+		fp := membersFingerprint(members)
+		changed := c.pushedMembers[gid] != fp
+		freshFPs[gid] = fp
+		var preload *openflow.GFIBUpdate
+		if changed && len(members) > 1 {
+			update := &openflow.GFIBUpdate{Group: gid, Version: c.groupingVersion}
+			for _, m := range members {
+				entries := c.clib.EntriesOn(m)
+				if len(entries) == 0 {
+					continue
+				}
+				data, err := fib.FilterBytesFromWireEntries(entries, c.cfg.FilterBits, c.cfg.FilterHashes)
+				if err != nil {
+					continue // cannot happen with the default geometry
+				}
+				update.Filters = append(update.Filters, openflow.GFIBFilter{Switch: m, Filter: data})
+				c.stats.RulesPreload += uint64(len(entries))
+			}
+			if len(update.Filters) > 0 {
+				preload = update
 			}
 		}
 		for _, m := range members {
@@ -359,7 +456,12 @@ func (c *Controller) pushGroupConfigs() {
 				KeepAliveInterval: c.cfg.KeepAliveInterval,
 				Version:           c.groupingVersion,
 			}
-			c.env.Send(m, cfgMsg)
+			if preload == nil {
+				c.env.Send(m, cfgMsg)
+			} else {
+				c.stats.BatchedPushes++
+				c.env.Send(m, &openflow.Batch{Msgs: []openflow.Message{cfgMsg, preload}})
+			}
 		}
 		// C-LIB group tags follow the new grouping; the host→switch
 		// mapping itself is unchanged (§III-D3).
@@ -367,6 +469,18 @@ func (c *Controller) pushGroupConfigs() {
 			c.clib.SetGroup(m, gid)
 		}
 	}
+}
+
+// membersFingerprint hashes a member list (FNV-1a over the IDs, which
+// arrive in deterministic order) so pushGroupConfigs can tell whether a
+// group's membership moved since its last push.
+func membersFingerprint(members []model.SwitchID) uint64 {
+	h := uint64(1469598103934665603)
+	for _, m := range members {
+		h ^= uint64(m)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // chooseDesignated picks the designated switch for a group. The paper

@@ -18,6 +18,8 @@ func (c *Controller) HandleMessage(from model.SwitchID, msg netsim.Message) {
 	switch m := msg.(type) {
 	case *openflow.PacketIn:
 		c.handlePacketIn(m)
+	case *openflow.Batch:
+		c.handleBatch(from, m)
 	case *openflow.StateReport:
 		c.handleStateReport(m)
 	case *openflow.LFIBUpdate:
@@ -97,96 +99,155 @@ func (c *Controller) respond(fn func()) {
 // request rate (requests/second).
 func (c *Controller) WorkloadRate() float64 { return c.lastRate }
 
-// handlePacketIn is the Ctrl-IF entry point for both modes.
+// handlePacketIn is the Ctrl-IF entry point for both modes: a
+// shard-local decide phase followed by the ordered apply phase. The
+// split is what ProcessBurst parallelizes; the sequential path runs the
+// same two phases back to back so both paths share one semantics.
 func (c *Controller) handlePacketIn(m *openflow.PacketIn) {
+	d := c.decide(m)
+	c.apply(m, d)
+}
+
+// handleBatch unpacks a coalesced message. A batch that is purely
+// PacketIns is a storm burst and fans out across the state shards; any
+// other content (config pushes, preloads) applies sequentially in
+// order.
+func (c *Controller) handleBatch(from model.SwitchID, m *openflow.Batch) {
+	allPacketIns := len(m.Msgs) > 0
+	for _, sub := range m.Msgs {
+		if _, ok := sub.(*openflow.PacketIn); !ok {
+			allPacketIns = false
+			break
+		}
+	}
+	if allPacketIns {
+		batch := make([]openflow.PacketIn, len(m.Msgs))
+		for i, sub := range m.Msgs {
+			batch[i] = *sub.(*openflow.PacketIn)
+		}
+		c.ProcessBurst(batch)
+		return
+	}
+	for _, sub := range m.Msgs {
+		if _, nested := sub.(*openflow.Batch); nested {
+			continue // decode rejects nesting; ignore hand-built ones
+		}
+		c.HandleMessage(from, sub)
+	}
+}
+
+// decisionKind classifies the outcome of the decide phase.
+type decisionKind uint8
+
+const (
+	// decideFlood floods an unknown destination (learning mode).
+	decideFlood decisionKind = iota
+	// decideInstall installs an Encap rule toward a known remote switch.
+	decideInstall
+	// decideBounce returns a packet whose endpoints share the ingress.
+	decideBounce
+	// decidePend queues the flow and relays a scoped ARP query (lazy).
+	decidePend
+)
+
+// pinDecision is the shard-local outcome of one PacketIn: what to do,
+// where the destination was located for rule installation, and the
+// pre-learn location used for intensity accounting.
+type pinDecision struct {
+	kind decisionKind
+	dst  model.SwitchID
+	loc  model.SwitchID
+}
+
+// decide runs the shard-local half of PacketIn handling: learn the
+// source (learning mode), locate the destination, classify. It takes at
+// most two shard locks, never nested, and touches no unsharded state —
+// which is what lets ProcessBurst run it from many goroutines at once.
+func (c *Controller) decide(m *openflow.PacketIn) pinDecision {
+	if c.cfg.Mode == ModeLearning {
+		// The pre-learn read feeds intensity accounting (the sequential
+		// path always estimated intensity before learning the source).
+		loc0, _ := c.state.locate(m.Packet.DstMAC)
+		c.state.learn(m.Packet.SrcMAC, m.Switch)
+		dst, known := c.state.locate(m.Packet.DstMAC)
+		switch {
+		case known && dst != m.Switch:
+			return pinDecision{kind: decideInstall, dst: dst, loc: loc0}
+		case known:
+			return pinDecision{kind: decideBounce, loc: loc0}
+		default:
+			return pinDecision{kind: decideFlood, loc: loc0}
+		}
+	}
+	loc, ok := c.clib.Locate(m.Packet.DstMAC)
+	if ok && loc != m.Switch {
+		return pinDecision{kind: decideInstall, dst: loc, loc: loc}
+	}
+	if !ok {
+		loc = model.NoSwitch
+	}
+	return pinDecision{kind: decidePend, loc: loc}
+}
+
+// apply performs the ordered half of PacketIn handling: workload
+// accounting, intensity estimation, and message emission. ProcessBurst
+// calls it sequentially in input order, which is what keeps shared
+// unsharded state (queueing model, intensity matrix, stats) merged in a
+// deterministic order regardless of the shard count.
+func (c *Controller) apply(m *openflow.PacketIn, d pinDecision) {
 	c.record(metrics.ReqPacketIn, 1)
 	c.stats.PacketIns++
 
 	// Intensity estimation: the controller observes the flows it must
 	// handle itself.
-	if dst := c.locate(m.Packet.DstMAC); dst != model.NoSwitch && dst != m.Switch {
-		c.intensity.Add(m.Switch, dst, 1)
+	if d.loc != model.NoSwitch && d.loc != m.Switch {
+		c.intensity.Add(m.Switch, d.loc, 1)
 	}
 
-	switch c.cfg.Mode {
-	case ModeLearning:
-		c.handleLearning(m)
-	default:
-		c.handleLazy(m)
-	}
-}
-
-// locate returns the switch hosting a MAC under the active mode's
-// knowledge.
-func (c *Controller) locate(mac model.MAC) model.SwitchID {
-	if c.cfg.Mode == ModeLearning {
-		return c.learned[mac]
-	}
-	if e := c.clib.Lookup(mac); e != nil {
-		return e.Switch
-	}
-	return model.NoSwitch
-}
-
-// handleLearning reproduces the baseline OpenFlow learning switch: learn
-// the source location from the PacketIn, then either install a rule to
-// the known destination or flood the packet to every edge switch.
-func (c *Controller) handleLearning(m *openflow.PacketIn) {
-	c.learned[m.Packet.SrcMAC] = m.Switch
-	dst, known := c.learned[m.Packet.DstMAC]
-	if known && dst != m.Switch {
-		c.respond(func() { c.installAndForward(m.Switch, dst, m.Packet) })
-		return
-	}
-	if known && dst == m.Switch {
+	switch d.kind {
+	case decideInstall:
+		ingress, dst, pkt := m.Switch, d.dst, m.Packet
+		c.respond(func() { c.installAndForward(ingress, dst, pkt) })
+	case decideBounce:
 		// Both endpoints local: bounce the packet back for delivery.
+		ingress, pkt := m.Switch, m.Packet
 		c.respond(func() {
 			c.stats.PacketOuts++
-			c.env.Send(m.Switch, &openflow.PacketOut{
+			c.env.Send(ingress, &openflow.PacketOut{
 				Actions: []openflow.Action{openflow.Flood()},
-				Packet:  m.Packet,
+				Packet:  pkt,
 			})
 		})
-		return
-	}
-	// Unknown destination: flood to all switches. Emitting one copy per
-	// switch serializes on the controller CPU, which is the
-	// passive-learning cost the paper's §V-E attributes OpenFlow's
-	// 15 ms cold cache to: with hundreds of edge switches the average
-	// copy leaves the controller half a fan-out later.
-	c.stats.Floods++
-	c.record(metrics.ReqFloodOut, uint64(len(c.cfg.Switches)))
-	pkt := m.Packet
-	service := time.Duration(float64(time.Second) / c.cfg.ServiceRate)
-	base := c.queueDelay()
-	for i, sw := range c.cfg.Switches {
-		if sw == m.Switch {
-			continue
+	case decideFlood:
+		// Unknown destination: flood to all switches. Emitting one copy
+		// per switch serializes on the controller CPU, which is the
+		// passive-learning cost the paper's §V-E attributes OpenFlow's
+		// 15 ms cold cache to: with hundreds of edge switches the average
+		// copy leaves the controller half a fan-out later.
+		c.stats.Floods++
+		c.record(metrics.ReqFloodOut, uint64(len(c.cfg.Switches)))
+		pkt := m.Packet
+		service := time.Duration(float64(time.Second) / c.cfg.ServiceRate)
+		base := c.queueDelay()
+		for i, sw := range c.cfg.Switches {
+			if sw == m.Switch {
+				continue
+			}
+			sw := sw
+			p := pkt
+			c.env.After(base+time.Duration(i)*service, func() { c.env.Send(sw, &p) })
 		}
-		sw := sw
-		p := pkt
-		c.env.After(base+time.Duration(i)*service, func() { c.env.Send(sw, &p) })
+	case decidePend:
+		// Unknown (or local-only) destination: relay an ARP query to the
+		// designated switches of every group hosting the packet's tenant
+		// (VLAN).
+		c.state.appendPending(m.Packet.DstMAC, pendingFlow{
+			ingress: m.Switch,
+			packet:  m.Packet,
+			since:   c.env.Now(),
+		})
+		c.relayARP(m.Packet)
 	}
-}
-
-// handleLazy serves inter-group (and stale-G-FIB) flows from the C-LIB,
-// falling back to tenant-scoped ARP relay when the destination is
-// unknown (§III-D3).
-func (c *Controller) handleLazy(m *openflow.PacketIn) {
-	if e := c.clib.Lookup(m.Packet.DstMAC); e != nil && e.Switch != m.Switch {
-		dst := e.Switch
-		c.respond(func() { c.installAndForward(m.Switch, dst, m.Packet) })
-		return
-	}
-	// Unknown (or local-only) destination: relay an ARP query to the
-	// designated switches of every group hosting the packet's tenant
-	// (VLAN).
-	c.pending[m.Packet.DstMAC] = append(c.pending[m.Packet.DstMAC], pendingFlow{
-		ingress: m.Switch,
-		packet:  m.Packet,
-		since:   c.env.Now(),
-	})
-	c.relayARP(m.Packet)
 }
 
 // relayARP fans an ARP query out to designated switches of the groups
@@ -281,14 +342,16 @@ func (c *Controller) handleStateReport(m *openflow.StateReport) {
 // relay with a host binding.
 func (c *Controller) handleLFIBAnswer(from model.SwitchID, m *openflow.LFIBUpdate) {
 	c.record(metrics.ReqPacketIn, 1)
+	// The answer is proof of life from the sender: credit its keepalive
+	// state so a switch that is busy answering ARP relays is never
+	// falsely suspected just because heartbeats queued behind the
+	// answers were lost.
+	c.lastAck[from] = c.env.Now()
+	c.detector.Clear(from)
 	group := c.grp.GroupOf(m.Origin)
 	c.clib.ApplyLFIB(m.Origin, group, m)
 	for _, e := range m.Entries {
-		flows := c.pending[e.MAC]
-		if len(flows) == 0 {
-			continue
-		}
-		delete(c.pending, e.MAC)
+		flows := c.state.takePending(e.MAC)
 		for _, f := range flows {
 			if m.Origin == f.ingress {
 				continue // destination turned out local; switch handles it
@@ -297,26 +360,12 @@ func (c *Controller) handleLFIBAnswer(from model.SwitchID, m *openflow.LFIBUpdat
 			c.respond(func() { c.installAndForward(f.ingress, m.Origin, f.packet) })
 		}
 	}
-	_ = from
 }
 
 // expirePending drops unresolved flows past the ARP timeout.
 func (c *Controller) expirePending() {
-	now := c.env.Now()
-	for mac, flows := range c.pending {
-		keep := flows[:0]
-		for _, f := range flows {
-			if now-f.since < c.cfg.ARPTimeout {
-				keep = append(keep, f)
-			} else {
-				c.stats.Unresolved++
-			}
-		}
-		if len(keep) == 0 {
-			delete(c.pending, mac)
-		} else {
-			c.pending[mac] = keep
-		}
+	if n := c.state.expirePending(c.env.Now(), c.cfg.ARPTimeout); n > 0 {
+		c.stats.Unresolved += uint64(n)
 	}
 }
 
@@ -399,6 +448,17 @@ func (c *Controller) actOnDiagnosis(suspect model.SwitchID, diag failover.Diagno
 	switch diag {
 	case failover.DiagSwitch:
 		c.dead[suspect] = true
+		// Evict the per-MAC state pointing at the dead switch: learned
+		// locations would keep installing rules toward a black hole
+		// (flows must fall back to flooding until the host reappears),
+		// pending flows with a dead ingress can never be answered, and
+		// C-LIB bindings on the dead switch would keep serving it as an
+		// inter-group destination. Recovery repopulates all three from
+		// PacketIns and state reports.
+		le, pe := c.state.evictSwitch(suspect)
+		c.stats.LearnedEvicted += uint64(le)
+		c.stats.PendingEvicted += uint64(pe)
+		c.clib.RemoveSwitch(suspect)
 		// If the failed switch was its group's designated switch, select
 		// a replacement and re-push the group view (§III-E3).
 		gid := c.grp.GroupOf(suspect)
@@ -450,5 +510,12 @@ func (c *Controller) MarkRecovered(sw model.SwitchID) {
 	delete(c.dead, sw)
 	c.lastAck[sw] = c.env.Now()
 	c.groupingVersion++
+	// The rebooted switch comes back with an empty G-FIB even though
+	// its group's membership (and thus the fingerprint) is unchanged;
+	// drop the fingerprint so the re-push carries the preload instead
+	// of leaving the switch cold until the next dissemination round.
+	if gid := c.grp.GroupOf(sw); gid != model.NoGroup {
+		delete(c.pushedMembers, gid)
+	}
 	c.pushGroupConfigs()
 }

@@ -1,0 +1,87 @@
+package controller
+
+import (
+	"sync"
+
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/openflow"
+)
+
+// ProcessBurst handles a packet-in storm as one burst: the shard-local
+// decide phase (source learning, destination location, forwarding
+// classification) fans out across one worker per state shard, then the
+// apply phase (workload accounting, intensity updates, message
+// emission) runs sequentially in input order. Per-shard intake means a
+// worker owns every event whose destination MAC hashes to its shard,
+// so per-destination decisions keep their input order; cross-shard
+// source learns go through the stripe locks.
+//
+// The ordered apply phase is the determinism anchor: all merging into
+// unsharded state (queueing model, intensity matrix, stats, message
+// sends) happens in input order regardless of the shard count, so a
+// burst over a stable workload — every source MAC attached to one
+// switch, the storm's defining shape — leaves C-LIB, learned, and
+// pending state identical to the single-shard (fully sequential) run.
+// A source that migrates between switches mid-burst resolves
+// last-write-wins, and a destination first introduced by another
+// packet of the same burst may classify as known or unknown depending
+// on worker interleaving — exactly as racing packets into any
+// multi-threaded controller would. The deterministic DES emulations
+// never take this path (switches deliver PacketIns one at a time), so
+// their outputs stay seed-identical.
+//
+// The caller must not deliver other messages to the controller while a
+// burst is in flight; in live mode that holds for free because bursts
+// arrive as openflow.Batch messages on the serialized mailbox.
+func (c *Controller) ProcessBurst(batch []openflow.PacketIn) {
+	n := len(batch)
+	if n == 0 {
+		return
+	}
+	decisions := make([]pinDecision, n)
+	workers := c.state.count()
+	if workers == 1 || n == 1 {
+		for i := range batch {
+			decisions[i] = c.decide(&batch[i])
+		}
+	} else {
+		// Route each event to the worker owning its destination shard.
+		// Workers scan the shared owner index instead of draining
+		// channels: the scan is branch-predictable and keeps per-shard
+		// FIFO order equal to input order by construction.
+		owner := make([]uint16, n)
+		for i := range batch {
+			owner[i] = uint16(c.state.shardIndex(batch[i].Packet.DstMAC))
+		}
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w uint16) {
+				defer wg.Done()
+				for i := range batch {
+					if owner[i] == w {
+						decisions[i] = c.decide(&batch[i])
+					}
+				}
+			}(uint16(w))
+		}
+		wg.Wait()
+	}
+	for i := range batch {
+		c.apply(&batch[i], decisions[i])
+	}
+}
+
+// StateShardCount reports the number of lock stripes backing the
+// controller's per-MAC hot state.
+func (c *Controller) StateShardCount() int { return c.state.count() }
+
+// LearnedLocations returns a copy of the learning-mode location table
+// (introspection and differential testing).
+func (c *Controller) LearnedLocations() map[model.MAC]model.SwitchID {
+	return c.state.snapshotLearned()
+}
+
+// PendingFlows reports how many flows are queued awaiting location
+// resolution.
+func (c *Controller) PendingFlows() int { return c.state.pendingLen() }

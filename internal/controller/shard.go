@@ -1,0 +1,222 @@
+package controller
+
+import (
+	"sync"
+	"time"
+
+	"lazyctrl/internal/model"
+)
+
+// stateShard is one lock stripe of the controller's per-MAC hot state:
+// the learning-mode location table and the pending-flow table. Both are
+// keyed by MAC, so one hash places an event's state and one mutex
+// covers it; the concurrent burst intake (ProcessBurst) locks at most
+// two stripes per packet (source learn, destination lookup), never
+// nested.
+type stateShard struct {
+	mu      sync.Mutex
+	learned map[model.MAC]model.SwitchID
+	pending map[model.MAC][]pendingFlow
+}
+
+// stateShards is the lock-striped table. The shard count is fixed at
+// construction (Config.StateShards, rounded up to a power of two) so
+// the MAC→shard mapping is a multiply and a shift.
+type stateShards struct {
+	shards []stateShard
+	shift  uint // 64 - log2(len(shards))
+}
+
+func newStateShards(n int) *stateShards {
+	if n < 1 {
+		n = 1
+	}
+	// Round up to a power of two.
+	pow := 1
+	shift := uint(64)
+	for pow < n {
+		pow <<= 1
+		shift--
+	}
+	t := &stateShards{shards: make([]stateShard, pow), shift: shift}
+	for i := range t.shards {
+		t.shards[i].learned = make(map[model.MAC]model.SwitchID)
+		t.shards[i].pending = make(map[model.MAC][]pendingFlow)
+	}
+	return t
+}
+
+func (t *stateShards) count() int { return len(t.shards) }
+
+// shardIndex maps a MAC to its stripe (Fibonacci hash on the packed
+// address; the shift keeps the top log2(n) bits). A shift of 64 (one
+// shard) yields index 0 for every key.
+func (t *stateShards) shardIndex(mac model.MAC) int {
+	return int((mac.Uint64() * 0x9E3779B97F4A7C15) >> t.shift)
+}
+
+func (t *stateShards) shardFor(mac model.MAC) *stateShard {
+	return &t.shards[t.shardIndex(mac)]
+}
+
+// learn records a host location observed from a PacketIn source.
+func (t *stateShards) learn(mac model.MAC, sw model.SwitchID) {
+	s := t.shardFor(mac)
+	s.mu.Lock()
+	s.learned[mac] = sw
+	s.mu.Unlock()
+}
+
+// locate returns the learned location of a MAC.
+func (t *stateShards) locate(mac model.MAC) (model.SwitchID, bool) {
+	s := t.shardFor(mac)
+	s.mu.Lock()
+	sw, ok := s.learned[mac]
+	s.mu.Unlock()
+	return sw, ok
+}
+
+// appendPending queues a flow awaiting host-location resolution.
+func (t *stateShards) appendPending(mac model.MAC, f pendingFlow) {
+	s := t.shardFor(mac)
+	s.mu.Lock()
+	s.pending[mac] = append(s.pending[mac], f)
+	s.mu.Unlock()
+}
+
+// takePending removes and returns the flows pending on a MAC. The
+// returned slice is owned by the caller: the table never touches its
+// backing array again.
+func (t *stateShards) takePending(mac model.MAC) []pendingFlow {
+	s := t.shardFor(mac)
+	s.mu.Lock()
+	flows := s.pending[mac]
+	if flows != nil {
+		delete(s.pending, mac)
+	}
+	s.mu.Unlock()
+	return flows
+}
+
+// pendingLen returns the total number of queued flows.
+func (t *stateShards) pendingLen() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, flows := range s.pending {
+			n += len(flows)
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// expirePending drops queued flows older than timeout and returns how
+// many were dropped. The kept flows are rebuilt into a fresh slice —
+// never compacted in place with flows[:0] — because takePending hands
+// backing arrays out to handleLFIBAnswer, which may still be iterating
+// them on another goroutine when the expiry timer fires; an in-place
+// rebuild would overwrite entries under that reader.
+func (t *stateShards) expirePending(now, timeout time.Duration) int {
+	expired := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for mac, flows := range s.pending {
+			drop := 0
+			for _, f := range flows {
+				if now-f.since >= timeout {
+					drop++
+				}
+			}
+			if drop == 0 {
+				continue
+			}
+			expired += drop
+			if drop == len(flows) {
+				delete(s.pending, mac)
+				continue
+			}
+			keep := make([]pendingFlow, 0, len(flows)-drop)
+			for _, f := range flows {
+				if now-f.since < timeout {
+					keep = append(keep, f)
+				}
+			}
+			s.pending[mac] = keep
+		}
+		s.mu.Unlock()
+	}
+	return expired
+}
+
+// evictSwitch drops every learned binding located at sw and every
+// pending flow whose ingress is sw (the switch was diagnosed dead:
+// installing rules on it or forwarding flows to it is a black hole).
+// It returns the number of learned entries and pending flows removed.
+func (t *stateShards) evictSwitch(sw model.SwitchID) (learned, pending int) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for mac, loc := range s.learned {
+			if loc == sw {
+				delete(s.learned, mac)
+				learned++
+			}
+		}
+		for mac, flows := range s.pending {
+			drop := 0
+			for _, f := range flows {
+				if f.ingress == sw {
+					drop++
+				}
+			}
+			if drop == 0 {
+				continue
+			}
+			pending += drop
+			if drop == len(flows) {
+				delete(s.pending, mac)
+				continue
+			}
+			keep := make([]pendingFlow, 0, len(flows)-drop)
+			for _, f := range flows {
+				if f.ingress != sw {
+					keep = append(keep, f)
+				}
+			}
+			s.pending[mac] = keep
+		}
+		s.mu.Unlock()
+	}
+	return learned, pending
+}
+
+// snapshotLearned copies the learned table (tests and introspection).
+func (t *stateShards) snapshotLearned() map[model.MAC]model.SwitchID {
+	out := make(map[model.MAC]model.SwitchID)
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for mac, sw := range s.learned {
+			out[mac] = sw
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// snapshotPending copies the pending table (tests and introspection).
+func (t *stateShards) snapshotPending() map[model.MAC][]pendingFlow {
+	out := make(map[model.MAC][]pendingFlow)
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for mac, flows := range s.pending {
+			out[mac] = append([]pendingFlow(nil), flows...)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}

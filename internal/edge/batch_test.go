@@ -1,0 +1,61 @@
+package edge
+
+import (
+	"testing"
+	"time"
+
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/openflow"
+)
+
+// TestBatchedConfigPreloadsGFIB delivers a controller-style coalesced
+// push — GroupConfig followed by a peer L-FIB preload — and checks the
+// switch can forward to the preloaded peer immediately, without waiting
+// for a dissemination round.
+func TestBatchedConfigPreloadsGFIB(t *testing.T) {
+	r := newRig(t, 1, 2)
+	r.switches[1].AttachHost(model.HostMAC(10), model.HostIP(10), 1)
+	r.switches[2].AttachHost(model.HostMAC(20), model.HostIP(20), 1)
+
+	members := []model.SwitchID{1, 2}
+	batch := &openflow.Batch{Msgs: []openflow.Message{
+		&openflow.GroupConfig{
+			Group:             1,
+			Members:           members,
+			Designated:        1,
+			RingPrev:          2,
+			RingNext:          2,
+			SyncInterval:      5 * time.Second,
+			KeepAliveInterval: time.Second,
+			Version:           2,
+		},
+		&openflow.LFIBUpdate{
+			Origin:  2,
+			Full:    true,
+			Entries: []openflow.LFIBEntry{{MAC: model.HostMAC(20), IP: model.HostIP(20), VLAN: 1}},
+			Version: 2,
+		},
+	}}
+	r.switches[1].HandleMessage(model.ControllerNode, batch)
+
+	if got := r.switches[1].Group().Version; got != 2 {
+		t.Fatalf("group config not applied from batch: version = %d", got)
+	}
+	if r.switches[1].GFIB().Len() == 0 {
+		t.Fatal("preload did not install a G-FIB filter")
+	}
+	// The preloaded filter must answer for host 20 right away: the
+	// first packet goes peer-to-peer, not to the controller.
+	r.switches[1].InjectLocal(pkt(10, 20, 0))
+	r.sim.RunFor(5 * time.Millisecond)
+	if len(r.delivered[2]) != 1 {
+		t.Fatalf("preloaded peer did not receive the flow (delivered=%v)", r.delivered)
+	}
+	if got := len(r.ctrl.packetIns()); got != 0 {
+		t.Errorf("%d PacketIns reached the controller despite the preload", got)
+	}
+	// A nested batch is ignored, not recursed into.
+	r.switches[1].HandleMessage(model.ControllerNode, &openflow.Batch{
+		Msgs: []openflow.Message{&openflow.Batch{}},
+	})
+}

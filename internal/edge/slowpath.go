@@ -46,6 +46,16 @@ func (s *Switch) HandleMessage(from model.SwitchID, msg netsim.Message) {
 		// Pass a neighbor's control message on to the controller
 		// (§III-E2 control-link failover).
 		s.env.Send(model.ControllerNode, m.Msg)
+	case *openflow.Batch:
+		// A regroup round's coalesced push: apply in order, so the
+		// GroupConfig that resets G-FIB/aggregation state lands before
+		// the L-FIB preloads that repopulate it.
+		for _, sub := range m.Msgs {
+			if _, nested := sub.(*openflow.Batch); nested {
+				continue // decode rejects nesting; ignore hand-built ones
+			}
+			s.HandleMessage(from, sub)
+		}
 	}
 }
 

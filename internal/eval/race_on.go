@@ -1,0 +1,7 @@
+//go:build race
+
+package eval
+
+// raceEnabled reports whether the race detector instrumented this
+// build; timing-sensitive tests skip under it.
+const raceEnabled = true

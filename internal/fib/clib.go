@@ -1,7 +1,9 @@
 package fib
 
 import (
+	"math/bits"
 	"sort"
+	"sync"
 
 	"lazyctrl/internal/model"
 	"lazyctrl/internal/openflow"
@@ -17,81 +19,170 @@ type CLIBEntry struct {
 	Group  model.GroupID
 }
 
-// CLIB is the Central Location Information Base: the union of all
-// switches' L-FIBs, maintained by the controller from designated-switch
-// state reports (§III-B2). It answers inter-group location queries and
-// scopes ARP relay by tenant.
-type CLIB struct {
+// clibShardCount is the number of lock stripes. A fixed power of two
+// keeps the MAC→shard mapping branch-free; 16 stripes are enough that
+// concurrent packet-in intake workers (bounded by GOMAXPROCS) rarely
+// collide, while the per-shard map overhead stays negligible.
+const clibShardCount = 16
+
+// clibShard holds the slice of the C-LIB whose entries' MACs hash to
+// this stripe. All four indexes of an entry live in the same shard (the
+// shard of its MAC), so every single-entry operation takes exactly one
+// lock and cross-shard operations never need nested locking.
+type clibShard struct {
+	mu       sync.RWMutex
 	byMAC    map[model.MAC]*CLIBEntry
 	byIP     map[model.IP]*CLIBEntry
 	bySwitch map[model.SwitchID]map[model.MAC]struct{}
 	byVLAN   map[model.VLAN]map[model.SwitchID]int // VLAN -> switch -> host count
 }
 
+// CLIB is the Central Location Information Base: the union of all
+// switches' L-FIBs, maintained by the controller from designated-switch
+// state reports (§III-B2). It answers inter-group location queries and
+// scopes ARP relay by tenant.
+//
+// The table is sharded by MAC hash into lock-striped stripes so the
+// controller's concurrent packet-in intake can resolve host locations
+// from many cores at once (the single-map layout serialized every
+// lookup behind one cache line). Aggregate queries (SwitchesWithVLAN,
+// HostsOn, Len) merge the stripes; their results are deterministic
+// because merging is commutative and ordered results are sorted.
+type CLIB struct {
+	shards [clibShardCount]clibShard
+}
+
 // NewCLIB returns an empty C-LIB.
 func NewCLIB() *CLIB {
-	return &CLIB{
-		byMAC:    make(map[model.MAC]*CLIBEntry),
-		byIP:     make(map[model.IP]*CLIBEntry),
-		bySwitch: make(map[model.SwitchID]map[model.MAC]struct{}),
-		byVLAN:   make(map[model.VLAN]map[model.SwitchID]int),
+	c := &CLIB{}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.byMAC = make(map[model.MAC]*CLIBEntry)
+		s.byIP = make(map[model.IP]*CLIBEntry)
+		s.bySwitch = make(map[model.SwitchID]map[model.MAC]struct{})
+		s.byVLAN = make(map[model.VLAN]map[model.SwitchID]int)
 	}
+	return c
+}
+
+// clibShardShift selects the top log2(clibShardCount) hash bits, kept
+// in lockstep with the shard count so changing one cannot strand or
+// overrun stripes.
+var clibShardShift = uint(64 - bits.TrailingZeros(clibShardCount))
+
+// shardFor maps a MAC to its stripe. Fibonacci hashing spreads the
+// sequential low bits of the deterministic host MACs across stripes.
+func (c *CLIB) shardFor(mac model.MAC) *clibShard {
+	h := mac.Uint64() * 0x9E3779B97F4A7C15
+	return &c.shards[h>>clibShardShift]
 }
 
 // Update installs or moves a binding.
 func (c *CLIB) Update(mac model.MAC, ip model.IP, vlan model.VLAN, sw model.SwitchID, group model.GroupID) {
-	if old, ok := c.byMAC[mac]; ok {
-		c.unindex(old)
+	s := c.shardFor(mac)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.byMAC[mac]; ok {
+		s.unindex(old)
 	}
 	e := &CLIBEntry{MAC: mac, IP: ip, VLAN: vlan, Switch: sw, Group: group}
-	c.byMAC[mac] = e
-	c.byIP[ip] = e
-	if c.bySwitch[sw] == nil {
-		c.bySwitch[sw] = make(map[model.MAC]struct{})
+	s.byMAC[mac] = e
+	s.byIP[ip] = e
+	if s.bySwitch[sw] == nil {
+		s.bySwitch[sw] = make(map[model.MAC]struct{})
 	}
-	c.bySwitch[sw][mac] = struct{}{}
-	if c.byVLAN[vlan] == nil {
-		c.byVLAN[vlan] = make(map[model.SwitchID]int)
+	s.bySwitch[sw][mac] = struct{}{}
+	if s.byVLAN[vlan] == nil {
+		s.byVLAN[vlan] = make(map[model.SwitchID]int)
 	}
-	c.byVLAN[vlan][sw]++
+	s.byVLAN[vlan][sw]++
 }
 
-func (c *CLIB) unindex(e *CLIBEntry) {
-	if cur, ok := c.byIP[e.IP]; ok && cur == e {
-		delete(c.byIP, e.IP)
+// unindex removes an entry from the secondary indexes of its shard.
+// Callers hold the shard lock. Emptied sub-maps are kept, not deleted:
+// a shard holds 1/16th of a switch's hosts, so full-snapshot churn
+// (anti-entropy refreshes remove and re-add entries) empties sub-maps
+// constantly, and recreating them dominated the allocation profile.
+// The retained empties are bounded by #switches + #VLANs per shard.
+func (s *clibShard) unindex(e *CLIBEntry) {
+	if cur, ok := s.byIP[e.IP]; ok && cur == e {
+		delete(s.byIP, e.IP)
 	}
-	if set := c.bySwitch[e.Switch]; set != nil {
+	if set := s.bySwitch[e.Switch]; set != nil {
 		delete(set, e.MAC)
-		if len(set) == 0 {
-			delete(c.bySwitch, e.Switch)
-		}
 	}
-	if m := c.byVLAN[e.VLAN]; m != nil {
+	if m := s.byVLAN[e.VLAN]; m != nil {
 		m[e.Switch]--
 		if m[e.Switch] <= 0 {
 			delete(m, e.Switch)
-		}
-		if len(m) == 0 {
-			delete(c.byVLAN, e.VLAN)
 		}
 	}
 }
 
 // Remove deletes a binding.
 func (c *CLIB) Remove(mac model.MAC) {
-	e, ok := c.byMAC[mac]
+	s := c.shardFor(mac)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removeLocked(mac)
+}
+
+func (s *clibShard) removeLocked(mac model.MAC) {
+	e, ok := s.byMAC[mac]
 	if !ok {
 		return
 	}
-	c.unindex(e)
-	delete(c.byMAC, mac)
+	s.unindex(e)
+	delete(s.byMAC, mac)
 }
 
-// Lookup returns the entry for a MAC, or nil.
-func (c *CLIB) Lookup(mac model.MAC) *CLIBEntry { return c.byMAC[mac] }
+// Lookup returns a copy of the entry for a MAC, or nil. Returning a
+// copy keeps callers race-free against concurrent Update/SetGroup; hot
+// paths that only need the hosting switch use Locate, which does not
+// allocate.
+func (c *CLIB) Lookup(mac model.MAC) *CLIBEntry {
+	s := c.shardFor(mac)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.byMAC[mac]
+	if !ok {
+		return nil
+	}
+	cp := *e
+	return &cp
+}
 
-// LookupIP returns the entry owning an IP, or nil.
-func (c *CLIB) LookupIP(ip model.IP) *CLIBEntry { return c.byIP[ip] }
+// Locate returns the switch hosting a MAC. It is the allocation-free
+// fast path of Lookup used by packet-in handling.
+func (c *CLIB) Locate(mac model.MAC) (model.SwitchID, bool) {
+	s := c.shardFor(mac)
+	s.mu.RLock()
+	e, ok := s.byMAC[mac]
+	var sw model.SwitchID
+	if ok {
+		sw = e.Switch
+	}
+	s.mu.RUnlock()
+	return sw, ok
+}
+
+// LookupIP returns a copy of the entry owning an IP, or nil. The entry
+// lives in the shard of its MAC, so the scan touches every stripe; the
+// call sits on the ARP slow path only.
+func (c *CLIB) LookupIP(ip model.IP) *CLIBEntry {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		e, ok := s.byIP[ip]
+		if ok {
+			cp := *e
+			s.mu.RUnlock()
+			return &cp
+		}
+		s.mu.RUnlock()
+	}
+	return nil
+}
 
 // ApplyLFIB merges an L-FIB snapshot or increment from a switch,
 // tagging entries with the switch's group. When the update is full, any
@@ -103,16 +194,19 @@ func (c *CLIB) ApplyLFIB(sw model.SwitchID, group model.GroupID, u *openflow.LFI
 		for _, e := range u.Entries {
 			seen[e.MAC] = struct{}{}
 		}
-		if set := c.bySwitch[sw]; set != nil {
+		for i := range c.shards {
+			s := &c.shards[i]
+			s.mu.Lock()
 			var stale []model.MAC
-			for mac := range set {
+			for mac := range s.bySwitch[sw] {
 				if _, ok := seen[mac]; !ok {
 					stale = append(stale, mac)
 				}
 			}
 			for _, mac := range stale {
-				c.Remove(mac)
+				s.removeLocked(mac)
 			}
+			s.mu.Unlock()
 		}
 	}
 	for _, e := range u.Entries {
@@ -123,10 +217,15 @@ func (c *CLIB) ApplyLFIB(sw model.SwitchID, group model.GroupID, u *openflow.LFI
 // SetGroup retags every binding on a switch with a new group (after
 // regrouping; the host-to-switch mapping itself is unchanged, §III-D3).
 func (c *CLIB) SetGroup(sw model.SwitchID, group model.GroupID) {
-	for mac := range c.bySwitch[sw] {
-		if e := c.byMAC[mac]; e != nil {
-			e.Group = group
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for mac := range s.bySwitch[sw] {
+			if e := s.byMAC[mac]; e != nil {
+				e.Group = group
+			}
 		}
+		s.mu.Unlock()
 	}
 }
 
@@ -134,17 +233,82 @@ func (c *CLIB) SetGroup(sw model.SwitchID, group model.GroupID) {
 // given VLAN (tenant), ascending. The controller uses it to scope ARP
 // relay (§III-D3 level iii).
 func (c *CLIB) SwitchesWithVLAN(vlan model.VLAN) []model.SwitchID {
-	m := c.byVLAN[vlan]
-	out := make([]model.SwitchID, 0, len(m))
-	for sw := range m {
+	set := make(map[model.SwitchID]struct{})
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for sw := range s.byVLAN[vlan] {
+			set[sw] = struct{}{}
+		}
+		s.mu.RUnlock()
+	}
+	out := make([]model.SwitchID, 0, len(set))
+	for sw := range set {
 		out = append(out, sw)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
+// EntriesOn returns the wire form of every binding attributed to a
+// switch, sorted by MAC. The controller uses it to preload peer state
+// into regrouped switches inside the batched group-config push.
+func (c *CLIB) EntriesOn(sw model.SwitchID) []openflow.LFIBEntry {
+	var out []openflow.LFIBEntry
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for mac := range s.bySwitch[sw] {
+			if e := s.byMAC[mac]; e != nil {
+				out = append(out, openflow.LFIBEntry{MAC: e.MAC, IP: e.IP, VLAN: e.VLAN})
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MAC.Uint64() < out[j].MAC.Uint64() })
+	return out
+}
+
+// RemoveSwitch drops every binding attributed to a switch and returns
+// how many were removed (failover eviction).
+func (c *CLIB) RemoveSwitch(sw model.SwitchID) int {
+	removed := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		var macs []model.MAC
+		for mac := range s.bySwitch[sw] {
+			macs = append(macs, mac)
+		}
+		for _, mac := range macs {
+			s.removeLocked(mac)
+		}
+		removed += len(macs)
+		s.mu.Unlock()
+	}
+	return removed
+}
+
 // HostsOn returns how many bindings are attributed to a switch.
-func (c *CLIB) HostsOn(sw model.SwitchID) int { return len(c.bySwitch[sw]) }
+func (c *CLIB) HostsOn(sw model.SwitchID) int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.bySwitch[sw])
+		s.mu.RUnlock()
+	}
+	return n
+}
 
 // Len returns the total number of bindings.
-func (c *CLIB) Len() int { return len(c.byMAC) }
+func (c *CLIB) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.byMAC)
+		s.mu.RUnlock()
+	}
+	return n
+}

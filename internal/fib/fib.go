@@ -149,6 +149,20 @@ func (l *LFIB) Filter(m uint64, k uint32) *bloom.Filter {
 	return f
 }
 
+// FilterBytesFromWireEntries builds the serialized Bloom filter of a
+// wire L-FIB snapshot, keyed exactly as LFIB.Filter (MAC and IP keys).
+// The controller uses it to encode a regrouped switch's G-FIB preload
+// once per group instead of every receiver rebuilding the same filter
+// from raw entries.
+func FilterBytesFromWireEntries(entries []openflow.LFIBEntry, m uint64, k uint32) ([]byte, error) {
+	f := bloom.New(m, k)
+	for _, e := range entries {
+		f.AddUint64(MACKey(e.MAC))
+		f.AddUint64(IPKey(e.IP))
+	}
+	return f.MarshalBinary()
+}
+
 // DefaultFilterBits is the G-FIB Bloom filter size used by the paper's
 // storage analysis (§V-D): 16 entries of 128 bytes = 2048 bytes = 16384
 // bits per peer switch.

@@ -317,3 +317,52 @@ func TestLiveCloseIdempotent(t *testing.T) {
 	n.Close()
 	n.Close() // must not panic or deadlock
 }
+
+// TestLiveBatchDelivery pushes a coalesced regroup message through the
+// live transport: the Batch must survive the codec round trip with its
+// sub-messages intact and in order, arriving as one delivery.
+func TestLiveBatchDelivery(t *testing.T) {
+	n := NewLive(Latencies{Data: time.Millisecond, Control: time.Millisecond, Peer: time.Millisecond})
+	defer n.Close()
+	a := &recorder{id: 1}
+	b := &recorder{id: 2}
+	n.Attach(a)
+	n.Attach(b)
+
+	batch := &openflow.Batch{Msgs: []openflow.Message{
+		&openflow.GroupConfig{Group: 1, Members: []model.SwitchID{1, 2}, Designated: 1, Version: 3},
+		&openflow.LFIBUpdate{Origin: 2, Full: true, Entries: []openflow.LFIBEntry{
+			{MAC: model.HostMAC(20), IP: model.HostIP(20), VLAN: 1},
+		}, Version: 3},
+	}}
+	n.Env(1).Send(2, batch)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for b.count() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if b.count() != 1 {
+		t.Fatalf("b received %d messages, want 1 (the batch)", b.count())
+	}
+	if n.CodecErrors != 0 {
+		t.Errorf("CodecErrors = %d", n.CodecErrors)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	got, ok := b.got[0].(*openflow.Batch)
+	if !ok {
+		t.Fatalf("delivered %T, want *openflow.Batch", b.got[0])
+	}
+	if got == batch {
+		t.Fatal("batch not round-tripped through codec (same pointer)")
+	}
+	if len(got.Msgs) != 2 {
+		t.Fatalf("batch decoded %d sub-messages, want 2", len(got.Msgs))
+	}
+	if cfg, ok := got.Msgs[0].(*openflow.GroupConfig); !ok || cfg.Version != 3 {
+		t.Errorf("first sub-message = %+v, want the GroupConfig", got.Msgs[0])
+	}
+	if u, ok := got.Msgs[1].(*openflow.LFIBUpdate); !ok || len(u.Entries) != 1 {
+		t.Errorf("second sub-message = %+v, want the preload", got.Msgs[1])
+	}
+}

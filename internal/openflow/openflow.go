@@ -7,6 +7,11 @@
 // including the Encap action that extends OpenFlow v1.0 with GRE-like
 // overlay encapsulation.
 //
+// The Batch message coalesces several messages to one destination
+// (body: u32 count, then per item u8 type + u32 length + body) so a
+// regroup round encodes and sends at most one control message per
+// switch; see Batch for the framing details and the no-nesting rule.
+//
 // The binary codec is exercised on every message crossing the live
 // (goroutine) transport, and by the protocol round-trip tests.
 package openflow
@@ -47,6 +52,9 @@ const (
 	TypeStateReport
 	TypeKeepAlive
 	TypeARPRelay
+	// TypeBatch coalesces several messages to one destination (one
+	// encode and one send per switch per regroup round, see Batch).
+	TypeBatch
 )
 
 var msgTypeNames = map[MsgType]string{
@@ -65,6 +73,7 @@ var msgTypeNames = map[MsgType]string{
 	TypeStateReport:  "StateReport",
 	TypeKeepAlive:    "KeepAlive",
 	TypeARPRelay:     "ARPRelay",
+	TypeBatch:        "Batch",
 }
 
 // String returns the message type name.
@@ -148,6 +157,8 @@ func newMessage(t MsgType) (Message, error) {
 		return &KeepAlive{}, nil
 	case TypeARPRelay:
 		return &ARPRelay{}, nil
+	case TypeBatch:
+		return &Batch{}, nil
 	case TypeFailureReport:
 		return &FailureReport{}, nil
 	default:
