@@ -38,6 +38,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. the dissemination
+	// benchmarks' "wire-B/op" bytes-on-wire metric), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the emitted JSON document.
@@ -55,21 +58,63 @@ type Report struct {
 	Baseline *Report `json:"baseline,omitempty"`
 }
 
-// benchLine matches "BenchmarkName-8  10  123456 ns/op  99 B/op  3 allocs/op"
-// (the B/op and allocs/op columns are optional).
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// benchName matches the leading "BenchmarkName-8  10" of a result line;
+// the metrics that follow are parsed as generic (value, unit) pairs so
+// custom b.ReportMetric units survive between ns/op and the -benchmem
+// columns.
+var benchName = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?$`)
+
+// parseBenchLine parses one "BenchmarkX-8 N v1 u1 v2 u2 ..." line, or
+// returns nil for non-benchmark output.
+func parseBenchLine(line, pkg string) *Result {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return nil
+	}
+	m := benchName.FindStringSubmatch(fields[0])
+	if m == nil {
+		return nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil
+	}
+	r := &Result{Name: m[1], Package: pkg, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		value, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = value
+		case "B/op":
+			r.BytesPerOp = int64(value)
+		case "allocs/op":
+			r.AllocsPerOp = int64(value)
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = value
+		}
+	}
+	if r.NsPerOp == 0 && r.Extra == nil && r.BytesPerOp == 0 {
+		return nil
+	}
+	return r
+}
 
 func main() {
 	var (
-		bench       = flag.String("bench", "BenchmarkFig6b|BenchmarkFig7$|BenchmarkIniGroup|BenchmarkIncUpdate|BenchmarkPartitionKWay|BenchmarkBisect|BenchmarkEventChurn|BenchmarkIntensityAdd|BenchmarkForEachPair|BenchmarkPacketInStorm", "benchmark regex passed to go test -bench")
+		bench       = flag.String("bench", "BenchmarkFig6b|BenchmarkFig7$|BenchmarkIniGroup|BenchmarkIncUpdate|BenchmarkPartitionKWay|BenchmarkBisect|BenchmarkEventChurn|BenchmarkIntensityAdd|BenchmarkForEachPair|BenchmarkPacketInStorm|BenchmarkDissemDelta|BenchmarkDissemFull", "benchmark regex passed to go test -bench")
 		benchtime   = flag.String("benchtime", "1x", "value for go test -benchtime")
 		count       = flag.Int("count", 1, "value for go test -count")
 		pkgs        = flag.String("pkg", "./...", "package pattern to benchmark")
 		out         = flag.String("out", "", "output JSON path (default: BENCH_<latest+1>.json)")
 		dir         = flag.String("dir", "", "directory to run go test in (default: current; use to benchmark another checkout)")
 		baseline    = flag.String("baseline", "", "previous report JSON to embed and gate against (default: latest BENCH_<n>.json; \"none\" disables)")
-		gate        = flag.String("gate", "BenchmarkFig6b,BenchmarkFig7", "comma-separated benchmark names gated against the baseline")
+		gate        = flag.String("gate", "BenchmarkFig6b,BenchmarkFig7,BenchmarkDissemDelta", "comma-separated benchmark names gated against the baseline")
 		maxregress  = flag.Float64("maxregress", 0.10, "maximum tolerated fractional regression in ns/op or allocs/op for gated benchmarks")
 		gatemetrics = flag.String("gatemetrics", "ns,allocs", "metrics the gate enforces: ns, allocs, or both; allocs/op is the only metric comparable across machines, so CI gates allocs only")
 	)
@@ -123,20 +168,11 @@ func main() {
 			pkg = strings.TrimSpace(rest)
 			continue
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		r := parseBenchLine(line, pkg)
+		if r == nil {
 			continue
 		}
-		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		r := Result{Name: m[1], Package: pkg, Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-		}
-		if m[5] != "" {
-			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-		}
-		report.Benchmarks = append(report.Benchmarks, r)
+		report.Benchmarks = append(report.Benchmarks, *r)
 	}
 	if len(report.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "bench: no benchmark lines parsed")

@@ -18,34 +18,12 @@ import (
 )
 
 func main() {
-	name := flag.String("trace", "syn-a", "trace: real, syn-a, syn-b, syn-c")
-	scale := flag.Int("scale", 30000, "flow-count divisor")
-	seed := flag.Uint64("seed", 1, "random seed")
+	cli := trace.RegisterCLI(nil, "syn-a", 30000)
 	limit := flag.Int("limit", 100, "group size limit")
 	parallel := flag.Bool("parallel", false, "parallel IncUpdate (Appendix B)")
 	flag.Parse()
 
-	var (
-		tr  *trace.Trace
-		err error
-	)
-	switch *name {
-	case "real":
-		tr, err = trace.RealLike(*scale, *seed)
-	case "syn-a":
-		tr, err = trace.SynA(*scale, *seed)
-	case "syn-b":
-		tr, err = trace.SynB(*scale, *seed)
-	case "syn-c":
-		tr, err = trace.SynC(*scale, *seed)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown trace %q\n", *name)
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	tr := cli.MustTrace()
 
 	m := trace.SwitchIntensity(tr, 0, tr.Duration)
 	fmt.Printf("trace %s: %d switches, %d active pairs, total intensity %.2f flows/s\n",
@@ -53,7 +31,7 @@ func main() {
 
 	sgi, err := grouping.New(grouping.Config{
 		SizeLimit: *limit,
-		Seed:      *seed,
+		Seed:      cli.Seed(),
 		Parallel:  *parallel,
 	})
 	if err != nil {

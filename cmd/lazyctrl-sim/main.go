@@ -20,22 +20,18 @@ import (
 )
 
 func main() {
+	cli := trace.RegisterCLI(nil, "real", 5000)
 	mode := flag.String("mode", "lazy", "control plane: lazy or openflow")
 	dynamic := flag.Bool("dynamic", false, "incremental regrouping under drift")
 	expanded := flag.Bool("expanded", false, "use the +30% expanded trace")
-	scale := flag.Int("scale", 5000, "flow-count divisor for the real trace")
-	seed := flag.Uint64("seed", 1, "random seed")
 	limit := flag.Int("limit", 46, "group size limit")
 	hours := flag.Int("hours", 24, "horizon in hours")
 	flag.Parse()
 
-	tr, err := trace.RealLike(*scale, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	tr := cli.MustTrace()
 	if *expanded {
-		tr, err = trace.Expand(tr, 0.30, 8, 24, *seed^0xe)
+		var err error
+		tr, err = trace.Expand(tr, 0.30, 8, 24, cli.Seed()^0xe)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -56,7 +52,7 @@ func main() {
 		Dynamic:        *dynamic,
 		GroupSizeLimit: *limit,
 		Horizon:        time.Duration(*hours) * time.Hour,
-		Seed:           *seed,
+		Seed:           cli.Seed(),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

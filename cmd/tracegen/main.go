@@ -16,42 +16,20 @@ import (
 )
 
 func main() {
-	name := flag.String("trace", "real", "trace to generate: real, syn-a, syn-b, syn-c")
-	scale := flag.Int("scale", 5000, "divisor applied to the paper's flow count")
-	seed := flag.Uint64("seed", 1, "random seed")
+	cli := trace.RegisterCLI(nil, "real", 5000)
 	expand := flag.Bool("expand", false, "also derive the +30% expanded trace (§V-D)")
 	flag.Parse()
 
-	var (
-		tr  *trace.Trace
-		err error
-	)
-	switch *name {
-	case "real":
-		tr, err = trace.RealLike(*scale, *seed)
-	case "syn-a":
-		tr, err = trace.SynA(*scale, *seed)
-	case "syn-b":
-		tr, err = trace.SynB(*scale, *seed)
-	case "syn-c":
-		tr, err = trace.SynC(*scale, *seed)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown trace %q\n", *name)
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	describe(tr, *seed)
+	tr := cli.MustTrace()
+	describe(tr, cli.Seed())
 	if *expand {
-		exp, err := trace.Expand(tr, 0.30, 8, 24, *seed^0xe)
+		exp, err := trace.Expand(tr, 0.30, 8, 24, cli.Seed()^0xe)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Println()
-		describe(exp, *seed)
+		describe(exp, cli.Seed())
 	}
 }
 

@@ -23,6 +23,10 @@ type Filter struct {
 	m     uint64 // number of bits
 	k     uint32 // number of hash functions
 	count uint64 // number of Add calls (approximate cardinality)
+	// version is the owner-assigned monotonic state version of the
+	// filter (see Version). It travels in the delta-protocol wire
+	// messages, not in MarshalBinary's blob.
+	version uint64
 }
 
 // New returns a filter with m bits and k hash functions. m is rounded up
@@ -64,6 +68,16 @@ func (f *Filter) K() uint32 { return f.k }
 
 // Count returns the number of elements added (including duplicates).
 func (f *Filter) Count() uint64 { return f.count }
+
+// Version returns the filter's state version. Versions are assigned by
+// the filter's owner (for a G-FIB filter, the origin switch's L-FIB
+// version at build time) and are the base/target coordinates of the
+// word-level delta protocol: a delta from base v to target v' applies
+// only to a filter currently at version v.
+func (f *Filter) Version() uint64 { return f.version }
+
+// SetVersion records the owner-assigned state version.
+func (f *Filter) SetVersion(v uint64) { f.version = v }
 
 // SizeBytes returns the storage footprint of the bit array.
 func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
@@ -191,9 +205,13 @@ func FPPFor(m uint64, k uint32, n uint64) float64 {
 const marshalMagic = 0x4c435f4246 // "LC_BF"
 
 // MarshalBinary encodes the filter for dissemination over peer/state
-// links.
+// links: magic, geometry, and the bit array. The element count is
+// sender-local metadata (it only feeds the owner's FPP estimate) and
+// deliberately stays off the wire, so two filters with the same bits
+// always encode identically — the invariant the delta-protocol
+// differential tests pin.
 func (f *Filter) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 0, 8+8+4+8+len(f.bits)*8)
+	buf := make([]byte, 0, 8+8+4+len(f.bits)*8)
 	var scratch [8]byte
 	binary.BigEndian.PutUint64(scratch[:], marshalMagic)
 	buf = append(buf, scratch[:]...)
@@ -201,8 +219,6 @@ func (f *Filter) MarshalBinary() ([]byte, error) {
 	buf = append(buf, scratch[:]...)
 	binary.BigEndian.PutUint32(scratch[:4], f.k)
 	buf = append(buf, scratch[:4]...)
-	binary.BigEndian.PutUint64(scratch[:], f.count)
-	buf = append(buf, scratch[:]...)
 	for _, w := range f.bits {
 		binary.BigEndian.PutUint64(scratch[:], w)
 		buf = append(buf, scratch[:]...)
@@ -215,9 +231,10 @@ var ErrCorrupt = errors.New("bloom: corrupt encoding")
 
 // UnmarshalBinary decodes a filter produced by MarshalBinary. When the
 // receiver already holds a bit array of the right geometry it is decoded
-// into in place, so periodic re-dissemination does not allocate.
+// into in place, so periodic re-dissemination does not allocate. The
+// decoded filter's element count is zero (counts do not travel).
 func (f *Filter) UnmarshalBinary(data []byte) error {
-	if len(data) < 28 {
+	if len(data) < 20 {
 		return ErrCorrupt
 	}
 	if binary.BigEndian.Uint64(data[0:8]) != marshalMagic {
@@ -225,20 +242,19 @@ func (f *Filter) UnmarshalBinary(data []byte) error {
 	}
 	m := binary.BigEndian.Uint64(data[8:16])
 	k := binary.BigEndian.Uint32(data[16:20])
-	count := binary.BigEndian.Uint64(data[20:28])
 	words := int(m / 64)
-	if m%64 != 0 || len(data) != 28+words*8 || k == 0 {
+	if m%64 != 0 || len(data) != 20+words*8 || k == 0 {
 		return ErrCorrupt
 	}
 	bits := f.bits
 	if len(bits) != words {
 		bits = make([]uint64, words)
 	}
-	payload := data[28:]
+	payload := data[20:]
 	for i := range bits {
 		bits[i] = binary.BigEndian.Uint64(payload[i*8 : i*8+8])
 	}
-	f.m, f.k, f.count, f.bits = m, k, count, bits
+	f.m, f.k, f.count, f.bits = m, k, 0, bits
 	return nil
 }
 
@@ -246,5 +262,54 @@ func (f *Filter) UnmarshalBinary(data []byte) error {
 func (f *Filter) Clone() *Filter {
 	bits := make([]uint64, len(f.bits))
 	copy(bits, f.bits)
-	return &Filter{bits: bits, m: f.m, k: f.k, count: f.count}
+	return &Filter{bits: bits, m: f.m, k: f.k, count: f.count, version: f.version}
+}
+
+// WordDelta is one changed 64-bit word of a filter's bit array: the
+// word index and its new value. A host arrival flips at most k bits, so
+// a churn step touches O(k) words out of m/64 — the delta protocol
+// ships those instead of the whole array.
+type WordDelta struct {
+	Index uint32
+	Word  uint64
+}
+
+// ErrGeometry reports a delta or diff between filters of different
+// geometry; the delta protocol falls back to a full filter push.
+var ErrGeometry = errors.New("bloom: filter geometry mismatch")
+
+// ErrDeltaRange reports a delta word index outside the filter's array.
+var ErrDeltaRange = errors.New("bloom: delta word index out of range")
+
+// DiffWords returns the words of f that differ from old, in ascending
+// index order. The result applied to old via ApplyWords reproduces f's
+// bit array exactly. Filters of different geometry cannot be diffed.
+func (f *Filter) DiffWords(old *Filter) ([]WordDelta, error) {
+	if old == nil || f.m != old.m || f.k != old.k {
+		return nil, ErrGeometry
+	}
+	var out []WordDelta
+	for i, w := range f.bits {
+		if w != old.bits[i] {
+			out = append(out, WordDelta{Index: uint32(i), Word: w})
+		}
+	}
+	return out, nil
+}
+
+// ApplyWords overwrites the given words of the bit array, completing
+// one delta step. Indexes are validated before any word is written, so
+// a malformed delta leaves the filter untouched. Version bookkeeping
+// is the caller's (the base-version check lives in the G-FIB, which
+// knows what it holds).
+func (f *Filter) ApplyWords(words []WordDelta) error {
+	for _, w := range words {
+		if int(w.Index) >= len(f.bits) {
+			return ErrDeltaRange
+		}
+	}
+	for _, w := range words {
+		f.bits[w.Index] = w.Word
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package bloom
 
 import (
+	"bytes"
 	"encoding/binary"
 	"math/rand/v2"
 	"testing"
@@ -119,8 +120,12 @@ func TestMarshalRoundTrip(t *testing.T) {
 	if err := g.UnmarshalBinary(data); err != nil {
 		t.Fatalf("UnmarshalBinary: %v", err)
 	}
-	if g.M() != f.M() || g.K() != f.K() || g.Count() != f.Count() {
+	if g.M() != f.M() || g.K() != f.K() {
 		t.Fatalf("geometry mismatch after round trip: %+v vs %+v", g, f)
+	}
+	// The element count is sender-local metadata and does not travel.
+	if g.Count() != 0 {
+		t.Fatalf("Count() = %d after decode, want 0 (counts stay off the wire)", g.Count())
 	}
 	for i := uint64(0); i < 300; i++ {
 		if !g.Test(key(i * 7)) {
@@ -282,5 +287,85 @@ func BenchmarkTest(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.TestUint64(uint64(i))
+	}
+}
+
+func TestDiffApplyWords(t *testing.T) {
+	old := New(2048, 7)
+	for i := uint64(0); i < 40; i++ {
+		old.Add(key(i))
+	}
+	old.SetVersion(3)
+	cur := old.Clone()
+	cur.Add(key(1000))
+	cur.Add(key(1001))
+	cur.SetVersion(4)
+
+	words, err := cur.DiffWords(old)
+	if err != nil {
+		t.Fatalf("DiffWords: %v", err)
+	}
+	if len(words) == 0 || len(words) > 2*7 {
+		t.Fatalf("diff has %d words, want 1..14 (k probes per key)", len(words))
+	}
+	patched := old.Clone()
+	if err := patched.ApplyWords(words); err != nil {
+		t.Fatalf("ApplyWords: %v", err)
+	}
+	a, _ := patched.MarshalBinary()
+	b, _ := cur.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Error("delta-applied filter not byte-identical to the diff target")
+	}
+	// Removal direction: diffing back to old clears the bits again.
+	back, err := old.DiffWords(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := patched.ApplyWords(back); err != nil {
+		t.Fatal(err)
+	}
+	a, _ = patched.MarshalBinary()
+	b, _ = old.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Error("reverse delta did not restore the original bits")
+	}
+}
+
+func TestDiffWordsGeometryMismatch(t *testing.T) {
+	a := New(2048, 7)
+	if _, err := a.DiffWords(nil); err == nil {
+		t.Error("DiffWords(nil) succeeded")
+	}
+	if _, err := a.DiffWords(New(1024, 7)); err == nil {
+		t.Error("DiffWords across m mismatch succeeded")
+	}
+	if _, err := a.DiffWords(New(2048, 5)); err == nil {
+		t.Error("DiffWords across k mismatch succeeded")
+	}
+}
+
+func TestApplyWordsRangeCheck(t *testing.T) {
+	f := New(128, 2) // 2 words
+	f.Add(key(1))
+	before, _ := f.MarshalBinary()
+	err := f.ApplyWords([]WordDelta{{Index: 0, Word: 1}, {Index: 99, Word: 2}})
+	if err == nil {
+		t.Fatal("out-of-range delta applied")
+	}
+	after, _ := f.MarshalBinary()
+	if !bytes.Equal(before, after) {
+		t.Error("failed delta mutated the filter")
+	}
+}
+
+func TestVersionAccessors(t *testing.T) {
+	f := New(64, 1)
+	if f.Version() != 0 {
+		t.Errorf("fresh Version() = %d", f.Version())
+	}
+	f.SetVersion(9)
+	if f.Version() != 9 || f.Clone().Version() != 9 {
+		t.Error("version not kept by SetVersion/Clone")
 	}
 }

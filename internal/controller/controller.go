@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"time"
 
+	"lazyctrl/internal/bloom"
 	"lazyctrl/internal/failover"
 	"lazyctrl/internal/fib"
 	"lazyctrl/internal/grouping"
@@ -225,17 +226,35 @@ type Controller struct {
 	lastRegroupAt   time.Duration
 	rateAtRegroup   float64
 	groupingVersion uint64
-	// pushedMembers fingerprints the member list last pushed per group,
-	// so preloads ship only to groups whose membership actually changed
-	// (unchanged groups kept their G-FIBs warm — re-preloading them
-	// would rebuild every peer filter for nothing).
+	// pushedMembers fingerprints the member list last pushed per group:
+	// a moved fingerprint means the group's switches will clear their
+	// G-FIBs on the incoming GroupConfig, so their per-destination
+	// filter-version tracking must restart (full preloads).
 	pushedMembers map[model.GroupID]uint64
+	// pushedCfg fingerprints the group view last sent to each switch;
+	// an unchanged view is not re-sent. pushedFilters records, per
+	// destination switch, the filter version last pushed per peer —
+	// assumed delivered until a GFIBNack says otherwise — which is what
+	// lets a push round choose skip vs. delta vs. full per destination.
+	pushedCfg     map[model.SwitchID]uint64
+	pushedFilters map[model.SwitchID]map[model.SwitchID]uint64
+	// pfCur and pfPrev cache the newest and previous preload filter
+	// built per peer out of the C-LIB: pfCur is what full pushes ship,
+	// (pfPrev → pfCur) is the diff pair behind preload deltas.
+	pfCur  map[model.SwitchID]*peerFilter
+	pfPrev map[model.SwitchID]*peerFilter
 
 	// Failover.
 	detector *failover.Detector
 	lastAck  map[model.SwitchID]time.Duration
 	kaSeq    uint64
 	dead     map[model.SwitchID]bool
+
+	// ARP-relay target memoization, valid only inside one ProcessBurst
+	// apply phase (see designatedTargets).
+	arpCache    map[model.VLAN][]model.SwitchID
+	arpCacheVer uint64
+	arpCacheOn  bool
 
 	cancels []func()
 
@@ -263,6 +282,16 @@ type Stats struct {
 	// sharded tables when a switch is diagnosed dead.
 	LearnedEvicted uint64
 	PendingEvicted uint64
+	// PreloadFulls and PreloadDeltas count per-destination preload
+	// filter items pushed in full vs. as word deltas; PushesSkipped
+	// counts destinations a push round sent nothing to (their group
+	// view and peer filters were already current).
+	PreloadFulls  uint64
+	PreloadDeltas uint64
+	PushesSkipped uint64
+	// PreloadNacks counts GFIBNack resync requests answered with full
+	// filters.
+	PreloadNacks uint64
 }
 
 // New constructs a controller.
@@ -300,6 +329,11 @@ func New(cfg Config, env netsim.Env) (*Controller, error) {
 		tenants:       make(map[model.VLAN]model.TenantID),
 		state:         newStateShards(c.StateShards),
 		pushedMembers: make(map[model.GroupID]uint64),
+		pushedCfg:     make(map[model.SwitchID]uint64),
+		pushedFilters: make(map[model.SwitchID]map[model.SwitchID]uint64),
+		pfCur:         make(map[model.SwitchID]*peerFilter),
+		pfPrev:        make(map[model.SwitchID]*peerFilter),
+		arpCache:      make(map[model.VLAN][]model.SwitchID),
 		detector:      failover.NewDetector(3 * c.KeepAliveInterval),
 		lastAck:       make(map[model.SwitchID]time.Duration),
 		dead:          make(map[model.SwitchID]bool),
@@ -377,7 +411,7 @@ func (c *Controller) InitialGrouping(m *grouping.Intensity) error {
 	c.groupingVersion++
 	c.stats.Regroupings++
 	c.lastRegroupAt = c.env.Now()
-	c.pushGroupConfigs()
+	c.pushGroupConfigs(true)
 	if c.cfg.Recorder != nil {
 		c.cfg.Recorder.RecordUpdate(c.env.Now())
 	}
@@ -387,20 +421,45 @@ func (c *Controller) InitialGrouping(m *grouping.Intensity) error {
 	return nil
 }
 
-// pushGroupConfigs sends every switch its group view (§III-D1 setup
-// phase: designated selection, wheel ordering, timing parameters),
-// coalesced with L-FIB preloads of the switch's new peers into at most
-// one OpenFlow message per destination per round. The preloads let a
-// regrouped switch rebuild its G-FIB immediately out of the C-LIB (the
-// Appendix-B "preload for seamless grouping update") instead of
-// black-holing until the first dissemination round; each peer's
-// snapshot is materialized once per group, not once per destination.
-func (c *Controller) pushGroupConfigs() {
-	// Fingerprints are rebuilt from scratch each round: groups that
-	// disappeared don't linger, and a reused group ID can't inherit a
-	// stale fingerprint.
+// peerFilter is one cached preload filter: the Bloom filter built from
+// a switch's C-LIB entries (version-stamped with the switch's reported
+// L-FIB version), its wire encoding, and the entry count it covers.
+type peerFilter struct {
+	f       *bloom.Filter
+	data    []byte
+	entries int
+}
+
+// pushGroupConfigs sends each switch its group view (§III-D1 setup
+// phase: designated selection, wheel ordering, timing parameters)
+// coalesced with G-FIB preloads of the switch's peers out of the C-LIB
+// (the Appendix-B "preload for seamless grouping update") into at most
+// one OpenFlow message per destination per round — and, new in the
+// versioned protocol, possibly none: per destination the round ships
+// only what that destination does not already hold. The group view is
+// fingerprinted per destination; each peer filter is version-tracked
+// per destination and sent as a word-level delta when the destination
+// holds the previous cached version, in full when it holds nothing
+// usable, and not at all when it is current.
+//
+// kickDesignated forces the config through to every group's designated
+// switch even when its view is unchanged: receiving a GroupConfig
+// makes a designated switch advertise, disseminate, and report
+// promptly, so after an effective regrouping the controller's freshly
+// decayed intensity matrix refills within seconds instead of waiting
+// out the report interval — the §IV-B trigger then reacts to fresh
+// traffic, not to decay artifacts. That is one small message per group
+// per regroup, against the full fabric push it replaces.
+//
+// It returns the number of destinations that actually received a
+// message, which is what regroup workload accounting records.
+func (c *Controller) pushGroupConfigs(kickDesignated bool) int {
+	// Membership fingerprints are rebuilt from scratch each round:
+	// groups that disappeared don't linger, and a reused group ID can't
+	// inherit a stale fingerprint.
 	freshFPs := make(map[model.GroupID]uint64, c.grp.NumGroups())
 	defer func() { c.pushedMembers = freshFPs }()
+	sent := 0
 	for _, gid := range c.grp.GroupIDs() {
 		members := c.grp.Members(gid)
 		wheel := failover.BuildWheel(members)
@@ -414,35 +473,28 @@ func (c *Controller) pushGroupConfigs() {
 				}
 			}
 		}
-		// Preload peer state only into groups whose membership changed:
-		// a switch keeps its G-FIB across regroupings that leave its
-		// group intact (see edge.handleGroupConfig), so re-preloading an
-		// unchanged group would rebuild every peer filter for nothing.
-		// The preload is a GFIBUpdate whose filters are built once per
-		// group out of the C-LIB (default geometry) and shared across
-		// every destination; receivers skip their own filter.
 		fp := membersFingerprint(members)
-		changed := c.pushedMembers[gid] != fp
+		membersChanged := c.pushedMembers[gid] != fp
 		freshFPs[gid] = fp
-		var preload *openflow.GFIBUpdate
-		if changed && len(members) > 1 {
-			update := &openflow.GFIBUpdate{Group: gid, Version: c.groupingVersion}
+		var memberSet map[model.SwitchID]bool
+		if membersChanged {
+			memberSet = make(map[model.SwitchID]bool, len(members))
 			for _, m := range members {
-				entries := c.clib.EntriesOn(m)
-				if len(entries) == 0 {
-					continue
-				}
-				data, err := fib.FilterBytesFromWireEntries(entries, c.cfg.FilterBits, c.cfg.FilterHashes)
-				if err != nil {
-					continue // cannot happen with the default geometry
-				}
-				update.Filters = append(update.Filters, openflow.GFIBFilter{Switch: m, Filter: data})
-				c.stats.RulesPreload += uint64(len(entries))
-			}
-			if len(update.Filters) > 0 {
-				preload = update
+				memberSet[m] = true
 			}
 		}
+		// Refresh the per-peer filter cache for members whose reported
+		// L-FIB version moved; each filter is built and encoded once
+		// per round and shared across every destination.
+		if len(members) > 1 {
+			for _, m := range members {
+				c.refreshPeerFilter(m)
+			}
+		}
+		// diffs memoizes the pfPrev→pfCur word diff per peer within the
+		// round (computed at most once, reused by every destination that
+		// holds the previous version).
+		var diffs map[model.SwitchID][]bloom.WordDelta
 		for _, m := range members {
 			prev, next := failover.Neighbors(wheel, m)
 			cfgMsg := &openflow.GroupConfig{
@@ -456,11 +508,47 @@ func (c *Controller) pushGroupConfigs() {
 				KeepAliveInterval: c.cfg.KeepAliveInterval,
 				Version:           c.groupingVersion,
 			}
-			if preload == nil {
-				c.env.Send(m, cfgMsg)
+			cfgFP := configFingerprint(cfgMsg)
+			var msgs []openflow.Message
+			if c.pushedCfg[m] != cfgFP || (kickDesignated && m == designated) {
+				msgs = append(msgs, cfgMsg)
+			}
+			if membersChanged {
+				// The incoming GroupConfig makes this switch drop the
+				// filters of peers that left its group; filters of
+				// peers that stayed survive at equal-or-newer versions
+				// (edge.handleGroupConfig invalidates selectively), so
+				// only the departed peers' acked versions are
+				// forgotten. If a kept filter was in fact lost (peer
+				// evidence eviction), the NACK/resync path repairs it.
+				if acked := c.pushedFilters[m]; acked != nil {
+					for peer := range acked {
+						if !memberSet[peer] {
+							delete(acked, peer)
+						}
+					}
+				}
+			}
+			if len(members) > 1 {
+				update, delta := c.buildPreload(gid, m, members, &diffs)
+				if update != nil {
+					msgs = append(msgs, update)
+				}
+				if delta != nil {
+					msgs = append(msgs, delta)
+				}
+			}
+			if len(msgs) == 0 {
+				c.stats.PushesSkipped++
+				continue
+			}
+			c.pushedCfg[m] = cfgFP
+			sent++
+			if len(msgs) == 1 {
+				c.env.Send(m, msgs[0])
 			} else {
 				c.stats.BatchedPushes++
-				c.env.Send(m, &openflow.Batch{Msgs: []openflow.Message{cfgMsg, preload}})
+				c.env.Send(m, &openflow.Batch{Msgs: msgs})
 			}
 		}
 		// C-LIB group tags follow the new grouping; the host→switch
@@ -469,6 +557,111 @@ func (c *Controller) pushGroupConfigs() {
 			c.clib.SetGroup(m, gid)
 		}
 	}
+	return sent
+}
+
+// refreshPeerFilter rebuilds the cached preload filter for a switch
+// when the C-LIB's recorded L-FIB version for it moved, rotating the
+// old filter into the diff-base slot. A switch without C-LIB entries
+// has no filter (and loses any cached one — e.g. after failover
+// eviction).
+func (c *Controller) refreshPeerFilter(sw model.SwitchID) {
+	v := c.clib.VersionOn(sw)
+	if cur := c.pfCur[sw]; cur != nil && cur.f.Version() == v {
+		return
+	}
+	entries := c.clib.EntriesOn(sw)
+	if len(entries) == 0 {
+		delete(c.pfCur, sw)
+		delete(c.pfPrev, sw)
+		return
+	}
+	f := fib.FilterFromWireEntries(entries, c.cfg.FilterBits, c.cfg.FilterHashes)
+	f.SetVersion(v)
+	data, err := f.MarshalBinary()
+	if err != nil {
+		return // cannot happen: MarshalBinary has no failure path
+	}
+	if cur := c.pfCur[sw]; cur != nil {
+		c.pfPrev[sw] = cur
+	}
+	c.pfCur[sw] = &peerFilter{f: f, data: data, entries: len(entries)}
+}
+
+// buildPreload assembles the G-FIB preload for one destination: per
+// peer, skip when the destination already holds the current filter
+// version, diff against the previous cached filter when it holds that,
+// and fall back to the full encoding otherwise. diffs memoizes word
+// diffs across destinations within the round.
+func (c *Controller) buildPreload(gid model.GroupID, dest model.SwitchID, members []model.SwitchID, diffs *map[model.SwitchID][]bloom.WordDelta) (*openflow.GFIBUpdate, *openflow.GFIBDelta) {
+	var update *openflow.GFIBUpdate
+	var delta *openflow.GFIBDelta
+	acked := c.pushedFilters[dest]
+	for _, peer := range members {
+		if peer == dest {
+			continue
+		}
+		cur := c.pfCur[peer]
+		if cur == nil {
+			continue
+		}
+		curV := cur.f.Version()
+		var ackedV uint64
+		var has bool
+		if acked != nil {
+			ackedV, has = acked[peer]
+		}
+		if has && ackedV == curV {
+			continue // destination is current for this peer
+		}
+		prev := c.pfPrev[peer]
+		if has && prev != nil && prev.f.Version() == ackedV {
+			if *diffs == nil {
+				*diffs = make(map[model.SwitchID][]bloom.WordDelta)
+			}
+			words, ok := (*diffs)[peer]
+			if !ok {
+				var err error
+				words, err = cur.f.DiffWords(prev.f)
+				if err != nil {
+					words = nil
+				}
+				(*diffs)[peer] = words
+			}
+			if words != nil && openflow.DeltaWireCost(words) < openflow.FullWireCost(len(cur.data)) {
+				if delta == nil {
+					delta = &openflow.GFIBDelta{Group: gid, Version: c.groupingVersion}
+				}
+				delta.Deltas = append(delta.Deltas, openflow.GFIBFilterDelta{
+					Switch:        peer,
+					BaseVersion:   ackedV,
+					TargetVersion: curV,
+					Words:         words,
+				})
+				c.stats.PreloadDeltas++
+				c.markPushed(dest, peer, curV)
+				continue
+			}
+		}
+		if update == nil {
+			update = &openflow.GFIBUpdate{Group: gid, Version: c.groupingVersion}
+		}
+		update.Filters = append(update.Filters, openflow.GFIBFilter{Switch: peer, Filter: cur.data, Version: curV})
+		c.stats.PreloadFulls++
+		c.stats.RulesPreload += uint64(cur.entries)
+		c.markPushed(dest, peer, curV)
+	}
+	return update, delta
+}
+
+// markPushed records the filter version just shipped to a destination.
+func (c *Controller) markPushed(dest, peer model.SwitchID, v uint64) {
+	m := c.pushedFilters[dest]
+	if m == nil {
+		m = make(map[model.SwitchID]uint64)
+		c.pushedFilters[dest] = m
+	}
+	m[peer] = v
 }
 
 // membersFingerprint hashes a member list (FNV-1a over the IDs, which
@@ -479,6 +672,34 @@ func membersFingerprint(members []model.SwitchID) uint64 {
 	for _, m := range members {
 		h ^= uint64(m)
 		h *= 1099511628211
+	}
+	return h
+}
+
+// configFingerprint hashes everything a destination learns from its
+// GroupConfig except the grouping version: a regroup round that leaves
+// a switch's view intact (same group, members, designated, wheel
+// neighbors, timing) need not re-send it just because the global
+// version counter moved.
+func configFingerprint(m *openflow.GroupConfig) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(m.Group))
+	mix(uint64(m.Designated))
+	mix(uint64(m.RingPrev))
+	mix(uint64(m.RingNext))
+	mix(uint64(m.SyncInterval))
+	mix(uint64(m.KeepAliveInterval))
+	mix(uint64(len(m.Members)))
+	for _, id := range m.Members {
+		mix(uint64(id))
+	}
+	mix(uint64(len(m.Backups)))
+	for _, id := range m.Backups {
+		mix(uint64(id))
 	}
 	return h
 }

@@ -1,0 +1,209 @@
+package controller
+
+import (
+	"reflect"
+	"testing"
+
+	"lazyctrl/internal/failover"
+	"lazyctrl/internal/grouping"
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/openflow"
+)
+
+// lazyGrouped builds a lazy controller with an initial grouping and a
+// warm C-LIB (4 hosts per switch at L-FIB version 1).
+func lazyGrouped(t *testing.T) (*Controller, *recordingEnv) {
+	t.Helper()
+	c, env := newDirectController(t, ModeLazy, 4)
+	m := grouping.NewIntensity()
+	m.Add(1, 2, 100)
+	m.Add(3, 4, 100)
+	m.Add(1, 3, 1)
+	if err := c.InitialGrouping(m); err != nil {
+		t.Fatal(err)
+	}
+	for sw := model.SwitchID(1); sw <= 16; sw++ {
+		var entries []openflow.LFIBEntry
+		for j := 0; j < 4; j++ {
+			h := model.HostID(uint32(sw)*100 + uint32(j))
+			entries = append(entries, openflow.LFIBEntry{MAC: model.HostMAC(h), IP: model.HostIP(h), VLAN: 1})
+		}
+		c.clib.ApplyLFIB(sw, c.grp.GroupOf(sw), &openflow.LFIBUpdate{Full: true, Entries: entries, Version: 1})
+	}
+	env.reset()
+	return c, env
+}
+
+// TestPacketInBurstViaHandleMessage checks the PacketInBurst mailbox
+// entry point fans out through ProcessBurst.
+func TestPacketInBurstViaHandleMessage(t *testing.T) {
+	c, _ := newDirectController(t, ModeLearning, 8)
+	warmLearning(c)
+	batch := stormBatch(64, 3)
+	burst := &openflow.PacketInBurst{Switch: batch[0].Switch}
+	for i := range batch {
+		pi := batch[i]
+		pi.Switch = burst.Switch
+		burst.Items = append(burst.Items, openflow.BurstPacket{Reason: pi.Reason, Packet: pi.Packet})
+	}
+	before := c.Stats().PacketIns
+	c.HandleMessage(burst.Switch, burst)
+	if got := c.Stats().PacketIns - before; got != 64 {
+		t.Errorf("burst of 64 counted %d PacketIns", got)
+	}
+}
+
+// TestPushSkipsCurrentDestinations pins the per-destination version
+// tracking: a push round in which nothing changed for anyone sends
+// nothing at all.
+func TestPushSkipsCurrentDestinations(t *testing.T) {
+	c, env := lazyGrouped(t)
+	// First post-warm round ships the preloads (configs are already
+	// current from InitialGrouping).
+	if sent := c.pushGroupConfigs(false); sent == 0 {
+		t.Fatal("warm push sent nothing despite fresh C-LIB state")
+	}
+	env.reset()
+	// Nothing moved since: the next round must ship nothing.
+	skippedBefore := c.Stats().PushesSkipped
+	if sent := c.pushGroupConfigs(false); sent != 0 {
+		t.Errorf("idle push round sent to %d destinations, want 0", sent)
+	}
+	if len(env.sendCounts()) != 0 {
+		t.Errorf("idle push round still sent messages: %v", env.sendCounts())
+	}
+	if c.Stats().PushesSkipped == skippedBefore {
+		t.Error("skipped destinations not counted")
+	}
+}
+
+// TestPreloadDeltaAndNack drives the controller's C-LIB delta path: a
+// single-host change ships as a GFIBDelta to already-preloaded
+// destinations, and a NACK gets exactly the named peers back in full.
+func TestPreloadDeltaAndNack(t *testing.T) {
+	c, env := lazyGrouped(t)
+	c.pushGroupConfigs(false) // full preloads, seeds per-destination versions
+	env.reset()
+
+	// One host arrives on switch 1; the designated switch's next full
+	// report carries the grown snapshot at L-FIB version 2 (only full
+	// snapshots advance the C-LIB's preload version stamp).
+	var entries []openflow.LFIBEntry
+	for j := 0; j < 4; j++ {
+		hh := model.HostID(100 + uint32(j))
+		entries = append(entries, openflow.LFIBEntry{MAC: model.HostMAC(hh), IP: model.HostIP(hh), VLAN: 1})
+	}
+	h := model.HostID(199)
+	entries = append(entries, openflow.LFIBEntry{MAC: model.HostMAC(h), IP: model.HostIP(h), VLAN: 1})
+	c.clib.ApplyLFIB(1, c.grp.GroupOf(1), &openflow.LFIBUpdate{Full: true, Entries: entries, Version: 2})
+	if sent := c.pushGroupConfigs(false); sent == 0 {
+		t.Fatal("push after C-LIB change sent nothing")
+	}
+	if c.Stats().PreloadDeltas == 0 {
+		t.Error("changed filter did not ship as a delta")
+	}
+	// Only switch 1's group peers hear about it.
+	gid := c.grp.GroupOf(1)
+	env.mu.Lock()
+	for to, msgs := range env.sends {
+		if c.grp.GroupOf(to) != gid {
+			t.Errorf("destination %v outside group %v received %d messages", to, gid, len(msgs))
+			continue
+		}
+		d, ok := msgs[0].(*openflow.GFIBDelta)
+		if !ok {
+			t.Errorf("destination %v got %T, want *openflow.GFIBDelta", to, msgs[0])
+			continue
+		}
+		if len(d.Deltas) != 1 || d.Deltas[0].Switch != 1 || d.Deltas[0].BaseVersion != 1 || d.Deltas[0].TargetVersion != 2 {
+			t.Errorf("delta to %v = %+v", to, d.Deltas[0])
+		}
+		if len(d.Deltas[0].Words) == 0 {
+			t.Errorf("delta to %v carries no words", to)
+		}
+	}
+	env.mu.Unlock()
+
+	// A member that lost its state NACKs; it gets the full filter.
+	env.reset()
+	var member model.SwitchID
+	for _, m := range c.grp.Members(gid) {
+		if m != 1 {
+			member = m
+			break
+		}
+	}
+	c.handleGFIBNack(&openflow.GFIBNack{Group: gid, Origin: member, Peers: []model.SwitchID{1}})
+	env.mu.Lock()
+	defer env.mu.Unlock()
+	msgs := env.sends[member]
+	if len(msgs) != 1 {
+		t.Fatalf("NACK answered with %d messages, want 1", len(msgs))
+	}
+	u, ok := msgs[0].(*openflow.GFIBUpdate)
+	if !ok || len(u.Filters) != 1 || u.Filters[0].Switch != 1 || u.Filters[0].Version != 2 {
+		t.Fatalf("NACK resync = %+v, want full filter for switch 1 at version 2", msgs[0])
+	}
+	if c.Stats().PreloadNacks == 0 {
+		t.Error("resync not counted")
+	}
+}
+
+// TestMarkRecoveredPushesOnlyRecovered asserts recovery re-pushes tell
+// only the rebooted switch, not its whole group.
+func TestMarkRecoveredPushesOnlyRecovered(t *testing.T) {
+	c, env := lazyGrouped(t)
+	c.pushGroupConfigs(false)
+	c.actOnDiagnosis(2, failover.DiagSwitch)
+	env.reset()
+	c.MarkRecovered(2)
+	counts := env.sendCounts()
+	if len(counts) != 1 || counts[2] != 1 {
+		t.Fatalf("recovery push went to %v, want exactly one message to switch 2", counts)
+	}
+	env.mu.Lock()
+	defer env.mu.Unlock()
+	b, ok := env.sends[2][0].(*openflow.Batch)
+	if !ok {
+		t.Fatalf("recovery push = %T, want a Batch (config + preloads)", env.sends[2][0])
+	}
+	if _, ok := b.Msgs[0].(*openflow.GroupConfig); !ok {
+		t.Error("recovery batch does not lead with the GroupConfig")
+	}
+}
+
+// TestBurstMatchesSequentialWithARPMemo proves the per-burst ARP-target
+// memo changes nothing observable: the same lazy-mode storm through the
+// sequential path and through ProcessBurst yields identical stats,
+// sends, and pending state.
+func TestBurstMatchesSequentialWithARPMemo(t *testing.T) {
+	batch := stormBatch(1024, 23)
+	warm := func() (*Controller, *recordingEnv) {
+		c, env := newDirectController(t, ModeLazy, 4)
+		for h := model.HostID(1); h <= 256; h++ {
+			c.CLIB().Update(model.HostMAC(h), model.HostIP(h), 1, model.SwitchID(uint32(h)%16+1), 1)
+		}
+		env.reset()
+		return c, env
+	}
+	seqC, seqEnv := warm()
+	for i := range batch {
+		pi := batch[i]
+		seqC.HandleMessage(pi.Switch, &pi)
+	}
+	burstC, burstEnv := warm()
+	burstC.ProcessBurst(batch)
+
+	if seqC.Stats() != burstC.Stats() {
+		t.Errorf("stats differ:\nseq:   %+v\nburst: %+v", seqC.Stats(), burstC.Stats())
+	}
+	if !reflect.DeepEqual(seqEnv.sendCounts(), burstEnv.sendCounts()) {
+		t.Error("send counts differ between sequential and burst paths")
+	}
+	if !reflect.DeepEqual(seqC.state.snapshotPending(), burstC.state.snapshotPending()) {
+		t.Error("pending tables differ between sequential and burst paths")
+	}
+	if burstC.arpCacheOn || len(burstC.arpCache) != 0 {
+		t.Error("ARP memo leaked past the burst")
+	}
+}

@@ -18,8 +18,14 @@ func (c *Controller) HandleMessage(from model.SwitchID, msg netsim.Message) {
 	switch m := msg.(type) {
 	case *openflow.PacketIn:
 		c.handlePacketIn(m)
+	case *openflow.PacketInBurst:
+		// An edge switch's micro-batched intake window: the burst goes
+		// straight into the sharded decide/apply pipeline.
+		c.ProcessBurst(m.PacketIns())
 	case *openflow.Batch:
 		c.handleBatch(from, m)
+	case *openflow.GFIBNack:
+		c.handleGFIBNack(m)
 	case *openflow.StateReport:
 		c.handleStateReport(m)
 	case *openflow.LFIBUpdate:
@@ -265,11 +271,7 @@ func (c *Controller) relayARP(p model.Packet) {
 			Injected:  p.Injected,
 		},
 	}
-	targets := c.designatedForVLAN(p.VLAN)
-	if len(targets) == 0 {
-		// No known placement yet: query every designated switch.
-		targets = c.allDesignated()
-	}
+	targets := c.designatedTargets(p.VLAN)
 	c.stats.ARPRelays += uint64(len(targets))
 	c.record(metrics.ReqARPRelay, uint64(len(targets)))
 	c.respond(func() {
@@ -277,6 +279,56 @@ func (c *Controller) relayARP(p model.Packet) {
 			c.env.Send(d, arp)
 		}
 	})
+}
+
+// designatedTargets resolves the designated switches an ARP query for
+// a VLAN fans out to. Inside a ProcessBurst apply phase the resolution
+// is memoized per (VLAN, grouping version): a storm of unresolved
+// flows on one tenant resolves the C-LIB placement scan and the
+// per-group designated election once instead of per pending flow. The
+// cache never outlives the burst — C-LIB placements may move between
+// bursts — and is dropped if a regrouping bumps the version mid-burst.
+func (c *Controller) designatedTargets(vlan model.VLAN) []model.SwitchID {
+	if c.arpCacheOn {
+		if c.arpCacheVer != c.groupingVersion {
+			c.arpCacheVer = c.groupingVersion
+			clear(c.arpCache)
+		}
+		if targets, ok := c.arpCache[vlan]; ok {
+			return targets
+		}
+	}
+	targets := c.designatedForVLAN(vlan)
+	if len(targets) == 0 {
+		// No known placement yet: query every designated switch.
+		targets = c.allDesignated()
+	}
+	if c.arpCacheOn {
+		c.arpCache[vlan] = targets
+	}
+	return targets
+}
+
+// handleGFIBNack answers a resync request against controller-pushed
+// preloads: the receiver could not apply a preload delta (its held
+// version did not match the base), so it gets the current full filters
+// for exactly the peers it named.
+func (c *Controller) handleGFIBNack(m *openflow.GFIBNack) {
+	c.record(metrics.ReqStateReport, 1)
+	update := &openflow.GFIBUpdate{Group: m.Group, Version: c.groupingVersion}
+	for _, peer := range m.Peers {
+		cur := c.pfCur[peer]
+		if cur == nil {
+			continue
+		}
+		update.Filters = append(update.Filters, openflow.GFIBFilter{Switch: peer, Filter: cur.data, Version: cur.f.Version()})
+		c.markPushed(m.Origin, peer, cur.f.Version())
+	}
+	if len(update.Filters) == 0 {
+		return
+	}
+	c.stats.PreloadNacks += uint64(len(update.Filters))
+	c.env.Send(m.Origin, update)
 }
 
 // designatedForVLAN returns the designated switches of groups hosting
@@ -393,8 +445,11 @@ func (c *Controller) maybeRegroup() {
 	c.stats.Regroupings++
 	c.lastRegroupAt = now
 	c.rateAtRegroup = c.lastRate
-	c.record(metrics.ReqRegroup, uint64(len(c.cfg.Switches)))
-	c.pushGroupConfigs()
+	// Regroup workload scales with what the round actually ships: with
+	// per-destination version tracking, switches whose group view and
+	// peer filters are already current cost the controller nothing.
+	sent := c.pushGroupConfigs(true)
+	c.record(metrics.ReqRegroup, uint64(sent))
 	// Age the intensity estimate gently: fresh traffic shifts the
 	// balance without discarding the accumulated signal (a hard reset
 	// would leave SGI re-splitting on sampling noise).
@@ -436,6 +491,15 @@ func (c *Controller) checkFailures() {
 		if now-last >= deadline {
 			c.stats.KeepAliveLost++
 			c.detector.ObserveCtrlLoss(sw, now)
+			// The control link to this switch is dropping messages, so
+			// the per-destination push tracking can no longer assume
+			// send == delivered: forget what was pushed, and the next
+			// push round re-ships the switch's config and preloads.
+			// (The old protocol re-sent every config every round, which
+			// repaired lost pushes implicitly; this is the targeted
+			// replacement.)
+			delete(c.pushedCfg, sw)
+			delete(c.pushedFilters, sw)
 		}
 	}
 	for suspect, diag := range c.detector.Ready(now) {
@@ -466,7 +530,7 @@ func (c *Controller) actOnDiagnosis(suspect model.SwitchID, diag failover.Diagno
 			members := c.grp.Members(gid)
 			if c.chooseDesignatedWas(members, suspect) {
 				c.groupingVersion++
-				c.pushGroupConfigs()
+				c.pushGroupConfigs(true)
 			}
 		}
 	case failover.DiagPeerLinkUp, failover.DiagPeerLinkDown:
@@ -475,7 +539,7 @@ func (c *Controller) actOnDiagnosis(suspect model.SwitchID, diag failover.Diagno
 		// switches afresh.
 		if gid := c.grp.GroupOf(suspect); gid != model.NoGroup {
 			c.groupingVersion++
-			c.pushGroupConfigs()
+			c.pushGroupConfigs(true)
 		}
 	case failover.DiagControlLink:
 		// Relay via the ring predecessor is arranged by the harness.
@@ -510,12 +574,11 @@ func (c *Controller) MarkRecovered(sw model.SwitchID) {
 	delete(c.dead, sw)
 	c.lastAck[sw] = c.env.Now()
 	c.groupingVersion++
-	// The rebooted switch comes back with an empty G-FIB even though
-	// its group's membership (and thus the fingerprint) is unchanged;
-	// drop the fingerprint so the re-push carries the preload instead
-	// of leaving the switch cold until the next dissemination round.
-	if gid := c.grp.GroupOf(sw); gid != model.NoGroup {
-		delete(c.pushedMembers, gid)
-	}
-	c.pushGroupConfigs()
+	// The rebooted switch comes back cold: forget what was pushed to it
+	// so the re-push carries its config and full peer preloads — and
+	// only to it, not to its whole group — instead of leaving it dark
+	// until the next dissemination round.
+	delete(c.pushedCfg, sw)
+	delete(c.pushedFilters, sw)
+	c.pushGroupConfigs(false)
 }

@@ -67,9 +67,16 @@ func (c *Controller) ProcessBurst(batch []openflow.PacketIn) {
 		}
 		wg.Wait()
 	}
+	// The ordered apply phase resolves ARP relay targets through the
+	// per-burst memo: one designated-switch resolution per (VLAN,
+	// grouping version) instead of one per pending flow.
+	c.arpCacheOn = true
+	c.arpCacheVer = c.groupingVersion
 	for i := range batch {
 		c.apply(&batch[i], decisions[i])
 	}
+	c.arpCacheOn = false
+	clear(c.arpCache)
 }
 
 // StateShardCount reports the number of lock stripes backing the

@@ -242,15 +242,18 @@ func TestBatchedGroupPush(t *testing.T) {
 		}
 	}
 	// Populate the C-LIB and re-push as a membership-changing regroup
-	// round (clearing the fingerprints stands in for SGI having reshaped
-	// every group; an unchanged group skips its preloads by design).
+	// round (clearing every push fingerprint stands in for SGI having
+	// reshaped every group; an unchanged destination is skipped by
+	// design).
 	for h := model.HostID(1); h <= 64; h++ {
 		sw := model.SwitchID(uint32(h)%16 + 1)
 		c.CLIB().Update(model.HostMAC(h), model.HostIP(h), 1, sw, c.Grouping().GroupOf(sw))
 	}
 	env.reset()
 	c.pushedMembers = make(map[model.GroupID]uint64)
-	c.pushGroupConfigs()
+	c.pushedCfg = make(map[model.SwitchID]uint64)
+	c.pushedFilters = make(map[model.SwitchID]map[model.SwitchID]uint64)
+	c.pushGroupConfigs(false)
 	counts := env.sendCounts()
 	if len(counts) == 0 {
 		t.Fatal("re-push sent nothing")

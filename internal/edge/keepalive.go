@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"lazyctrl/internal/bloom"
+	"lazyctrl/internal/failover"
 	"lazyctrl/internal/fib"
 	"lazyctrl/internal/model"
 	"lazyctrl/internal/openflow"
@@ -27,12 +28,23 @@ func (s *Switch) sendKeepAlives() {
 
 // handleKeepAlive records heartbeats from ring neighbors and from the
 // controller. Controller heartbeats are acknowledged so the controller
-// can detect control-link loss.
+// can detect control-link loss. A designated switch that evicted a
+// member on peer evidence treats the member's resumed heartbeat as the
+// false-alarm signal and re-sends it its group view: handleGroupConfig
+// resets the member's advertisement state, so its next advertisement
+// is a full snapshot that rebuilds the dropped aggregation and filter
+// state.
 func (s *Switch) handleKeepAlive(from model.SwitchID, m *openflow.KeepAlive) {
 	s.lastFrom[m.From] = s.env.Now()
 	delete(s.reported, m.From)
 	if m.From == model.ControllerNode {
 		s.env.Send(model.ControllerNode, &openflow.KeepAlive{From: s.cfg.ID, Seq: m.Seq})
+	}
+	if s.IsDesignated() && s.evictedMembers[m.From] {
+		delete(s.evictedMembers, m.From)
+		cfg := s.group
+		cfg.RingPrev, cfg.RingNext = failover.Neighbors(failover.BuildWheel(cfg.Members), m.From)
+		s.env.Send(m.From, &cfg)
 	}
 	_ = from
 }
@@ -67,10 +79,35 @@ func (s *Switch) checkKeepAlives() {
 				Direction: dir,
 				MissedSeq: s.kaSeq,
 			})
+			s.evictSuspect(neighbor)
 		}
 	}
 	check(s.group.RingNext, openflow.LossUp)
 	check(s.group.RingPrev, openflow.LossDown)
+}
+
+// evictSuspect invalidates local state pointing at a group member this
+// switch just reported lost, without waiting for the controller's
+// diagnosis window to close: the preloaded G-FIB filter is dropped (so
+// new flows toward the suspect's hosts escalate to the controller
+// instead of encapping into a black hole), and a designated switch
+// also drops the suspect from its aggregation and delta-tracking state
+// so dissemination and reports stop carrying a dead member's L-FIB. A
+// false alarm self-heals: the suspect's next advertisement repopulates
+// the aggregation state and the version gate resends its filter.
+func (s *Switch) evictSuspect(suspect model.SwitchID) {
+	if _, held := s.gfib.PeerVersion(suspect); held {
+		s.gfib.RemoveFilter(suspect)
+		s.stats.PeerFiltersEvicted++
+	}
+	if s.IsDesignated() {
+		delete(s.memberLFIBs, suspect)
+		delete(s.memberLFIBVersions, suspect)
+		delete(s.gfibSent, suspect)
+		delete(s.ctrlSent, suspect)
+		delete(s.gfibPrev, suspect)
+		s.evictedMembers[suspect] = true
+	}
 }
 
 // filterFromEntries builds a Bloom filter over wire L-FIB entries.

@@ -3,6 +3,7 @@ package edge
 import (
 	"time"
 
+	"lazyctrl/internal/bloom"
 	"lazyctrl/internal/model"
 	"lazyctrl/internal/netsim"
 	"lazyctrl/internal/openflow"
@@ -32,6 +33,10 @@ func (s *Switch) HandleMessage(from model.SwitchID, msg netsim.Message) {
 		s.handleMemberReport(from, m)
 	case *openflow.GFIBUpdate:
 		s.handleGFIBUpdate(m)
+	case *openflow.GFIBDelta:
+		s.handleGFIBDelta(from, m)
+	case *openflow.GFIBNack:
+		s.handleGFIBNack(m)
 	case *openflow.LFIBUpdate:
 		s.handleLFIBUpdate(from, m)
 	case *openflow.ARPRelay:
@@ -93,19 +98,43 @@ func (s *Switch) handleGroupConfig(m *openflow.GroupConfig) {
 		s.lastFrom = make(map[model.SwitchID]time.Duration)
 		s.reported = make(map[model.SwitchID]bool)
 	}
-	// Only a membership change invalidates the G-FIB and the designated
-	// switch's aggregation state; regroupings that leave this group
-	// intact (the common case) keep forwarding warm — the Appendix-B
-	// "preload for seamless grouping update" effect.
+	// Only a membership change invalidates G-FIB state, and even then
+	// only selectively: filters of peers that stayed in the group are
+	// kept — they are version-stamped, usually fresher than the
+	// controller's C-LIB preload (which lags by up to a report
+	// interval), and the stale-version guard in handleGFIBUpdate
+	// protects them from being downgraded by it — while filters of
+	// departed peers are dropped (those hosts are inter-group now and
+	// must go through the controller). Regroupings that leave this
+	// group intact (the common case) keep everything warm — the
+	// Appendix-B "preload for seamless grouping update" effect. The
+	// designated-switch aggregation and diff-base caches reset
+	// wholesale: a possibly-new designated rebuilds them from the
+	// members' bootstrap advertisements.
 	if membersChanged {
-		s.gfib.Clear()
+		current := make(map[model.SwitchID]bool, len(m.Members))
+		for _, member := range m.Members {
+			current[member] = true
+		}
+		for _, peer := range s.gfib.Peers() {
+			if !current[peer] {
+				s.gfib.RemoveFilter(peer)
+			}
+		}
 		s.memberLFIBs = make(map[model.SwitchID][]openflow.LFIBEntry)
 		s.memberLFIBVersions = make(map[model.SwitchID]uint64)
 		s.memberPairs = make(map[model.SwitchPair]uint32)
+		s.gfibPrev = make(map[model.SwitchID]*bloom.Filter)
+		s.ctrlPending = make(map[model.SwitchID][]openflow.LFIBEntry)
+		s.ctrlNeedFull = make(map[model.SwitchID]bool)
+		s.evictedMembers = make(map[model.SwitchID]bool)
 	}
 	// Any reconfiguration restarts delta tracking: the next dissemination
-	// and controller report carry full state again (peers may have
+	// and controller report re-examine every member (peers may have
 	// cleared their G-FIBs, and the controller re-tags C-LIB groups).
+	// Where the diff base survived (members unchanged), the re-send
+	// degrades to cheap deltas or version beacons, and receivers that
+	// lost state anyway recover through the NACK/resync path.
 	s.gfibSent = make(map[model.SwitchID]uint64)
 	s.ctrlSent = make(map[model.SwitchID]uint64)
 	// Restart group timers.
@@ -156,8 +185,14 @@ func (s *Switch) restartGroupTimers() {
 }
 
 // advertise implements the state-advertisement module: push the local
-// L-FIB snapshot and window traffic statistics to the designated switch
-// when something changed.
+// L-FIB changes and window traffic statistics to the designated switch
+// when something moved. The L-FIB leg is incremental — only bindings
+// changed since the last advertisement travel — falling back to a full
+// snapshot on the first advertisement after (re)configuration, after a
+// removal (increments cannot express those), and every
+// refreshEveryRounds-th changed advertisement (anti-entropy against a
+// lost increment). A round where only pair statistics moved carries no
+// L-FIB payload at all.
 func (s *Switch) advertise() {
 	if !s.haveGroup {
 		return
@@ -167,17 +202,27 @@ func (s *Switch) advertise() {
 		return
 	}
 	report := &openflow.StateReport{
-		Group: s.group.Group,
-		LFIBs: []openflow.LFIBUpdate{{
-			Origin:  s.cfg.ID,
-			Full:    true,
-			Entries: s.lfib.WireEntries(),
-			Version: s.lfib.Version(),
-		}},
+		Group:   s.group.Group,
 		Pairs:   s.drainPairStats(),
 		Version: s.group.Version,
 	}
-	s.lastAdvertisedVersion = s.lfib.Version()
+	if changed {
+		entries, full := s.lfib.DrainChanges()
+		s.advSinceFull++
+		if s.lastAdvertisedVersion == 0 || s.advSinceFull >= refreshEveryRounds {
+			entries, full = s.lfib.WireEntries(), true
+		}
+		if full {
+			s.advSinceFull = 0
+		}
+		report.LFIBs = []openflow.LFIBUpdate{{
+			Origin:  s.cfg.ID,
+			Full:    full,
+			Entries: entries,
+			Version: s.lfib.Version(),
+		}}
+		s.lastAdvertisedVersion = s.lfib.Version()
+	}
 	if s.IsDesignated() {
 		s.handleMemberReport(s.cfg.ID, report)
 		return
@@ -200,19 +245,69 @@ func (s *Switch) drainPairStats() []openflow.PairStat {
 }
 
 // handleMemberReport records a member's advertisement (designated
-// switch only).
+// switch only): full snapshots replace the member's aggregated state,
+// increments merge into it, and the same increments queue for the next
+// controller report so the state link forwards them instead of
+// re-snapshotting.
 func (s *Switch) handleMemberReport(from model.SwitchID, m *openflow.StateReport) {
 	if !s.IsDesignated() || m.Group != s.group.Group {
 		return
 	}
 	for i := range m.LFIBs {
 		u := &m.LFIBs[i]
-		s.memberLFIBs[u.Origin] = u.Entries
+		if u.Full {
+			s.memberLFIBs[u.Origin] = u.Entries
+			s.ctrlNeedFull[u.Origin] = true
+			delete(s.ctrlPending, u.Origin)
+			delete(s.evictedMembers, u.Origin)
+		} else {
+			base, known := s.memberLFIBs[u.Origin]
+			if !known {
+				// An increment without a base snapshot (the member was
+				// evicted on peer evidence, or its bootstrap full
+				// advertisement was lost) must not be adopted as the
+				// member's whole state: version-stamping an incomplete
+				// entry set would poison everything built from it. The
+				// member stays absent until its next full advertisement
+				// (keep-alive resumption or member-side anti-entropy
+				// triggers one).
+				continue
+			}
+			s.memberLFIBs[u.Origin] = mergeWireEntries(base, u.Entries)
+			s.ctrlPending[u.Origin] = append(s.ctrlPending[u.Origin], u.Entries...)
+		}
 		s.memberLFIBVersions[u.Origin] = u.Version
 	}
 	for _, p := range m.Pairs {
 		s.memberPairs[model.MakeSwitchPair(p.A, p.B)] += p.NewFlows
 	}
+}
+
+// mergeWireEntries merges an increment into a MAC-sorted snapshot,
+// replacing bindings for MACs the increment re-announces. Both inputs
+// are sorted by MAC (LFIB.DrainChanges guarantees it); the result is a
+// fresh slice, never aliasing the old snapshot.
+func mergeWireEntries(old, inc []openflow.LFIBEntry) []openflow.LFIBEntry {
+	out := make([]openflow.LFIBEntry, 0, len(old)+len(inc))
+	i, j := 0, 0
+	for i < len(old) && j < len(inc) {
+		a, b := old[i].MAC.Uint64(), inc[j].MAC.Uint64()
+		switch {
+		case a < b:
+			out = append(out, old[i])
+			i++
+		case a > b:
+			out = append(out, inc[j])
+			j++
+		default:
+			out = append(out, inc[j])
+			i++
+			j++
+		}
+	}
+	out = append(out, old[i:]...)
+	out = append(out, inc[j:]...)
+	return out
 }
 
 // refreshOwnSnapshot folds the designated switch's own L-FIB into the
@@ -247,22 +342,29 @@ func (s *Switch) changedMembers(sent map[model.SwitchID]uint64, full bool, yield
 	}
 }
 
-// refreshEveryRounds is the anti-entropy cadence of the delta
-// dissemination/report paths: deltas assume the previous send arrived,
-// which a down link or a not-yet-configured receiver can violate, so
-// every Nth round resends full state. Staleness after a lost delta is
-// therefore bounded by N×interval (5 min at the 30 s default) instead
-// of "until the origin's L-FIB next changes".
+// refreshEveryRounds is the staleness-bounding cadence of the two
+// designated-switch fan-out paths. On the controller-report path every
+// Nth round ignores the sent-version gate and resends full state
+// (anti-entropy). On the G-FIB dissemination path the Nth round sends
+// only a version beacon — zero-word deltas asserting every member's
+// current filter version — and receivers that do not hold a version
+// NACK for exactly the filters they miss, which the sender then
+// resends in full. A lost delta is therefore repaired within N rounds
+// at the cost of a version comparison, not a full re-push.
 const refreshEveryRounds = 10
 
-// disseminateGFIB rebuilds the group's Bloom filters from member L-FIBs
-// and sends them to every member over peer links (multiple unicasts —
-// no native multicast assumed, §III-B3). Dissemination is incremental:
-// a member's filter is rebuilt and resent only when its advertised
-// L-FIB version moved, and a round with no changed filters sends
-// nothing — in steady state (hosts don't move) the periodic cost drops
-// to a version comparison per member, with a full refresh every
-// refreshEveryRounds rounds.
+// disseminateGFIB distributes the group's Bloom filters to every member
+// over peer links (multiple unicasts — no native multicast assumed,
+// §III-B3). Distribution is versioned and incremental: a member's
+// filter is re-examined only when its advertised L-FIB version moved,
+// and a changed filter ships as a word-level delta against the last
+// disseminated version whenever that is smaller than the full filter —
+// a single host arrival costs O(k) changed words instead of the whole
+// array. Full filters and deltas for one round coalesce into at most
+// one message per receiver. A round with no changed filters sends
+// nothing, except every refreshEveryRounds-th round, which sends the
+// version beacon that bounds staleness after a lost delta (see
+// refreshEveryRounds).
 func (s *Switch) disseminateGFIB() {
 	if !s.IsDesignated() {
 		return
@@ -271,50 +373,128 @@ func (s *Switch) disseminateGFIB() {
 	s.refreshOwnSnapshot()
 
 	s.gfibRound++
+	beacon := s.gfibRound%refreshEveryRounds == 0
 	update := &openflow.GFIBUpdate{Group: s.group.Group, Version: s.group.Version}
-	s.changedMembers(s.gfibSent, s.gfibRound%refreshEveryRounds == 0, func(member model.SwitchID, entries []openflow.LFIBEntry, _ uint64) {
+	delta := &openflow.GFIBDelta{Group: s.group.Group, Version: s.group.Version}
+	s.changedMembers(s.gfibSent, false, func(member model.SwitchID, entries []openflow.LFIBEntry, v uint64) {
 		f := filterFromEntries(entries, s.cfg.FilterBits, s.cfg.FilterHashes)
+		f.SetVersion(v)
+		prev := s.gfibPrev[member]
+		s.gfibPrev[member] = f
+		if prev != nil && !s.cfg.GFIBFullPush {
+			if words, err := f.DiffWords(prev); err == nil && openflow.DeltaWireCost(words) < openflow.FullWireCost(f.SizeBytes()) {
+				s.stats.GFIBDeltasSent++
+				delta.Deltas = append(delta.Deltas, openflow.GFIBFilterDelta{
+					Switch:        member,
+					BaseVersion:   prev.Version(),
+					TargetVersion: v,
+					Words:         words,
+				})
+				return
+			}
+		}
 		data, err := f.MarshalBinary()
 		if err != nil {
 			return // cannot happen with valid geometry
 		}
-		update.Filters = append(update.Filters, openflow.GFIBFilter{Switch: member, Filter: data})
+		s.stats.GFIBFullsSent++
+		update.Filters = append(update.Filters, openflow.GFIBFilter{Switch: member, Filter: data, Version: v})
 	})
-	if len(update.Filters) == 0 {
+	if beacon {
+		// Version beacon: assert the current version of every member
+		// filter not already covered by this round's items. Holders
+		// no-op; stale or empty receivers NACK and get a full resync.
+		covered := make(map[model.SwitchID]bool, len(update.Filters)+len(delta.Deltas))
+		for _, f := range update.Filters {
+			covered[f.Switch] = true
+		}
+		for _, d := range delta.Deltas {
+			covered[d.Switch] = true
+		}
+		for _, member := range s.group.Members {
+			f := s.gfibPrev[member]
+			if f == nil || covered[member] {
+				continue
+			}
+			delta.Deltas = append(delta.Deltas, openflow.GFIBFilterDelta{
+				Switch:        member,
+				BaseVersion:   f.Version(),
+				TargetVersion: f.Version(),
+			})
+		}
+	}
+	var msgs []openflow.Message
+	if len(update.Filters) > 0 {
+		msgs = append(msgs, update)
+	}
+	if len(delta.Deltas) > 0 {
+		msgs = append(msgs, delta)
+	}
+	if len(msgs) == 0 {
 		return
+	}
+	var out netsim.Message = msgs[0]
+	if len(msgs) > 1 {
+		out = &openflow.Batch{Msgs: msgs}
+	}
+	// onlyOwn reports whether every item of the round concerns the
+	// receiver's own filter — such a message tells it nothing (a switch
+	// never installs its own filter), so it is not sent.
+	onlyOwn := func(member model.SwitchID) bool {
+		for _, f := range update.Filters {
+			if f.Switch != member {
+				return false
+			}
+		}
+		for _, d := range delta.Deltas {
+			if d.Switch != member {
+				return false
+			}
+		}
+		return true
 	}
 	for _, member := range s.group.Members {
 		if member == s.cfg.ID {
-			s.handleGFIBUpdate(update)
+			// Apply locally without a network hop; sub-messages in order.
+			for _, m := range msgs {
+				s.HandleMessage(s.cfg.ID, m)
+			}
 			continue
 		}
-		s.env.Send(member, update)
+		if onlyOwn(member) {
+			continue
+		}
+		s.env.Send(member, out)
 	}
 }
 
 // reportToController implements the state-reporting module of the
-// designated switch: the aggregated L-FIBs and pair statistics go to
-// the controller over the state link.
+// designated switch: the aggregated L-FIB changes and pair statistics
+// go to the controller over the state link.
 func (s *Switch) reportToController() {
 	if !s.IsDesignated() {
 		return
 	}
 	s.refreshOwnSnapshot()
 	s.ctrlRound++
+	fullRound := s.ctrlRound%refreshEveryRounds == 0
 	report := &openflow.StateReport{Group: s.group.Group, Version: s.group.Version}
 	// The report itself goes out every interval (it is the state link's
-	// liveness and carries the pair statistics), but an L-FIB snapshot is
-	// attached only when its version moved since the last report — the
-	// controller already holds the unchanged ones. Every
-	// refreshEveryRounds-th report is full, bounding staleness after a
-	// report lost on a failing control link.
-	s.changedMembers(s.ctrlSent, s.ctrlRound%refreshEveryRounds == 0, func(member model.SwitchID, entries []openflow.LFIBEntry, v uint64) {
-		report.LFIBs = append(report.LFIBs, openflow.LFIBUpdate{
-			Origin:  member,
-			Full:    true,
-			Entries: entries,
-			Version: v,
-		})
+	// liveness and carries the pair statistics), but an L-FIB leg is
+	// attached only for members whose version moved since the last
+	// report — and as the queued increments where possible, falling
+	// back to the full snapshot when the member itself advertised one
+	// (bootstrap, removals) or when no increment trail exists. Every
+	// refreshEveryRounds-th report is full for every member, bounding
+	// staleness after a report lost on a failing control link.
+	s.changedMembers(s.ctrlSent, fullRound, func(member model.SwitchID, entries []openflow.LFIBEntry, v uint64) {
+		u := openflow.LFIBUpdate{Origin: member, Full: true, Entries: entries, Version: v}
+		if pending := s.ctrlPending[member]; !fullRound && !s.ctrlNeedFull[member] && len(pending) > 0 {
+			u.Full, u.Entries = false, pending
+		}
+		delete(s.ctrlPending, member)
+		delete(s.ctrlNeedFull, member)
+		report.LFIBs = append(report.LFIBs, u)
 	})
 	for pair, n := range s.memberPairs {
 		report.Pairs = append(report.Pairs, openflow.PairStat{A: pair.A, B: pair.B, NewFlows: n})
@@ -323,9 +503,10 @@ func (s *Switch) reportToController() {
 	s.sendCtrl(report)
 }
 
-// handleGFIBUpdate rebuilds the G-FIB from disseminated filters (FIB
-// maintenance module). The filter for this switch itself is skipped —
-// the L-FIB answers local questions.
+// handleGFIBUpdate rebuilds the G-FIB from disseminated full filters
+// (FIB maintenance module). The filter for this switch itself is
+// skipped — the L-FIB answers local questions. Each installed filter
+// adopts the origin version it was built at, seeding delta tracking.
 func (s *Switch) handleGFIBUpdate(m *openflow.GFIBUpdate) {
 	if !s.haveGroup || m.Group != s.group.Group {
 		return
@@ -334,9 +515,83 @@ func (s *Switch) handleGFIBUpdate(m *openflow.GFIBUpdate) {
 		if f.Switch == s.cfg.ID {
 			continue
 		}
+		// A full filter older than what this switch already holds is a
+		// late arrival from the slower of the two senders (controller
+		// preloads lag designated dissemination when the state link
+		// lags the peer links); installing it would regress the G-FIB
+		// to a pre-churn view and open a false-negative window.
+		if held, ok := s.gfib.PeerVersion(f.Switch); ok && held > f.Version {
+			continue
+		}
 		// Ignore undecodable filters; the next round repairs them.
-		_ = s.gfib.SetFilterBytes(f.Switch, f.Filter)
+		_ = s.gfib.SetFilterBytes(f.Switch, f.Filter, f.Version)
 	}
+}
+
+// handleGFIBDelta patches the G-FIB with word-level filter deltas. An
+// item whose base version this switch does not hold (missed round,
+// cleared G-FIB, reboot) is left untouched and NACKed back to the
+// sender, which answers with full filters for exactly the stale peers
+// — the explicit resync path that replaces periodic anti-entropy on
+// the dissemination path.
+func (s *Switch) handleGFIBDelta(from model.SwitchID, m *openflow.GFIBDelta) {
+	if !s.haveGroup || m.Group != s.group.Group {
+		return
+	}
+	var stale []model.SwitchID
+	for _, d := range m.Deltas {
+		if d.Switch == s.cfg.ID {
+			continue
+		}
+		if err := s.gfib.ApplyDelta(d.Switch, d.BaseVersion, d.TargetVersion, d.Words); err != nil {
+			// Base mismatch or a malformed patch: either way this
+			// filter needs the full state.
+			stale = append(stale, d.Switch)
+			continue
+		}
+		s.stats.GFIBDeltasApplied++
+	}
+	if len(stale) == 0 {
+		return
+	}
+	s.stats.GFIBNacksSent++
+	nack := &openflow.GFIBNack{Group: s.group.Group, Origin: s.cfg.ID, Peers: stale}
+	if from == s.cfg.ID {
+		s.handleGFIBNack(nack)
+		return
+	}
+	s.env.Send(from, nack)
+}
+
+// handleGFIBNack re-sends full filters for the peers a receiver could
+// not patch. Only the group's designated switch holds the disseminated
+// filter cache; NACKs against controller preloads are answered by the
+// controller itself.
+func (s *Switch) handleGFIBNack(m *openflow.GFIBNack) {
+	if !s.haveGroup || m.Group != s.group.Group || !s.IsDesignated() {
+		return
+	}
+	update := &openflow.GFIBUpdate{Group: s.group.Group, Version: s.group.Version}
+	for _, peer := range m.Peers {
+		f := s.gfibPrev[peer]
+		if f == nil {
+			continue // nothing disseminated for this peer yet
+		}
+		data, err := f.MarshalBinary()
+		if err != nil {
+			continue
+		}
+		update.Filters = append(update.Filters, openflow.GFIBFilter{Switch: peer, Filter: data, Version: f.Version()})
+	}
+	if len(update.Filters) == 0 {
+		return
+	}
+	s.stats.GFIBResyncs += uint64(len(update.Filters))
+	if m.Origin == s.cfg.ID {
+		s.handleGFIBUpdate(update)
+		return
+	}
+	s.env.Send(m.Origin, update)
 }
 
 // handleLFIBUpdate merges a peer's incremental L-FIB push (used by the
@@ -345,8 +600,10 @@ func (s *Switch) handleLFIBUpdate(from model.SwitchID, m *openflow.LFIBUpdate) {
 	if !s.haveGroup {
 		return
 	}
-	// Build a filter from the update and install it for the origin.
+	// Build a filter from the update and install it for the origin at
+	// the update's version, so later deltas have a defined base.
 	f := filterFromEntriesWire(m.Entries, s.cfg.FilterBits, s.cfg.FilterHashes)
+	f.SetVersion(m.Version)
 	if m.Origin != s.cfg.ID {
 		s.gfib.SetFilter(m.Origin, f)
 	}

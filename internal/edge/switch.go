@@ -3,6 +3,7 @@ package edge
 import (
 	"time"
 
+	"lazyctrl/internal/bloom"
 	"lazyctrl/internal/fib"
 	"lazyctrl/internal/model"
 	"lazyctrl/internal/netsim"
@@ -39,6 +40,22 @@ type Config struct {
 	// mis-forwarded packets are reported to the controller so it can
 	// install exact rules preventing recurrence.
 	ReportFalsePositives bool
+	// PacketInBatchMax enables the control-link micro-batching window
+	// when > 1: PacketIns buffer at the switch and flush as one
+	// PacketInBurst once the buffer reaches this count (or the window
+	// deadline passes), so a packet-in storm crosses the control link
+	// as a few bursts that feed the controller's sharded burst intake.
+	// Zero or one ships every PacketIn immediately (the default — the
+	// deterministic emulations measure per-packet cold-cache latency).
+	PacketInBatchMax int
+	// PacketInBatchWindow is the flush deadline of the micro-batching
+	// window. Zero with batching enabled selects 1 ms.
+	PacketInBatchWindow time.Duration
+	// GFIBFullPush disables the word-level delta path of G-FIB
+	// dissemination: every changed filter ships in full. It exists as
+	// the measurement baseline for the delta protocol and as an escape
+	// hatch; the delta path is on by default.
+	GFIBFullPush bool
 	// OnDeliver receives packets arriving at locally attached hosts.
 	OnDeliver DeliverFunc
 }
@@ -65,6 +82,9 @@ func (c Config) withDefaults() Config {
 	if c.KeepAliveMisses == 0 {
 		c.KeepAliveMisses = 3
 	}
+	if c.PacketInBatchMax > 1 && c.PacketInBatchWindow == 0 {
+		c.PacketInBatchWindow = time.Millisecond
+	}
 	return c
 }
 
@@ -78,6 +98,25 @@ type Stats struct {
 	FalsePositiveDrops uint64
 	PacketIns          uint64
 	FloodDrops         uint64
+	// PacketInBursts counts PacketInBurst messages flushed by the
+	// micro-batching window (each replaces ≥2 PacketIn messages).
+	PacketInBursts uint64
+	// GFIBDeltasSent and GFIBFullsSent count per-peer filter items a
+	// designated switch disseminated as word deltas vs. full filters.
+	GFIBDeltasSent uint64
+	GFIBFullsSent  uint64
+	// GFIBDeltasApplied counts delta items this switch patched into
+	// its G-FIB; GFIBNacksSent counts resync requests after a base-
+	// version mismatch; GFIBResyncs counts full filters re-sent by a
+	// designated switch in answer to a NACK.
+	GFIBDeltasApplied uint64
+	GFIBNacksSent     uint64
+	GFIBResyncs       uint64
+	// PeerFiltersEvicted counts G-FIB filters invalidated on peer
+	// evidence: the switch reported a ring neighbor lost and dropped
+	// its preloaded filter without waiting for the controller's
+	// diagnosis.
+	PeerFiltersEvicted uint64
 }
 
 // Switch is a LazyCtrl edge switch.
@@ -102,18 +141,44 @@ type Switch struct {
 	gfibSent           map[model.SwitchID]uint64
 	ctrlSent           map[model.SwitchID]uint64
 	memberPairs        map[model.SwitchPair]uint32
-	// gfibRound/ctrlRound count dissemination/report rounds; every
-	// refreshEveryRounds-th round ignores the sent-version gate so a
-	// receiver that missed a delta (dropped link, late GroupConfig)
-	// converges within a bounded number of intervals.
+	// gfibPrev caches the last disseminated filter per member (tagged
+	// with its version), the diff base for word-level deltas and the
+	// full-state source for NACK-driven resyncs.
+	gfibPrev map[model.SwitchID]*bloom.Filter
+	// ctrlPending accumulates per-member L-FIB increments received
+	// since the last controller report, so the state link forwards
+	// increments instead of re-snapshotting; ctrlNeedFull marks members
+	// whose next report must be a full snapshot (they advertised one).
+	ctrlPending  map[model.SwitchID][]openflow.LFIBEntry
+	ctrlNeedFull map[model.SwitchID]bool
+	// evictedMembers marks members whose aggregation state this
+	// (designated) switch dropped on peer evidence; a false alarm is
+	// unwound by re-sending the member its group view when its
+	// keep-alives resume, which makes it bootstrap a full
+	// advertisement (see evictSuspect / handleKeepAlive).
+	evictedMembers map[model.SwitchID]bool
+	// gfibRound/ctrlRound count dissemination/report rounds. On the
+	// controller-report path every refreshEveryRounds-th round ignores
+	// the sent-version gate (anti-entropy); on the dissemination path
+	// the same cadence sends only a version beacon — stale receivers
+	// NACK and get exactly the filters they miss re-sent in full.
 	gfibRound uint64
 	ctrlRound uint64
+
+	// Micro-batching intake window on the control link: buffered
+	// PacketIns and the pending flush deadline.
+	pinBuf         []openflow.BurstPacket
+	pinFlushCancel func()
 
 	// Own per-window pair stats: new flows observed from remote
 	// switches (counted at decap of first packets).
 	pairFlows map[model.SwitchID]uint32
 
 	lastAdvertisedVersion uint64
+	// advSinceFull counts incremental advertisements since the last
+	// full one (the member-side anti-entropy that bounds designated-
+	// switch staleness after a lost increment).
+	advSinceFull int
 
 	// Keep-alive bookkeeping.
 	kaSeq     uint64
@@ -140,6 +205,10 @@ func New(cfg Config, env netsim.Env) *Switch {
 		memberLFIBVersions: make(map[model.SwitchID]uint64),
 		gfibSent:           make(map[model.SwitchID]uint64),
 		ctrlSent:           make(map[model.SwitchID]uint64),
+		gfibPrev:           make(map[model.SwitchID]*bloom.Filter),
+		ctrlPending:        make(map[model.SwitchID][]openflow.LFIBEntry),
+		ctrlNeedFull:       make(map[model.SwitchID]bool),
+		evictedMembers:     make(map[model.SwitchID]bool),
 		memberPairs:        make(map[model.SwitchPair]uint32),
 		pairFlows:          make(map[model.SwitchID]uint32),
 		lastFrom:           make(map[model.SwitchID]time.Duration),
@@ -193,8 +262,10 @@ func (s *Switch) Start() {
 		s.env.Every(s.cfg.AdvertiseInterval, s.advertise))
 }
 
-// Stop cancels all periodic work.
+// Stop cancels all periodic work and flushes any PacketIns still held
+// in the micro-batching window.
 func (s *Switch) Stop() {
+	s.flushPacketIns()
 	for _, c := range s.cancels {
 		c()
 	}
@@ -306,11 +377,44 @@ func (s *Switch) encapTo(remote model.SwitchID, p *model.Packet) {
 
 // packetIn forwards a packet to the controller over the control link
 // (relayed via the ring predecessor while the control link is down,
-// §III-E2).
+// §III-E2). With the micro-batching window enabled the packet buffers
+// at the switch and flushes as part of a PacketInBurst once the count
+// threshold or the window deadline is hit, so a storm arrives at the
+// controller as bursts instead of a message per flow.
 func (s *Switch) packetIn(reason openflow.PacketInReason, p *model.Packet) {
 	s.stats.PacketIns++
-	msg := &openflow.PacketIn{Switch: s.cfg.ID, Reason: reason, Packet: *p}
-	s.sendCtrl(msg)
+	if s.cfg.PacketInBatchMax <= 1 {
+		s.sendCtrl(&openflow.PacketIn{Switch: s.cfg.ID, Reason: reason, Packet: *p})
+		return
+	}
+	s.pinBuf = append(s.pinBuf, openflow.BurstPacket{Reason: reason, Packet: *p})
+	if len(s.pinBuf) >= s.cfg.PacketInBatchMax {
+		s.flushPacketIns()
+		return
+	}
+	if s.pinFlushCancel == nil {
+		s.pinFlushCancel = s.env.After(s.cfg.PacketInBatchWindow, s.flushPacketIns)
+	}
+}
+
+// flushPacketIns drains the micro-batching window: a single buffered
+// packet ships as a plain PacketIn, several ship as one PacketInBurst.
+func (s *Switch) flushPacketIns() {
+	if s.pinFlushCancel != nil {
+		s.pinFlushCancel()
+		s.pinFlushCancel = nil
+	}
+	if len(s.pinBuf) == 0 {
+		return
+	}
+	buf := s.pinBuf
+	s.pinBuf = nil
+	if len(buf) == 1 {
+		s.sendCtrl(&openflow.PacketIn{Switch: s.cfg.ID, Reason: buf[0].Reason, Packet: buf[0].Packet})
+		return
+	}
+	s.stats.PacketInBursts++
+	s.sendCtrl(&openflow.PacketInBurst{Switch: s.cfg.ID, Items: buf})
 }
 
 func (s *Switch) sendCtrl(msg netsim.Message) {

@@ -50,11 +50,19 @@ type clibShard struct {
 // because merging is commutative and ordered results are sorted.
 type CLIB struct {
 	shards [clibShardCount]clibShard
+
+	// swVersions records, per origin switch, the highest L-FIB version
+	// folded into the C-LIB (from LFIBUpdate.Version). It is the
+	// version the controller stamps on G-FIB preload filters so edge
+	// receivers can match them against designated-switch dissemination
+	// and so preload deltas have well-defined base/target coordinates.
+	verMu      sync.RWMutex
+	swVersions map[model.SwitchID]uint64
 }
 
 // NewCLIB returns an empty C-LIB.
 func NewCLIB() *CLIB {
-	c := &CLIB{}
+	c := &CLIB{swVersions: make(map[model.SwitchID]uint64)}
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.byMAC = make(map[model.MAC]*CLIBEntry)
@@ -189,6 +197,21 @@ func (c *CLIB) LookupIP(ip model.IP) *CLIBEntry {
 // binding previously attributed to that switch but absent from the
 // snapshot is dropped.
 func (c *CLIB) ApplyLFIB(sw model.SwitchID, group model.GroupID, u *openflow.LFIBUpdate) {
+	// Only full snapshots advance the recorded version: they are
+	// complete by construction, so a filter stamped with a snapshot
+	// version can never miss state that version implies. Increments
+	// (report-chain forwards, single-binding ARP answers) merge their
+	// entries but leave the stamp — the extra content only adds
+	// false-positive bits to preload filters, never false negatives,
+	// whereas stamping an incomplete entry set with a high version
+	// would poison every receiver that trusts version equality.
+	if u.Full {
+		c.verMu.Lock()
+		if u.Version > c.swVersions[sw] {
+			c.swVersions[sw] = u.Version
+		}
+		c.verMu.Unlock()
+	}
 	if u.Full {
 		seen := make(map[model.MAC]struct{}, len(u.Entries))
 		for _, e := range u.Entries {
@@ -269,9 +292,23 @@ func (c *CLIB) EntriesOn(sw model.SwitchID) []openflow.LFIBEntry {
 	return out
 }
 
+// VersionOn returns the highest L-FIB version folded into the C-LIB
+// for a switch (0 when the switch has never reported).
+func (c *CLIB) VersionOn(sw model.SwitchID) uint64 {
+	c.verMu.RLock()
+	defer c.verMu.RUnlock()
+	return c.swVersions[sw]
+}
+
 // RemoveSwitch drops every binding attributed to a switch and returns
-// how many were removed (failover eviction).
+// how many were removed (failover eviction). The switch's recorded
+// L-FIB version is dropped too: a rebooted switch restarts its version
+// counter, so keeping the old high-water mark would silently discard
+// its fresh post-recovery reports.
 func (c *CLIB) RemoveSwitch(sw model.SwitchID) int {
+	c.verMu.Lock()
+	delete(c.swVersions, sw)
+	c.verMu.Unlock()
 	removed := 0
 	for i := range c.shards {
 		s := &c.shards[i]

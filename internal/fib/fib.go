@@ -26,15 +26,25 @@ type LFIBEntry struct {
 
 // LFIB is the Local Forwarding Information Base of one edge switch: a
 // conventional learning MAC table over the locally attached hosts
-// (virtual machines).
+// (virtual machines). It keeps a change journal so advertisement can
+// ship increments — just the bindings that moved since the last drain
+// — instead of a full snapshot on every change.
 type LFIB struct {
 	byMAC   map[model.MAC]*LFIBEntry
 	version uint64
+	// dirty holds MACs learned or rebound since the last DrainChanges;
+	// removed records a removal, which increments cannot express and
+	// which therefore forces the next drain to a full snapshot.
+	dirty   map[model.MAC]struct{}
+	removed bool
 }
 
 // NewLFIB returns an empty L-FIB.
 func NewLFIB() *LFIB {
-	return &LFIB{byMAC: make(map[model.MAC]*LFIBEntry)}
+	return &LFIB{
+		byMAC: make(map[model.MAC]*LFIBEntry),
+		dirty: make(map[model.MAC]struct{}),
+	}
 }
 
 // Learn inserts or refreshes a binding. It returns true when the L-FIB
@@ -50,11 +60,13 @@ func (l *LFIB) Learn(mac model.MAC, ip model.IP, vlan model.VLAN, port uint16, n
 		e.LastSeen = now
 		if changed {
 			l.version++
+			l.dirty[mac] = struct{}{}
 		}
 		return changed
 	}
 	l.byMAC[mac] = &LFIBEntry{MAC: mac, IP: ip, VLAN: vlan, Port: port, LastSeen: now}
 	l.version++
+	l.dirty[mac] = struct{}{}
 	return true
 }
 
@@ -82,7 +94,9 @@ func (l *LFIB) Remove(mac model.MAC) bool {
 		return false
 	}
 	delete(l.byMAC, mac)
+	delete(l.dirty, mac)
 	l.version++
+	l.removed = true
 	return true
 }
 
@@ -93,11 +107,13 @@ func (l *LFIB) Expire(now, maxAge time.Duration) int {
 	for mac, e := range l.byMAC {
 		if now-e.LastSeen > maxAge {
 			delete(l.byMAC, mac)
+			delete(l.dirty, mac)
 			removed++
 		}
 	}
 	if removed > 0 {
 		l.version++
+		l.removed = true
 	}
 	return removed
 }
@@ -130,6 +146,29 @@ func (l *LFIB) WireEntries() []openflow.LFIBEntry {
 	return out
 }
 
+// DrainChanges empties the change journal and returns the wire form of
+// what advertisement must ship: the changed bindings as an increment
+// (full=false), or the whole table (full=true) when a removal occurred
+// since the last drain — removals cannot travel as increments — or
+// when the increment would not be smaller than the snapshot anyway.
+func (l *LFIB) DrainChanges() (entries []openflow.LFIBEntry, full bool) {
+	full = l.removed || len(l.dirty) >= len(l.byMAC)
+	l.removed = false
+	if full {
+		clear(l.dirty)
+		return l.WireEntries(), true
+	}
+	entries = make([]openflow.LFIBEntry, 0, len(l.dirty))
+	for mac := range l.dirty {
+		if e := l.byMAC[mac]; e != nil {
+			entries = append(entries, openflow.LFIBEntry{MAC: e.MAC, IP: e.IP, VLAN: e.VLAN})
+		}
+	}
+	clear(l.dirty)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].MAC.Uint64() < entries[j].MAC.Uint64() })
+	return entries, false
+}
+
 // MACKey is the Bloom-filter key of a MAC address.
 func MACKey(mac model.MAC) uint64 { return mac.Uint64() }
 
@@ -149,18 +188,23 @@ func (l *LFIB) Filter(m uint64, k uint32) *bloom.Filter {
 	return f
 }
 
-// FilterBytesFromWireEntries builds the serialized Bloom filter of a
-// wire L-FIB snapshot, keyed exactly as LFIB.Filter (MAC and IP keys).
-// The controller uses it to encode a regrouped switch's G-FIB preload
-// once per group instead of every receiver rebuilding the same filter
-// from raw entries.
-func FilterBytesFromWireEntries(entries []openflow.LFIBEntry, m uint64, k uint32) ([]byte, error) {
+// FilterFromWireEntries builds the Bloom filter of a wire L-FIB
+// snapshot, keyed exactly as LFIB.Filter (MAC and IP keys). The
+// controller caches these per switch so a push round encodes each
+// filter once and diffs consecutive builds into word-level deltas.
+func FilterFromWireEntries(entries []openflow.LFIBEntry, m uint64, k uint32) *bloom.Filter {
 	f := bloom.New(m, k)
 	for _, e := range entries {
 		f.AddUint64(MACKey(e.MAC))
 		f.AddUint64(IPKey(e.IP))
 	}
-	return f.MarshalBinary()
+	return f
+}
+
+// FilterBytesFromWireEntries is FilterFromWireEntries pre-serialized,
+// for callers that only need the wire encoding.
+func FilterBytesFromWireEntries(entries []openflow.LFIBEntry, m uint64, k uint32) ([]byte, error) {
+	return FilterFromWireEntries(entries, m, k).MarshalBinary()
 }
 
 // DefaultFilterBits is the G-FIB Bloom filter size used by the paper's

@@ -1,6 +1,8 @@
 package fib
 
 import (
+	"bytes"
+	"errors"
 	"testing"
 	"time"
 
@@ -147,13 +149,16 @@ func TestGFIBSetFilterBytesAndSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := g.SetFilterBytes(9, data); err != nil {
+	if err := g.SetFilterBytes(9, data, 4); err != nil {
 		t.Fatalf("SetFilterBytes: %v", err)
 	}
 	if got := g.Query(model.HostMAC(7)); len(got) != 1 || got[0] != 9 {
 		t.Errorf("Query = %v, want [9]", got)
 	}
-	if err := g.SetFilterBytes(10, []byte("garbage")); err == nil {
+	if v, ok := g.PeerVersion(9); !ok || v != 4 {
+		t.Errorf("PeerVersion(9) = %d,%v, want 4,true", v, ok)
+	}
+	if err := g.SetFilterBytes(10, []byte("garbage"), 1); err == nil {
 		t.Error("SetFilterBytes accepted garbage")
 	}
 	if g.SizeBytes() != 2048 {
@@ -298,5 +303,77 @@ func TestCLIBSetGroup(t *testing.T) {
 	}
 	if c.Lookup(model.HostMAC(3)).Group != 1 {
 		t.Error("SetGroup touched another switch")
+	}
+}
+
+func TestLFIBDrainChanges(t *testing.T) {
+	l := NewLFIB()
+	l.Learn(model.HostMAC(1), model.HostIP(1), 1, 1, 0)
+	l.Learn(model.HostMAC(2), model.HostIP(2), 1, 1, 0)
+	// First drain with the table fully dirty degrades to a snapshot.
+	entries, full := l.DrainChanges()
+	if !full || len(entries) != 2 {
+		t.Fatalf("bootstrap drain = %d entries full=%v, want 2/true", len(entries), full)
+	}
+	// A single new binding drains as a one-entry increment.
+	l.Learn(model.HostMAC(3), model.HostIP(3), 1, 1, 0)
+	entries, full = l.DrainChanges()
+	if full || len(entries) != 1 || entries[0].MAC != model.HostMAC(3) {
+		t.Fatalf("increment drain = %+v full=%v, want the new binding only", entries, full)
+	}
+	// A drain with no changes is empty.
+	if entries, full = l.DrainChanges(); full || len(entries) != 0 {
+		t.Fatalf("idle drain = %d entries full=%v", len(entries), full)
+	}
+	// Removals cannot travel as increments: the next drain is full.
+	l.Remove(model.HostMAC(2))
+	entries, full = l.DrainChanges()
+	if !full || len(entries) != 2 {
+		t.Fatalf("post-removal drain = %d entries full=%v, want 2/true", len(entries), full)
+	}
+}
+
+func TestGFIBApplyDelta(t *testing.T) {
+	build := func(hosts ...model.HostID) *bloom.Filter {
+		f := bloom.New(DefaultFilterBits, DefaultFilterHashes)
+		for _, h := range hosts {
+			f.AddUint64(MACKey(model.HostMAC(h)))
+		}
+		return f
+	}
+	v1 := build(1, 2)
+	v2 := build(1, 2, 3)
+	data1, _ := v1.MarshalBinary()
+
+	g := NewGFIB()
+	if err := g.SetFilterBytes(9, data1, 1); err != nil {
+		t.Fatal(err)
+	}
+	words, err := v2.DiffWords(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong base: rejected with ErrDeltaBase, filter untouched.
+	if err := g.ApplyDelta(9, 5, 6, words); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("ApplyDelta with wrong base = %v, want ErrDeltaBase", err)
+	}
+	// Unknown peer: same.
+	if err := g.ApplyDelta(77, 1, 2, words); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("ApplyDelta for unknown peer = %v, want ErrDeltaBase", err)
+	}
+	// Matching base: applies, moves the version, and the result is
+	// byte-identical to a full install of v2.
+	if err := g.ApplyDelta(9, 1, 2, words); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := g.PeerVersion(9); v != 2 {
+		t.Errorf("PeerVersion after delta = %d, want 2", v)
+	}
+	want, _ := v2.MarshalBinary()
+	if got := g.SnapshotBytes()[9]; !bytes.Equal(got, want) {
+		t.Error("delta-applied filter differs from full install")
+	}
+	if got := g.Query(model.HostMAC(3)); len(got) != 1 || got[0] != 9 {
+		t.Errorf("Query(3) after delta = %v, want [9]", got)
 	}
 }

@@ -1,6 +1,7 @@
 package fib
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -12,10 +13,20 @@ import (
 // peer switch in the local control group, each summarizing that peer's
 // L-FIB. Querying an address returns the candidate peers, which may
 // include false positives but never misses the true location (§III-D2).
+//
+// Each installed filter carries the origin's state version (its L-FIB
+// version at build time). Senders use it to ship word-level deltas
+// instead of whole filters; ApplyDelta rejects a delta whose base
+// version this G-FIB does not hold, which is the receiver's cue to
+// NACK and request a full resync.
 type GFIB struct {
 	filters map[model.SwitchID]*bloom.Filter
 	version uint64
 }
+
+// ErrDeltaBase reports a filter delta whose base version the G-FIB
+// does not hold (missed update, cleared filter, or no filter at all).
+var ErrDeltaBase = errors.New("fib: G-FIB delta base version not held")
 
 // NewGFIB returns an empty G-FIB.
 func NewGFIB() *GFIB {
@@ -28,15 +39,16 @@ func (g *GFIB) SetFilter(peer model.SwitchID, f *bloom.Filter) {
 	g.version++
 }
 
-// SetFilterBytes decodes and installs a serialized filter, as received
-// in a GFIBUpdate message. An existing filter for the peer is decoded
-// into in place (same geometry ⇒ no allocation); decode errors leave
-// the previous filter untouched.
-func (g *GFIB) SetFilterBytes(peer model.SwitchID, data []byte) error {
+// SetFilterBytes decodes and installs a serialized filter at the given
+// origin state version, as received in a GFIBUpdate message. An
+// existing filter for the peer is decoded into in place (same geometry
+// ⇒ no allocation); decode errors leave the previous filter untouched.
+func (g *GFIB) SetFilterBytes(peer model.SwitchID, data []byte, version uint64) error {
 	if f := g.filters[peer]; f != nil {
 		if err := f.UnmarshalBinary(data); err != nil {
 			return fmt.Errorf("fib: G-FIB filter for %v: %w", peer, err)
 		}
+		f.SetVersion(version)
 		g.version++
 		return nil
 	}
@@ -44,8 +56,65 @@ func (g *GFIB) SetFilterBytes(peer model.SwitchID, data []byte) error {
 	if err := f.UnmarshalBinary(data); err != nil {
 		return fmt.Errorf("fib: G-FIB filter for %v: %w", peer, err)
 	}
+	f.SetVersion(version)
 	g.SetFilter(peer, &f)
 	return nil
+}
+
+// PeerVersion returns the state version of the installed filter for a
+// peer, if any.
+func (g *GFIB) PeerVersion(peer model.SwitchID) (uint64, bool) {
+	f, ok := g.filters[peer]
+	if !ok {
+		return 0, false
+	}
+	return f.Version(), true
+}
+
+// ApplyDelta patches the peer's filter from base to target version by
+// overwriting the changed words. A delta whose target the filter has
+// already reached (or passed — filters at version v are byte-identical
+// no matter which sender built them, so "newer" strictly dominates) is
+// a no-op: with two senders on the channel (designated dissemination
+// and controller preloads) the slower one's deltas arrive late and
+// must not regress the filter or provoke a NACK. It fails with
+// ErrDeltaBase when the held filter is behind the target but not
+// exactly at the delta's base version (or absent) — the receiver must
+// then NACK so the sender falls back to a full filter. Range errors
+// from the patch itself surface unchanged and leave the filter
+// untouched.
+func (g *GFIB) ApplyDelta(peer model.SwitchID, base, target uint64, words []bloom.WordDelta) error {
+	f, ok := g.filters[peer]
+	if !ok {
+		return ErrDeltaBase
+	}
+	if f.Version() >= target {
+		return nil
+	}
+	if f.Version() != base {
+		return ErrDeltaBase
+	}
+	if err := f.ApplyWords(words); err != nil {
+		return fmt.Errorf("fib: G-FIB delta for %v: %w", peer, err)
+	}
+	f.SetVersion(target)
+	g.version++
+	return nil
+}
+
+// SnapshotBytes returns the serialized form of every installed filter,
+// keyed by peer. The delta/full differential tests compare these for
+// byte identity.
+func (g *GFIB) SnapshotBytes() map[model.SwitchID][]byte {
+	out := make(map[model.SwitchID][]byte, len(g.filters))
+	for peer, f := range g.filters {
+		data, err := f.MarshalBinary()
+		if err != nil {
+			continue // cannot happen: MarshalBinary has no failure path
+		}
+		out[peer] = data
+	}
+	return out
 }
 
 // RemoveFilter drops the filter of a peer (peer left the group).

@@ -128,7 +128,7 @@ func buildGraph(m intensityMatrix, switches []model.SwitchID) (*graph.Graph, []m
 	vwgt := make([]int64, n)
 	off := 0
 	for i := range adj {
-		adj[i] = backing[off:off:off+deg[i]]
+		adj[i] = backing[off : off : off+deg[i]]
 		off += deg[i]
 		vwgt[i] = 1
 	}

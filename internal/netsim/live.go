@@ -30,6 +30,18 @@ type LiveNetwork struct {
 	// CodecErrors counts messages that failed the encode/decode round
 	// trip (always 0 unless the codec is broken).
 	CodecErrors uint64
+	// wireBytes accumulates the encoded size of every control message
+	// crossing the transport — the live counterpart of the bytes-on-
+	// wire metric the dissemination benchmarks report.
+	wireBytes uint64
+}
+
+// WireBytes reports the total encoded bytes of control messages sent
+// over the live transport so far.
+func (n *LiveNetwork) WireBytes() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.wireBytes
 }
 
 type liveEnvelope struct {
@@ -133,6 +145,9 @@ func (n *LiveNetwork) roundTripCodec(msg Message) Message {
 		n.mu.Unlock()
 		return msg
 	}
+	n.mu.Lock()
+	n.wireBytes += uint64(len(data))
+	n.mu.Unlock()
 	decoded, _, err := openflow.Decode(data)
 	if err != nil {
 		n.mu.Lock()

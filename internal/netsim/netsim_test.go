@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"lazyctrl/internal/bloom"
 	"lazyctrl/internal/model"
 	"lazyctrl/internal/openflow"
 	"lazyctrl/internal/sim"
@@ -364,5 +365,58 @@ func TestLiveBatchDelivery(t *testing.T) {
 	}
 	if u, ok := got.Msgs[1].(*openflow.LFIBUpdate); !ok || len(u.Entries) != 1 {
 		t.Errorf("second sub-message = %+v, want the preload", got.Msgs[1])
+	}
+}
+
+// TestLiveDeltaProtocolDelivery round-trips the delta-protocol message
+// set through the live codec path — a coalesced GFIBUpdate+GFIBDelta
+// pair and a PacketInBurst — and checks the transport's bytes-on-wire
+// meter moves.
+func TestLiveDeltaProtocolDelivery(t *testing.T) {
+	n := NewLive(Latencies{Data: time.Millisecond, Control: time.Millisecond, Peer: time.Millisecond})
+	defer n.Close()
+	a := &recorder{id: 1}
+	b := &recorder{id: 2}
+	n.Attach(a)
+	n.Attach(b)
+
+	n.Env(1).Send(2, &openflow.Batch{Msgs: []openflow.Message{
+		&openflow.GFIBUpdate{Group: 1, Filters: []openflow.GFIBFilter{{Switch: 3, Filter: []byte{1}, Version: 4}}},
+		&openflow.GFIBDelta{Group: 1, Deltas: []openflow.GFIBFilterDelta{
+			{Switch: 4, BaseVersion: 1, TargetVersion: 2, Words: []bloom.WordDelta{{Index: 7, Word: 42}}},
+		}},
+	}})
+	n.Env(2).Send(1, &openflow.PacketInBurst{Switch: 2, Items: []openflow.BurstPacket{
+		{Reason: openflow.ReasonNoMatch, Packet: model.Packet{SrcMAC: model.HostMAC(1), DstMAC: model.HostMAC(2), VLAN: 1}},
+	}})
+
+	deadline := time.Now().Add(2 * time.Second)
+	for (a.count() < 1 || b.count() < 1) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if a.count() != 1 || b.count() != 1 {
+		t.Fatalf("deliveries = %d/%d, want 1/1", a.count(), b.count())
+	}
+	if n.CodecErrors != 0 {
+		t.Fatalf("CodecErrors = %d", n.CodecErrors)
+	}
+	if n.WireBytes() == 0 {
+		t.Error("WireBytes() = 0 after two control messages")
+	}
+	b.mu.Lock()
+	batch, ok := b.got[0].(*openflow.Batch)
+	b.mu.Unlock()
+	if !ok || len(batch.Msgs) != 2 {
+		t.Fatalf("delivered %T, want the 2-message batch", b.got[0])
+	}
+	d, ok := batch.Msgs[1].(*openflow.GFIBDelta)
+	if !ok || len(d.Deltas) != 1 || d.Deltas[0].Words[0].Word != 42 {
+		t.Errorf("delta after codec = %+v", batch.Msgs[1])
+	}
+	a.mu.Lock()
+	burst, ok := a.got[0].(*openflow.PacketInBurst)
+	a.mu.Unlock()
+	if !ok || burst.Switch != 2 || len(burst.Items) != 1 {
+		t.Errorf("burst after codec = %+v", a.got[0])
 	}
 }

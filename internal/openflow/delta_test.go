@@ -1,0 +1,109 @@
+package openflow
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"lazyctrl/internal/bloom"
+	"lazyctrl/internal/model"
+)
+
+func TestGFIBDeltaRoundTrip(t *testing.T) {
+	m := &GFIBDelta{
+		Group: 3,
+		Deltas: []GFIBFilterDelta{
+			{
+				Switch:        7,
+				BaseVersion:   41,
+				TargetVersion: 44,
+				Words: []bloom.WordDelta{
+					{Index: 0, Word: 0xdeadbeefcafef00d},
+					{Index: 255, Word: 1},
+				},
+			},
+			// A version beacon: base == target, no words.
+			{Switch: 9, BaseVersion: 12, TargetVersion: 12},
+		},
+		Version: 5,
+	}
+	got, ok := roundTrip(t, m, 31).(*GFIBDelta)
+	if !ok || !reflect.DeepEqual(got, m) {
+		t.Errorf("GFIBDelta round trip = %+v, want %+v", got, m)
+	}
+}
+
+func TestGFIBDeltaTruncated(t *testing.T) {
+	m := &GFIBDelta{Deltas: []GFIBFilterDelta{{Switch: 1, Words: []bloom.WordDelta{{Index: 2, Word: 3}}}}}
+	data, err := Encode(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < 12; cut++ {
+		trunc := append([]byte(nil), data[:len(data)-cut]...)
+		// Fix up the header length so the codec reaches the body parser.
+		trunc[2] = byte(len(trunc) >> 24)
+		trunc[3] = byte(len(trunc) >> 16)
+		trunc[4] = byte(len(trunc) >> 8)
+		trunc[5] = byte(len(trunc))
+		if _, _, err := Decode(trunc); err == nil {
+			t.Errorf("cut %d: truncated GFIBDelta decoded", cut)
+		}
+	}
+}
+
+func TestGFIBNackRoundTrip(t *testing.T) {
+	m := &GFIBNack{Group: 2, Origin: 17, Peers: []model.SwitchID{3, 9, 12}}
+	got, ok := roundTrip(t, m, 32).(*GFIBNack)
+	if !ok || !reflect.DeepEqual(got, m) {
+		t.Errorf("GFIBNack round trip = %+v, want %+v", got, m)
+	}
+}
+
+func TestPacketInBurstRoundTrip(t *testing.T) {
+	m := &PacketInBurst{
+		Switch: 6,
+		Items: []BurstPacket{
+			{Reason: ReasonNoMatch, Packet: samplePacket()},
+			{Reason: ReasonARP, Packet: samplePacket()},
+		},
+	}
+	got, ok := roundTrip(t, m, 33).(*PacketInBurst)
+	if !ok || !reflect.DeepEqual(got, m) {
+		t.Errorf("PacketInBurst round trip = %+v, want %+v", got, m)
+	}
+	pins := got.PacketIns()
+	if len(pins) != 2 {
+		t.Fatalf("PacketIns() = %d items", len(pins))
+	}
+	for i, pi := range pins {
+		if pi.Switch != 6 || pi.Reason != m.Items[i].Reason || pi.Packet != m.Items[i].Packet {
+			t.Errorf("expanded PacketIn %d = %+v", i, pi)
+		}
+	}
+}
+
+func TestGFIBFilterVersionOnWire(t *testing.T) {
+	m := &GFIBUpdate{Group: 1, Filters: []GFIBFilter{{Switch: 2, Filter: []byte{9}, Version: 77}}}
+	got := roundTrip(t, m, 34).(*GFIBUpdate)
+	if got.Filters[0].Version != 77 || !bytes.Equal(got.Filters[0].Filter, []byte{9}) {
+		t.Errorf("GFIBFilter = %+v, want version 77", got.Filters[0])
+	}
+}
+
+func TestDeltaWireCostBounds(t *testing.T) {
+	words := []bloom.WordDelta{{Index: 1}, {Index: 2}}
+	if got := DeltaWireCost(words); got != 24+20 {
+		t.Errorf("DeltaWireCost = %d, want 44", got)
+	}
+	// A word index beyond the u16 wire format makes the delta
+	// unencodable; senders must fall back to a full push.
+	tooBig := []bloom.WordDelta{{Index: math.MaxUint16 + 1}}
+	if got := DeltaWireCost(tooBig); got != math.MaxInt {
+		t.Errorf("DeltaWireCost(out-of-range index) = %d, want MaxInt", got)
+	}
+	if full := FullWireCost(2048); full <= 2048 {
+		t.Errorf("FullWireCost(2048) = %d", full)
+	}
+}

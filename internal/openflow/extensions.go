@@ -151,16 +151,20 @@ func (m *LFIBUpdate) decodeBody(src []byte) error {
 	return r.done()
 }
 
-// GFIBFilter pairs a peer switch with the serialized Bloom filter of its
-// L-FIB.
+// GFIBFilter pairs a peer switch with the serialized Bloom filter of
+// its L-FIB and the origin's state version the filter was built at.
+// The version seeds the receiver's delta tracking: a later GFIBDelta
+// applies only on top of the exact version the receiver holds.
 type GFIBFilter struct {
-	Switch model.SwitchID
-	Filter []byte
+	Switch  model.SwitchID
+	Filter  []byte
+	Version uint64
 }
 
-// GFIBUpdate distributes Bloom filters to group members so they can
-// rebuild their G-FIBs, driven by the designated switch (or by the
-// controller after regrouping).
+// GFIBUpdate distributes full Bloom filters to group members so they
+// can rebuild their G-FIBs, driven by the designated switch (or by the
+// controller after regrouping). It is the full-state half of the
+// protocol; GFIBDelta is the incremental half.
 type GFIBUpdate struct {
 	Group   model.GroupID
 	Filters []GFIBFilter
@@ -175,6 +179,7 @@ func (m *GFIBUpdate) encodeBody(dst []byte) []byte {
 	dst = putU32(dst, uint32(len(m.Filters)))
 	for _, f := range m.Filters {
 		dst = putU32(dst, uint32(f.Switch))
+		dst = putU64(dst, f.Version)
 		dst = putU32(dst, uint32(len(f.Filter)))
 		dst = append(dst, f.Filter...)
 	}
@@ -185,7 +190,7 @@ func (m *GFIBUpdate) decodeBody(src []byte) error {
 	r := &reader{src: src}
 	m.Group = model.GroupID(r.u32())
 	n := int(r.u32())
-	if n*8 > r.remain() {
+	if n*16 > r.remain() { // each filter costs at least switch+version+length
 		r.fail()
 		return ErrTruncated
 	}
@@ -193,6 +198,7 @@ func (m *GFIBUpdate) decodeBody(src []byte) error {
 	for i := 0; i < n; i++ {
 		var f GFIBFilter
 		f.Switch = model.SwitchID(r.u32())
+		f.Version = r.u64()
 		f.Filter = r.bytes(int(r.u32()))
 		m.Filters = append(m.Filters, f)
 	}

@@ -12,6 +12,14 @@
 // regroup round encodes and sends at most one control message per
 // switch; see Batch for the framing details and the no-nesting rule.
 //
+// G-FIB distribution is a versioned delta protocol: GFIBUpdate carries
+// full filters stamped with their origin's state version, GFIBDelta
+// carries only the changed 64-bit words between two versions, and
+// GFIBNack requests a full resync when a receiver's held version does
+// not match a delta's base. PacketInBurst aggregates an edge switch's
+// micro-batched PacketIns into one control message. The message set,
+// versioning rules, and framing are documented in docs/protocol.md.
+//
 // The binary codec is exercised on every message crossing the live
 // (goroutine) transport, and by the protocol round-trip tests.
 package openflow
@@ -55,25 +63,37 @@ const (
 	// TypeBatch coalesces several messages to one destination (one
 	// encode and one send per switch per regroup round, see Batch).
 	TypeBatch
+	// TypeGFIBDelta ships only the changed words of changed filters
+	// (the incremental half of G-FIB distribution, see GFIBDelta).
+	TypeGFIBDelta
+	// TypeGFIBNack requests a full resync after a delta whose base
+	// version the receiver does not hold (see GFIBNack).
+	TypeGFIBNack
+	// TypePacketInBurst carries an edge switch's micro-batched
+	// PacketIns in one control message (see PacketInBurst).
+	TypePacketInBurst
 )
 
 var msgTypeNames = map[MsgType]string{
-	TypeHello:        "Hello",
-	TypeEchoRequest:  "EchoRequest",
-	TypeEchoReply:    "EchoReply",
-	TypePacketIn:     "PacketIn",
-	TypePacketOut:    "PacketOut",
-	TypeFlowMod:      "FlowMod",
-	TypeFlowRemoved:  "FlowRemoved",
-	TypeStatsRequest: "StatsRequest",
-	TypeStatsReply:   "StatsReply",
-	TypeGroupConfig:  "GroupConfig",
-	TypeLFIBUpdate:   "LFIBUpdate",
-	TypeGFIBUpdate:   "GFIBUpdate",
-	TypeStateReport:  "StateReport",
-	TypeKeepAlive:    "KeepAlive",
-	TypeARPRelay:     "ARPRelay",
-	TypeBatch:        "Batch",
+	TypeHello:         "Hello",
+	TypeEchoRequest:   "EchoRequest",
+	TypeEchoReply:     "EchoReply",
+	TypePacketIn:      "PacketIn",
+	TypePacketOut:     "PacketOut",
+	TypeFlowMod:       "FlowMod",
+	TypeFlowRemoved:   "FlowRemoved",
+	TypeStatsRequest:  "StatsRequest",
+	TypeStatsReply:    "StatsReply",
+	TypeGroupConfig:   "GroupConfig",
+	TypeLFIBUpdate:    "LFIBUpdate",
+	TypeGFIBUpdate:    "GFIBUpdate",
+	TypeStateReport:   "StateReport",
+	TypeKeepAlive:     "KeepAlive",
+	TypeARPRelay:      "ARPRelay",
+	TypeBatch:         "Batch",
+	TypeGFIBDelta:     "GFIBDelta",
+	TypeGFIBNack:      "GFIBNack",
+	TypePacketInBurst: "PacketInBurst",
 }
 
 // String returns the message type name.
@@ -159,6 +179,12 @@ func newMessage(t MsgType) (Message, error) {
 		return &ARPRelay{}, nil
 	case TypeBatch:
 		return &Batch{}, nil
+	case TypeGFIBDelta:
+		return &GFIBDelta{}, nil
+	case TypeGFIBNack:
+		return &GFIBNack{}, nil
+	case TypePacketInBurst:
+		return &PacketInBurst{}, nil
 	case TypeFailureReport:
 		return &FailureReport{}, nil
 	default:

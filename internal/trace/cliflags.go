@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// ErrUnknownTrace reports a trace name outside the Table II set.
+var ErrUnknownTrace = errors.New("trace: unknown trace")
+
+// ByName generates one of the Table II traces by CLI name: "real",
+// "syn-a", "syn-b", or "syn-c".
+func ByName(name string, scale int, seed uint64) (*Trace, error) {
+	switch name {
+	case "real":
+		return RealLike(scale, seed)
+	case "syn-a":
+		return SynA(scale, seed)
+	case "syn-b":
+		return SynB(scale, seed)
+	case "syn-c":
+		return SynC(scale, seed)
+	default:
+		return nil, fmt.Errorf("%w %q (want real, syn-a, syn-b, or syn-c)", ErrUnknownTrace, name)
+	}
+}
+
+// CLI bundles the trace-selection flags the cmd mains share (-trace,
+// -scale, -seed), so flag registration, trace generation, and error
+// handling live in one place and the binaries cannot drift apart.
+type CLI struct {
+	name  *string
+	scale *int
+	seed  *uint64
+}
+
+// RegisterCLI registers the shared flags on fs (flag.CommandLine when
+// nil) with the given defaults. Call flag.Parse (or fs.Parse) before
+// using the returned CLI.
+func RegisterCLI(fs *flag.FlagSet, defaultTrace string, defaultScale int) *CLI {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return &CLI{
+		name:  fs.String("trace", defaultTrace, "trace to generate: real, syn-a, syn-b, syn-c"),
+		scale: fs.Int("scale", defaultScale, "divisor applied to the paper's flow count"),
+		seed:  fs.Uint64("seed", 1, "random seed"),
+	}
+}
+
+// Trace generates the selected trace.
+func (c *CLI) Trace() (*Trace, error) { return ByName(*c.name, *c.scale, *c.seed) }
+
+// MustTrace generates the selected trace, printing the error to stderr
+// and exiting non-zero on failure (exit 2 for an unknown trace name,
+// matching flag-usage errors; 1 for generation failures).
+func (c *CLI) MustTrace() *Trace {
+	tr, err := c.Trace()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, ErrUnknownTrace) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+	return tr
+}
+
+// Name returns the selected trace name.
+func (c *CLI) Name() string { return *c.name }
+
+// Scale returns the selected flow-count divisor.
+func (c *CLI) Scale() int { return *c.scale }
+
+// Seed returns the selected random seed.
+func (c *CLI) Seed() uint64 { return *c.seed }
