@@ -162,3 +162,78 @@ func BenchmarkTraceGeneration(b *testing.B) {
 		}
 	}
 }
+
+// streamBenchScale sizes the trace-stream benchmarks to the Fig7
+// pipeline's working set: at the default experiments scale (5000),
+// RunFig789 held ~670k materialized flows resident (the real trace,
+// its +30% expansion, and the 10×-denser warmup generation at scale
+// 500, which dominated). Scale 250 generates ~1.08M flows — the same
+// order — through one preset, end to end: generation + intensity
+// consumption.
+const streamBenchScale = 250
+
+// BenchmarkTraceStream measures generation + consumption of the
+// Fig7-pipeline trace through the streaming path: flows are emitted
+// one window at a time into a reused buffer and folded straight into
+// the switch-intensity matrix, so allocations are flat in trace
+// length. peak-B/op reports the pipeline's peak flow-buffer footprint
+// (one window); compare with BenchmarkTraceMaterialized, whose peak is
+// the whole flow slice. Gated in cmd/bench alongside Fig6b/Fig7.
+func BenchmarkTraceStream(b *testing.B) {
+	s, err := trace.NewStream(trace.RealLikeConfig(streamBenchScale, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	info := s.Info()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := trace.StreamIntensity(s, 0, info.Duration)
+		if m.Total() <= 0 {
+			b.Fatal("no intensity accumulated")
+		}
+	}
+	b.ReportMetric(float64(info.MaxWindowFlows*trace.FlowBytes), "peak-B/op")
+}
+
+// BenchmarkTraceMaterialized is the baseline BenchmarkTraceStream is
+// measured against: the same generation + consumption with the flow
+// slice materialized first, as the pre-streaming pipeline did.
+func BenchmarkTraceMaterialized(b *testing.B) {
+	s, err := trace.NewStream(trace.RealLikeConfig(streamBenchScale, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	info := s.Info()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := trace.Materialize(s)
+		m := trace.SwitchIntensity(tr, 0, tr.Duration)
+		if m.Total() <= 0 {
+			b.Fatal("no intensity accumulated")
+		}
+	}
+	b.ReportMetric(float64(info.TotalFlows*trace.FlowBytes), "peak-B/op")
+}
+
+// TestTraceStreamMemoryReduction pins the acceptance target: at the
+// Fig7-pipeline scale, trace generation + consumption through the
+// stream allocates ≥10× fewer bytes/op than the materialized path,
+// and its peak flow buffer is ≥10× smaller than the flow slice.
+func TestTraceStreamMemoryReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates the Fig7-pipeline trace repeatedly")
+	}
+	stream := testing.Benchmark(BenchmarkTraceStream)
+	materialized := testing.Benchmark(BenchmarkTraceMaterialized)
+	sBytes, mBytes := stream.AllocedBytesPerOp(), materialized.AllocedBytesPerOp()
+	t.Logf("bytes/op: stream=%d materialized=%d (%.1f×)", sBytes, mBytes, float64(mBytes)/float64(sBytes))
+	if sBytes == 0 || mBytes < 10*sBytes {
+		t.Errorf("stream path allocates %dB/op vs %dB/op materialized: want ≥10× reduction", sBytes, mBytes)
+	}
+	sPeak, mPeak := stream.Extra["peak-B/op"], materialized.Extra["peak-B/op"]
+	if sPeak <= 0 || mPeak < 10*sPeak {
+		t.Errorf("peak flow memory %v vs %v: want ≥10× reduction", sPeak, mPeak)
+	}
+}

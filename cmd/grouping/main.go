@@ -23,11 +23,12 @@ func main() {
 	parallel := flag.Bool("parallel", false, "parallel IncUpdate (Appendix B)")
 	flag.Parse()
 
-	tr := cli.MustTrace()
+	src := cli.MustStream()
+	info := src.Info()
 
-	m := trace.SwitchIntensity(tr, 0, tr.Duration)
+	m := trace.StreamIntensity(src, 0, info.Duration)
 	fmt.Printf("trace %s: %d switches, %d active pairs, total intensity %.2f flows/s\n",
-		tr.Name, m.NumSwitches(), m.NumPairs(), m.Total())
+		info.Name, m.NumSwitches(), m.NumPairs(), m.Total())
 
 	sgi, err := grouping.New(grouping.Config{
 		SizeLimit: *limit,
@@ -51,7 +52,7 @@ func main() {
 
 	// Simulate drift with the second half of the day and measure the
 	// incremental update.
-	half := trace.SwitchIntensity(tr, tr.Duration/2, tr.Duration)
+	half := trace.StreamIntensity(src, info.Duration/2, info.Duration)
 	before := grouping.Winter(grp, half)
 	start = time.Now()
 	ops, err := sgi.IncUpdate(grp, half, nil)

@@ -28,10 +28,10 @@ func main() {
 	hours := flag.Int("hours", 24, "horizon in hours")
 	flag.Parse()
 
-	tr := cli.MustTrace()
+	src := cli.MustStream()
 	if *expanded {
 		var err error
-		tr, err = trace.Expand(tr, 0.30, 8, 24, cli.Seed()^0xe)
+		src, err = trace.ExpandStream(src, 0.30, 8, 24, cli.Seed()^0xe)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -41,13 +41,15 @@ func main() {
 	if *mode == "openflow" {
 		m = controller.ModeLearning
 	}
-	fmt.Printf("emulating %s (%d flows, %d switches, %d hosts), mode=%s dynamic=%v limit=%d horizon=%dh\n",
-		tr.Name, tr.NumFlows(), len(tr.Directory.Switches()), tr.Directory.NumHosts(),
+	info := src.Info()
+	fmt.Printf("emulating %s (%d flows streamed in %d windows of ≤%d, %d switches, %d hosts), mode=%s dynamic=%v limit=%d horizon=%dh\n",
+		info.Name, info.TotalFlows, info.Windows, info.MaxWindowFlows,
+		len(info.Directory.Switches()), info.Directory.NumHosts(),
 		*mode, *dynamic, *limit, *hours)
 
 	start := time.Now()
 	res, err := eval.RunEmulation(eval.EmulationConfig{
-		Trace:          tr,
+		Source:         src,
 		Mode:           m,
 		Dynamic:        *dynamic,
 		GroupSizeLimit: *limit,

@@ -1,5 +1,7 @@
-// Command tracegen generates the Table II traffic traces and prints
-// their measured characteristics.
+// Command tracegen generates the Table II traffic traces as streams
+// and prints their measured characteristics. Flows are folded into the
+// statistics one window at a time, so any scale — including the
+// paper's full-size synthetic traces — fits in flat memory.
 //
 // Usage:
 //
@@ -20,10 +22,10 @@ func main() {
 	expand := flag.Bool("expand", false, "also derive the +30% expanded trace (§V-D)")
 	flag.Parse()
 
-	tr := cli.MustTrace()
-	describe(tr, cli.Seed())
+	s := cli.MustStream()
+	describe(s, cli.Seed())
 	if *expand {
-		exp, err := trace.Expand(tr, 0.30, 8, 24, cli.Seed()^0xe)
+		exp, err := trace.ExpandStream(s, 0.30, 8, 24, cli.Seed()^0xe)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -33,17 +35,22 @@ func main() {
 	}
 }
 
-func describe(tr *trace.Trace, seed uint64) {
-	st := trace.ComputeStats(tr)
-	fmt.Printf("trace %s: %d flows over %v\n", tr.Name, st.Flows, tr.Duration)
+func describe(s trace.Stream, seed uint64) {
+	info := s.Info()
+	// One window sweep yields stats, centrality, and intensity — the
+	// trace is generated once, which matters at full scale.
+	prof, centErr := trace.StreamProfile(s, 5, seed)
+	st := prof.Stats
+	fmt.Printf("trace %s: %d flows over %v (%d windows, peak window %d flows ≈ %.1f MB)\n",
+		info.Name, st.Flows, info.Duration, info.Windows, info.MaxWindowFlows,
+		float64(info.MaxWindowFlows)*trace.FlowBytes/(1<<20))
 	fmt.Printf("  topology: %d switches, %d hosts, %d tenants\n",
-		len(tr.Directory.Switches()), tr.Directory.NumHosts(), tr.Directory.NumTenants())
+		len(info.Directory.Switches()), info.Directory.NumHosts(), info.Directory.NumTenants())
 	fmt.Printf("  distinct communicating pairs: %d of %d possible\n", st.DistinctPairs, st.PossiblePairs)
 	fmt.Printf("  top-decile pair share: %.1f%%\n", 100*st.TopDecileShare)
-	if c, err := trace.AverageCentrality(tr, 5, seed); err == nil {
-		fmt.Printf("  average 5-way centrality: %.3f\n", c)
+	if centErr == nil {
+		fmt.Printf("  average 5-way centrality: %.3f\n", prof.Centrality)
 	}
-	m := trace.SwitchIntensity(tr, 0, tr.Duration)
 	fmt.Printf("  switch-pair intensity: %d active pairs, %.2f flows/s total\n",
-		m.NumPairs(), m.Total())
+		prof.Intensity.NumPairs(), prof.Intensity.Total())
 }

@@ -292,6 +292,11 @@ type Stats struct {
 	// PreloadNacks counts GFIBNack resync requests answered with full
 	// filters.
 	PreloadNacks uint64
+	// FilterRemovalsSent counts G-FIB tombstones broadcast to a dead
+	// switch's group after DiagSwitch closed, so non-neighbor members
+	// evict its filter immediately instead of waiting for the next
+	// membership change.
+	FilterRemovalsSent uint64
 }
 
 // New constructs a controller.

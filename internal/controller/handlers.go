@@ -523,9 +523,35 @@ func (c *Controller) actOnDiagnosis(suspect model.SwitchID, diag failover.Diagno
 		c.stats.LearnedEvicted += uint64(le)
 		c.stats.PendingEvicted += uint64(pe)
 		c.clib.RemoveSwitch(suspect)
+		// The dead switch's preload filter must not be re-shipped, and
+		// destinations' acked versions for it are moot.
+		delete(c.pfCur, suspect)
+		delete(c.pfPrev, suspect)
+		for _, acked := range c.pushedFilters {
+			delete(acked, suspect)
+		}
+		// Broadcast the G-FIB tombstone to the dead switch's group:
+		// ring neighbors already evicted on peer evidence, but
+		// non-neighbor members would otherwise keep the filter — and
+		// keep encapsulating first packets into a black hole — until
+		// the next membership change.
+		gid := c.grp.GroupOf(suspect)
+		if gid != model.NoGroup {
+			tomb := &openflow.GFIBDelta{
+				Group:    gid,
+				Removals: []model.SwitchID{suspect},
+				Version:  c.groupingVersion,
+			}
+			for _, member := range c.grp.Members(gid) {
+				if member == suspect || c.dead[member] {
+					continue
+				}
+				c.stats.FilterRemovalsSent++
+				c.env.Send(member, tomb)
+			}
+		}
 		// If the failed switch was its group's designated switch, select
 		// a replacement and re-push the group view (§III-E3).
-		gid := c.grp.GroupOf(suspect)
 		if gid != model.NoGroup {
 			members := c.grp.Members(gid)
 			if c.chooseDesignatedWas(members, suspect) {
@@ -564,13 +590,15 @@ func (c *Controller) chooseDesignatedWas(members []model.SwitchID, suspect model
 	return false
 }
 
-// MarkRecovered clears a switch's dead flag after the harness reboots
-// it, and re-pushes its group configuration to trigger resynchronization
-// (§III-E3 step iii).
+// MarkRecovered tells the controller a switch rebooted: the dead flag
+// (if any) clears and the switch's group configuration is re-pushed to
+// trigger resynchronization (§III-E3 step iii). The push must happen
+// whether or not the failure was ever diagnosed — a transient failure
+// healed before the keep-alive window closes still rebooted the
+// switch, which came back with no group view and would otherwise stay
+// configless forever (it answers keep-alives without one, so the
+// lost-push invalidation never fires either).
 func (c *Controller) MarkRecovered(sw model.SwitchID) {
-	if !c.dead[sw] {
-		return
-	}
 	delete(c.dead, sw)
 	c.lastAck[sw] = c.env.Now()
 	c.groupingVersion++

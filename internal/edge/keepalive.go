@@ -92,21 +92,50 @@ func (s *Switch) checkKeepAlives() {
 // new flows toward the suspect's hosts escalate to the controller
 // instead of encapping into a black hole), and a designated switch
 // also drops the suspect from its aggregation and delta-tracking state
-// so dissemination and reports stop carrying a dead member's L-FIB. A
-// false alarm self-heals: the suspect's next advertisement repopulates
-// the aggregation state and the version gate resends its filter.
+// so dissemination and reports stop carrying a dead member's L-FIB —
+// and broadcasts a filter tombstone so non-neighbor members (who never
+// see the missed heartbeats) evict too, instead of holding the dead
+// member's filter until the next membership change. A false alarm
+// self-heals: the suspect's resumed keep-alive re-sends it its group
+// view, its bootstrap advertisement repopulates the aggregation state,
+// and the version gate re-disseminates its filter to everyone.
 func (s *Switch) evictSuspect(suspect model.SwitchID) {
 	if _, held := s.gfib.PeerVersion(suspect); held {
 		s.gfib.RemoveFilter(suspect)
 		s.stats.PeerFiltersEvicted++
 	}
 	if s.IsDesignated() {
-		delete(s.memberLFIBs, suspect)
-		delete(s.memberLFIBVersions, suspect)
-		delete(s.gfibSent, suspect)
-		delete(s.ctrlSent, suspect)
-		delete(s.gfibPrev, suspect)
-		s.evictedMembers[suspect] = true
+		s.dropMemberAggregation(suspect)
+		s.broadcastFilterRemoval(suspect)
+	}
+}
+
+// dropMemberAggregation forgets a member's aggregated L-FIB snapshot
+// and delta-tracking state (designated switch only) and marks it for
+// the false-alarm unwind.
+func (s *Switch) dropMemberAggregation(suspect model.SwitchID) {
+	delete(s.memberLFIBs, suspect)
+	delete(s.memberLFIBVersions, suspect)
+	delete(s.gfibSent, suspect)
+	delete(s.ctrlSent, suspect)
+	delete(s.gfibPrev, suspect)
+	s.evictedMembers[suspect] = true
+}
+
+// broadcastFilterRemoval ships the G-FIB tombstone for a lost member
+// to every other group member.
+func (s *Switch) broadcastFilterRemoval(suspect model.SwitchID) {
+	tomb := &openflow.GFIBDelta{
+		Group:    s.group.Group,
+		Removals: []model.SwitchID{suspect},
+		Version:  s.group.Version,
+	}
+	for _, member := range s.group.Members {
+		if member == s.cfg.ID || member == suspect {
+			continue
+		}
+		s.stats.GFIBRemovalsSent++
+		s.env.Send(member, tomb)
 	}
 }
 

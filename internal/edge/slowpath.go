@@ -538,6 +538,22 @@ func (s *Switch) handleGFIBDelta(from model.SwitchID, m *openflow.GFIBDelta) {
 	if !s.haveGroup || m.Group != s.group.Group {
 		return
 	}
+	// Tombstones first: a removal is unconditional (no base version,
+	// never NACKed). A designated switch also drops the member's
+	// aggregation state — a controller-issued removal may be its first
+	// notice when the dead member is not among its wheel neighbors.
+	for _, peer := range m.Removals {
+		if peer == s.cfg.ID {
+			continue
+		}
+		if _, held := s.gfib.PeerVersion(peer); held {
+			s.gfib.RemoveFilter(peer)
+			s.stats.GFIBRemovalsApplied++
+		}
+		if s.IsDesignated() {
+			s.dropMemberAggregation(peer)
+		}
+	}
 	var stale []model.SwitchID
 	for _, d := range m.Deltas {
 		if d.Switch == s.cfg.ID {

@@ -117,6 +117,12 @@ type Stats struct {
 	// its preloaded filter without waiting for the controller's
 	// diagnosis.
 	PeerFiltersEvicted uint64
+	// GFIBRemovalsSent counts filter tombstones a designated switch
+	// broadcast after evicting a member on peer evidence;
+	// GFIBRemovalsApplied counts tombstones this switch applied
+	// (filters dropped on a wire removal).
+	GFIBRemovalsSent    uint64
+	GFIBRemovalsApplied uint64
 }
 
 // Switch is a LazyCtrl edge switch.
@@ -276,6 +282,50 @@ func (s *Switch) Stop() {
 func (s *Switch) nextXID() uint32 {
 	s.xid++
 	return s.xid
+}
+
+// Reboot simulates a switch restart: every volatile table — L-FIB
+// bindings, G-FIB filters, flow rules, group view, aggregation and
+// delta-tracking state, keep-alive bookkeeping — is lost, and the
+// L-FIB's incarnation epoch advances (its one durable datum), so the
+// versions the switch advertises after the reboot dominate everything
+// it advertised before. Receivers therefore accept its post-reboot
+// snapshots immediately and its advertisement stream stays
+// delta-encodable; without the epoch a version counter restarted at
+// zero would be refused as stale until it caught up. The harness must
+// re-attach the switch's hosts (the hypervisor knows its virtual
+// interfaces) and the controller re-pushes the group view via
+// MarkRecovered.
+func (s *Switch) Reboot() {
+	wasStarted := s.started
+	// The micro-batching window's buffered PacketIns die with the
+	// switch — drop them before Stop, whose drain would otherwise
+	// flush pre-failure escalations to the controller.
+	s.pinBuf = nil
+	s.Stop()
+	s.lfib.Restart()
+	s.gfib.Clear()
+	s.flows = newFlowTable()
+	s.group = openflow.GroupConfig{}
+	s.haveGroup = false
+	s.memberLFIBs = make(map[model.SwitchID][]openflow.LFIBEntry)
+	s.memberLFIBVersions = make(map[model.SwitchID]uint64)
+	s.gfibSent = make(map[model.SwitchID]uint64)
+	s.ctrlSent = make(map[model.SwitchID]uint64)
+	s.gfibPrev = make(map[model.SwitchID]*bloom.Filter)
+	s.ctrlPending = make(map[model.SwitchID][]openflow.LFIBEntry)
+	s.ctrlNeedFull = make(map[model.SwitchID]bool)
+	s.evictedMembers = make(map[model.SwitchID]bool)
+	s.memberPairs = make(map[model.SwitchPair]uint32)
+	s.pairFlows = make(map[model.SwitchID]uint32)
+	s.lastFrom = make(map[model.SwitchID]time.Duration)
+	s.reported = make(map[model.SwitchID]bool)
+	s.lastAdvertisedVersion = 0
+	s.advSinceFull = 0
+	s.ctrlRelay = false
+	if wasStarted {
+		s.Start()
+	}
 }
 
 // InjectLocal processes a packet transmitted by a locally attached host

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"lazyctrl/internal/fib"
 	"lazyctrl/internal/model"
 	"lazyctrl/internal/netsim"
 	"lazyctrl/internal/openflow"
@@ -499,5 +500,61 @@ func TestDetachHostStopsDelivery(t *testing.T) {
 	}
 	if len(r.ctrl.packetIns()) != 1 {
 		t.Error("packet for detached host not escalated to controller")
+	}
+}
+
+// TestPostRebootFilterAccepted pins the incarnation epoch at the edge:
+// a peer's full filter built after its reboot (epoch advanced, change
+// counter restarted) must pass the stale-version guard even though the
+// receiver holds a filter stamped with a large pre-reboot counter —
+// while a genuinely old filter is still refused.
+func TestPostRebootFilterAccepted(t *testing.T) {
+	r := newRig(t, 1, 2)
+	r.configureGroup(1, 1, 1, 2)
+	r.sim.RunFor(time.Second)
+	sw := r.switches[1]
+
+	peer := fib.NewLFIB()
+	for i := 100; i < 150; i++ {
+		peer.Learn(model.HostMAC(model.HostID(i)), model.HostIP(model.HostID(i)), 1, 1, 0)
+	}
+	install := func(l *fib.LFIB) {
+		f := l.Filter(sw.cfg.FilterBits, sw.cfg.FilterHashes)
+		data, err := f.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw.handleGFIBUpdate(&openflow.GFIBUpdate{
+			Group:   1,
+			Filters: []openflow.GFIBFilter{{Switch: 2, Filter: data, Version: l.Version()}},
+			Version: 1,
+		})
+	}
+	install(peer)
+	pre := peer.Version()
+	if held, ok := sw.gfib.PeerVersion(2); !ok || held != pre {
+		t.Fatalf("pre-reboot filter not installed (held=%d ok=%v)", held, ok)
+	}
+
+	// An older full filter (late arrival from a slower sender) is
+	// refused — the guard this test protects.
+	stale := fib.NewLFIB()
+	stale.Learn(model.HostMAC(99), model.HostIP(99), 1, 1, 0)
+	install(stale)
+	if held, _ := sw.gfib.PeerVersion(2); held != pre {
+		t.Fatalf("stale filter regressed held version to %d", held)
+	}
+
+	// The peer reboots: few entries, tiny change counter, but a higher
+	// epoch. Its filter must be adopted immediately.
+	peer.Restart()
+	peer.Learn(model.HostMAC(100), model.HostIP(100), 1, 1, 0)
+	post := peer.Version()
+	if post <= pre {
+		t.Fatalf("post-reboot version %d not above pre-reboot %d", post, pre)
+	}
+	install(peer)
+	if held, _ := sw.gfib.PeerVersion(2); held != post {
+		t.Errorf("post-reboot filter refused: held %d, want %d", held, post)
 	}
 }

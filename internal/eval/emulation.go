@@ -21,7 +21,11 @@ import (
 
 // EmulationConfig drives one trace replay over the full stack.
 type EmulationConfig struct {
-	Trace *trace.Trace
+	// Source supplies the replayed flows as time-ordered windows. Pass
+	// a generator stream (trace.NewStream) to keep the replay's flow
+	// memory flat in trace length, or a materialized trace's adapter
+	// (Trace.Stream) for small tests.
+	Source trace.Stream
 	// Mode selects LazyCtrl or the OpenFlow learning baseline.
 	Mode controller.Mode
 	// Dynamic enables incremental regrouping (lazy mode).
@@ -52,8 +56,8 @@ type EmulationConfig struct {
 }
 
 func (c EmulationConfig) withDefaults() (EmulationConfig, error) {
-	if c.Trace == nil {
-		return c, fmt.Errorf("eval: nil trace")
+	if c.Source == nil {
+		return c, fmt.Errorf("eval: nil flow source")
 	}
 	if c.Mode == 0 {
 		c.Mode = controller.ModeLazy
@@ -61,8 +65,8 @@ func (c EmulationConfig) withDefaults() (EmulationConfig, error) {
 	if c.GroupSizeLimit == 0 {
 		c.GroupSizeLimit = 46
 	}
-	if c.Horizon == 0 || c.Horizon > c.Trace.Duration {
-		c.Horizon = c.Trace.Duration
+	if d := c.Source.Info().Duration; c.Horizon == 0 || c.Horizon > d {
+		c.Horizon = d
 	}
 	if c.BucketWidth == 0 {
 		c.BucketWidth = 2 * time.Hour
@@ -106,6 +110,12 @@ type EmulationResult struct {
 	FinalGroups int
 }
 
+// emulationPrefetchDepth bounds the replay's generate-ahead pipeline:
+// a couple of windows generate in the background while the simulator
+// drains the current one. Deeper pipelines buy nothing — the DES
+// consumes one window per virtual window span — and cost memory.
+const emulationPrefetchDepth = 2
+
 // fastPathLatency is the steady-state per-packet forwarding latency for
 // packets that hit an installed rule or the L-FIB: datapath processing
 // plus one core traversal.
@@ -118,14 +128,18 @@ func fastPathLatency(lat netsim.Latencies, sameSwitch bool) time.Duration {
 }
 
 // RunEmulation replays a trace against the full control stack and
-// collects the evaluation metrics.
+// collects the evaluation metrics. Flows are drawn from the source one
+// window at a time — the next window generates on the prefetch
+// pipeline while the simulator drains the current one — so the
+// replay's flow memory is O(window), not O(trace).
 func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 	c, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	tr := c.Trace
-	dir := tr.Directory
+	src := c.Source
+	info := src.Info()
+	dir := info.Directory
 
 	s := sim.New(c.Seed)
 	net := netsim.New(s, c.Latencies)
@@ -138,7 +152,7 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 		Switches:          dir.Switches(),
 		GroupSizeLimit:    c.GroupSizeLimit,
 		Seed:              c.Seed,
-		LoadScale:         tr.Scale,
+		LoadScale:         info.Scale,
 		Dynamic:           c.Dynamic,
 		Recorder:          rec,
 		KeepAliveInterval: time.Minute,
@@ -178,45 +192,91 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 	ctrl.Start()
 
 	// Initial grouping from the warmup window (the paper seeds grouping
-	// with the first-hour traffic pattern).
+	// with the first-hour traffic pattern). Only the warmup window's
+	// trace windows are generated.
 	if c.Mode == controller.ModeLazy {
 		warm := c.WarmupIntensity
 		if warm == nil {
-			warm = trace.SwitchIntensity(tr, 0, c.WarmupWindow)
+			warm = trace.StreamIntensity(src, 0, c.WarmupWindow)
 		}
 		if err := ctrl.InitialGrouping(warm); err != nil {
 			return nil, err
 		}
 	}
 
-	// Schedule every flow's first packet; account the remaining packets
-	// of the flow analytically at the fast-path latency.
-	for _, f := range tr.Window(0, c.Horizon) {
-		f := f
-		src := dir.Host(f.Src)
-		dst := dir.Host(f.Dst)
-		if src == nil || dst == nil {
-			continue
+	// Windowed flow injection: window w's first packets are scheduled
+	// when the clock reaches the start of window w−1 — one full window
+	// of lead, so every flow event is in the heap before its time comes
+	// while the heap never holds more than ~two windows of flows. The
+	// remaining packets of each flow are accounted analytically at the
+	// fast-path latency, as before.
+	lastWindow := -1
+	for w := 0; w < info.Windows; w++ {
+		if start, _ := info.WindowBounds(w); start >= c.Horizon {
+			break
 		}
-		res.FlowsInjected++
-		sameSwitch := src.Switch == dst.Switch
-		if f.Packets > 1 {
-			rec.RecordLatency(f.Start, fastPathLatency(c.Latencies, sameSwitch), int(f.Packets)-1)
-		}
-		s.At(sim.Time(f.Start), func() {
-			p := &model.Packet{
-				SrcMAC:   src.MAC,
-				DstMAC:   dst.MAC,
-				SrcIP:    src.IP,
-				DstIP:    dst.IP,
-				VLAN:     src.VLAN,
-				Ether:    model.EtherTypeIPv4,
-				Bytes:    1400,
-				FlowSeq:  0,
-				Injected: time.Duration(s.Now()),
+		lastWindow = w
+	}
+	var pf *trace.Prefetcher
+	if lastWindow >= 0 {
+		pf = trace.NewPrefetcher(src, 0, lastWindow, emulationPrefetchDepth)
+		defer pf.Close()
+	}
+	scheduleWindow := func(flows []trace.Flow) {
+		for i := range flows {
+			f := flows[i]
+			if f.Start >= c.Horizon {
+				break // windows are sorted; the rest is past the horizon
 			}
-			switches[src.Switch].InjectLocal(p)
-		})
+			src := dir.Host(f.Src)
+			dst := dir.Host(f.Dst)
+			if src == nil || dst == nil {
+				continue
+			}
+			res.FlowsInjected++
+			sameSwitch := src.Switch == dst.Switch
+			if f.Packets > 1 {
+				rec.RecordLatency(f.Start, fastPathLatency(c.Latencies, sameSwitch), int(f.Packets)-1)
+			}
+			s.At(sim.Time(f.Start), func() {
+				p := &model.Packet{
+					SrcMAC:   src.MAC,
+					DstMAC:   dst.MAC,
+					SrcIP:    src.IP,
+					DstIP:    dst.IP,
+					VLAN:     src.VLAN,
+					Ether:    model.EtherTypeIPv4,
+					Bytes:    1400,
+					FlowSeq:  0,
+					Injected: time.Duration(s.Now()),
+				}
+				switches[src.Switch].InjectLocal(p)
+			})
+		}
+	}
+	var loadNext func()
+	loadNext = func() {
+		flows, w, ok := pf.Next()
+		if !ok {
+			return
+		}
+		scheduleWindow(flows)
+		pf.Recycle(flows)
+		if w > 0 && w < lastWindow {
+			// Load window w+1 once the clock reaches the start of
+			// window w: its flows are still strictly in the future.
+			// (Window 0 starts no chain — windows 0 and 1 both load
+			// before the clock does, and window 1 carries the chain.)
+			from, _ := info.WindowBounds(w)
+			s.At(sim.Time(from), loadNext)
+		}
+	}
+	if pf != nil {
+		// Windows 0 and 1 load before the clock starts; window 1's
+		// completion schedules window 2 at the start of window 1, and
+		// so on.
+		loadNext()
+		loadNext()
 	}
 
 	s.RunUntil(sim.Time(c.Horizon))
@@ -225,7 +285,7 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 	// periodic control work (state reports, regroup pushes) does not —
 	// a real deployment sends the same handful per interval regardless
 	// of traffic volume.
-	traffic := rec.WorkloadRPSFor(tr.Scale, metrics.ReqPacketIn, metrics.ReqARPRelay)
+	traffic := rec.WorkloadRPSFor(info.Scale, metrics.ReqPacketIn, metrics.ReqARPRelay)
 	periodic := rec.WorkloadRPSFor(1, metrics.ReqStateReport, metrics.ReqRegroup)
 	combined := make([]float64, len(traffic))
 	for i := range combined {

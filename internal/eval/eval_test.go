@@ -20,7 +20,7 @@ func smallTrace(t testing.TB, seed uint64) *trace.Trace {
 func TestRunEmulationLazySmoke(t *testing.T) {
 	tr := smallTrace(t, 1)
 	res, err := RunEmulation(EmulationConfig{
-		Trace:          tr,
+		Source:         tr.Stream(0),
 		Mode:           controller.ModeLazy,
 		GroupSizeLimit: 6,
 		Horizon:        2 * time.Hour,
@@ -52,7 +52,7 @@ func TestRunEmulationLazySmoke(t *testing.T) {
 func TestRunEmulationLearningSmoke(t *testing.T) {
 	tr := smallTrace(t, 2)
 	res, err := RunEmulation(EmulationConfig{
-		Trace:       tr,
+		Source:      tr.Stream(0),
 		Mode:        controller.ModeLearning,
 		Horizon:     2 * time.Hour,
 		BucketWidth: time.Hour,
@@ -84,7 +84,7 @@ func TestLazyReducesWorkload(t *testing.T) {
 	}
 	horizon := 4 * time.Hour
 	lazy, err := RunEmulation(EmulationConfig{
-		Trace: tr, Mode: controller.ModeLazy, GroupSizeLimit: 8,
+		Source: tr.Stream(0), Mode: controller.ModeLazy, GroupSizeLimit: 8,
 		Horizon: horizon, BucketWidth: time.Hour, Seed: 3,
 		ReportInterval: 5 * time.Minute,
 	})
@@ -92,7 +92,7 @@ func TestLazyReducesWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 	base, err := RunEmulation(EmulationConfig{
-		Trace: tr, Mode: controller.ModeLearning,
+		Source: tr.Stream(0), Mode: controller.ModeLearning,
 		Horizon: horizon, BucketWidth: time.Hour, Seed: 3,
 	})
 	if err != nil {

@@ -27,38 +27,40 @@ type TableIIRow struct {
 }
 
 // TableII regenerates the trace-characteristics table at the given
-// scale.
+// scale, streaming each dataset through the centrality accumulator
+// instead of materializing its flows.
 func TableII(scale int, seed uint64) ([]TableIIRow, error) {
 	type spec struct {
 		name   string
-		gen    func() (*trace.Trace, error)
+		cfg    trace.GeneratorConfig
 		flows  int64
 		paperC float64
 	}
 	specs := []spec{
-		{"Real", func() (*trace.Trace, error) { return trace.RealLike(scale, seed) }, trace.RealPaperFlows, 0.85},
-		{"Syn-A", func() (*trace.Trace, error) { return trace.SynA(scale*10, seed) }, trace.SynAFlows, 0.85},
-		{"Syn-B", func() (*trace.Trace, error) { return trace.SynB(scale*14, seed) }, trace.SynBFlows, 0.72},
-		{"Syn-C", func() (*trace.Trace, error) { return trace.SynC(scale*19, seed) }, trace.SynCFlows, 0.61},
+		{"Real", trace.RealLikeConfig(scale, seed), trace.RealPaperFlows, 0.85},
+		{"Syn-A", trace.SynAConfig(scale*10, seed), trace.SynAFlows, 0.85},
+		{"Syn-B", trace.SynBConfig(scale*14, seed), trace.SynBFlows, 0.72},
+		{"Syn-C", trace.SynCConfig(scale*19, seed), trace.SynCFlows, 0.61},
 	}
 	rows := make([]TableIIRow, 0, len(specs))
 	for _, sp := range specs {
-		tr, err := sp.gen()
+		s, err := trace.NewStream(sp.cfg)
 		if err != nil {
 			return nil, fmt.Errorf("eval: %s: %w", sp.name, err)
 		}
-		c, err := trace.AverageCentrality(tr, 5, seed)
+		c, err := trace.StreamCentrality(s, 5, seed)
 		if err != nil {
 			return nil, fmt.Errorf("eval: %s centrality: %w", sp.name, err)
 		}
+		info := s.Info()
 		rows = append(rows, TableIIRow{
 			Name:          sp.name,
 			PaperFlows:    sp.flows,
-			MeasuredFlows: tr.NumFlows(),
+			MeasuredFlows: info.TotalFlows,
 			AvgCentrality: c,
 			PaperC:        sp.paperC,
-			P:             tr.P,
-			Q:             tr.Q,
+			P:             info.P,
+			Q:             info.Q,
 		})
 	}
 	return rows, nil
@@ -71,36 +73,38 @@ type Fig6aPoint struct {
 	WinterPct float64
 }
 
-// synTraces names the three synthetic workloads shared by the Fig. 6
-// sweeps. The returned intensity matrices are read-only from that point
-// on, so sweep points can share them across the worker pool.
-func synTraces(scale int, seed uint64) []struct {
+// synConfigs names the three synthetic workloads shared by the Fig. 6
+// sweeps.
+func synConfigs(scale int, seed uint64) []struct {
 	name string
-	gen  func() (*trace.Trace, error)
+	cfg  trace.GeneratorConfig
 } {
 	return []struct {
 		name string
-		gen  func() (*trace.Trace, error)
+		cfg  trace.GeneratorConfig
 	}{
-		{"Syn-A", func() (*trace.Trace, error) { return trace.SynA(scale, seed) }},
-		{"Syn-B", func() (*trace.Trace, error) { return trace.SynB(scale*14/10, seed) }},
-		{"Syn-C", func() (*trace.Trace, error) { return trace.SynC(scale*19/10, seed) }},
+		{"Syn-A", trace.SynAConfig(scale, seed)},
+		{"Syn-B", trace.SynBConfig(scale*14/10, seed)},
+		{"Syn-C", trace.SynCConfig(scale*19/10, seed)},
 	}
 }
 
-// synIntensities generates the three synthetic traces concurrently and
-// reduces each to its switch-intensity matrix.
+// synIntensities streams the three synthetic traces concurrently and
+// reduces each to its switch-intensity matrix — the flows are never
+// materialized, only folded window by window. The returned matrices
+// are read-only from that point on, so sweep points can share them
+// across the worker pool.
 func synIntensities(scale int, seed uint64) ([]string, []*grouping.Intensity, error) {
-	gens := synTraces(scale, seed)
-	names := make([]string, len(gens))
-	ms := make([]*grouping.Intensity, len(gens))
-	err := parallelFor(len(gens), func(i int) error {
-		tr, err := gens[i].gen()
+	cfgs := synConfigs(scale, seed)
+	names := make([]string, len(cfgs))
+	ms := make([]*grouping.Intensity, len(cfgs))
+	err := parallelFor(len(cfgs), func(i int) error {
+		s, err := trace.NewStream(cfgs[i].cfg)
 		if err != nil {
 			return err
 		}
-		names[i] = gens[i].name
-		ms[i] = trace.SwitchIntensity(tr, 0, tr.Duration)
+		names[i] = cfgs[i].name
+		ms[i] = trace.StreamIntensity(s, 0, s.Info().Duration)
 		return nil
 	})
 	if err != nil {
@@ -258,35 +262,36 @@ func RunFig789(cfg Fig789Config) (*Fig789Result, error) {
 	if cfg.Scale < 1 {
 		return nil, fmt.Errorf("eval: Scale must be ≥ 1")
 	}
-	// The real→expanded trace chain and the warmup-intensity generation
+	// The real→expanded stream chain and the warmup-intensity generation
 	// are independent: overlap them. Warmup sees the full (unscaled)
 	// first hour; sample it from a 10×-denser generation of the same
 	// traffic distribution (identical topology and pair pools under the
-	// same seed).
+	// same seed) — streamed, so only the first hour's windows of the
+	// denser trace are ever generated.
 	var (
-		real, expanded *trace.Trace
+		real, expanded trace.Stream
 		warm           *grouping.Intensity
 	)
 	err := parallelFor(2, func(i int) error {
 		switch i {
 		case 0:
 			var err error
-			real, err = trace.RealLike(cfg.Scale, cfg.Seed)
+			real, err = trace.NewStream(trace.RealLikeConfig(cfg.Scale, cfg.Seed))
 			if err != nil {
 				return err
 			}
-			expanded, err = trace.Expand(real, 0.30, 8, 24, cfg.Seed^0xe)
+			expanded, err = trace.ExpandStream(real, 0.30, 8, 24, cfg.Seed^0xe)
 			return err
 		default:
 			warmScale := cfg.Scale / 10
 			if warmScale < 1 {
 				warmScale = 1
 			}
-			warmTrace, err := trace.RealLike(warmScale, cfg.Seed)
+			warmStream, err := trace.NewStream(trace.RealLikeConfig(warmScale, cfg.Seed))
 			if err != nil {
 				return err
 			}
-			warm = trace.SwitchIntensity(warmTrace, 0, time.Hour)
+			warm = trace.StreamIntensity(warmStream, 0, time.Hour)
 			return nil
 		}
 	})
@@ -295,7 +300,7 @@ func RunFig789(cfg Fig789Config) (*Fig789Result, error) {
 	}
 	runs := []struct {
 		name    string
-		tr      *trace.Trace
+		src     trace.Stream
 		mode    controller.Mode
 		dynamic bool
 	}{
@@ -306,13 +311,14 @@ func RunFig789(cfg Fig789Config) (*Fig789Result, error) {
 		{SeriesExpandedDynamic, expanded, controller.ModeLazy, true},
 	}
 	// The five emulations are deterministic per seed and share no mutable
-	// state (each owns its simulator; traces and the warmup matrix are
+	// state (each owns its simulator; stream windows regenerate
+	// per-consumer from read-only pools, and the warmup matrix is
 	// read-only), so they fan out across the worker pool.
 	results := make([]*EmulationResult, len(runs))
 	err = parallelFor(len(runs), func(i int) error {
 		r := runs[i]
 		res, err := RunEmulation(EmulationConfig{
-			Trace:           r.tr,
+			Source:          r.src,
 			Mode:            r.mode,
 			Dynamic:         r.dynamic,
 			GroupSizeLimit:  cfg.GroupSizeLimit,

@@ -29,8 +29,20 @@ type LFIBEntry struct {
 // (virtual machines). It keeps a change journal so advertisement can
 // ship increments — just the bindings that moved since the last drain
 // — instead of a full snapshot on every change.
+//
+// The advertised version carries an incarnation epoch in its high bits
+// (see VersionEpochShift): a reboot wipes the table and the change
+// counter but bumps the epoch, so every post-reboot version is
+// strictly greater than every pre-reboot one. Receivers that order or
+// gate on versions (the C-LIB's snapshot stamp, the edge's
+// stale-full-filter guard, the designated switch's sent-version gates)
+// therefore keep working across reboots, and the rebooted switch's
+// advertisements stay delta-encodable instead of being refused until
+// a counter restarted at zero catches up — which in practice meant
+// full resyncs or, worse, stale filters pinned at the old version.
 type LFIB struct {
 	byMAC   map[model.MAC]*LFIBEntry
+	epoch   uint64
 	version uint64
 	// dirty holds MACs learned or rebound since the last DrainChanges;
 	// removed records a removal, which increments cannot express and
@@ -39,7 +51,15 @@ type LFIB struct {
 	removed bool
 }
 
-// NewLFIB returns an empty L-FIB.
+// VersionEpochShift is the bit position of the incarnation epoch
+// inside the 64-bit L-FIB version: the low 48 bits count structural
+// changes within one incarnation (enough for ~10^14 changes), the
+// high 16 bits carry the epoch. The composite travels as a plain u64,
+// so no wire format changes — lexicographic (epoch, counter) order is
+// exactly integer order on the composite.
+const VersionEpochShift = 48
+
+// NewLFIB returns an empty L-FIB at epoch 0.
 func NewLFIB() *LFIB {
 	return &LFIB{
 		byMAC: make(map[model.MAC]*LFIBEntry),
@@ -121,8 +141,26 @@ func (l *LFIB) Expire(now, maxAge time.Duration) int {
 // Len returns the number of bindings.
 func (l *LFIB) Len() int { return len(l.byMAC) }
 
-// Version counts structural changes; dissemination tags updates with it.
-func (l *LFIB) Version() uint64 { return l.version }
+// Version is the advertised state version: the incarnation epoch in
+// the high bits over the per-incarnation change counter. Dissemination
+// tags updates with it; it is strictly monotonic across reboots.
+func (l *LFIB) Version() uint64 { return l.epoch<<VersionEpochShift | l.version }
+
+// Epoch returns the incarnation epoch.
+func (l *LFIB) Epoch() uint64 { return l.epoch }
+
+// Restart simulates a reboot: every binding and the change journal are
+// lost (volatile state), the change counter resets, and the
+// incarnation epoch — the one durable datum, persisted by real
+// switches in stable storage — increments. The resulting Version
+// dominates every version the previous incarnation ever advertised.
+func (l *LFIB) Restart() {
+	l.byMAC = make(map[model.MAC]*LFIBEntry)
+	l.dirty = make(map[model.MAC]struct{})
+	l.removed = false
+	l.version = 0
+	l.epoch++
+}
 
 // Entries returns all bindings sorted by MAC (deterministic order for
 // dissemination and tests).

@@ -377,3 +377,63 @@ func TestGFIBApplyDelta(t *testing.T) {
 		t.Errorf("Query(3) after delta = %v, want [9]", got)
 	}
 }
+
+// TestLFIBEpochMonotonicAcrossRestart pins the incarnation-epoch
+// convention: a restarted L-FIB loses its bindings and change counter
+// but its advertised versions strictly dominate every pre-restart one,
+// so version-ordering receivers never refuse post-reboot state.
+func TestLFIBEpochMonotonicAcrossRestart(t *testing.T) {
+	l := NewLFIB()
+	for i := 1; i <= 100; i++ {
+		l.Learn(model.HostMAC(model.HostID(i)), model.HostIP(model.HostID(i)), 1, 1, 0)
+	}
+	before := l.Version()
+	if before == 0 || l.Epoch() != 0 {
+		t.Fatalf("pre-restart version=%d epoch=%d", before, l.Epoch())
+	}
+	l.Restart()
+	if l.Len() != 0 {
+		t.Errorf("Restart kept %d bindings", l.Len())
+	}
+	if l.Epoch() != 1 {
+		t.Errorf("epoch = %d, want 1", l.Epoch())
+	}
+	if l.Version() <= before {
+		t.Errorf("post-restart version %d not above pre-restart %d", l.Version(), before)
+	}
+	// The fresh incarnation's changes advance the composite version.
+	v0 := l.Version()
+	l.Learn(model.HostMAC(1), model.HostIP(1), 1, 1, 0)
+	if l.Version() <= v0 {
+		t.Errorf("post-restart Learn did not advance version")
+	}
+	// A second restart dominates again.
+	l.Restart()
+	if l.Epoch() != 2 || l.Version() <= v0 {
+		t.Errorf("second restart: epoch=%d version=%d", l.Epoch(), l.Version())
+	}
+}
+
+// TestCLIBAcceptsPostRebootSnapshot pins the epoch's point at the
+// controller: a full snapshot from a rebooted switch (counter
+// restarted, epoch advanced) advances the recorded version instead of
+// being discarded as older than the pre-reboot stamp.
+func TestCLIBAcceptsPostRebootSnapshot(t *testing.T) {
+	c := NewCLIB()
+	l := NewLFIB()
+	for i := 1; i <= 10; i++ {
+		l.Learn(model.HostMAC(model.HostID(i)), model.HostIP(model.HostID(i)), 1, 1, 0)
+	}
+	pre := l.Version()
+	c.ApplyLFIB(3, 1, &openflow.LFIBUpdate{Origin: 3, Full: true, Entries: l.WireEntries(), Version: pre})
+	if got := c.VersionOn(3); got != pre {
+		t.Fatalf("VersionOn = %d, want %d", got, pre)
+	}
+	l.Restart()
+	l.Learn(model.HostMAC(1), model.HostIP(1), 1, 1, 0)
+	post := l.Version()
+	c.ApplyLFIB(3, 1, &openflow.LFIBUpdate{Origin: 3, Full: true, Entries: l.WireEntries(), Version: post})
+	if got := c.VersionOn(3); got != post {
+		t.Errorf("post-reboot VersionOn = %d, want %d (epoch must dominate)", got, post)
+	}
+}

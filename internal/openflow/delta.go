@@ -49,9 +49,19 @@ func FullWireCost(filterBytes int) int { return 16 + filterBytes }
 // O(k) words instead of the whole 2 KB array. A receiver applies each
 // item only if it holds the item's base version; otherwise it leaves
 // its filter untouched and NACKs.
+//
+// Removals are the protocol's filter tombstones: the named peers'
+// filters must be evicted outright (the peer was diagnosed dead or
+// reported lost on peer evidence), so non-neighbor members stop
+// encapsulating toward a black hole immediately instead of keeping the
+// dead member's filter until the next membership change. A removal is
+// unconditional — no base version, never NACKed — and a removed filter
+// returns through the normal full-push path when the peer comes back.
 type GFIBDelta struct {
 	Group  model.GroupID
 	Deltas []GFIBFilterDelta
+	// Removals names peers whose filters the receiver must drop.
+	Removals []model.SwitchID
 	// Version is the grouping version the sender operated under.
 	Version uint64
 }
@@ -72,6 +82,7 @@ func (m *GFIBDelta) encodeBody(dst []byte) []byte {
 			dst = putU64(dst, w.Word)
 		}
 	}
+	dst = encodeSwitches(dst, m.Removals)
 	return putU64(dst, m.Version)
 }
 
@@ -107,6 +118,7 @@ func (m *GFIBDelta) decodeBody(src []byte) error {
 		}
 		m.Deltas = append(m.Deltas, d)
 	}
+	m.Removals = decodeSwitches(r)
 	m.Version = r.u64()
 	return r.done()
 }

@@ -26,11 +26,23 @@ func TestGFIBDeltaRoundTrip(t *testing.T) {
 			// A version beacon: base == target, no words.
 			{Switch: 9, BaseVersion: 12, TargetVersion: 12},
 		},
-		Version: 5,
+		Removals: []model.SwitchID{4, 11},
+		Version:  5,
 	}
 	got, ok := roundTrip(t, m, 31).(*GFIBDelta)
 	if !ok || !reflect.DeepEqual(got, m) {
 		t.Errorf("GFIBDelta round trip = %+v, want %+v", got, m)
+	}
+}
+
+// TestGFIBDeltaRemovalOnly round-trips a pure tombstone (the message a
+// designated switch or the controller broadcasts after a member is
+// lost).
+func TestGFIBDeltaRemovalOnly(t *testing.T) {
+	m := &GFIBDelta{Group: 8, Removals: []model.SwitchID{42}, Version: 3}
+	got, ok := roundTrip(t, m, 35).(*GFIBDelta)
+	if !ok || !reflect.DeepEqual(got, m) {
+		t.Errorf("removal-only GFIBDelta round trip = %+v, want %+v", got, m)
 	}
 }
 
@@ -105,5 +117,58 @@ func TestDeltaWireCostBounds(t *testing.T) {
 	}
 	if full := FullWireCost(2048); full <= 2048 {
 		t.Errorf("FullWireCost(2048) = %d", full)
+	}
+}
+
+// TestStateReportDensePairs pins the size-adaptive pair encoding: a
+// steady-state report (all pairs of a 46-switch group) round-trips
+// through the dense switch-index form and is measurably smaller than
+// the flat form it replaces, while a sparse report keeps the flat form
+// and never grows.
+func TestStateReportDensePairs(t *testing.T) {
+	const groupSize = 46
+	var pairs []PairStat
+	for a := 1; a <= groupSize; a++ {
+		for b := a + 1; b <= groupSize; b++ {
+			pairs = append(pairs, PairStat{A: model.SwitchID(a), B: model.SwitchID(b), NewFlows: uint32(a*100 + b)})
+		}
+	}
+	m := &StateReport{Group: 2, Pairs: pairs, Version: 9}
+	data, err := Encode(m, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := roundTrip(t, m, 41).(*StateReport)
+	if !ok || !reflect.DeepEqual(got.Pairs, m.Pairs) {
+		t.Fatalf("dense pair round trip corrupted the pairs")
+	}
+	flatSize := 12 * len(pairs)
+	denseSize := 2 + 4*groupSize + 8*len(pairs)
+	if len(data) >= flatSize {
+		t.Errorf("encoded report = %dB, want < flat pair section alone (%dB)", len(data), flatSize)
+	}
+	overhead := len(data) - denseSize
+	if overhead < 0 || overhead > 64 {
+		t.Errorf("encoded report = %dB, want ≈ dense size %dB (+header)", len(data), denseSize)
+	}
+	t.Logf("%d pairs over %d switches: %dB on the wire vs %dB flat (%.0f%% smaller)",
+		len(pairs), groupSize, len(data), flatSize, 100*(1-float64(len(data))/float64(flatSize)))
+
+	// Sparse: 2 pairs over 4 distinct switches — the dense table would
+	// not pay for itself, so the flat form is kept and the report does
+	// not grow.
+	sparse := &StateReport{Group: 2, Pairs: []PairStat{{A: 1, B: 2, NewFlows: 1}, {A: 3, B: 4, NewFlows: 2}}, Version: 1}
+	sdata, err := Encode(sparse, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header(10) + group(4) + lfib count(4) + pair count(4) + flag(1) +
+	// 2 flat pairs(24) + version(8)
+	if want := 10 + 4 + 4 + 4 + 1 + 24 + 8; len(sdata) != want {
+		t.Errorf("sparse report = %dB, want %d (flat form + flag byte)", len(sdata), want)
+	}
+	gotSparse, ok := roundTrip(t, sparse, 43).(*StateReport)
+	if !ok || !reflect.DeepEqual(gotSparse.Pairs, sparse.Pairs) {
+		t.Errorf("sparse pair round trip corrupted the pairs")
 	}
 }

@@ -217,6 +217,15 @@ type PairStat struct {
 // StateReport is sent by a designated switch to the controller over the
 // state link: the aggregated L-FIBs of the group plus traffic
 // statistics.
+//
+// The pair-statistics section is size-adaptive on the wire: a report
+// whose pairs concentrate on few distinct switches (the steady state —
+// a group's members pairwise, ~n²/2 pairs over n switches) encodes a
+// dense switch-index table once (u32 per distinct switch) and each
+// pair as two u16 indexes plus the count (8 bytes instead of 12); a
+// sparse report where the table would not pay for itself keeps the
+// flat u32-pair form. The encoder computes both sizes and flags the
+// cheaper one in a leading byte, so no report ever grows.
 type StateReport struct {
 	Group   model.GroupID
 	LFIBs   []LFIBUpdate
@@ -227,6 +236,53 @@ type StateReport struct {
 // MsgType implements Message.
 func (*StateReport) MsgType() MsgType { return TypeStateReport }
 
+// Pair-section encodings (the leading flag byte).
+const (
+	pairEncFlat  = 0 // u32 A, u32 B, u32 count per pair
+	pairEncDense = 1 // switch table + u16 indexes per pair
+)
+
+// maxDenseSwitches bounds the dense table: pair indexes travel as u16
+// and so does the table's length field, whose largest representable
+// value is 65,535 (a 65,536-entry table would wrap the length to 0).
+const maxDenseSwitches = 1<<16 - 1
+
+// pairSwitchTable builds the distinct-switch table of a pair list in
+// first-appearance order, or nil when the dense form is not applicable
+// (too many distinct switches) or not smaller than the flat form.
+func pairSwitchTable(pairs []PairStat) ([]model.SwitchID, map[model.SwitchID]uint16) {
+	// Dense saves 4 bytes/pair against ≥2 table entries + the length:
+	// with fewer than 3 pairs it can never win, so don't even allocate
+	// the table (reports without pair stats are the steady state of
+	// the dissemination path, and its alloc budget is gated).
+	if len(pairs) < 3 {
+		return nil, nil
+	}
+	table := make([]model.SwitchID, 0, 16)
+	index := make(map[model.SwitchID]uint16, 16)
+	intern := func(id model.SwitchID) bool {
+		if _, ok := index[id]; ok {
+			return true
+		}
+		if len(table) >= maxDenseSwitches {
+			return false
+		}
+		index[id] = uint16(len(table))
+		table = append(table, id)
+		return true
+	}
+	for _, p := range pairs {
+		if !intern(p.A) || !intern(p.B) {
+			return nil, nil
+		}
+	}
+	// Dense: 2 (table len) + 4·switches + 8·pairs. Flat: 12·pairs.
+	if 2+4*len(table)+8*len(pairs) >= 12*len(pairs) {
+		return nil, nil
+	}
+	return table, index
+}
+
 func (m *StateReport) encodeBody(dst []byte) []byte {
 	dst = putU32(dst, uint32(m.Group))
 	dst = putU32(dst, uint32(len(m.LFIBs)))
@@ -236,10 +292,24 @@ func (m *StateReport) encodeBody(dst []byte) []byte {
 		dst = append(dst, inner...)
 	}
 	dst = putU32(dst, uint32(len(m.Pairs)))
-	for _, p := range m.Pairs {
-		dst = putU32(dst, uint32(p.A))
-		dst = putU32(dst, uint32(p.B))
-		dst = putU32(dst, p.NewFlows)
+	if table, index := pairSwitchTable(m.Pairs); table != nil {
+		dst = append(dst, pairEncDense)
+		dst = putU16(dst, uint16(len(table)))
+		for _, id := range table {
+			dst = putU32(dst, uint32(id))
+		}
+		for _, p := range m.Pairs {
+			dst = putU16(dst, index[p.A])
+			dst = putU16(dst, index[p.B])
+			dst = putU32(dst, p.NewFlows)
+		}
+	} else {
+		dst = append(dst, pairEncFlat)
+		for _, p := range m.Pairs {
+			dst = putU32(dst, uint32(p.A))
+			dst = putU32(dst, uint32(p.B))
+			dst = putU32(dst, p.NewFlows)
+		}
 	}
 	return putU64(dst, m.Version)
 }
@@ -267,19 +337,50 @@ func (m *StateReport) decodeBody(src []byte) error {
 		m.LFIBs = append(m.LFIBs, u)
 	}
 	np := int(r.u32())
-	if np*12 > r.remain() {
-		r.fail()
-		return ErrTruncated
-	}
-	if np > 0 {
-		m.Pairs = make([]PairStat, 0, np)
-	}
-	for i := 0; i < np; i++ {
-		var p PairStat
-		p.A = model.SwitchID(r.u32())
-		p.B = model.SwitchID(r.u32())
-		p.NewFlows = r.u32()
-		m.Pairs = append(m.Pairs, p)
+	enc := r.u8()
+	switch enc {
+	case pairEncDense:
+		nt := int(r.u16())
+		if nt*4 > r.remain() || np*8 > r.remain() {
+			r.fail()
+			return ErrTruncated
+		}
+		table := make([]model.SwitchID, nt)
+		for i := range table {
+			table[i] = model.SwitchID(r.u32())
+		}
+		if np > 0 {
+			m.Pairs = make([]PairStat, 0, np)
+		}
+		for i := 0; i < np; i++ {
+			ai, bi := int(r.u16()), int(r.u16())
+			flows := r.u32()
+			if ai >= nt || bi >= nt {
+				r.fail()
+				return ErrTruncated
+			}
+			m.Pairs = append(m.Pairs, PairStat{A: table[ai], B: table[bi], NewFlows: flows})
+		}
+	case pairEncFlat:
+		if np*12 > r.remain() {
+			r.fail()
+			return ErrTruncated
+		}
+		if np > 0 {
+			m.Pairs = make([]PairStat, 0, np)
+		}
+		for i := 0; i < np; i++ {
+			var p PairStat
+			p.A = model.SwitchID(r.u32())
+			p.B = model.SwitchID(r.u32())
+			p.NewFlows = r.u32()
+			m.Pairs = append(m.Pairs, p)
+		}
+	default:
+		if r.err == nil {
+			r.fail()
+			return ErrTruncated
+		}
 	}
 	m.Version = r.u64()
 	return r.done()

@@ -3,91 +3,14 @@ package trace
 import (
 	"errors"
 	"fmt"
-	"math/rand/v2"
 	"sort"
 	"time"
 
 	"lazyctrl/internal/graph"
 	"lazyctrl/internal/grouping"
 	"lazyctrl/internal/model"
+	"lazyctrl/internal/tenant"
 )
-
-// Expand produces the paper's "expanded" trace (§V-D): the base trace
-// plus extraFraction (0.30) additional flows among host pairs that did
-// NOT communicate in the base trace, injected during [fromHour, toHour)
-// (8–24). Most new communication appears within tenants (applications
-// growing inside their slices); the rest is uniform across the data
-// center. The extra flows keep breaking traffic skewness over time,
-// forcing grouping updates.
-func Expand(base *Trace, extraFraction float64, fromHour, toHour int, seed uint64) (*Trace, error) {
-	if extraFraction <= 0 {
-		return nil, errors.New("trace: extraFraction must be positive")
-	}
-	if fromHour < 0 || toHour > 24 || fromHour >= toHour {
-		return nil, fmt.Errorf("trace: invalid hour window [%d,%d)", fromHour, toHour)
-	}
-	rng := rand.New(rand.NewPCG(seed, seed^0x0ddc0ffee))
-
-	existing := make(map[model.FlowKey]struct{}, len(base.Flows))
-	for i := range base.Flows {
-		existing[model.FlowKey{Src: base.Flows[i].Src, Dst: base.Flows[i].Dst}.Canonical()] = struct{}{}
-	}
-	dir := base.Directory
-	numHosts := dir.NumHosts()
-	tenantIDs := dir.TenantIDs()
-	extra := int(float64(len(base.Flows)) * extraFraction)
-	hourLen := base.Duration / 24
-	windowStart := time.Duration(fromHour) * hourLen
-	windowLen := time.Duration(toHour-fromHour) * hourLen
-
-	// intraShare of the extra flows connect previously silent pairs
-	// within a tenant; the rest are uniform over all host pairs.
-	const intraShare = 0.7
-
-	flows := make([]Flow, 0, len(base.Flows)+extra)
-	flows = append(flows, base.Flows...)
-	for added := 0; added < extra; {
-		var a, b model.HostID
-		if rng.Float64() < intraShare && len(tenantIDs) > 0 {
-			tn := dir.Tenant(tenantIDs[rng.IntN(len(tenantIDs))])
-			if len(tn.Hosts) < 2 {
-				continue
-			}
-			a = tn.Hosts[rng.IntN(len(tn.Hosts))]
-			b = tn.Hosts[rng.IntN(len(tn.Hosts))]
-		} else {
-			a = model.HostID(1 + rng.IntN(numHosts))
-			b = model.HostID(1 + rng.IntN(numHosts))
-		}
-		if a == b {
-			continue
-		}
-		key := model.FlowKey{Src: a, Dst: b}.Canonical()
-		if _, dup := existing[key]; dup {
-			continue
-		}
-		bytes, packets := samplePayload(rng)
-		flows = append(flows, Flow{
-			Start:   windowStart + time.Duration(rng.Float64()*float64(windowLen)),
-			Src:     a,
-			Dst:     b,
-			Bytes:   bytes,
-			Packets: packets,
-		})
-		added++
-	}
-	sort.Slice(flows, func(i, j int) bool { return flows[i].Start < flows[j].Start })
-
-	return &Trace{
-		Name:      base.Name + "-expanded",
-		Duration:  base.Duration,
-		Flows:     flows,
-		Directory: base.Directory,
-		P:         base.P,
-		Q:         base.Q,
-		Scale:     base.Scale,
-	}, nil
-}
 
 // Stats summarizes a trace the way §II-A characterizes the real one.
 type Stats struct {
@@ -101,20 +24,96 @@ type Stats struct {
 	TopDecileShare float64
 }
 
-// ComputeStats scans the trace.
-func ComputeStats(t *Trace) Stats {
-	perPair := pairCountsDescending(t)
-	top := len(perPair) / 10
-	if top < 1 && len(perPair) > 0 {
+// StatsAccumulator folds flows one window at a time into the pair
+// statistics behind Stats and TopPairsShare, so a streamed trace is
+// characterized in O(distinct pairs) memory — bounded by the
+// communicating-pair pool, not the flow count.
+type StatsAccumulator struct {
+	counts map[model.FlowKey]int
+	flows  int
+}
+
+// NewStatsAccumulator returns an empty accumulator.
+func NewStatsAccumulator() *StatsAccumulator {
+	return &StatsAccumulator{counts: make(map[model.FlowKey]int)}
+}
+
+// Add folds one flow.
+func (a *StatsAccumulator) Add(f Flow) {
+	a.counts[model.FlowKey{Src: f.Src, Dst: f.Dst}.Canonical()]++
+	a.flows++
+}
+
+// AddWindow folds a whole window.
+func (a *StatsAccumulator) AddWindow(flows []Flow) {
+	for i := range flows {
+		a.Add(flows[i])
+	}
+}
+
+// Flows returns the number of flows folded so far.
+func (a *StatsAccumulator) Flows() int { return a.flows }
+
+// pairCountsDescending returns the per-pair flow counts, largest first.
+func (a *StatsAccumulator) pairCountsDescending() []int {
+	perPair := make([]int, 0, len(a.counts))
+	for _, c := range a.counts {
+		perPair = append(perPair, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(perPair)))
+	return perPair
+}
+
+// TopShare returns the fraction of flows carried by the n busiest host
+// pairs.
+func (a *StatsAccumulator) TopShare(n int) float64 {
+	if a.flows == 0 {
+		return 0
+	}
+	perPair := a.pairCountsDescending()
+	if n > len(perPair) {
+		n = len(perPair)
+	}
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += perPair[i]
+	}
+	return float64(sum) / float64(a.flows)
+}
+
+// Stats finalizes the accumulated statistics against a topology.
+func (a *StatsAccumulator) Stats(dir *tenant.Directory) Stats {
+	top := len(a.counts) / 10
+	if top < 1 && len(a.counts) > 0 {
 		top = 1
 	}
-	n := int64(t.Directory.NumHosts())
+	n := int64(dir.NumHosts())
 	return Stats{
-		Flows:          len(t.Flows),
-		DistinctPairs:  len(perPair),
+		Flows:          a.flows,
+		DistinctPairs:  len(a.counts),
 		PossiblePairs:  n * (n - 1) / 2,
-		TopDecileShare: topShare(t, perPair, top),
+		TopDecileShare: a.TopShare(top),
 	}
+}
+
+// ComputeStats scans a materialized trace.
+func ComputeStats(t *Trace) Stats {
+	a := NewStatsAccumulator()
+	a.AddWindow(t.Flows)
+	return a.Stats(t.Directory)
+}
+
+// StreamStats characterizes a stream window by window, never holding
+// more than one window of flows.
+func StreamStats(s Stream) Stats {
+	info := s.Info()
+	a := NewStatsAccumulator()
+	buf := make([]Flow, 0, info.MaxWindowFlows)
+	for w := 0; w < info.Windows; w++ {
+		buf = s.GenWindow(w, buf[:0])
+		a.AddWindow(buf)
+	}
+	return a.Stats(info.Directory)
 }
 
 // TopPairsShare returns the fraction of flows carried by the n busiest
@@ -123,57 +122,42 @@ func ComputeStats(t *Trace) Stats {
 // the cold pairs under-sample, so a realized-pair decile understates the
 // skew).
 func TopPairsShare(t *Trace, n int) float64 {
-	return topShare(t, pairCountsDescending(t), n)
+	a := NewStatsAccumulator()
+	a.AddWindow(t.Flows)
+	return a.TopShare(n)
 }
 
-func pairCountsDescending(t *Trace) []int {
-	counts := make(map[model.FlowKey]int)
-	for i := range t.Flows {
-		counts[model.FlowKey{Src: t.Flows[i].Src, Dst: t.Flows[i].Dst}.Canonical()]++
-	}
-	perPair := make([]int, 0, len(counts))
-	for _, c := range counts {
-		perPair = append(perPair, c)
-	}
-	sort.Sort(sort.Reverse(sort.IntSlice(perPair)))
-	return perPair
+// pairCounter folds flows into canonical-pair weights and the active
+// host set — the shared input of the centrality computations.
+type pairCounter struct {
+	counts map[model.FlowKey]int64
+	hosts  map[model.HostID]struct{}
 }
 
-func topShare(t *Trace, perPair []int, n int) float64 {
-	if len(t.Flows) == 0 {
-		return 0
+func newPairCounter() *pairCounter {
+	return &pairCounter{
+		counts: make(map[model.FlowKey]int64),
+		hosts:  make(map[model.HostID]struct{}),
 	}
-	if n > len(perPair) {
-		n = len(perPair)
-	}
-	sum := 0
-	for i := 0; i < n; i++ {
-		sum += perPair[i]
-	}
-	return float64(sum) / float64(len(t.Flows))
 }
 
-// AverageCentrality partitions the hosts into k balanced groups
-// (k-way partitioning of the host traffic graph, as in §II-A) and
-// returns the average group centrality: for each group, intra-group
-// traffic divided by all traffic touching the group's hosts.
-func AverageCentrality(t *Trace, k int, seed uint64) (float64, error) {
-	if k < 2 {
-		return 0, errors.New("trace: centrality needs k ≥ 2")
+func (p *pairCounter) addWindow(flows []Flow) {
+	for i := range flows {
+		f := &flows[i]
+		p.counts[model.FlowKey{Src: f.Src, Dst: f.Dst}.Canonical()]++
+		p.hosts[f.Src] = struct{}{}
+		p.hosts[f.Dst] = struct{}{}
 	}
-	counts := make(map[model.FlowKey]int64)
-	hostSet := make(map[model.HostID]struct{})
-	for i := range t.Flows {
-		f := &t.Flows[i]
-		counts[model.FlowKey{Src: f.Src, Dst: f.Dst}.Canonical()]++
-		hostSet[f.Src] = struct{}{}
-		hostSet[f.Dst] = struct{}{}
+}
+
+// centrality partitions the accumulated host traffic graph into k
+// balanced groups and returns the average group centrality.
+func (p *pairCounter) centrality(k int, seed uint64) (float64, error) {
+	if len(p.hosts) < k {
+		return 0, fmt.Errorf("trace: only %d active hosts for k=%d", len(p.hosts), k)
 	}
-	if len(hostSet) < k {
-		return 0, fmt.Errorf("trace: only %d active hosts for k=%d", len(hostSet), k)
-	}
-	hosts := make([]model.HostID, 0, len(hostSet))
-	for h := range hostSet {
+	hosts := make([]model.HostID, 0, len(p.hosts))
+	for h := range p.hosts {
 		hosts = append(hosts, h)
 	}
 	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
@@ -182,7 +166,7 @@ func AverageCentrality(t *Trace, k int, seed uint64) (float64, error) {
 		index[h] = i
 	}
 	b := graph.NewBuilder(len(hosts))
-	for key, c := range counts {
+	for key, c := range p.counts {
 		b.AddEdge(index[key.Src], index[key.Dst], c)
 	}
 	g := b.Build()
@@ -200,7 +184,7 @@ func AverageCentrality(t *Trace, k int, seed uint64) (float64, error) {
 	}
 	intra := make([]float64, k)
 	touch := make([]float64, k)
-	for key, c := range counts {
+	for key, c := range p.counts {
 		pa, pb := part[index[key.Src]], part[index[key.Dst]]
 		w := float64(c)
 		if pa == pb {
@@ -213,9 +197,9 @@ func AverageCentrality(t *Trace, k int, seed uint64) (float64, error) {
 	}
 	var sum float64
 	groups := 0
-	for p := 0; p < k; p++ {
-		if touch[p] > 0 {
-			sum += intra[p] / touch[p]
+	for g := 0; g < k; g++ {
+		if touch[g] > 0 {
+			sum += intra[g] / touch[g]
 			groups++
 		}
 	}
@@ -223,6 +207,93 @@ func AverageCentrality(t *Trace, k int, seed uint64) (float64, error) {
 		return 0, errors.New("trace: no traffic")
 	}
 	return sum / float64(groups), nil
+}
+
+// AverageCentrality partitions the hosts into k balanced groups
+// (k-way partitioning of the host traffic graph, as in §II-A) and
+// returns the average group centrality: for each group, intra-group
+// traffic divided by all traffic touching the group's hosts.
+func AverageCentrality(t *Trace, k int, seed uint64) (float64, error) {
+	if k < 2 {
+		return 0, errors.New("trace: centrality needs k ≥ 2")
+	}
+	p := newPairCounter()
+	p.addWindow(t.Flows)
+	return p.centrality(k, seed)
+}
+
+// StreamCentrality is AverageCentrality over a stream: the pair-weight
+// graph accumulates window by window (O(pairs) memory), then partitions
+// exactly as the materialized path does.
+func StreamCentrality(s Stream, k int, seed uint64) (float64, error) {
+	if k < 2 {
+		return 0, errors.New("trace: centrality needs k ≥ 2")
+	}
+	info := s.Info()
+	p := newPairCounter()
+	buf := make([]Flow, 0, info.MaxWindowFlows)
+	for w := 0; w < info.Windows; w++ {
+		buf = s.GenWindow(w, buf[:0])
+		p.addWindow(buf)
+	}
+	return p.centrality(k, seed)
+}
+
+// Profile characterizes a stream completely in a single window sweep:
+// pair statistics, k-way average centrality, and the full-span
+// switch-intensity matrix. Tools that report all three (cmd/tracegen)
+// use it so a full-scale trace is generated once, not three times.
+type Profile struct {
+	Stats      Stats
+	Centrality float64
+	Intensity  *grouping.Intensity
+}
+
+// StreamProfile runs the one-sweep characterization.
+func StreamProfile(s Stream, k int, seed uint64) (Profile, error) {
+	info := s.Info()
+	a := NewStatsAccumulator()
+	p := newPairCounter()
+	m := grouping.NewIntensity()
+	for _, sw := range info.Directory.Switches() {
+		m.AddSwitch(sw)
+	}
+	perFlow := 0.0
+	if secs := info.Duration.Seconds(); secs > 0 {
+		perFlow = 1.0 / secs
+	}
+	buf := make([]Flow, 0, info.MaxWindowFlows)
+	for w := 0; w < info.Windows; w++ {
+		buf = s.GenWindow(w, buf[:0])
+		a.AddWindow(buf)
+		p.addWindow(buf)
+		intensityFold(m, info.Directory, buf, 0, info.Duration, perFlow)
+	}
+	prof := Profile{Stats: a.Stats(info.Directory), Intensity: m}
+	c, err := p.centrality(k, seed)
+	if err != nil {
+		// Stats and intensity are still valid (centrality needs ≥ k
+		// active hosts; tiny traces legitimately fail it).
+		return prof, err
+	}
+	prof.Centrality = c
+	return prof, nil
+}
+
+// intensityFold adds one window's flows to the intensity matrix.
+func intensityFold(m *grouping.Intensity, dir *tenant.Directory, flows []Flow, from, to time.Duration, perFlow float64) {
+	for i := range flows {
+		f := &flows[i]
+		if f.Start < from || f.Start >= to {
+			continue
+		}
+		src := dir.Host(f.Src)
+		dst := dir.Host(f.Dst)
+		if src == nil || dst == nil || src.Switch == dst.Switch {
+			continue
+		}
+		m.Add(src.Switch, dst.Switch, perFlow)
+	}
 }
 
 // SwitchIntensity aggregates the flows in [from, to) into the switch-pair
@@ -237,14 +308,39 @@ func SwitchIntensity(t *Trace, from, to time.Duration) *grouping.Intensity {
 	if seconds <= 0 {
 		return m
 	}
+	intensityFold(m, t.Directory, t.Window(from, to), from, to, 1.0/seconds)
+	return m
+}
+
+// StreamIntensity is SwitchIntensity over a stream: only the windows
+// overlapping [from, to) are generated, one reused buffer deep, so the
+// matrix for any span costs O(window) flow memory — and a warmup span
+// of one hour costs one 24th of the generation work, not a whole
+// trace. The accumulation order matches the materialized path flow for
+// flow, so the resulting matrix is byte-identical to
+// SwitchIntensity(Materialize(s), from, to).
+func StreamIntensity(s Stream, from, to time.Duration) *grouping.Intensity {
+	info := s.Info()
+	m := grouping.NewIntensity()
+	for _, sw := range info.Directory.Switches() {
+		m.AddSwitch(sw)
+	}
+	seconds := (to - from).Seconds()
+	if seconds <= 0 {
+		return m
+	}
 	perFlow := 1.0 / seconds
-	for _, f := range t.Window(from, to) {
-		src := t.Directory.Host(f.Src)
-		dst := t.Directory.Host(f.Dst)
-		if src == nil || dst == nil || src.Switch == dst.Switch {
+	buf := make([]Flow, 0, info.MaxWindowFlows)
+	for w := 0; w < info.Windows; w++ {
+		wFrom, wTo := info.WindowBounds(w)
+		if wTo <= from {
 			continue
 		}
-		m.Add(src.Switch, dst.Switch, perFlow)
+		if wFrom >= to {
+			break
+		}
+		buf = s.GenWindow(w, buf[:0])
+		intensityFold(m, info.Directory, buf, from, to, perFlow)
 	}
 	return m
 }

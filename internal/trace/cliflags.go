@@ -10,21 +10,42 @@ import (
 // ErrUnknownTrace reports a trace name outside the Table II set.
 var ErrUnknownTrace = errors.New("trace: unknown trace")
 
-// ByName generates one of the Table II traces by CLI name: "real",
-// "syn-a", "syn-b", or "syn-c".
-func ByName(name string, scale int, seed uint64) (*Trace, error) {
+// ConfigByName returns the preset generator configuration for a CLI
+// trace name: "real", "syn-a", "syn-b", or "syn-c".
+func ConfigByName(name string, scale int, seed uint64) (GeneratorConfig, error) {
 	switch name {
 	case "real":
-		return RealLike(scale, seed)
+		return RealLikeConfig(scale, seed), nil
 	case "syn-a":
-		return SynA(scale, seed)
+		return SynAConfig(scale, seed), nil
 	case "syn-b":
-		return SynB(scale, seed)
+		return SynBConfig(scale, seed), nil
 	case "syn-c":
-		return SynC(scale, seed)
+		return SynCConfig(scale, seed), nil
 	default:
-		return nil, fmt.Errorf("%w %q (want real, syn-a, syn-b, or syn-c)", ErrUnknownTrace, name)
+		return GeneratorConfig{}, fmt.Errorf("%w %q (want real, syn-a, syn-b, or syn-c)", ErrUnknownTrace, name)
 	}
+}
+
+// ByName generates one of the Table II traces by CLI name,
+// materialized. Large-scale consumers should use StreamByName.
+func ByName(name string, scale int, seed uint64) (*Trace, error) {
+	cfg, err := ConfigByName(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(cfg)
+}
+
+// StreamByName builds the streaming form of a Table II trace by CLI
+// name: flows are generated one window at a time, so memory stays flat
+// in trace length.
+func StreamByName(name string, scale int, seed uint64) (Stream, error) {
+	cfg, err := ConfigByName(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewStream(cfg)
 }
 
 // CLI bundles the trace-selection flags the cmd mains share (-trace,
@@ -50,8 +71,11 @@ func RegisterCLI(fs *flag.FlagSet, defaultTrace string, defaultScale int) *CLI {
 	}
 }
 
-// Trace generates the selected trace.
+// Trace generates the selected trace, materialized.
 func (c *CLI) Trace() (*Trace, error) { return ByName(*c.name, *c.scale, *c.seed) }
+
+// Stream builds the selected trace's stream (lazy, windowed flows).
+func (c *CLI) Stream() (Stream, error) { return StreamByName(*c.name, *c.scale, *c.seed) }
 
 // MustTrace generates the selected trace, printing the error to stderr
 // and exiting non-zero on failure (exit 2 for an unknown trace name,
@@ -59,13 +83,26 @@ func (c *CLI) Trace() (*Trace, error) { return ByName(*c.name, *c.scale, *c.seed
 func (c *CLI) MustTrace() *Trace {
 	tr, err := c.Trace()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		if errors.Is(err, ErrUnknownTrace) {
-			os.Exit(2)
-		}
-		os.Exit(1)
+		exitTraceErr(err)
 	}
 	return tr
+}
+
+// MustStream is MustTrace's streaming counterpart.
+func (c *CLI) MustStream() Stream {
+	s, err := c.Stream()
+	if err != nil {
+		exitTraceErr(err)
+	}
+	return s
+}
+
+func exitTraceErr(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	if errors.Is(err, ErrUnknownTrace) {
+		os.Exit(2)
+	}
+	os.Exit(1)
 }
 
 // Name returns the selected trace name.

@@ -37,7 +37,14 @@ const synTenants = realTenants * SynScaleUp
 // communicating pairs; the scatter band carries the unclusterable
 // cross-group share that yields the measured 5-way centrality of 0.85.
 func RealLike(scale int, seed uint64) (*Trace, error) {
-	return Generate(GeneratorConfig{
+	return Generate(RealLikeConfig(scale, seed))
+}
+
+// RealLikeConfig is the real-like preset's generator configuration;
+// pass it to NewStream to consume the trace windowed instead of
+// materialized.
+func RealLikeConfig(scale int, seed uint64) GeneratorConfig {
+	return GeneratorConfig{
 		Name:                "real",
 		Switches:            RealSwitches,
 		Tenants:             realTenants,
@@ -56,29 +63,44 @@ func RealLike(scale int, seed uint64) (*Trace, error) {
 		Colocation:          0.97,
 		Duration:            TraceDuration,
 		Seed:                seed,
-	})
+	}
 }
 
 // SynA generates the Syn-A trace of Table II: p=90, q=10, average
 // centrality ≈ 0.85.
 func SynA(scale int, seed uint64) (*Trace, error) {
-	return synTrace("syn-a", SynAFlows, 90, 10, 0.17, 0, scale, seed)
+	return Generate(SynAConfig(scale, seed))
+}
+
+// SynAConfig is the Syn-A preset's generator configuration.
+func SynAConfig(scale int, seed uint64) GeneratorConfig {
+	return synConfig("syn-a", SynAFlows, 90, 10, 0.17, 0, scale, seed)
 }
 
 // SynB generates the Syn-B trace of Table II: p=70, q=20, average
 // centrality ≈ 0.72.
 func SynB(scale int, seed uint64) (*Trace, error) {
-	return synTrace("syn-b", SynBFlows, 70, 20, 0.38, 0, scale, seed)
+	return Generate(SynBConfig(scale, seed))
+}
+
+// SynBConfig is the Syn-B preset's generator configuration.
+func SynBConfig(scale int, seed uint64) GeneratorConfig {
+	return synConfig("syn-b", SynBFlows, 70, 20, 0.38, 0, scale, seed)
 }
 
 // SynC generates the Syn-C trace of Table II: p=70, q=30, average
 // centrality ≈ 0.61.
 func SynC(scale int, seed uint64) (*Trace, error) {
-	return synTrace("syn-c", SynCFlows, 70, 30, 0.54, 0, scale, seed)
+	return Generate(SynCConfig(scale, seed))
 }
 
-func synTrace(name string, flows int64, p, q int, scatterFlow, noise float64, scale int, seed uint64) (*Trace, error) {
-	return Generate(GeneratorConfig{
+// SynCConfig is the Syn-C preset's generator configuration.
+func SynCConfig(scale int, seed uint64) GeneratorConfig {
+	return synConfig("syn-c", SynCFlows, 70, 30, 0.54, 0, scale, seed)
+}
+
+func synConfig(name string, flows int64, p, q int, scatterFlow, noise float64, scale int, seed uint64) GeneratorConfig {
+	return GeneratorConfig{
 		Name:                name,
 		Switches:            SynSwitches,
 		Tenants:             synTenants,
@@ -95,7 +117,7 @@ func synTrace(name string, flows int64, p, q int, scatterFlow, noise float64, sc
 		Colocation:          0.98,
 		Duration:            TraceDuration,
 		Seed:                seed,
-	})
+	}
 }
 
 // SmallConfig returns a laptop-scale configuration with the same shape

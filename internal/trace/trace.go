@@ -11,6 +11,12 @@
 // the paper's own recipe: p% of flows from a hot set of q% of the
 // communicating pairs, the rest uniform over all host pairs, at 10×
 // scale.
+//
+// Traces are produced as streams (see stream.go): the topology and
+// communicating-pair pools are built once and shared read-only, while
+// flows are emitted one time window at a time from a per-window random
+// stream, so generation memory is flat in trace length. Generate is
+// the materialized form — NewStream followed by Materialize.
 package trace
 
 import (
@@ -34,6 +40,12 @@ type Flow struct {
 	Bytes   int32
 	Packets int16
 }
+
+// FlowBytes is the in-memory footprint of one Flow record, the unit of
+// the streaming pipeline's peak-memory accounting (the benchmarks'
+// peak-B/op metric, tracegen's peak-window figure). A test pins it to
+// unsafe.Sizeof(Flow{}).
+const FlowBytes = 24
 
 // Trace is a complete traffic trace plus the topology it runs over.
 type Trace struct {
@@ -76,27 +88,6 @@ var hourWeights = [24]float64{
 	0.55, 0.75, 0.95, 1.10, 1.20, 1.25, // 06–11
 	1.22, 1.18, 1.20, 1.25, 1.30, 1.35, // 12–17
 	1.40, 1.38, 1.25, 1.00, 0.75, 0.55, // 18–23
-}
-
-// sampleStart draws a flow start time from the diurnal profile.
-func sampleStart(rng *rand.Rand, duration time.Duration, cum []float64) time.Duration {
-	u := rng.Float64() * cum[len(cum)-1]
-	hour := sort.SearchFloat64s(cum, u)
-	if hour >= 24 {
-		hour = 23
-	}
-	hourLen := duration / 24
-	return time.Duration(hour)*hourLen + time.Duration(rng.Float64()*float64(hourLen))
-}
-
-func cumWeights() []float64 {
-	cum := make([]float64, 24)
-	acc := 0.0
-	for i, w := range hourWeights {
-		acc += w
-		cum[i] = acc
-	}
-	return cum
 }
 
 // samplePayload draws a flow size: a heavy-tailed mix of short RPC-like
@@ -180,7 +171,24 @@ type GeneratorConfig struct {
 	Colocation float64
 	Duration   time.Duration
 	Seed       uint64
+	// WindowsPerHour sets the streaming granularity: the trace is
+	// partitioned into 24·WindowsPerHour windows. Zero selects the
+	// smallest count that keeps the expected window under
+	// targetWindowFlows (at least 1), so the per-window buffer stays a
+	// few MB no matter how long the trace is. The window count is part
+	// of the trace identity: equal (config, seed) ⇒ identical flows,
+	// window by window.
+	WindowsPerHour int
 }
+
+// targetWindowFlows is the auto-selected per-window flow budget: 64 Ki
+// flows ≈ 1.5 MB of Flow records.
+const targetWindowFlows = 1 << 16
+
+// maxWindowsPerHour caps the window count (the per-window fixed costs —
+// seeding, sorting dispatch — must stay negligible); beyond the cap
+// windows simply grow past the target.
+const maxWindowsPerHour = 4096
 
 func (c GeneratorConfig) validate() error {
 	if c.Switches < 2 {
@@ -211,11 +219,45 @@ func (c GeneratorConfig) validate() error {
 	if c.DriftAmplitude < 0 || c.DriftAmplitude >= 1 {
 		return errors.New("trace: DriftAmplitude must lie in [0,1)")
 	}
+	if c.WindowsPerHour < 0 || c.WindowsPerHour > maxWindowsPerHour {
+		return fmt.Errorf("trace: WindowsPerHour must lie in [0,%d]", maxWindowsPerHour)
+	}
 	return nil
 }
 
-// Generate produces a trace from the configuration.
-func Generate(cfg GeneratorConfig) (*Trace, error) {
+// genStream is the generator-backed Stream: the topology and pair
+// pools built once at construction (read-only from then on), flow
+// counts apportioned per window, and a per-window random stream for
+// emission. GenWindow is safe to call concurrently for distinct
+// windows.
+type genStream struct {
+	cfg  GeneratorConfig
+	info StreamInfo
+	// counts is the deterministic per-window flow apportionment over
+	// the diurnal profile.
+	counts []int
+
+	// Pair pools (see Generate's original construction, unchanged in
+	// distribution): hot/cold intra-tenant bands, the scatter band, and
+	// the Zipf weights + drift phases of the hot set.
+	hot, cold, scatter []model.FlowKey
+	hotCum             []float64
+	hotPhase           []float64
+	numHosts           int
+
+	// Flow-class thresholds precomputed from the config.
+	scatterCut, noiseCut, hotCut float64
+}
+
+// flowSalt separates the per-window flow-emission streams from any
+// other consumer of the trace seed.
+const flowSalt = 0x5bd1e9955bd1e995
+
+// NewStream builds the generator-backed stream for a configuration:
+// topology, tenant placement, and communicating-pair pools are
+// materialized (they are O(pairs + hosts), independent of trace
+// length); flows are not — they are emitted per window by GenWindow.
+func NewStream(cfg GeneratorConfig) (Stream, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -239,7 +281,7 @@ func Generate(cfg GeneratorConfig) (*Trace, error) {
 	}); err != nil {
 		return nil, fmt.Errorf("trace: populate: %w", err)
 	}
-	numHosts := dir.NumHosts()
+	g := &genStream{cfg: cfg, numHosts: dir.NumHosts()}
 
 	// Communicating pair pool: an intra-tenant band (clusterable) and a
 	// scatter band of uniformly random pairs (expander-like).
@@ -277,39 +319,24 @@ func Generate(cfg GeneratorConfig) (*Trace, error) {
 	if hotCount > len(intra) {
 		hotCount = len(intra)
 	}
-	hot := intra[:hotCount]
-	cold := intra[hotCount:]
+	g.hot = intra[:hotCount]
+	g.cold = intra[hotCount:]
 
 	// Zipf(1) weights within the hot set: the heaviest communicating
 	// pairs dominate, as in the real trace ("over 90% of the flows are
 	// contributed by about 10% of the host pairs").
-	hotCum := make([]float64, len(hot))
+	g.hotCum = make([]float64, len(g.hot))
 	acc := 0.0
-	for i := range hot {
+	for i := range g.hot {
 		acc += 1 / float64(i+1)
-		hotCum[i] = acc
+		g.hotCum[i] = acc
 	}
 	// Drift phases: each hot pair's activity is modulated by
 	// 1 + A·cos(2π(t−φ)/D) around a per-pair random phase φ.
-	var hotPhase []float64
 	if cfg.DriftAmplitude > 0 {
-		hotPhase = make([]float64, len(hot))
-		for i := range hotPhase {
-			hotPhase[i] = rng.Float64()
-		}
-	}
-	sampleHot := func(at time.Duration) model.FlowKey {
-		for {
-			u := rng.Float64() * hotCum[len(hotCum)-1]
-			i := sort.SearchFloat64s(hotCum, u)
-			if hotPhase == nil {
-				return hot[i]
-			}
-			frac := float64(at) / float64(cfg.Duration)
-			mod := (1 + cfg.DriftAmplitude*math.Cos(2*math.Pi*(frac-hotPhase[i]))) / (1 + cfg.DriftAmplitude)
-			if rng.Float64() < mod {
-				return hot[i]
-			}
+		g.hotPhase = make([]float64, len(g.hot))
+		for i := range g.hotPhase {
+			g.hotPhase[i] = rng.Float64()
 		}
 	}
 
@@ -322,13 +349,14 @@ func Generate(cfg GeneratorConfig) (*Trace, error) {
 	// of the paper's full-scale uniform "rest" flows, whose sheer
 	// density makes them equally unclusterable.
 	// Pin weight of a host: its expected hot-flow volume under the Zipf
-	// ranking. Scatter endpoints are sampled proportionally to the
-	// square root of pin weight: strong enough that no host (or tenant
-	// block) profitably flips groups to dodge scatter edges, damped
-	// enough that the heaviest hot pairs do not get woven into a single
-	// unclusterable core whose split would cut hot traffic as well.
-	pinWeight := make(map[model.HostID]float64, 2*len(hot))
-	for r, k := range hot {
+	// ranking. Scatter endpoints are sampled proportionally to
+	// pinWeight^ScatterPinExponent: strong enough that no host (or
+	// tenant block) profitably flips groups to dodge scatter edges,
+	// damped enough that the heaviest hot pairs do not get woven into a
+	// single unclusterable core whose split would cut hot traffic as
+	// well.
+	pinWeight := make(map[model.HostID]float64, 2*len(g.hot))
+	for r, k := range g.hot {
 		w := 1 / float64(r+1)
 		pinWeight[k.Src] += w
 		pinWeight[k.Dst] += w
@@ -375,64 +403,143 @@ func Generate(cfg GeneratorConfig) (*Trace, error) {
 		tenantTotal += tp.total
 		tenantCum[i] = tenantTotal
 	}
-	sampleTenant := func() *tenantPins {
+	sampleTenant := func(rng *rand.Rand) *tenantPins {
 		u := rng.Float64() * tenantTotal
 		return tenants[sort.SearchFloat64s(tenantCum, u)]
 	}
-	sampleHost := func(tp *tenantPins) model.HostID {
+	sampleHost := func(rng *rand.Rand, tp *tenantPins) model.HostID {
 		u := rng.Float64() * tp.total
 		return tp.hosts[sort.SearchFloat64s(tp.cum, u)]
 	}
-	scatter := make([]model.FlowKey, 0, scatterCount)
+	g.scatter = make([]model.FlowKey, 0, scatterCount)
 	if len(tenants) >= 2 {
-		for len(scatter) < scatterCount {
-			ta, tb := sampleTenant(), sampleTenant()
+		for len(g.scatter) < scatterCount {
+			ta, tb := sampleTenant(rng), sampleTenant(rng)
 			if ta.id == tb.id {
 				continue
 			}
-			scatter = addPair(scatter, sampleHost(ta), sampleHost(tb))
+			g.scatter = addPair(g.scatter, sampleHost(rng, ta), sampleHost(rng, tb))
 		}
 	}
 
-	// Flow emission: p% hot, ScatterFlowFraction on the scatter band,
-	// NoiseFraction uniform over all host pairs, remainder on the cold
-	// intra band.
+	// Flow emission plan: p% hot, ScatterFlowFraction on the scatter
+	// band, NoiseFraction uniform over all host pairs, remainder on the
+	// cold intra band.
 	total := int(cfg.PaperFlows / int64(cfg.Scale))
 	if total < 1 {
 		total = 1
 	}
-	scatterCut := cfg.ScatterFlowFraction
-	noiseCut := scatterCut + cfg.NoiseFraction
-	hotCut := noiseCut + (1-noiseCut)*float64(cfg.P)/100
-	flows := make([]Flow, 0, total)
-	cum := cumWeights()
-	for i := 0; i < total; i++ {
-		start := sampleStart(rng, cfg.Duration, cum)
+	g.scatterCut = cfg.ScatterFlowFraction
+	g.noiseCut = g.scatterCut + cfg.NoiseFraction
+	g.hotCut = g.noiseCut + (1-g.noiseCut)*float64(cfg.P)/100
+
+	// Window plan: 24·WindowsPerHour hour-aligned windows, flow counts
+	// apportioned deterministically over the diurnal profile (each
+	// window inherits its hour's weight). The apportionment replaces
+	// the sequential sampler's multinomial hour draw with its exact
+	// expectation, which is what lets any window be generated without
+	// its predecessors.
+	wph := cfg.WindowsPerHour
+	if wph == 0 {
+		wph = (total + 24*targetWindowFlows - 1) / (24 * targetWindowFlows)
+		if wph < 1 {
+			wph = 1
+		}
+		if wph > maxWindowsPerHour {
+			wph = maxWindowsPerHour
+		}
+	}
+	windows := 24 * wph
+	weights := make([]float64, windows)
+	for w := range weights {
+		weights[w] = hourWeights[w/wph]
+	}
+	g.counts = apportion(total, weights)
+
+	g.info = StreamInfo{
+		Name:           cfg.Name,
+		Duration:       cfg.Duration,
+		Directory:      dir,
+		P:              cfg.P,
+		Q:              cfg.Q,
+		Scale:          cfg.Scale,
+		Windows:        windows,
+		TotalFlows:     total,
+		MaxWindowFlows: maxInts(g.counts),
+	}
+	return g, nil
+}
+
+// Info implements Stream.
+func (g *genStream) Info() StreamInfo { return g.info }
+
+// basePairKeys exposes the communicating-pair pool for the Expand
+// combinator: every flow the generator emits outside the noise band
+// lands on one of these pairs.
+func (g *genStream) basePairKeys() map[model.FlowKey]struct{} {
+	pool := make(map[model.FlowKey]struct{}, len(g.hot)+len(g.cold)+len(g.scatter))
+	for _, band := range [][]model.FlowKey{g.hot, g.cold, g.scatter} {
+		for _, k := range band {
+			pool[k] = struct{}{}
+		}
+	}
+	return pool
+}
+
+// sampleHot draws a hot pair, drift-modulated at time at.
+func (g *genStream) sampleHot(rng *rand.Rand, at time.Duration) model.FlowKey {
+	for {
+		u := rng.Float64() * g.hotCum[len(g.hotCum)-1]
+		i := sort.SearchFloat64s(g.hotCum, u)
+		if g.hotPhase == nil {
+			return g.hot[i]
+		}
+		frac := float64(at) / float64(g.cfg.Duration)
+		mod := (1 + g.cfg.DriftAmplitude*math.Cos(2*math.Pi*(frac-g.hotPhase[i]))) / (1 + g.cfg.DriftAmplitude)
+		if rng.Float64() < mod {
+			return g.hot[i]
+		}
+	}
+}
+
+// GenWindow implements Stream: window w's flows from the per-window
+// random stream, appended into buf and sorted by Start.
+func (g *genStream) GenWindow(w int, buf []Flow) []Flow {
+	if w < 0 || w >= g.info.Windows {
+		return buf
+	}
+	s1, s2 := windowSeeds(g.cfg.Seed, flowSalt, w)
+	rng := rand.New(rand.NewPCG(s1, s2))
+	from, to := g.info.WindowBounds(w)
+	span := float64(to - from)
+	base := len(buf)
+	for i := 0; i < g.counts[w]; i++ {
+		start := from + time.Duration(rng.Float64()*span)
 		var key model.FlowKey
 		u := rng.Float64()
 		switch {
-		case u < scatterCut && len(scatter) > 0:
-			key = scatter[rng.IntN(len(scatter))]
-		case u < noiseCut:
+		case u < g.scatterCut && len(g.scatter) > 0:
+			key = g.scatter[rng.IntN(len(g.scatter))]
+		case u < g.noiseCut:
 			for {
-				a := model.HostID(1 + rng.IntN(numHosts))
-				b := model.HostID(1 + rng.IntN(numHosts))
+				a := model.HostID(1 + rng.IntN(g.numHosts))
+				b := model.HostID(1 + rng.IntN(g.numHosts))
 				if a != b {
 					key = model.FlowKey{Src: a, Dst: b}
 					break
 				}
 			}
-		case u < hotCut || len(cold) == 0:
-			key = sampleHot(start)
+		case u < g.hotCut || len(g.cold) == 0:
+			key = g.sampleHot(rng, start)
 		default:
-			key = cold[rng.IntN(len(cold))]
+			key = g.cold[rng.IntN(len(g.cold))]
 		}
 		// Randomize direction.
 		if rng.IntN(2) == 0 {
 			key = model.FlowKey{Src: key.Dst, Dst: key.Src}
 		}
 		bytes, packets := samplePayload(rng)
-		flows = append(flows, Flow{
+		buf = append(buf, Flow{
 			Start:   start,
 			Src:     key.Src,
 			Dst:     key.Dst,
@@ -440,15 +547,18 @@ func Generate(cfg GeneratorConfig) (*Trace, error) {
 			Packets: packets,
 		})
 	}
-	sort.Slice(flows, func(i, j int) bool { return flows[i].Start < flows[j].Start })
+	win := buf[base:]
+	sort.Slice(win, func(i, j int) bool { return win[i].Start < win[j].Start })
+	return buf
+}
 
-	return &Trace{
-		Name:      cfg.Name,
-		Duration:  cfg.Duration,
-		Flows:     flows,
-		Directory: dir,
-		P:         cfg.P,
-		Q:         cfg.Q,
-		Scale:     cfg.Scale,
-	}, nil
+// Generate produces a materialized trace from the configuration: the
+// stream's windows collected into one flow slice. Large-scale
+// consumers should use NewStream directly and stay windowed.
+func Generate(cfg GeneratorConfig) (*Trace, error) {
+	s, err := NewStream(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Materialize(s), nil
 }

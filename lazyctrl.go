@@ -30,6 +30,7 @@ package lazyctrl
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"lazyctrl/internal/controller"
@@ -338,10 +339,30 @@ func (dc *DataCenter) Now() time.Duration { return dc.sim.Now().Duration() }
 // FailSwitch injects a switch (node) failure into the underlay.
 func (dc *DataCenter) FailSwitch(id SwitchID) { dc.net.FailNode(id) }
 
-// RecoverSwitch heals a failed switch and informs the controller
-// (§III-E3 reboot-and-resync).
+// RecoverSwitch reboots a failed switch and informs the controller
+// (§III-E3 reboot-and-resync): the switch comes back cold — volatile
+// tables wiped, L-FIB incarnation epoch advanced so its post-reboot
+// advertisements dominate the pre-failure versions receivers still
+// hold — its hosts re-attach from the hypervisor's view, and the
+// controller re-pushes its group view.
 func (dc *DataCenter) RecoverSwitch(id SwitchID) {
 	dc.net.HealNode(id)
+	if sw, ok := dc.switches[id]; ok {
+		sw.Reboot()
+		// Re-attach the switch's hosts in deterministic order (the
+		// directory map iterates randomly; the DES must not).
+		var hosts []HostID
+		for h, rec := range dc.hosts {
+			if rec.sw == id {
+				hosts = append(hosts, h)
+			}
+		}
+		sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+		for _, h := range hosts {
+			rec := dc.hosts[h]
+			sw.AttachHost(model.HostMAC(h), model.HostIP(h), rec.vlan)
+		}
+	}
 	dc.ctrl.MarkRecovered(id)
 }
 

@@ -198,6 +198,103 @@ func TestFailoverRoundTrip(t *testing.T) {
 	}
 }
 
+// TestEarlyRecoveryResyncsGroupView pins recovery from a transient
+// failure: a switch that fails and is recovered before the keep-alive
+// diagnosis window closes still rebooted (volatile state gone), so
+// MarkRecovered must re-push its group view even though the controller
+// never marked it dead — otherwise the switch answers keep-alives
+// configless forever.
+func TestEarlyRecoveryResyncsGroupView(t *testing.T) {
+	dc, err := New(Config{Switches: 6, GroupSizeLimit: 3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc.AddTenant(1)
+	for i := 1; i <= 6; i++ {
+		if err := dc.AddHost(HostID(i), 1, SwitchID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dc.SeedGroupingFromPlacement(); err != nil {
+		t.Fatal(err)
+	}
+	dc.Run(5 * time.Second)
+	victim := SwitchID(2)
+	if len(dc.switches[victim].Group().Members) == 0 {
+		t.Fatal("victim never received a group view")
+	}
+	dc.FailSwitch(victim)
+	dc.Run(6 * time.Second) // well inside the 15 s diagnosis window
+	dc.RecoverSwitch(victim)
+	if len(dc.switches[victim].Group().Members) != 0 {
+		t.Fatal("reboot did not clear the group view")
+	}
+	dc.Run(30 * time.Second)
+	if len(dc.switches[victim].Group().Members) == 0 {
+		t.Error("early-recovered switch never got its group view re-pushed")
+	}
+	// Traffic from its hosts must flow again.
+	if err := dc.SendFlow(2, 5, 1400); err != nil {
+		t.Fatal(err)
+	}
+	dc.Run(5 * time.Second)
+	if got := dc.switches[SwitchID(5)].Stats().Delivered; got == 0 {
+		t.Error("flow from the recovered switch was never delivered")
+	}
+}
+
+// TestDeadMemberFilterRemovalReachesNonNeighbors pins the wire-level
+// filter tombstone: when a member dies, every live group member —
+// including those that are not its wheel neighbors and so never see
+// the missed heartbeats themselves — evicts the dead member's G-FIB
+// filter once the designated broadcast or the controller's
+// post-diagnosis tombstone lands, without waiting for a membership
+// change.
+func TestDeadMemberFilterRemovalReachesNonNeighbors(t *testing.T) {
+	dc, err := New(Config{Switches: 6, GroupSizeLimit: 6, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc.AddTenant(1)
+	for i := 1; i <= 6; i++ {
+		if err := dc.AddHost(HostID(i), 1, SwitchID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dc.SeedGroupingFromPlacement(); err != nil {
+		t.Fatal(err)
+	}
+	// Let dissemination build every member's G-FIB.
+	dc.Run(time.Minute)
+	victim := SwitchID(4)
+	holders := 0
+	for id, sw := range dc.switches {
+		if id == victim {
+			continue
+		}
+		if _, held := sw.GFIB().PeerVersion(victim); held {
+			holders++
+		}
+	}
+	if holders < 4 {
+		t.Fatalf("only %d members hold the victim's filter before the failure", holders)
+	}
+	dc.FailSwitch(victim)
+	dc.Run(3 * time.Minute)
+	for id, sw := range dc.switches {
+		if id == victim {
+			continue
+		}
+		if v, held := sw.GFIB().PeerVersion(victim); held {
+			t.Errorf("switch %v still holds dead member %v's filter (version %d)", id, victim, v)
+		}
+	}
+	st := dc.ctrl.Stats()
+	if st.FilterRemovalsSent == 0 {
+		t.Error("controller sent no filter tombstones after DiagSwitch")
+	}
+}
+
 func TestValidationErrors(t *testing.T) {
 	if _, err := New(Config{Switches: 0}); err == nil {
 		t.Error("zero switches accepted")
