@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lazyctrl/internal/eval"
+	"lazyctrl/internal/replay"
 	"lazyctrl/internal/trace"
 )
 
@@ -99,6 +100,39 @@ func BenchmarkFig7(b *testing.B) {
 			100*res.ReductionRealStatic, 100*res.ReductionRealDynamic,
 			100*res.ReductionExpandedStatic, 100*res.ReductionExpandedDynamic)
 	})
+}
+
+// BenchmarkFig7Sampled runs the same five-series Fig. 7 sweep through
+// the sampled replay engine at p = 0.1: a tenth of the pair population
+// rides the DES and the workload estimators are reweighted by 1/p
+// (internal/replay). events/op reports the total discrete events the
+// five simulators executed — the cost metric the scaled engines exist
+// to shrink (compare BenchmarkFig7's full-DES runs). Gated in
+// cmd/bench alongside Fig7.
+func BenchmarkFig7Sampled(b *testing.B) {
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunFig789(eval.Fig789Config{
+			Scale:      50_000,
+			Seed:       uint64(i) + 1,
+			Horizon:    12 * time.Hour,
+			Engine:     replay.EngineSampled,
+			SampleProb: 0.1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = 0
+		for _, r := range res.Series {
+			events += r.SimEvents
+		}
+		if i == 0 {
+			b.Logf("reductions: real %.0f%%/%.0f%%, expanded %.0f%%/%.0f%% (paper: 61–82%%)",
+				100*res.ReductionRealStatic, 100*res.ReductionRealDynamic,
+				100*res.ReductionExpandedStatic, 100*res.ReductionExpandedDynamic)
+		}
+	}
+	b.ReportMetric(float64(events), "events/op")
 }
 
 // BenchmarkFig8 regenerates the grouping-update frequency series of

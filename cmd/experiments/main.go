@@ -23,13 +23,21 @@ import (
 	"time"
 
 	"lazyctrl/internal/eval"
+	"lazyctrl/internal/replay"
 )
 
 func main() {
 	runFlag := flag.String("run", "all", "comma-separated experiments: tableII,fig6a,fig6b,fig7,fig8,fig9,coldcache,storage")
-	scale := flag.Int("scale", 5000, "divisor applied to the paper's flow counts")
+	scale := flag.Int("scale", 5000, "divisor applied to the paper's flow counts (1 = paper scale; use -engine sampled/fluid)")
 	seed := flag.Uint64("seed", 1, "random seed")
+	engineName := flag.String("engine", "des", "Fig7/8/9 replay engine: des, sampled, or fluid (docs/emulation.md)")
+	sampleP := flag.Float64("p", 0, "pair-sampling probability for the sampled engine / fluid probe (0 = engine default)")
 	flag.Parse()
+	engine, err := replay.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*runFlag, ",") {
@@ -92,9 +100,11 @@ func main() {
 
 	need789 := all || want["fig7"] || want["fig8"] || want["fig9"]
 	if need789 {
-		fmt.Printf("\n=== Fig7/8/9 emulations (scale %d) ===\n", *scale)
+		fmt.Printf("\n=== Fig7/8/9 emulations (scale %d, engine %s) ===\n", *scale, engine)
 		start := time.Now()
-		res, err := eval.RunFig789(eval.Fig789Config{Scale: *scale, Seed: *seed})
+		res, err := eval.RunFig789(eval.Fig789Config{
+			Scale: *scale, Seed: *seed, Engine: engine, SampleProb: *sampleP,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fig789: %v\n", err)
 			os.Exit(1)

@@ -6,6 +6,8 @@
 //
 //	lazyctrl-sim -mode lazy -dynamic -scale 5000
 //	lazyctrl-sim -mode openflow -scale 5000
+//	lazyctrl-sim -engine fluid -scale 1        # paper scale (271M flows)
+//	lazyctrl-sim -engine sampled -p 0.01 -scale 100
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 
 	"lazyctrl/internal/controller"
 	"lazyctrl/internal/eval"
+	"lazyctrl/internal/replay"
 	"lazyctrl/internal/trace"
 )
 
@@ -26,11 +29,17 @@ func main() {
 	expanded := flag.Bool("expanded", false, "use the +30% expanded trace")
 	limit := flag.Int("limit", 46, "group size limit")
 	hours := flag.Int("hours", 24, "horizon in hours")
+	engineName := flag.String("engine", "des", "replay engine: des, sampled, or fluid (see docs/emulation.md)")
+	sampleP := flag.Float64("p", 0, "pair-sampling probability for the sampled engine / fluid probe (0 = engine default)")
 	flag.Parse()
+	engine, err := replay.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	src := cli.MustStream()
 	if *expanded {
-		var err error
 		src, err = trace.ExpandStream(src, 0.30, 8, 24, cli.Seed()^0xe)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -42,10 +51,10 @@ func main() {
 		m = controller.ModeLearning
 	}
 	info := src.Info()
-	fmt.Printf("emulating %s (%d flows streamed in %d windows of ≤%d, %d switches, %d hosts), mode=%s dynamic=%v limit=%d horizon=%dh\n",
+	fmt.Printf("emulating %s (%d flows streamed in %d windows of ≤%d, %d switches, %d hosts), mode=%s dynamic=%v limit=%d horizon=%dh engine=%s\n",
 		info.Name, info.TotalFlows, info.Windows, info.MaxWindowFlows,
 		len(info.Directory.Switches()), info.Directory.NumHosts(),
-		*mode, *dynamic, *limit, *hours)
+		*mode, *dynamic, *limit, *hours, engine)
 
 	start := time.Now()
 	res, err := eval.RunEmulation(eval.EmulationConfig{
@@ -55,23 +64,44 @@ func main() {
 		GroupSizeLimit: *limit,
 		Horizon:        time.Duration(*hours) * time.Hour,
 		Seed:           cli.Seed(),
+		Engine:         engine,
+		SampleProb:     *sampleP,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("emulation completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("emulation completed in %v (%d sim events)\n\n",
+		time.Since(start).Round(time.Millisecond), res.SimEvents)
 
-	fmt.Printf("flows injected/delivered: %d/%d\n", res.FlowsInjected, res.FlowsDelivered)
+	fmt.Printf("flows injected/delivered: %d/%d", res.FlowsInjected, res.FlowsDelivered)
+	if res.Engine != replay.EngineDES {
+		fmt.Printf(" (p=%g of a %d-flow population)", res.SampleProb, res.PopulationFlows)
+	}
+	fmt.Println()
 	fmt.Printf("controller workload (Krps, unscaled estimate) per 2h bucket:\n  ")
 	for _, v := range res.WorkloadKrps {
 		fmt.Printf("%6.2f", v)
+	}
+	if res.WorkloadStdErrKrps != nil {
+		fmt.Printf("\n  ±1σ sampling error:\n  ")
+		for _, v := range res.WorkloadStdErrKrps {
+			fmt.Printf("%6.2f", v)
+		}
 	}
 	fmt.Printf("\naverage forwarding latency (ms) per 2h bucket:\n  ")
 	for _, v := range res.AvgLatencyMs {
 		fmt.Printf("%6.3f", v)
 	}
-	fmt.Printf("\ncold-cache first-packet latency: %v\n", res.ColdCacheLatency.Round(time.Microsecond))
+	fmt.Printf("\ncold-cache first-packet latency: %v (q50 %v, q90 %v)\n",
+		res.ColdCacheLatency.Round(time.Microsecond),
+		res.Recorder.ColdLatencyQuantile(0.5).Round(time.Microsecond),
+		res.Recorder.ColdLatencyQuantile(0.9).Round(time.Microsecond))
+	if res.BatchDelayObserved > 0 {
+		fmt.Printf("micro-batching delay: observed %v, modeled %v\n",
+			res.BatchDelayObserved.Round(time.Microsecond),
+			res.BatchDelayModeled.Round(time.Microsecond))
+	}
 	if m == controller.ModeLazy {
 		fmt.Printf("groups: %d, grouping updates per hour: %v\n", res.FinalGroups, res.UpdatesPerHour)
 	}

@@ -45,8 +45,9 @@ type Config struct {
 	// PacketInBurst once the buffer reaches this count (or the window
 	// deadline passes), so a packet-in storm crosses the control link
 	// as a few bursts that feed the controller's sharded burst intake.
-	// Zero or one ships every PacketIn immediately (the default — the
-	// deterministic emulations measure per-packet cold-cache latency).
+	// Zero or one ships every PacketIn immediately (the raw default;
+	// the eval emulation harness turns batching on and accounts for
+	// the window's latency explicitly — replay.ExpectedBatchDelay).
 	PacketInBatchMax int
 	// PacketInBatchWindow is the flush deadline of the micro-batching
 	// window. Zero with batching enabled selects 1 ms.
@@ -101,6 +102,12 @@ type Stats struct {
 	// PacketInBursts counts PacketInBurst messages flushed by the
 	// micro-batching window (each replaces ≥2 PacketIn messages).
 	PacketInBursts uint64
+	// PinBatchWait totals the time PacketIns spent buffered in the
+	// micro-batching window before their flush, and PinBatchWaited
+	// counts them: the measured ground truth the modeled batching-delay
+	// term (replay.ExpectedBatchDelay) is pinned against.
+	PinBatchWait   time.Duration
+	PinBatchWaited uint64
 	// GFIBDeltasSent and GFIBFullsSent count per-peer filter items a
 	// designated switch disseminated as word deltas vs. full filters.
 	GFIBDeltasSent uint64
@@ -172,8 +179,10 @@ type Switch struct {
 	ctrlRound uint64
 
 	// Micro-batching intake window on the control link: buffered
-	// PacketIns and the pending flush deadline.
+	// PacketIns (with their buffering instants, for the batching-delay
+	// accounting) and the pending flush deadline.
 	pinBuf         []openflow.BurstPacket
+	pinAt          []time.Duration
 	pinFlushCancel func()
 
 	// Own per-window pair stats: new flows observed from remote
@@ -301,7 +310,7 @@ func (s *Switch) Reboot() {
 	// The micro-batching window's buffered PacketIns die with the
 	// switch — drop them before Stop, whose drain would otherwise
 	// flush pre-failure escalations to the controller.
-	s.pinBuf = nil
+	s.pinBuf, s.pinAt = nil, nil
 	s.Stop()
 	s.lfib.Restart()
 	s.gfib.Clear()
@@ -438,6 +447,7 @@ func (s *Switch) packetIn(reason openflow.PacketInReason, p *model.Packet) {
 		return
 	}
 	s.pinBuf = append(s.pinBuf, openflow.BurstPacket{Reason: reason, Packet: *p})
+	s.pinAt = append(s.pinAt, s.env.Now())
 	if len(s.pinBuf) >= s.cfg.PacketInBatchMax {
 		s.flushPacketIns()
 		return
@@ -457,8 +467,13 @@ func (s *Switch) flushPacketIns() {
 	if len(s.pinBuf) == 0 {
 		return
 	}
-	buf := s.pinBuf
-	s.pinBuf = nil
+	buf, at := s.pinBuf, s.pinAt
+	s.pinBuf, s.pinAt = nil, nil
+	now := s.env.Now()
+	for _, t := range at {
+		s.stats.PinBatchWait += now - t
+	}
+	s.stats.PinBatchWaited += uint64(len(at))
 	if len(buf) == 1 {
 		s.sendCtrl(&openflow.PacketIn{Switch: s.cfg.ID, Reason: buf[0].Reason, Packet: buf[0].Packet})
 		return

@@ -67,8 +67,10 @@ func TestDissemDeltaFullDifferential(t *testing.T) {
 
 // TestDissemDeltaByteReduction pins the acceptance target: on the
 // paper-scale fabric (1024 switches, 46-switch groups), a single host
-// arrival ships ≥10× fewer control-channel bytes under the delta
-// protocol than under full push.
+// arrival ships ≥10.5× fewer control-channel bytes under the delta
+// protocol than under full push. (The varint count fields on GFIBDelta
+// and StateReport moved the measured ratio from 10.1× to 11.2×; the
+// pin sits below that with margin above the original 10× target.)
 func TestDissemDeltaByteReduction(t *testing.T) {
 	if testing.Short() {
 		t.Skip("1024-switch fabric in -short mode")
@@ -88,8 +90,8 @@ func TestDissemDeltaByteReduction(t *testing.T) {
 	deltaBytes, fullBytes := run(false), run(true)
 	t.Logf("single host arrival: delta=%dB full=%dB (%.1f×)",
 		deltaBytes, fullBytes, float64(fullBytes)/float64(deltaBytes))
-	if deltaBytes == 0 || fullBytes < 10*deltaBytes {
-		t.Errorf("delta path ships %dB vs %dB full: want ≥10× reduction", deltaBytes, fullBytes)
+	if deltaBytes == 0 || 2*fullBytes < 21*deltaBytes {
+		t.Errorf("delta path ships %dB vs %dB full: want ≥10.5× reduction", deltaBytes, fullBytes)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"lazyctrl/internal/metrics"
 	"lazyctrl/internal/model"
 	"lazyctrl/internal/netsim"
+	"lazyctrl/internal/replay"
 	"lazyctrl/internal/sim"
 	"lazyctrl/internal/trace"
 )
@@ -53,6 +54,27 @@ type EmulationConfig struct {
 	// Latencies overrides the underlay latency model (zero value =
 	// defaults).
 	Latencies netsim.Latencies
+
+	// Engine selects the replay engine (docs/emulation.md): EngineDES
+	// (the default) injects every flow into the discrete-event
+	// underlay; EngineSampled injects a deterministic hash-sampled pair
+	// subpopulation and reweights the traffic-driven estimators by 1/p,
+	// with confidence bands; EngineFluid folds the full population into
+	// per-(group-pair, bucket) rate aggregates for workload and injects
+	// only a sampled latency-probe population.
+	Engine replay.Engine
+	// SampleProb is the pair-sampling probability p of EngineSampled,
+	// and the latency-probe population of EngineFluid. Zero selects 0.1
+	// (sampled) / 0.02 (fluid); ignored by EngineDES.
+	SampleProb float64
+	// PacketInBatchMax and PacketInBatchWindow configure the edge
+	// switches' control-link micro-batching window. Zero selects the
+	// default — on, 8 packets / 1 ms, now that the batching delay is
+	// modeled explicitly in the latency accounting (see
+	// replay.ExpectedBatchDelay); a negative PacketInBatchMax disables
+	// batching.
+	PacketInBatchMax    int
+	PacketInBatchWindow time.Duration
 }
 
 func (c EmulationConfig) withDefaults() (EmulationConfig, error) {
@@ -83,6 +105,30 @@ func (c EmulationConfig) withDefaults() (EmulationConfig, error) {
 	if c.ReportInterval == 0 {
 		c.ReportInterval = 30 * time.Second
 	}
+	if c.SampleProb == 0 {
+		switch c.Engine {
+		case replay.EngineSampled:
+			c.SampleProb = 0.1
+		case replay.EngineFluid:
+			c.SampleProb = 0.02
+		}
+	}
+	if c.Engine == replay.EngineDES {
+		c.SampleProb = 1
+	}
+	if c.SampleProb <= 0 || c.SampleProb > 1 {
+		return c, fmt.Errorf("eval: SampleProb %v outside (0,1]", c.SampleProb)
+	}
+	if c.PacketInBatchMax == 0 {
+		c.PacketInBatchMax = 8
+	}
+	if c.PacketInBatchMax < 0 {
+		c.PacketInBatchMax = 1 // ≤1 ships every PacketIn immediately
+	}
+	if c.PacketInBatchMax > 1 && c.PacketInBatchWindow == 0 {
+		// Keep the modeled window in lockstep with edge.Config's default.
+		c.PacketInBatchWindow = time.Millisecond
+	}
 	return c, nil
 }
 
@@ -90,20 +136,45 @@ func (c EmulationConfig) withDefaults() (EmulationConfig, error) {
 type EmulationResult struct {
 	Mode    controller.Mode
 	Dynamic bool
-	// Recorder holds bucketed workload, latency, and update series.
+	// Engine echoes the engine that produced the result; SampleProb is
+	// the realized pair-sampling probability (1 for the DES engine).
+	Engine     replay.Engine
+	SampleProb float64
+	// Recorder holds bucketed workload, latency, and update series
+	// (including the cold-latency histogram behind
+	// Recorder.ColdLatencyQuantile).
 	Recorder *metrics.Recorder
 	// WorkloadKrps is the Fig. 7 series: controller requests per second
-	// (unscaled via the trace's Scale), per bucket, in thousands.
+	// (unscaled via the trace's Scale and, for the sampled engines, the
+	// sampling probability), per bucket, in thousands.
 	WorkloadKrps []float64
+	// WorkloadStdErrKrps is the per-bucket 1σ sampling error of the
+	// traffic-driven part of WorkloadKrps (EngineSampled only; nil
+	// otherwise — the fluid engine's workload aggregates the full
+	// population and carries no sampling error).
+	WorkloadStdErrKrps []float64
 	// AvgLatencyMs is the Fig. 9 series per bucket.
 	AvgLatencyMs []float64
 	// UpdatesPerHour is the Fig. 8 series.
 	UpdatesPerHour []uint64
 	// ColdCacheLatency is the mean first-packet latency.
 	ColdCacheLatency time.Duration
-	// FlowsInjected and FlowsDelivered count first packets.
-	FlowsInjected  int
-	FlowsDelivered int
+	// FlowsInjected and FlowsDelivered count the first packets the DES
+	// actually carried (the sampled subpopulation under the sampled and
+	// fluid engines); PopulationFlows counts every in-horizon flow the
+	// engine accounted for, injected or aggregated.
+	FlowsInjected   int
+	FlowsDelivered  int
+	PopulationFlows int
+	// BatchDelayObserved is the measured mean residence of a PacketIn
+	// in the edge micro-batching window; BatchDelayModeled is the
+	// analytic expectation (replay.ExpectedBatchDelay) at the realized
+	// arrival rate. Both zero with batching disabled.
+	BatchDelayObserved time.Duration
+	BatchDelayModeled  time.Duration
+	// SimEvents is how many discrete events the underlying simulator
+	// executed (the scaled engines' cost metric).
+	SimEvents uint64
 	// ControllerStats is the controller's own view.
 	ControllerStats controller.Stats
 	// FinalGroups is the group count at the end of the run.
@@ -131,7 +202,10 @@ func fastPathLatency(lat netsim.Latencies, sameSwitch bool) time.Duration {
 // collects the evaluation metrics. Flows are drawn from the source one
 // window at a time — the next window generates on the prefetch
 // pipeline while the simulator drains the current one — so the
-// replay's flow memory is O(window), not O(trace).
+// replay's flow memory is O(window), not O(trace). The Engine field
+// selects how flows become load: exact per-flow events (DES), a
+// reweighted sampled subpopulation, or fluid rate aggregation with a
+// DES probe population (see package replay and docs/emulation.md).
 func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 	c, err := cfg.withDefaults()
 	if err != nil {
@@ -145,14 +219,32 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 	net := netsim.New(s, c.Latencies)
 	rec := metrics.NewRecorder(c.Horizon, c.BucketWidth)
 
-	res := &EmulationResult{Mode: c.Mode, Dynamic: c.Dynamic, Recorder: rec}
+	res := &EmulationResult{
+		Mode: c.Mode, Dynamic: c.Dynamic, Engine: c.Engine,
+		SampleProb: c.SampleProb, Recorder: rec,
+	}
+
+	// The scaled engines inject only a p-fraction of the pairs; the
+	// controller's queueing model must still see the unscaled arrival
+	// rate, so the sampling probability folds into its load scale
+	// alongside the trace's flow-count divisor.
+	loadScale := info.Scale
+	var sampler *replay.PairSampler
+	var estimator *replay.Estimator
+	if c.SampleProb < 1 {
+		sampler = replay.NewPairSampler(c.SampleProb, c.Seed)
+		loadScale = int(float64(info.Scale)/c.SampleProb + 0.5)
+		if c.Engine == replay.EngineSampled {
+			estimator = replay.NewEstimator(c.SampleProb, rec.Buckets())
+		}
+	}
 
 	ctrl, err := controller.New(controller.Config{
 		Mode:              c.Mode,
 		Switches:          dir.Switches(),
 		GroupSizeLimit:    c.GroupSizeLimit,
 		Seed:              c.Seed,
-		LoadScale:         info.Scale,
+		LoadScale:         loadScale,
 		Dynamic:           c.Dynamic,
 		Recorder:          rec,
 		KeepAliveInterval: time.Minute,
@@ -165,12 +257,15 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 	net.SetSameGroup(ctrl.SameGroup)
 
 	// Edge switches with attached hosts.
+	const advertiseInterval = 10 * time.Second
 	switches := make(map[model.SwitchID]*edge.Switch, len(dir.Switches()))
 	for _, id := range dir.Switches() {
 		sw := edge.New(edge.Config{
-			ID:                id,
-			AdvertiseInterval: 10 * time.Second,
-			ReportInterval:    c.ReportInterval,
+			ID:                  id,
+			AdvertiseInterval:   advertiseInterval,
+			ReportInterval:      c.ReportInterval,
+			PacketInBatchMax:    c.PacketInBatchMax,
+			PacketInBatchWindow: c.PacketInBatchWindow,
 			OnDeliver: func(p *model.Packet, at time.Duration) {
 				if p.FlowSeq == 0 {
 					res.FlowsDelivered++
@@ -204,6 +299,28 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 		}
 	}
 
+	// The fluid engine folds every window's full flow population into
+	// per-bucket rate aggregates under the live grouping; its warm-up
+	// constants mirror the harness cadences above (C-LIB fills at the
+	// first state report, G-FIBs one advertise + dissemination round
+	// after that).
+	var fluid *replay.Fluid
+	if c.Engine == replay.EngineFluid {
+		fluid = replay.NewFluid(replay.FluidConfig{
+			Directory:       dir,
+			Lazy:            c.Mode == controller.ModeLazy,
+			Horizon:         c.Horizon,
+			BucketWidth:     c.BucketWidth,
+			RuleIdleTimeout: 60 * time.Second,
+			GFIBWarm:        advertiseInterval + c.ReportInterval,
+			// The initial grouping push kicks every designated switch
+			// into reporting immediately, so the C-LIB knows all
+			// attached hosts a couple of control round-trips in — long
+			// before the periodic report cadence.
+			CLIBWarm: 2 * time.Second,
+		})
+	}
+
 	// Windowed flow injection: window w's first packets are scheduled
 	// when the clock reaches the start of window w−1 — one full window
 	// of lead, so every flow event is in the heap before its time comes
@@ -223,6 +340,14 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 		defer pf.Close()
 	}
 	scheduleWindow := func(flows []trace.Flow) {
+		if fluid != nil {
+			var view replay.View
+			var version uint64
+			if c.Mode == controller.ModeLazy {
+				view, version = ctrl.Grouping(), ctrl.GroupingVersion()
+			}
+			fluid.FoldWindow(flows, view, version)
+		}
 		for i := range flows {
 			f := flows[i]
 			if f.Start >= c.Horizon {
@@ -232,6 +357,15 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 			dst := dir.Host(f.Dst)
 			if src == nil || dst == nil {
 				continue
+			}
+			if fluid == nil {
+				res.PopulationFlows++
+			}
+			if sampler != nil && !sampler.Keep(f.Src, f.Dst) {
+				continue
+			}
+			if estimator != nil {
+				estimator.Observe(int(f.Start/c.BucketWidth), replay.PairKey(f.Src, f.Dst))
 			}
 			res.FlowsInjected++
 			sameSwitch := src.Switch == dst.Switch
@@ -281,22 +415,63 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 
 	s.RunUntil(sim.Time(c.Horizon))
 
-	// Traffic-driven requests scale with the trace's flow-count divisor;
+	// Traffic-driven requests scale with the trace's flow-count divisor
+	// (and the inverse sampling probability under the sampled engines);
 	// periodic control work (state reports, regroup pushes) does not —
 	// a real deployment sends the same handful per interval regardless
 	// of traffic volume.
-	traffic := rec.WorkloadRPSFor(info.Scale, metrics.ReqPacketIn, metrics.ReqARPRelay)
+	var traffic []float64
+	if fluid != nil {
+		// The fluid engine's traffic series comes from the aggregated
+		// rates of the full population, not from the probe DES.
+		res.PopulationFlows = fluid.Population()
+		counts := fluid.TrafficRequests()
+		traffic = make([]float64, rec.Buckets())
+		sec := c.BucketWidth.Seconds()
+		for i := 0; i < len(traffic) && i < len(counts); i++ {
+			traffic[i] = counts[i] * float64(info.Scale) / sec
+		}
+	} else {
+		traffic = rec.WorkloadRPSForScaled(float64(info.Scale)/c.SampleProb,
+			metrics.ReqPacketIn, metrics.ReqARPRelay)
+	}
 	periodic := rec.WorkloadRPSFor(1, metrics.ReqStateReport, metrics.ReqRegroup)
 	combined := make([]float64, len(traffic))
 	for i := range combined {
 		combined[i] = traffic[i] + periodic[i]
 	}
 	res.WorkloadKrps = krps(combined)
+	if estimator != nil {
+		rel := estimator.RelStdErr()
+		res.WorkloadStdErrKrps = make([]float64, len(traffic))
+		for i := range traffic {
+			res.WorkloadStdErrKrps[i] = traffic[i] * rel[i] / 1000
+		}
+	}
 	res.AvgLatencyMs = toMs(rec.AvgLatencyPerBucket())
 	res.UpdatesPerHour = rec.UpdatesPerHour()
 	res.ColdCacheLatency = rec.AvgColdLatency()
 	res.ControllerStats = ctrl.Stats()
 	res.FinalGroups = ctrl.Grouping().NumGroups()
+	res.SimEvents = s.Executed()
+
+	// Batching-delay accounting: the measured mean residence of a
+	// PacketIn in the micro-batching window, and the modeled
+	// expectation at the realized per-switch arrival rate.
+	if c.PacketInBatchMax > 1 {
+		var wait time.Duration
+		var waited uint64
+		for _, sw := range switches {
+			st := sw.Stats()
+			wait += st.PinBatchWait
+			waited += st.PinBatchWaited
+		}
+		if waited > 0 {
+			res.BatchDelayObserved = wait / time.Duration(waited)
+			rate := float64(waited) / (float64(len(switches)) * c.Horizon.Seconds())
+			res.BatchDelayModeled = replay.ExpectedBatchDelay(rate, c.PacketInBatchWindow, c.PacketInBatchMax)
+		}
+	}
 	return res, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"lazyctrl/internal/fib"
 	"lazyctrl/internal/grouping"
 	"lazyctrl/internal/model"
+	"lazyctrl/internal/replay"
 	"lazyctrl/internal/trace"
 )
 
@@ -234,13 +235,19 @@ const (
 // same five emulation runs.
 type Fig789Config struct {
 	// Scale divides the real trace's 271M flows. Benchmarks use 5000
-	// (54k flows); unit tests use much larger divisors.
+	// (54k flows); unit tests use much larger divisors. Scale 1 is the
+	// paper's full trace — reachable end to end through the sampled or
+	// fluid engine.
 	Scale int
 	Seed  uint64
 	// Horizon truncates the day (0 = 24h).
 	Horizon time.Duration
 	// GroupSizeLimit for LazyCtrl runs. Zero selects 46.
 	GroupSizeLimit int
+	// Engine and SampleProb select the replay engine for all five runs
+	// (see EmulationConfig).
+	Engine     replay.Engine
+	SampleProb float64
 }
 
 // Fig789Result carries one named series per emulation run.
@@ -325,6 +332,8 @@ func RunFig789(cfg Fig789Config) (*Fig789Result, error) {
 			Horizon:         cfg.Horizon,
 			Seed:            cfg.Seed,
 			WarmupIntensity: warm,
+			Engine:          cfg.Engine,
+			SampleProb:      cfg.SampleProb,
 		})
 		if err != nil {
 			return fmt.Errorf("eval: %s: %w", r.name, err)

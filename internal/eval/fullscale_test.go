@@ -1,0 +1,90 @@
+package eval
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"lazyctrl/internal/replay"
+)
+
+// TestFig7FullScaleSweep is the paper-scale acceptance run: the Fig. 7
+// five-series sweep on the REAL trace at Scale=1 — 271M flows per run,
+// 1.5B flow records across the sweep — end to end through the fluid
+// engine, under a fixed wall-clock budget. The full population is
+// folded into the fluid workload aggregates; a hash-sampled probe
+// population rides the DES for latency.
+//
+// The run is gated behind LAZYCTRL_FULLSCALE=1 (a non-blocking CI job;
+// pass -timeout 90m). LAZYCTRL_FULLSCALE_BUDGET overrides the default
+// budget (a Go duration, e.g. "20m") for slower or faster boxes.
+func TestFig7FullScaleSweep(t *testing.T) {
+	if os.Getenv("LAZYCTRL_FULLSCALE") == "" {
+		t.Skip("set LAZYCTRL_FULLSCALE=1 to run the Scale=1 Fig. 7 sweep")
+	}
+	budget := 45 * time.Minute
+	if s := os.Getenv("LAZYCTRL_FULLSCALE_BUDGET"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatalf("LAZYCTRL_FULLSCALE_BUDGET: %v", err)
+		}
+		budget = d
+	}
+	start := time.Now()
+	res, err := RunFig789(Fig789Config{
+		Scale:      1,
+		Seed:       1,
+		Engine:     replay.EngineFluid,
+		SampleProb: 0.005,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	for _, name := range []string{
+		SeriesOpenFlow, SeriesRealStatic, SeriesRealDynamic,
+		SeriesExpandedStatic, SeriesExpandedDynamic,
+	} {
+		r := res.Series[name]
+		if r == nil {
+			t.Fatalf("missing series %q", name)
+		}
+		t.Logf("%-28s population=%d probe=%d/%d events=%d mean workload=%.2f Krps cold=%v",
+			name, r.PopulationFlows, r.FlowsDelivered, r.FlowsInjected,
+			r.SimEvents, Mean(r.WorkloadKrps), r.ColdCacheLatency)
+		if r.PopulationFlows < 200_000_000 {
+			t.Errorf("%s: population %d, want the full 271M-flow day", name, r.PopulationFlows)
+		}
+		if r.FlowsInjected == 0 || r.FlowsDelivered == 0 {
+			t.Errorf("%s: empty probe population", name)
+		}
+	}
+	t.Logf("sweep completed in %v (budget %v); reductions: real %.0f%%/%.0f%%, expanded %.0f%%/%.0f%%",
+		elapsed, budget,
+		100*res.ReductionRealStatic, 100*res.ReductionRealDynamic,
+		100*res.ReductionExpandedStatic, 100*res.ReductionExpandedDynamic)
+	if elapsed > budget {
+		t.Errorf("sweep took %v, budget %v", elapsed, budget)
+	}
+	// Same-trace ordering: LazyCtrl must undercut the OpenFlow baseline
+	// on the real trace at full scale (measured 43%/39% on the
+	// reference box). The pins stop there deliberately: at Scale=1 the
+	// real trace's 11.6k pairs keep the exact-dst flow rules
+	// perpetually warm, so the learning baseline's absolute workload
+	// collapses relative to the paper's per-flow reactive rules, and
+	// the expanded extras (fresh pairs at sub-idle-timeout rates)
+	// dominate the expanded series — the rule-granularity density
+	// artifact recorded in docs/emulation.md and the ROADMAP, not an
+	// engine error (the fluid fold reproduces the DES's own cache
+	// model; the small-scale differentials pin that agreement).
+	if res.ReductionRealStatic < 0.25 || res.ReductionRealDynamic < 0.20 {
+		t.Errorf("real-trace reductions %.2f/%.2f, want ≥ 0.25/0.20",
+			res.ReductionRealStatic, res.ReductionRealDynamic)
+	}
+	for _, name := range []string{SeriesExpandedStatic, SeriesExpandedDynamic} {
+		if Mean(res.Series[name].WorkloadKrps) <= 0 {
+			t.Errorf("%s: empty workload series", name)
+		}
+	}
+}

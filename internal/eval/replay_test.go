@@ -1,0 +1,256 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"lazyctrl/internal/controller"
+	"lazyctrl/internal/replay"
+	"lazyctrl/internal/trace"
+)
+
+// busyConfig is the differential-test workload: dense enough that
+// traffic-driven requests dominate the periodic classes, with a pair
+// pool large enough that the sampled engines keep a meaningful stratum
+// even at p = 0.01.
+func busyConfig(seed uint64) trace.GeneratorConfig {
+	cfg := trace.SmallConfig("busy", seed)
+	cfg.PaperFlows = 300_000
+	cfg.CommunicatingPairs = 4000
+	// The default small topology cannot supply 3200 distinct
+	// intra-tenant pairs; grow the tenants so the pool fits with room.
+	cfg.MinVMs, cfg.MaxVMs = 24, 40
+	cfg.Colocation = 0.97
+	cfg.ScatterFlowFraction = 0.06
+	return cfg
+}
+
+func runEngine(t *testing.T, cfg trace.GeneratorConfig, mode controller.Mode,
+	engine replay.Engine, p float64, seed uint64) *EmulationResult {
+	t.Helper()
+	s, err := trace.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunEmulation(EmulationConfig{
+		Source:         s,
+		Mode:           mode,
+		GroupSizeLimit: 8,
+		Horizon:        4 * time.Hour,
+		BucketWidth:    time.Hour,
+		Seed:           seed,
+		ReportInterval: 5 * time.Minute,
+		Engine:         engine,
+		SampleProb:     p,
+	})
+	if err != nil {
+		t.Fatalf("%v/%v: %v", mode, engine, err)
+	}
+	return res
+}
+
+// trafficMean is the mean traffic-driven workload (the periodic
+// classes are identical across engines by construction, so the
+// differential compares what the engines actually estimate).
+func trafficMean(res *EmulationResult) float64 { return Mean(res.WorkloadKrps) }
+
+// TestSampledWithinConfidenceBands is the seed-swept sampled-vs-DES
+// differential of the acceptance criteria: at p ∈ {0.1, 0.01} the
+// sampled engine's workload estimate must agree with the full DES
+// within its own reported confidence bands (3σ on the mean, plus the
+// documented small-sample floor at p = 0.01).
+func TestSampledWithinConfidenceBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several full emulations")
+	}
+	for _, p := range []float64{0.1, 0.01} {
+		for _, seed := range []uint64{1, 2, 3} {
+			cfg := busyConfig(seed)
+			des := runEngine(t, cfg, controller.ModeLazy, replay.EngineDES, 0, seed)
+			smp := runEngine(t, cfg, controller.ModeLazy, replay.EngineSampled, p, seed)
+
+			if smp.SampleProb != p || smp.Engine != replay.EngineSampled {
+				t.Fatalf("result does not echo engine/p: %+v/%v", smp.Engine, smp.SampleProb)
+			}
+			if smp.FlowsInjected >= des.FlowsInjected {
+				t.Fatalf("p=%v seed=%d: sampled injected %d ≥ DES %d",
+					p, seed, smp.FlowsInjected, des.FlowsInjected)
+			}
+			if smp.PopulationFlows != des.FlowsInjected {
+				t.Errorf("p=%v seed=%d: population %d != DES injected %d",
+					p, seed, smp.PopulationFlows, des.FlowsInjected)
+			}
+			// 1σ of the mean over n buckets: √(Σσᵢ²)/n.
+			var varSum float64
+			for _, se := range smp.WorkloadStdErrKrps {
+				varSum += se * se
+			}
+			n := float64(len(smp.WorkloadStdErrKrps))
+			seMean := math.Sqrt(varSum) / n
+			dm, sm := trafficMean(des), trafficMean(smp)
+			diff := math.Abs(dm - sm)
+			// 3σ band plus a relative floor for the p=0.01 small-sample
+			// regime (≈40 sampled pairs; the HT variance estimate itself
+			// is noisy there — the error model documented in
+			// docs/emulation.md).
+			band := 3*seMean + 0.15*dm
+			t.Logf("p=%v seed=%d: DES %.4g Krps, sampled %.4g ± %.4g (3σ band %.4g)",
+				p, seed, dm, sm, seMean, band)
+			if diff > band {
+				t.Errorf("p=%v seed=%d: |%.4g − %.4g| = %.4g exceeds band %.4g",
+					p, seed, dm, sm, diff, band)
+			}
+			// Latency: the sampled subpopulation rides the same stack, so
+			// cold-cache CDF quantiles track the DES — but only once the
+			// sample holds enough pairs that the intra/inter mixture is
+			// represented. docs/emulation.md pins the guidance at
+			// p·pairs ≳ 200; below it (the p=0.01 row here) quantiles are
+			// small-sample artifacts and only the workload bands hold.
+			if p*4000 >= 200 {
+				for _, q := range []float64{0.5, 0.9} {
+					dq := des.Recorder.ColdLatencyQuantile(q)
+					sq := smp.Recorder.ColdLatencyQuantile(q)
+					if dq == 0 || sq == 0 {
+						t.Fatalf("p=%v seed=%d: empty cold-latency histogram", p, seed)
+					}
+					ratio := float64(sq) / float64(dq)
+					if ratio < 0.6 || ratio > 1.67 {
+						t.Errorf("p=%v seed=%d: cold q%v = %v vs DES %v", p, seed, q, sq, dq)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFluidMatchesDES is the fluid-vs-DES differential: the aggregated
+// workload must land within the documented tolerance band of the full
+// DES in both modes, and the probe population's latency must track the
+// DES latency figures.
+func TestFluidMatchesDES(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several full emulations")
+	}
+	for _, mode := range []controller.Mode{controller.ModeLazy, controller.ModeLearning} {
+		for _, seed := range []uint64{1, 2} {
+			cfg := busyConfig(seed)
+			des := runEngine(t, cfg, mode, replay.EngineDES, 0, seed)
+			fl := runEngine(t, cfg, mode, replay.EngineFluid, 0.05, seed)
+
+			if fl.PopulationFlows != des.FlowsInjected {
+				t.Errorf("mode=%v seed=%d: fluid population %d != DES injected %d",
+					mode, seed, fl.PopulationFlows, des.FlowsInjected)
+			}
+			dm, fm := trafficMean(des), trafficMean(fl)
+			rel := math.Abs(dm-fm) / dm
+			t.Logf("mode=%v seed=%d: workload DES %.4g vs fluid %.4g Krps (%.1f%% off); "+
+				"cold DES %v vs fluid %v",
+				mode, seed, dm, fm, 100*rel, des.ColdCacheLatency, fl.ColdCacheLatency)
+			// The pinned fluid tolerance band (docs/emulation.md).
+			if rel > 0.15 {
+				t.Errorf("mode=%v seed=%d: fluid workload %.4g vs DES %.4g Krps (%.1f%% > 15%%)",
+					mode, seed, fm, dm, 100*rel)
+			}
+			// Steady-state latency (dominated by fast-path packets) must
+			// track in both modes; the learning baseline gets a wider
+			// band because the probe's flood-vs-rule-hit mix is biased
+			// by the host-coupled learning dynamics (see below).
+			da, fa := Mean(des.AvgLatencyMs), Mean(fl.AvgLatencyMs)
+			lo, hi := 0.8, 1.25
+			if mode != controller.ModeLazy {
+				lo, hi = 0.7, 1.6
+			}
+			if r := fa / da; r < lo || r > hi {
+				t.Errorf("mode=%v seed=%d: fluid avg latency %.4gms vs DES %.4gms",
+					mode, seed, fa, da)
+			}
+			// Cold-cache latency comes from the probe population. The
+			// pins apply to lazy mode only: the learning baseline's
+			// MAC-learning couples pairs through hosts (a destination is
+			// known only once it has sent), which pair sampling breaks —
+			// the probe floods where the full DES hits rules, biasing
+			// its cold CDF high. docs/emulation.md documents the bias.
+			if mode != controller.ModeLazy {
+				continue
+			}
+			lr := float64(fl.ColdCacheLatency) / float64(des.ColdCacheLatency)
+			if lr < 0.6 || lr > 1.67 {
+				t.Errorf("mode=%v seed=%d: fluid cold latency %v vs DES %v",
+					mode, seed, fl.ColdCacheLatency, des.ColdCacheLatency)
+			}
+			for _, q := range []float64{0.5, 0.9} {
+				dq := des.Recorder.ColdLatencyQuantile(q)
+				fq := fl.Recorder.ColdLatencyQuantile(q)
+				if dq == 0 || fq == 0 {
+					t.Fatalf("mode=%v seed=%d: empty cold-latency histogram", mode, seed)
+				}
+				if r := float64(fq) / float64(dq); r < 0.6 || r > 1.67 {
+					t.Errorf("mode=%v seed=%d: cold q%v = %v vs DES %v", mode, seed, q, fq, dq)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchingDelayAccounted pins the §V-E micro-batching term: with
+// the window on (the emulation default now), the measured mean batch
+// residence must match the modeled expectation, and the cold-cache
+// latency must shift against an unbatched run by exactly that term
+// diluted over the non-escalated first packets.
+func TestBatchingDelayAccounted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full emulations")
+	}
+	cfg := busyConfig(7)
+	s := func() trace.Stream {
+		st, err := trace.NewStream(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	run := func(batchMax int) *EmulationResult {
+		res, err := RunEmulation(EmulationConfig{
+			Source: s(), Mode: controller.ModeLazy, GroupSizeLimit: 8,
+			Horizon: 4 * time.Hour, BucketWidth: time.Hour, Seed: 7,
+			ReportInterval:   5 * time.Minute,
+			PacketInBatchMax: batchMax,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off := run(-1)
+	on := run(0) // default: on
+
+	if off.BatchDelayObserved != 0 || off.BatchDelayModeled != 0 {
+		t.Errorf("unbatched run reports batch delay %v/%v", off.BatchDelayObserved, off.BatchDelayModeled)
+	}
+	if on.BatchDelayObserved == 0 || on.BatchDelayModeled == 0 {
+		t.Fatalf("batched run reports no batch delay (observed %v, modeled %v)",
+			on.BatchDelayObserved, on.BatchDelayModeled)
+	}
+	// Model vs measurement: the emulation lives in the deadline-
+	// dominated regime, where both sit near the 1 ms window.
+	mr := float64(on.BatchDelayObserved) / float64(on.BatchDelayModeled)
+	t.Logf("batch delay: observed %v, modeled %v", on.BatchDelayObserved, on.BatchDelayModeled)
+	if mr < 0.75 || mr > 1.33 {
+		t.Errorf("modeled batch delay %v vs observed %v (ratio %.2f)",
+			on.BatchDelayModeled, on.BatchDelayObserved, mr)
+	}
+	// Fig. 9 shift: mean cold latency moves by the batch term diluted
+	// over all delivered first packets (only escalated ones wait).
+	escalated := float64(on.ControllerStats.PacketIns)
+	predicted := time.Duration(float64(on.BatchDelayObserved) * escalated / float64(on.FlowsDelivered))
+	shift := on.ColdCacheLatency - off.ColdCacheLatency
+	t.Logf("cold latency: off %v, on %v (shift %v, predicted %v)",
+		off.ColdCacheLatency, on.ColdCacheLatency, shift, predicted)
+	if shift <= 0 {
+		t.Fatalf("batching did not shift cold latency (%v)", shift)
+	}
+	if d := math.Abs(float64(shift - predicted)); d > 0.25*float64(predicted) {
+		t.Errorf("cold-latency shift %v vs modeled %v (>25%% apart)", shift, predicted)
+	}
+}

@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"math"
 	"time"
 )
 
@@ -25,6 +26,12 @@ type Recorder struct {
 	// Cold-cache (first-packet) latency aggregation per bucket.
 	coldSum   []float64
 	coldCount []uint64
+
+	// coldHist is a log-bucketed histogram of cold-cache latencies
+	// (coldBinsPerOctave bins per factor of two from 1 µs), kept so the
+	// scaled replay engines can pin latency CDF quantiles against the
+	// full DES, not just means.
+	coldHist [coldBins]uint64
 
 	// Grouping updates per hour.
 	updates []uint64
@@ -135,13 +142,67 @@ func (r *Recorder) RecordLatency(at, latency time.Duration, weight int) {
 	r.latCount[i] += uint64(weight)
 }
 
+// coldBins spans 1 µs to ~16 s at coldBinsPerOctave bins per octave
+// (≈19% geometric resolution per bin — finer than any tolerance band
+// the scaled engines pin quantiles at).
+const (
+	coldBinsPerOctave = 4
+	coldBins          = 24 * coldBinsPerOctave
+)
+
+func coldBin(latency time.Duration) int {
+	us := float64(latency) / float64(time.Microsecond)
+	if us <= 1 {
+		return 0
+	}
+	b := int(math.Log2(us) * coldBinsPerOctave)
+	if b >= coldBins {
+		b = coldBins - 1
+	}
+	return b
+}
+
 // RecordColdLatency adds a first-packet latency sample.
 func (r *Recorder) RecordColdLatency(at, latency time.Duration) {
 	i := r.idx(at)
 	r.coldSum[i] += latency.Seconds()
 	r.coldCount[i] += 1
+	r.coldHist[coldBin(latency)]++
 	// Cold packets are packets too.
 	r.RecordLatency(at, latency, 1)
+}
+
+// ColdLatencyQuantile returns the q-quantile (q in [0,1]) of the
+// recorded cold-cache latencies, as the geometric midpoint of the
+// histogram bin holding it (0 with no samples). The log-bucketed
+// estimate is exact to one bin (≈19%).
+func (r *Recorder) ColdLatencyQuantile(q float64) time.Duration {
+	var total uint64
+	for _, c := range r.coldHist {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var seen uint64
+	for b, c := range r.coldHist {
+		seen += c
+		if seen > target {
+			us := math.Exp2((float64(b) + 0.5) / coldBinsPerOctave)
+			return time.Duration(us * float64(time.Microsecond))
+		}
+	}
+	return 0
 }
 
 // RecordUpdate counts one grouping update at time at.
@@ -192,12 +253,19 @@ func (r *Recorder) TotalWorkload() uint64 {
 // WorkloadRPS converts per-bucket counts to requests/second, optionally
 // multiplying by scale to undo a trace's flow-count scaling.
 func (r *Recorder) WorkloadRPS(scale int) []float64 {
-	return r.rpsOf(r.WorkloadPerBucket(), scale)
+	return r.rpsOf(r.WorkloadPerBucket(), float64(scale))
 }
 
 // WorkloadRPSFor is WorkloadRPS restricted to the given request classes
 // (Fig. 7 counts received control requests, not flood fan-out sends).
 func (r *Recorder) WorkloadRPSFor(scale int, classes ...RequestClass) []float64 {
+	return r.WorkloadRPSForScaled(float64(scale), classes...)
+}
+
+// WorkloadRPSForScaled is WorkloadRPSFor with a real-valued scale: the
+// sampled replay engines undo a fractional pair-sampling probability
+// (scale/p) on top of the trace's integer flow-count divisor.
+func (r *Recorder) WorkloadRPSForScaled(scale float64, classes ...RequestClass) []float64 {
 	counts := make([]uint64, r.Buckets())
 	for _, c := range classes {
 		for i, v := range r.workload[c] {
@@ -207,14 +275,14 @@ func (r *Recorder) WorkloadRPSFor(scale int, classes ...RequestClass) []float64 
 	return r.rpsOf(counts, scale)
 }
 
-func (r *Recorder) rpsOf(counts []uint64, scale int) []float64 {
+func (r *Recorder) rpsOf(counts []uint64, scale float64) []float64 {
 	if scale < 1 {
 		scale = 1
 	}
 	out := make([]float64, len(counts))
 	sec := r.bucket.Seconds()
 	for i, c := range counts {
-		out[i] = float64(c) * float64(scale) / sec
+		out[i] = float64(c) * scale / sec
 	}
 	return out
 }

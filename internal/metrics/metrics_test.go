@@ -123,3 +123,54 @@ func TestRequestClassString(t *testing.T) {
 		t.Error("unknown class misnamed")
 	}
 }
+
+func TestColdLatencyQuantiles(t *testing.T) {
+	r := NewRecorder(time.Hour, time.Hour)
+	if r.ColdLatencyQuantile(0.5) != 0 {
+		t.Error("empty histogram reports a quantile")
+	}
+	// 90 samples at ~400µs, 10 at ~5ms: q50 must sit in the 400µs bin,
+	// q95 in the 5ms bin, within the histogram's one-bin (≈19%)
+	// resolution.
+	for i := 0; i < 90; i++ {
+		r.RecordColdLatency(0, 400*time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		r.RecordColdLatency(0, 5*time.Millisecond)
+	}
+	if q := r.ColdLatencyQuantile(0.5); q < 330*time.Microsecond || q > 480*time.Microsecond {
+		t.Errorf("q50 = %v, want ≈400µs", q)
+	}
+	if q := r.ColdLatencyQuantile(0.95); q < 4100*time.Microsecond || q > 6100*time.Microsecond {
+		t.Errorf("q95 = %v, want ≈5ms", q)
+	}
+	if lo, hi := r.ColdLatencyQuantile(0), r.ColdLatencyQuantile(1); lo > hi {
+		t.Errorf("quantiles not monotone: q0=%v q1=%v", lo, hi)
+	}
+	// Out-of-range latencies clamp into the edge bins.
+	r.RecordColdLatency(0, time.Nanosecond)
+	r.RecordColdLatency(0, time.Hour)
+	if q := r.ColdLatencyQuantile(1); q <= 0 {
+		t.Errorf("clamped sample broke the top quantile: %v", q)
+	}
+}
+
+func TestWorkloadRPSForScaled(t *testing.T) {
+	r := NewRecorder(2*time.Hour, time.Hour)
+	r.CountRequest(ReqPacketIn, 0, 360)           // bucket 0
+	r.CountRequest(ReqPacketIn, 90*time.Minute, 720) // bucket 1
+	r.CountRequest(ReqARPRelay, 0, 360)
+	// Fractional scale undoes a sampling probability: 360+360 requests
+	// in a 3600 s bucket at scale 2.5 → 0.5 rps.
+	got := r.WorkloadRPSForScaled(2.5, ReqPacketIn, ReqARPRelay)
+	if len(got) != 2 || got[0] != 0.5 || got[1] != 0.5 {
+		t.Errorf("scaled rps = %v, want [0.5 0.5]", got)
+	}
+	// The integer path must agree with the float path.
+	a, b := r.WorkloadRPSFor(3, ReqPacketIn), r.WorkloadRPSForScaled(3, ReqPacketIn)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("int/float scale disagree at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -38,7 +38,18 @@ func DeltaWireCost(words []bloom.WordDelta) int {
 			return math.MaxInt
 		}
 	}
-	return 24 + 10*len(words)
+	// switch (4) + base/target versions (16) + varint word count.
+	return 20 + uvarintLen(uint64(len(words))) + 10*len(words)
+}
+
+// uvarintLen is the encoded size of v as a LEB128 varint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // FullWireCost is DeltaWireCost's counterpart for full filter items.
@@ -69,28 +80,40 @@ type GFIBDelta struct {
 // MsgType implements Message.
 func (*GFIBDelta) MsgType() MsgType { return TypeGFIBDelta }
 
+// GFIBDelta's count fields — delta items, per-item words, removals —
+// travel as varints: the removals list is almost always empty and the
+// word counts almost always small, so each costs one byte instead of
+// four (the ROADMAP "wire-byte headroom" item; TestDissemDeltaByteReduction
+// pins the resulting margin).
 func (m *GFIBDelta) encodeBody(dst []byte) []byte {
 	dst = putU32(dst, uint32(m.Group))
-	dst = putU32(dst, uint32(len(m.Deltas)))
+	dst = putUvarint(dst, uint64(len(m.Deltas)))
 	for _, d := range m.Deltas {
 		dst = putU32(dst, uint32(d.Switch))
 		dst = putU64(dst, d.BaseVersion)
 		dst = putU64(dst, d.TargetVersion)
-		dst = putU32(dst, uint32(len(d.Words)))
+		dst = putUvarint(dst, uint64(len(d.Words)))
 		for _, w := range d.Words {
 			dst = putU16(dst, uint16(w.Index))
 			dst = putU64(dst, w.Word)
 		}
 	}
-	dst = encodeSwitches(dst, m.Removals)
+	dst = putUvarint(dst, uint64(len(m.Removals)))
+	for _, id := range m.Removals {
+		dst = putU32(dst, uint32(id))
+	}
 	return putU64(dst, m.Version)
 }
 
 func (m *GFIBDelta) decodeBody(src []byte) error {
 	r := &reader{src: src}
 	m.Group = model.GroupID(r.u32())
-	n := int(r.u32())
-	if n*24 > r.remain() { // switch + base/target versions + word count
+	// Count guards divide instead of multiplying: a varint count is not
+	// bounded by the wire like the old u32 fields were, and a crafted
+	// value near 2⁶⁴ would wrap a product past the guard into a
+	// makeslice panic.
+	n := int(r.uvarint())
+	if n < 0 || n > r.remain()/21 { // switch + base/target versions + word count
 		r.fail()
 		return ErrTruncated
 	}
@@ -102,8 +125,8 @@ func (m *GFIBDelta) decodeBody(src []byte) error {
 		d.Switch = model.SwitchID(r.u32())
 		d.BaseVersion = r.u64()
 		d.TargetVersion = r.u64()
-		nw := int(r.u32())
-		if nw*10 > r.remain() { // each word costs u16 index + u64 value
+		nw := int(r.uvarint())
+		if nw < 0 || nw > r.remain()/10 { // each word costs u16 index + u64 value
 			r.fail()
 			return ErrTruncated
 		}
@@ -118,7 +141,17 @@ func (m *GFIBDelta) decodeBody(src []byte) error {
 		}
 		m.Deltas = append(m.Deltas, d)
 	}
-	m.Removals = decodeSwitches(r)
+	nr := int(r.uvarint())
+	if nr < 0 || nr > r.remain()/4 {
+		r.fail()
+		return ErrTruncated
+	}
+	if nr > 0 {
+		m.Removals = make([]model.SwitchID, 0, nr)
+		for i := 0; i < nr; i++ {
+			m.Removals = append(m.Removals, model.SwitchID(r.u32()))
+		}
+	}
 	m.Version = r.u64()
 	return r.done()
 }

@@ -106,8 +106,8 @@ func TestGFIBFilterVersionOnWire(t *testing.T) {
 
 func TestDeltaWireCostBounds(t *testing.T) {
 	words := []bloom.WordDelta{{Index: 1}, {Index: 2}}
-	if got := DeltaWireCost(words); got != 24+20 {
-		t.Errorf("DeltaWireCost = %d, want 44", got)
+	if got := DeltaWireCost(words); got != 21+20 {
+		t.Errorf("DeltaWireCost = %d, want 41 (varint counts)", got)
 	}
 	// A word index beyond the u16 wire format makes the delta
 	// unencodable; senders must fall back to a full push.
@@ -162,13 +162,80 @@ func TestStateReportDensePairs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// header(10) + group(4) + lfib count(4) + pair count(4) + flag(1) +
-	// 2 flat pairs(24) + version(8)
-	if want := 10 + 4 + 4 + 4 + 1 + 24 + 8; len(sdata) != want {
+	// header(10) + group(4) + lfib count varint(1) + pair count
+	// varint(1) + flag(1) + 2 flat pairs(24) + version(8)
+	if want := 10 + 4 + 1 + 1 + 1 + 24 + 8; len(sdata) != want {
 		t.Errorf("sparse report = %dB, want %d (flat form + flag byte)", len(sdata), want)
 	}
 	gotSparse, ok := roundTrip(t, sparse, 43).(*StateReport)
 	if !ok || !reflect.DeepEqual(gotSparse.Pairs, sparse.Pairs) {
 		t.Errorf("sparse pair round trip corrupted the pairs")
+	}
+}
+
+// TestVarintCountOverflowRejected pins the decode guards against
+// crafted varint counts: a count near 2⁶⁴ must yield ErrTruncated,
+// never wrap a size check into a makeslice panic.
+func TestVarintCountOverflowRejected(t *testing.T) {
+	// A huge LEB128 value (10 bytes of 0xff-style continuation).
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+	// An overlong encoding of 2⁶⁴ exactly: the 10th byte's bit 1 would
+	// shift past bit 63 and silently wrap to a small value if the
+	// reader didn't reject it.
+	overlong := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02}
+	craft := func(build func() []byte, m Message) {
+		t.Helper()
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("%T decode panicked on crafted count: %v", m, p)
+			}
+		}()
+		if err := m.decodeBody(build()); err == nil {
+			t.Errorf("%T accepted a crafted overflow count", m)
+		}
+	}
+	u32 := func(dst []byte, v uint32) []byte { return putU32(dst, v) }
+	// GFIBDelta: item count, then (via a valid single item) word count,
+	// then removals count.
+	craft(func() []byte { return append(u32(nil, 1), huge...) }, &GFIBDelta{})
+	craft(func() []byte {
+		b := putUvarint(u32(nil, 1), 1) // group, 1 delta
+		b = putU64(putU64(u32(b, 2), 3), 4)
+		return append(b, huge...) // word count
+	}, &GFIBDelta{})
+	craft(func() []byte {
+		b := putUvarint(u32(nil, 1), 0) // group, 0 deltas
+		return append(b, huge...)       // removals count
+	}, &GFIBDelta{})
+	// StateReport: L-FIB count and pair count.
+	craft(func() []byte { return append(u32(nil, 1), huge...) }, &StateReport{})
+	craft(func() []byte {
+		b := putUvarint(u32(nil, 1), 0) // group, 0 L-FIBs
+		return append(b, huge...)       // pair count
+	}, &StateReport{})
+	// Overlong encodings must fail outright, not wrap to plausible
+	// small counts and misparse the rest of the body.
+	craft(func() []byte { return append(u32(nil, 1), overlong...) }, &GFIBDelta{})
+	craft(func() []byte { return append(u32(nil, 1), overlong...) }, &StateReport{})
+}
+
+// TestDeltaWireCostExact pins DeltaWireCost to the actual encoded item
+// size, including the multi-byte varint word count past 127 words.
+func TestDeltaWireCostExact(t *testing.T) {
+	for _, n := range []int{0, 1, 127, 128, 300} {
+		words := make([]bloom.WordDelta, n)
+		for i := range words {
+			words[i] = bloom.WordDelta{Index: uint32(i), Word: uint64(i)}
+		}
+		m := &GFIBDelta{Group: 1, Deltas: []GFIBFilterDelta{{Switch: 2, BaseVersion: 3, TargetVersion: 4, Words: words}}}
+		data, err := Encode(m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// header(10) + group(4) + delta count(1) + item + removals(1) + version(8)
+		overhead := 10 + 4 + 1 + 1 + 8
+		if got, want := len(data)-overhead, DeltaWireCost(words); got != want {
+			t.Errorf("n=%d: encoded item = %dB, DeltaWireCost = %d", n, got, want)
+		}
 	}
 }

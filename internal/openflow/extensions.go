@@ -283,15 +283,23 @@ func pairSwitchTable(pairs []PairStat) ([]model.SwitchID, map[model.SwitchID]uin
 	return table, index
 }
 
+// StateReport's count fields travel as varints, and the pair-section
+// flag byte is omitted entirely for the empty pair list (the steady
+// state of the report path between traffic windows): the "flag/count
+// bytes" of the ROADMAP wire-byte headroom item cost two bytes total
+// in the common case instead of nine.
 func (m *StateReport) encodeBody(dst []byte) []byte {
 	dst = putU32(dst, uint32(m.Group))
-	dst = putU32(dst, uint32(len(m.LFIBs)))
+	dst = putUvarint(dst, uint64(len(m.LFIBs)))
 	for i := range m.LFIBs {
 		inner := m.LFIBs[i].encodeBody(nil)
-		dst = putU32(dst, uint32(len(inner)))
+		dst = putUvarint(dst, uint64(len(inner)))
 		dst = append(dst, inner...)
 	}
-	dst = putU32(dst, uint32(len(m.Pairs)))
+	dst = putUvarint(dst, uint64(len(m.Pairs)))
+	if len(m.Pairs) == 0 {
+		return putU64(dst, m.Version)
+	}
 	if table, index := pairSwitchTable(m.Pairs); table != nil {
 		dst = append(dst, pairEncDense)
 		dst = putU16(dst, uint16(len(table)))
@@ -317,8 +325,10 @@ func (m *StateReport) encodeBody(dst []byte) []byte {
 func (m *StateReport) decodeBody(src []byte) error {
 	r := &reader{src: src}
 	m.Group = model.GroupID(r.u32())
-	n := int(r.u32())
-	if n*4 > r.remain() {
+	// Varint counts are not wire-bounded; divide so a crafted count
+	// cannot wrap the guard into a makeslice panic (see delta.go).
+	n := int(r.uvarint())
+	if n < 0 || n > r.remain()/2 { // each L-FIB costs ≥ its varint length prefix + body
 		r.fail()
 		return ErrTruncated
 	}
@@ -326,7 +336,7 @@ func (m *StateReport) decodeBody(src []byte) error {
 		m.LFIBs = make([]LFIBUpdate, 0, n)
 	}
 	for i := 0; i < n; i++ {
-		body := r.bytes(int(r.u32()))
+		body := r.bytes(int(r.uvarint()))
 		if r.err != nil {
 			return r.err
 		}
@@ -336,12 +346,20 @@ func (m *StateReport) decodeBody(src []byte) error {
 		}
 		m.LFIBs = append(m.LFIBs, u)
 	}
-	np := int(r.u32())
+	np := int(r.uvarint())
+	if np < 0 || np > r.remain() {
+		r.fail()
+		return ErrTruncated
+	}
+	if np == 0 {
+		m.Version = r.u64()
+		return r.done()
+	}
 	enc := r.u8()
 	switch enc {
 	case pairEncDense:
 		nt := int(r.u16())
-		if nt*4 > r.remain() || np*8 > r.remain() {
+		if nt*4 > r.remain() || np > r.remain()/8 {
 			r.fail()
 			return ErrTruncated
 		}
@@ -362,7 +380,7 @@ func (m *StateReport) decodeBody(src []byte) error {
 			m.Pairs = append(m.Pairs, PairStat{A: table[ai], B: table[bi], NewFlows: flows})
 		}
 	case pairEncFlat:
-		if np*12 > r.remain() {
+		if np > r.remain()/12 {
 			r.fail()
 			return ErrTruncated
 		}

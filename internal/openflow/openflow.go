@@ -307,6 +307,43 @@ func (r *reader) done() error {
 	return nil
 }
 
+// putUvarint appends v LEB128-encoded (7 bits per byte, high bit =
+// continuation): the mostly-zero and mostly-small count fields of the
+// delta path cost one byte instead of four. See docs/protocol.md.
+func putUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// uvarint reads a LEB128-encoded unsigned integer (at most 10 bytes;
+// the 10th may carry only bit 0 — anything else would shift bits past
+// 63, silently wrapping a crafted overlong encoding into a small bogus
+// value, so it fails instead, like binary.Uvarint).
+func (r *reader) uvarint() uint64 {
+	var v uint64
+	var shift uint
+	for i := 0; i < 10; i++ {
+		b := r.u8()
+		if r.err != nil {
+			return 0
+		}
+		if i == 9 && b > 1 {
+			r.fail()
+			return 0
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v
+		}
+		shift += 7
+	}
+	r.fail()
+	return 0
+}
+
 func putU16(dst []byte, v uint16) []byte {
 	var b [2]byte
 	binary.BigEndian.PutUint16(b[:], v)

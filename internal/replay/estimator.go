@@ -1,0 +1,76 @@
+package replay
+
+import "math"
+
+// Estimator carries the Horvitz–Thompson accounting of a sampled
+// replay: per time bucket, how many flows each sampled pair
+// contributed. Pairs are the sampling unit (inclusion probability p
+// each, independent across pairs by hash), so the per-bucket flow
+// total T̂ = Σ nᵢ/p is unbiased and its variance estimate is the
+// standard HT form Var̂(T̂) = (1−p)/p² · Σ nᵢ² over the sampled pairs.
+//
+// The error model inherits pair sampling's weakness on heavy-tailed
+// pair masses: when a dominant pair is excluded, both the estimate and
+// the variance estimate miss its mass, so bands are trustworthy only
+// when p·(#pairs) is large enough that the top pairs are represented
+// in expectation — see docs/emulation.md for the guidance the
+// differential tests pin.
+type Estimator struct {
+	p       float64
+	buckets []map[uint64]uint64 // per bucket: pair key → sampled flows
+	total   uint64
+}
+
+// NewEstimator builds an estimator over the given bucket count for
+// sampling probability p.
+func NewEstimator(p float64, buckets int) *Estimator {
+	if buckets < 1 {
+		buckets = 1
+	}
+	return &Estimator{p: p, buckets: make([]map[uint64]uint64, buckets)}
+}
+
+// Observe records one sampled flow on pair key in the given bucket.
+func (e *Estimator) Observe(bucket int, key uint64) {
+	if bucket < 0 {
+		bucket = 0
+	}
+	if bucket >= len(e.buckets) {
+		bucket = len(e.buckets) - 1
+	}
+	m := e.buckets[bucket]
+	if m == nil {
+		m = make(map[uint64]uint64)
+		e.buckets[bucket] = m
+	}
+	m[key]++
+	e.total++
+}
+
+// SampledFlows returns the number of flows observed (the DES
+// population of the sampled run).
+func (e *Estimator) SampledFlows() int { return int(e.total) }
+
+// RelStdErr returns the per-bucket relative standard error of the HT
+// flow-total estimate: σ̂(T̂)/T̂, or 0 for empty buckets. Traffic-driven
+// workload classes scale with the flow total, so the same relative
+// error applies to their reweighted estimates.
+func (e *Estimator) RelStdErr() []float64 {
+	out := make([]float64, len(e.buckets))
+	if e.p <= 0 || e.p >= 1 {
+		return out // exhaustive (or empty) sample: no sampling error
+	}
+	for i, m := range e.buckets {
+		var n, sq float64
+		for _, c := range m {
+			n += float64(c)
+			sq += float64(c) * float64(c)
+		}
+		if n == 0 {
+			continue
+		}
+		// Var̂(T̂) = (1−p)/p²·Σnᵢ²; T̂ = n/p ⇒ rel = √((1−p)·Σnᵢ²)/n.
+		out[i] = math.Sqrt((1-e.p)*sq) / n
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package replay
+
+import (
+	"time"
+
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/tenant"
+	"lazyctrl/internal/trace"
+)
+
+// View is the group assignment the fluid fold classifies flows under.
+// *grouping.Grouping satisfies it; the eval harness passes the live
+// controller's grouping so the classification tracks dynamic regroups
+// at window granularity. A nil View means the learning-mode baseline
+// (no groups: classification runs on the learned-host model instead).
+type View interface {
+	GroupOf(s model.SwitchID) model.GroupID
+}
+
+// FluidConfig parameterizes the analytic fold. The warm-up and timeout
+// constants mirror the DES harness's cadences; the fluid error model
+// (docs/emulation.md) is exactly the places this analytic picture
+// diverges from the event-level machinery.
+type FluidConfig struct {
+	// Directory resolves hosts to switches and tenants.
+	Directory *tenant.Directory
+	// Lazy selects the LazyCtrl control plane; false models the
+	// OpenFlow learning baseline.
+	Lazy bool
+	// Horizon and BucketWidth shape the per-bucket rate segments
+	// (matching the emulation recorder's buckets).
+	Horizon     time.Duration
+	BucketWidth time.Duration
+	// RuleIdleTimeout is the installed flow rules' idle timeout: a
+	// (ingress switch, destination host) pair with a live rule
+	// escalates nothing.
+	RuleIdleTimeout time.Duration
+	// GFIBWarm is when intra-group destinations become reachable
+	// through the disseminated G-FIBs (advertise + dissemination
+	// cadence); intra-group flows before it escalate like inter-group
+	// ones.
+	GFIBWarm time.Duration
+	// CLIBWarm is when the controller's C-LIB has absorbed the first
+	// state reports; escalations before it pend and fan an ARP relay
+	// out to the tenant's designated switches.
+	CLIBWarm time.Duration
+}
+
+// Fluid folds a trace's full flow population into per-bucket
+// controller-load aggregates without discrete events: each flow is one
+// O(1) cache-model update, so a billion-flow trace costs seconds, not
+// hours. The model reproduces what the DES's per-flow pipeline does to
+// the controller:
+//
+//   - same-switch flows never escalate (L-FIB delivers locally);
+//   - a live flow rule on (ingress, dst) absorbs first packets and
+//     refreshes its idle timeout;
+//   - intra-group flows after G-FIB warm-up ride the slow path,
+//     escalating nothing;
+//   - everything else is a PacketIn, plus an ARP relay per designated
+//     switch of the tenant's groups while the C-LIB is cold (lazy), or
+//     a learned-host check deciding install vs. flood (learning);
+//   - an escalation installs the rule (resolution treated as
+//     instantaneous — the fluid model's main approximation).
+type Fluid struct {
+	cfg     FluidConfig
+	buckets int
+
+	packetIns []float64
+	arpRelays []float64
+
+	// cache: (ingress switch, dst host) → last rule touch. Entry
+	// presence means a rule was installed; liveness is the idle check.
+	cache map[uint64]time.Duration
+	// known: hosts the learning controller has learned (appeared as the
+	// source of an escalated flow).
+	known map[model.HostID]struct{}
+
+	// targets memoizes the ARP fan-out per tenant under one grouping
+	// version (distinct groups over the tenant's hosts).
+	targets        map[model.TenantID]int
+	targetsVersion uint64
+
+	population int
+}
+
+// NewFluid builds the aggregator.
+func NewFluid(cfg FluidConfig) *Fluid {
+	if cfg.BucketWidth <= 0 {
+		cfg.BucketWidth = 2 * time.Hour
+	}
+	n := int((cfg.Horizon + cfg.BucketWidth - 1) / cfg.BucketWidth)
+	if n < 1 {
+		n = 1
+	}
+	return &Fluid{
+		cfg:       cfg,
+		buckets:   n,
+		packetIns: make([]float64, n),
+		arpRelays: make([]float64, n),
+		cache:     make(map[uint64]time.Duration),
+		known:     make(map[model.HostID]struct{}),
+		targets:   make(map[model.TenantID]int),
+	}
+}
+
+func (f *Fluid) bucket(at time.Duration) int {
+	i := int(at / f.cfg.BucketWidth)
+	if i < 0 {
+		i = 0
+	}
+	if i >= f.buckets {
+		i = f.buckets - 1
+	}
+	return i
+}
+
+// arpTargets returns how many designated switches a pend's ARP relay
+// fans out to: the distinct groups hosting the tenant.
+func (f *Fluid) arpTargets(tid model.TenantID, view View, version uint64) int {
+	if view == nil {
+		return 0
+	}
+	if version != f.targetsVersion || f.targets == nil {
+		f.targets = make(map[model.TenantID]int, len(f.targets))
+		f.targetsVersion = version
+	}
+	if n, ok := f.targets[tid]; ok {
+		return n
+	}
+	tn := f.cfg.Directory.Tenant(tid)
+	seen := make(map[model.GroupID]struct{}, 8)
+	if tn != nil {
+		for _, h := range tn.Hosts {
+			if host := f.cfg.Directory.Host(h); host != nil {
+				seen[view.GroupOf(host.Switch)] = struct{}{}
+			}
+		}
+	}
+	f.targets[tid] = len(seen)
+	return len(seen)
+}
+
+// FoldWindow folds one time window of flows (sorted by Start) under
+// the given group assignment. version stamps the assignment so the
+// ARP-target memo invalidates across regroups. Flows past the horizon
+// are ignored.
+func (f *Fluid) FoldWindow(flows []trace.Flow, view View, version uint64) {
+	dir := f.cfg.Directory
+	for i := range flows {
+		fl := &flows[i]
+		if fl.Start >= f.cfg.Horizon {
+			break // windows are sorted; the rest is past the horizon
+		}
+		src := dir.Host(fl.Src)
+		dst := dir.Host(fl.Dst)
+		if src == nil || dst == nil {
+			continue
+		}
+		f.population++
+		if src.Switch == dst.Switch {
+			continue // L-FIB delivers locally in both modes
+		}
+		key := uint64(src.Switch)<<32 | uint64(dst.ID)
+		if last, ok := f.cache[key]; ok && fl.Start-last <= f.cfg.RuleIdleTimeout {
+			f.cache[key] = fl.Start // rule hit refreshes the idle timer
+			continue
+		}
+		if f.cfg.Lazy {
+			if view != nil && fl.Start >= f.cfg.GFIBWarm &&
+				view.GroupOf(src.Switch) == view.GroupOf(dst.Switch) {
+				continue // G-FIB slow path, no controller involved
+			}
+			b := f.bucket(fl.Start)
+			f.packetIns[b]++
+			if fl.Start < f.cfg.CLIBWarm {
+				f.arpRelays[b] += float64(f.arpTargets(dst.Tenant, view, version))
+			}
+			f.cache[key] = fl.Start
+			continue
+		}
+		// Learning baseline: every rule miss escalates; the controller
+		// learns the source, and installs a rule only when the
+		// destination was already learned (else it floods, leaving the
+		// next flow on this pair to escalate again).
+		f.packetIns[f.bucket(fl.Start)]++
+		if _, ok := f.known[dst.ID]; ok {
+			f.cache[key] = fl.Start
+		}
+		f.known[src.ID] = struct{}{}
+	}
+}
+
+// Population returns how many in-horizon flows were folded.
+func (f *Fluid) Population() int { return f.population }
+
+// TrafficRequests returns the per-bucket traffic-driven controller
+// request counts (PacketIns + ARP relays) the aggregated rates imply,
+// in sampled-trace units (multiply by the trace scale to undo the
+// generator's flow-count divisor, exactly like the DES recorder's
+// traffic classes).
+func (f *Fluid) TrafficRequests() []float64 {
+	out := make([]float64, f.buckets)
+	for i := range out {
+		out[i] = f.packetIns[i] + f.arpRelays[i]
+	}
+	return out
+}
+
+// PacketIns returns the per-bucket PacketIn counts.
+func (f *Fluid) PacketIns() []float64 { return append([]float64(nil), f.packetIns...) }
+
+// ARPRelays returns the per-bucket ARP-relay counts.
+func (f *Fluid) ARPRelays() []float64 { return append([]float64(nil), f.arpRelays...) }

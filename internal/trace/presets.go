@@ -120,6 +120,29 @@ func synConfig(name string, flows int64, p, q int, scatterFlow, noise float64, s
 	}
 }
 
+// SynANoisyConfig is the Syn-A preset with part of the uniform "rest"
+// carried as true one-off noise pairs instead of fixed scatter pairs —
+// the paper's literal synthetic recipe, exercising the noise band
+// (NoiseFraction > 0) none of the plain presets use. Noise flows draw
+// from the hash-split noise half of the pair space, so the Expand
+// combinator stays sound on this preset (see ExpandStream).
+func SynANoisyConfig(scale int, seed uint64) GeneratorConfig {
+	cfg := SynAConfig(scale, seed)
+	cfg.Name = "syn-a-noisy"
+	cfg.ScatterFlowFraction = 0.12
+	cfg.NoiseFraction = 0.05
+	return cfg
+}
+
+// SmallNoisyConfig is SmallConfig with a noise band, the test-scale
+// twin of SynANoisyConfig.
+func SmallNoisyConfig(name string, seed uint64) GeneratorConfig {
+	cfg := SmallConfig(name, seed)
+	cfg.ScatterFlowFraction = 0.06
+	cfg.NoiseFraction = 0.05
+	return cfg
+}
+
 // SmallConfig returns a laptop-scale configuration with the same shape
 // as the real trace, for unit tests and examples.
 func SmallConfig(name string, seed uint64) GeneratorConfig {

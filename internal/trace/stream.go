@@ -71,15 +71,19 @@ type Stream interface {
 	GenWindow(w int, buf []Flow) []Flow
 }
 
-// splitmix64 is the SplitMix64 mixer; the window seeding below runs it
+// SplitMix64 is the SplitMix64 mixer: the window seeding below runs it
 // over (seed, window) so every window owns an independent, reproducible
-// random stream.
-func splitmix64(x uint64) uint64 {
+// random stream, and the replay engines hash pair keys through the same
+// mixer (exported so there is exactly one copy of the bit pattern the
+// pipeline's determinism claims rest on).
+func SplitMix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
 }
+
+func splitmix64(x uint64) uint64 { return SplitMix64(x) }
 
 // windowSeeds derives the two PCG seed words of window w from the
 // stream seed: splitmix over (seed, window), per-purpose salted so

@@ -247,11 +247,42 @@ type genStream struct {
 
 	// Flow-class thresholds precomputed from the config.
 	scatterCut, noiseCut, hotCut float64
+
+	// noiseSalt hash-splits the all-pairs space when NoiseFraction > 0:
+	// noise flows draw only from the half whose salted pair hash is
+	// even, so the Expand combinator can place extra flows on the odd
+	// half and provably never duplicate a realized one-off noise pair —
+	// without either side enumerating the other's realizations.
+	noiseSalt uint64
 }
 
 // flowSalt separates the per-window flow-emission streams from any
 // other consumer of the trace seed.
 const flowSalt = 0x5bd1e9955bd1e995
+
+// noiseSplitSalt derives the noise-space partition salt from the trace
+// seed (stable across windows and window order).
+const noiseSplitSalt = 0x6e6f697365 // "noise"
+
+// pairHash64 folds a canonical flow key into the 64-bit value the
+// noise split hashes.
+func pairHash64(k model.FlowKey) uint64 {
+	k = k.Canonical()
+	return uint64(k.Src)<<32 | uint64(k.Dst)
+}
+
+// noiseEligible reports whether a pair lies in the generator's noise
+// half of the all-pairs space.
+func (g *genStream) noiseEligible(k model.FlowKey) bool {
+	return splitmix64(pairHash64(k)^g.noiseSalt)&1 == 0
+}
+
+// noisePairExcluded implements the Expand combinator's exclusion hook:
+// with a noise band configured, any pair the generator could realize
+// as one-off noise is off limits for expansion extras.
+func (g *genStream) noisePairExcluded(k model.FlowKey) bool {
+	return g.cfg.NoiseFraction > 0 && g.noiseEligible(k)
+}
 
 // NewStream builds the generator-backed stream for a configuration:
 // topology, tenant placement, and communicating-pair pools are
@@ -281,7 +312,11 @@ func NewStream(cfg GeneratorConfig) (Stream, error) {
 	}); err != nil {
 		return nil, fmt.Errorf("trace: populate: %w", err)
 	}
-	g := &genStream{cfg: cfg, numHosts: dir.NumHosts()}
+	g := &genStream{
+		cfg:       cfg,
+		numHosts:  dir.NumHosts(),
+		noiseSalt: splitmix64(cfg.Seed ^ noiseSplitSalt),
+	}
 
 	// Communicating pair pool: an intra-tenant band (clusterable) and a
 	// scatter band of uniformly random pairs (expander-like).
@@ -521,11 +556,17 @@ func (g *genStream) GenWindow(w int, buf []Flow) []Flow {
 		case u < g.scatterCut && len(g.scatter) > 0:
 			key = g.scatter[rng.IntN(len(g.scatter))]
 		case u < g.noiseCut:
-			for {
+			// One-off noise pairs draw from the noise half of the pair
+			// space (see noiseEligible); the rejection loop is bounded
+			// for degenerate topologies where the half could be empty.
+			for tries := 0; ; tries++ {
 				a := model.HostID(1 + rng.IntN(g.numHosts))
 				b := model.HostID(1 + rng.IntN(g.numHosts))
-				if a != b {
-					key = model.FlowKey{Src: a, Dst: b}
+				if a == b {
+					continue
+				}
+				key = model.FlowKey{Src: a, Dst: b}
+				if g.noiseEligible(key) || tries >= 256 {
 					break
 				}
 			}
