@@ -1,7 +1,7 @@
 // Command experiments regenerates every table and figure of the
 // LazyCtrl evaluation (§V): Table II, Fig. 6(a), Fig. 6(b), Fig. 7,
 // Fig. 8, Fig. 9, the §V-E cold-cache comparison, and the §V-D storage
-// analysis.
+// analysis — plus the chaos cascade differential of docs/robustness.md.
 //
 // Usage:
 //
@@ -10,6 +10,7 @@
 //	experiments -run fig6a,fig6b
 //	experiments -run fig7 -scale 5000
 //	experiments -run coldcache,storage
+//	experiments -run chaos
 //
 // Scale divides the paper's flow counts; 5000 replays ≈54k real-trace
 // flows and is faithful, larger values run faster.
@@ -22,12 +23,13 @@ import (
 	"strings"
 	"time"
 
+	"lazyctrl/internal/chaos"
 	"lazyctrl/internal/eval"
 	"lazyctrl/internal/replay"
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "comma-separated experiments: tableII,fig6a,fig6b,fig7,fig8,fig9,coldcache,storage")
+	runFlag := flag.String("run", "all", "comma-separated experiments: tableII,fig6a,fig6b,fig7,fig8,fig9,coldcache,storage,chaos")
 	scale := flag.Int("scale", 5000, "divisor applied to the paper's flow counts (1 = paper scale; use -engine sampled/fluid)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	engineName := flag.String("engine", "des", "Fig7/8/9 replay engine: des, sampled, or fluid (docs/emulation.md)")
@@ -173,6 +175,28 @@ func main() {
 		fmt.Printf("LazyCtrl intra-group: %8v   (paper: 0.83 ms)\n", res.LazyIntra.Round(time.Microsecond))
 		fmt.Printf("LazyCtrl inter-group: %8v   (paper: 5.38 ms)\n", res.LazyInter.Round(time.Microsecond))
 		fmt.Printf("OpenFlow:             %8v   (paper: 15.06 ms)\n", res.OpenFlow.Round(time.Microsecond))
+		return nil
+	})
+
+	runErr("Chaos", func() error {
+		res, err := eval.ChaosCascade(*seed)
+		if err != nil {
+			return err
+		}
+		f := res.Faulted
+		fmt.Printf("cascade: group loss storm + control partition + designated crash (docs/robustness.md)\n")
+		fmt.Printf("drops by cause: loss=%d partition=%d down-at-send=%d down-at-delivery=%d no-route=%d\n",
+			f.Drops.InjectedLoss, f.Drops.Partition, f.Drops.DownAtSend, f.Drops.DownAtDelivery, f.Drops.NoRoute)
+		fmt.Printf("degraded mode:  floods=%d window=%v\n", f.DegradedFloods, f.DegradedWindow.Round(time.Millisecond))
+		fmt.Printf("recovery:       %d rounds (bound %d), converged=%v, stale adoptions=%d\n",
+			f.RecoveryRounds, chaos.DefaultRecoveryRoundBound, f.Converged, len(f.StaleAdoptions))
+		fmt.Printf("fixpoint:       byte-identical to fault-free run: %v\n", res.FixpointMatch)
+		if !f.Converged || !res.FixpointMatch {
+			for _, d := range f.Divergences {
+				fmt.Printf("  divergence: %s\n", d)
+			}
+			return fmt.Errorf("cascade did not return to the fault-free fixpoint")
+		}
 		return nil
 	})
 

@@ -1,7 +1,11 @@
-// Failover demonstrates the §III-E machinery: the failure-detection
-// wheel spots a dead designated switch via missing keep-alives, the
-// controller infers the failure per Table I, re-elects a designated
-// switch, and resynchronizes the group when the switch comes back.
+// Failover demonstrates the §III-E machinery through the chaos
+// scenario engine (docs/robustness.md): a scripted plan crashes
+// whichever switch holds the designated role when the event fires, the
+// failure-detection wheel spots the missing keep-alives, the
+// controller infers the failure per Table I and re-elects a designated
+// switch, and the engine's timed undo reboots the crashed switch
+// through the §III-E3 recovery path. The convergence checker then
+// asserts the group is byte-for-byte back at the fault-free fixpoint.
 package main
 
 import (
@@ -10,6 +14,7 @@ import (
 	"time"
 
 	"lazyctrl"
+	"lazyctrl/internal/chaos"
 )
 
 func main() {
@@ -35,35 +40,49 @@ func main() {
 	}
 	dc.Run(5 * time.Second)
 
+	members := dc.Groups()[dc.GroupOf(1)]
 	var designated lazyctrl.SwitchID
-	for sw := lazyctrl.SwitchID(1); sw <= 3; sw++ {
+	for _, sw := range members {
 		if dc.IsDesignated(sw) {
 			designated = sw
 		}
 	}
-	fmt.Printf("group {S1,S2,S3}: designated switch is %v\n", designated)
+	fmt.Printf("S1's group %v: designated switch is %v\n", members, designated)
 
-	fmt.Printf("\nkilling %v — the wheel neighbors will miss its keep-alives…\n", designated)
-	dc.FailSwitch(designated)
-	dc.Run(90 * time.Second)
+	// The scenario is pure data: crash the designated switch (resolved
+	// at fire time, not plan-build time), keep it down for 90 seconds,
+	// then the timed undo reboots it. A mid-window probe observes the
+	// re-election and proves traffic still flows through the survivors.
+	t0 := dc.Now()
+	plan := &chaos.Plan{Name: "designated crash-restart"}
+	plan.Add(t0+time.Second, 90*time.Second, chaos.CrashDesignated{Of: 1})
+	plan.Add(t0+61*time.Second, 0, chaos.Func{
+		Name: "probe: observe re-election, send flow through survivors",
+		Run: func(chaos.Harness) func() {
+			for _, sw := range members {
+				if sw != designated && dc.IsDesignated(sw) {
+					fmt.Printf("new designated switch: %v\n", sw)
+				}
+			}
+			if err := dc.SendFlow(11, 12, 1400); err != nil {
+				log.Fatal(err)
+			}
+			return nil
+		},
+	})
+	fmt.Printf("\n%s\n", plan.Describe())
 
-	for sw := lazyctrl.SwitchID(1); sw <= 3; sw++ {
-		if sw != designated && dc.IsDesignated(sw) {
-			fmt.Printf("new designated switch: %v\n", sw)
-		}
-	}
+	dc.RunScenario(plan, 35*time.Second)
 
-	// Traffic keeps flowing through the surviving switches.
-	if err := dc.SendFlow(11, 12, 1400); err != nil {
-		log.Fatal(err)
-	}
-	dc.Run(time.Second)
-
-	fmt.Printf("\nrebooting %v…\n", designated)
-	dc.RecoverSwitch(designated)
-	dc.Run(30 * time.Second)
 	if dc.IsDesignated(designated) {
 		fmt.Printf("%v resumed the designated role after resync\n", designated)
+	}
+	if div := dc.CheckConvergence(); len(div) == 0 {
+		fmt.Println("convergence check: back at the fault-free fixpoint")
+	} else {
+		for _, d := range div {
+			fmt.Printf("divergence: %s\n", d)
+		}
 	}
 	fmt.Printf("\n%s\n", dc.Report())
 }

@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/netsim"
+)
+
+// Scenario builders: each returns a pure-data Plan for one of the
+// failure cascades the robustness harness exercises
+// (docs/robustness.md §Scenarios). All times are absolute virtual
+// times on the emulation clock.
+
+// ControllerOutage blacks out the controller for dur starting at.
+// Edges ride it out in degraded mode: existing G-FIB/L-FIB state keeps
+// forwarding, no-match packets flood within the group, and the
+// degradation window is metered.
+func ControllerOutage(at, dur time.Duration) *Plan {
+	p := &Plan{Name: "controller-outage"}
+	return p.Add(at, dur, ControllerBlackout{})
+}
+
+// FlappingControlLink flaps the sw<->controller link: flaps windows of
+// period/2 down, period/2 up. Exercises the push-retry/backoff
+// supervision and the false-suspicion paths of the Table I inference.
+func FlappingControlLink(sw model.SwitchID, at, period time.Duration, flaps int) *Plan {
+	p := &Plan{Name: fmt.Sprintf("flapping-control-link-S%d", sw)}
+	for i := 0; i < flaps; i++ {
+		p.Add(at+time.Duration(i)*period, period/2, LinkDown{A: sw, B: model.ControllerNode})
+	}
+	return p
+}
+
+// RackCascade staggers crash-restarts across a rack of switches while
+// a correlated loss storm degrades every link touching the rack — the
+// classic rolling-failure cascade. Each switch is down for downFor;
+// crashes start stagger apart.
+func RackCascade(rack []model.SwitchID, at, stagger, downFor time.Duration, loss float64) *Plan {
+	p := &Plan{Name: "rack-cascade"}
+	stormLen := time.Duration(len(rack))*stagger + downFor
+	if loss > 0 {
+		for _, sw := range rack {
+			p.Add(at, stormLen, Fault{Rule: netsim.FaultRule{A: sw, B: model.NoSwitch, Loss: loss}})
+		}
+	}
+	for i, sw := range rack {
+		p.Add(at+time.Duration(i)*stagger, downFor, Crash{Switch: sw})
+	}
+	return p
+}
+
+// DesignatedChurnStorm repeatedly crashes whichever switch currently
+// holds the designated role of seed's group: every period a fresh
+// CrashDesignated fires, the victim stays down for downFor, and by the
+// time it restarts failover has rotated the role onto the next wheel
+// member — which the next round then kills.
+func DesignatedChurnStorm(seed model.SwitchID, at, period, downFor time.Duration, rounds int) *Plan {
+	p := &Plan{Name: fmt.Sprintf("designated-churn-S%d", seed)}
+	for i := 0; i < rounds; i++ {
+		p.Add(at+time.Duration(i)*period, downFor, CrashDesignated{Of: seed})
+	}
+	return p
+}
+
+// Cascade is the acceptance scenario: burst loss across seed's group's
+// peer links, a control-link partition cutting the whole group off the
+// controller, and a designated-switch crash landing mid-regroup while
+// both are still active. The windows are sized against the emulation
+// cadences (1 min keep-alive, 3-miss detector): the designated stays
+// down long enough for the wheel to diagnose it, and its failure
+// reports race the control-link partition. Convergence back to the
+// fault-free fixpoint after End() is the tentpole invariant.
+func Cascade(seed model.SwitchID, at time.Duration) *Plan {
+	p := &Plan{Name: fmt.Sprintf("cascade-S%d", seed)}
+	// Burst loss on every peer link of the group for 8 min.
+	p.Add(at, 8*time.Minute, GroupLoss{Of: seed, Loss: 0.4})
+	// 2 min in: the whole group loses its control links for 5 min —
+	// failure reports and config pushes black-hole.
+	p.Add(at+2*time.Minute, 5*time.Minute, ControlCut{Of: seed})
+	// 3 min in — mid-regroup, inside both windows — the designated
+	// dies for 6 min, restarting after everything else has healed.
+	p.Add(at+3*time.Minute, 6*time.Minute, CrashDesignated{Of: seed})
+	return p
+}
+
+// Randomized expands a seed into a concrete fault schedule over the
+// given switches: loss windows, delay/jitter windows, control-link
+// flaps, switch crash-restarts (never overlapping per switch), and at
+// most one controller blackout. The schedule spans [start, start+span]
+// and is a pure function of its arguments — same seed, same plan.
+func Randomized(seed uint64, switches []model.SwitchID, start, span time.Duration, events int) *Plan {
+	p := &Plan{Name: fmt.Sprintf("randomized-%d", seed)}
+	if len(switches) == 0 || events <= 0 || span <= 0 {
+		return p
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	pick := func() model.SwitchID { return switches[rng.IntN(len(switches))] }
+	busyUntil := make(map[model.SwitchID]time.Duration)
+	usedBlackout := false
+	for i := 0; i < events; i++ {
+		at := start + time.Duration(rng.Int64N(int64(span)))
+		dur := 10*time.Second + time.Duration(rng.Int64N(int64(50*time.Second)))
+		switch rng.IntN(6) {
+		case 0: // loss window on one link
+			p.Add(at, dur, Fault{Rule: netsim.FaultRule{A: pick(), B: pick(), Loss: 0.3 + 0.7*rng.Float64()}})
+		case 1: // wildcard loss around one switch
+			p.Add(at, dur, Fault{Rule: netsim.FaultRule{A: pick(), B: model.NoSwitch, Loss: 0.2 + 0.5*rng.Float64()}})
+		case 2: // delay + jitter + reordering window
+			p.Add(at, dur, Fault{Rule: netsim.FaultRule{
+				A: pick(), B: model.NoSwitch,
+				ExtraDelay:   time.Duration(rng.Int64N(int64(20 * time.Millisecond))),
+				ExtraJitter:  time.Duration(rng.Int64N(int64(10 * time.Millisecond))),
+				ReorderProb:  0.3 * rng.Float64(),
+				ReorderDelay: 5 * time.Millisecond,
+			}})
+		case 3: // control-link flap
+			p.Add(at, dur, LinkDown{A: pick(), B: model.ControllerNode})
+		case 4: // crash-restart, never overlapping per switch
+			sw := pick()
+			if at < busyUntil[sw] {
+				continue
+			}
+			busyUntil[sw] = at + dur + time.Second
+			p.Add(at, dur, Crash{Switch: sw})
+		case 5: // at most one controller blackout per plan
+			if usedBlackout {
+				continue
+			}
+			usedBlackout = true
+			p.Add(at, dur/2, ControllerBlackout{})
+		}
+	}
+	return p
+}

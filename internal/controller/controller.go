@@ -115,6 +115,14 @@ type Config struct {
 	// GroupConfig. Zero selects 10 s and 5 s.
 	SyncInterval      time.Duration
 	KeepAliveInterval time.Duration
+	// PushRetryTimeout is the supervision deadline on GroupConfig
+	// pushes: a destination that has not acknowledged its config within
+	// it gets the push re-shipped, with exponential backoff (doubling
+	// per attempt, capped at 8× the base). Zero selects
+	// 2×KeepAliveInterval — faster than the 3-window keep-alive
+	// heuristics, so a lost push no longer strands a destination until
+	// the next regroup.
+	PushRetryTimeout time.Duration
 	// ARPTimeout bounds how long an unresolved destination stays pending.
 	// Zero selects 200 ms.
 	ARPTimeout time.Duration
@@ -176,6 +184,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ARPTimeout == 0 {
 		c.ARPTimeout = 200 * time.Millisecond
+	}
+	if c.PushRetryTimeout == 0 {
+		c.PushRetryTimeout = 2 * c.KeepAliveInterval
 	}
 	if c.StateShards == 0 {
 		c.StateShards = 8
@@ -250,6 +261,14 @@ type Controller struct {
 	kaSeq    uint64
 	dead     map[model.SwitchID]bool
 
+	// Push supervision: per destination, the retry state of the last
+	// GroupConfig sent to it, cleared by its ConfigAck. pushing guards
+	// against a retry timer firing inside the push round that armed it
+	// (possible only under an env whose After runs callbacks
+	// synchronously, as some test harnesses do).
+	pushPending map[model.SwitchID]*pushRetry
+	pushing     bool
+
 	// ARP-relay target memoization, valid only inside one ProcessBurst
 	// apply phase (see designatedTargets).
 	arpCache    map[model.VLAN][]model.SwitchID
@@ -297,6 +316,14 @@ type Stats struct {
 	// evict its filter immediately instead of waiting for the next
 	// membership change.
 	FilterRemovalsSent uint64
+	// ConfigAcks counts GroupConfig acknowledgments received;
+	// PushRetries counts supervised re-pushes fired by a missing ack.
+	ConfigAcks  uint64
+	PushRetries uint64
+	// Resurrections counts falsely-diagnosed switches brought back by
+	// proof of life (a keep-alive ack, config ack, or ARP answer
+	// arriving while the switch was marked dead).
+	Resurrections uint64
 }
 
 // New constructs a controller.
@@ -342,6 +369,7 @@ func New(cfg Config, env netsim.Env) (*Controller, error) {
 		detector:      failover.NewDetector(3 * c.KeepAliveInterval),
 		lastAck:       make(map[model.SwitchID]time.Duration),
 		dead:          make(map[model.SwitchID]bool),
+		pushPending:   make(map[model.SwitchID]*pushRetry),
 	}, nil
 }
 
@@ -359,6 +387,10 @@ func (c *Controller) Stats() Stats { return c.stats }
 
 // GroupingVersion returns the current grouping version.
 func (c *Controller) GroupingVersion() uint64 { return c.groupingVersion }
+
+// IsDead reports whether the failover module currently considers a
+// switch dead.
+func (c *Controller) IsDead(sw model.SwitchID) bool { return c.dead[sw] }
 
 // RegisterTenant records a VLAN → tenant binding (tenant information
 // management module).
@@ -459,6 +491,8 @@ type peerFilter struct {
 // It returns the number of destinations that actually received a
 // message, which is what regroup workload accounting records.
 func (c *Controller) pushGroupConfigs(kickDesignated bool) int {
+	c.pushing = true
+	defer func() { c.pushing = false }()
 	// Membership fingerprints are rebuilt from scratch each round:
 	// groups that disappeared don't linger, and a reused group ID can't
 	// inherit a stale fingerprint.
@@ -515,8 +549,10 @@ func (c *Controller) pushGroupConfigs(kickDesignated bool) int {
 			}
 			cfgFP := configFingerprint(cfgMsg)
 			var msgs []openflow.Message
+			sentCfg := false
 			if c.pushedCfg[m] != cfgFP || (kickDesignated && m == designated) {
 				msgs = append(msgs, cfgMsg)
+				sentCfg = true
 			}
 			if membersChanged {
 				// The incoming GroupConfig makes this switch drop the
@@ -555,6 +591,9 @@ func (c *Controller) pushGroupConfigs(kickDesignated bool) int {
 				c.stats.BatchedPushes++
 				c.env.Send(m, &openflow.Batch{Msgs: msgs})
 			}
+			if sentCfg && !c.dead[m] {
+				c.supervisePush(m, c.groupingVersion)
+			}
 		}
 		// C-LIB group tags follow the new grouping; the host→switch
 		// mapping itself is unchanged (§III-D3).
@@ -563,6 +602,83 @@ func (c *Controller) pushGroupConfigs(kickDesignated bool) int {
 		}
 	}
 	return sent
+}
+
+// pushRetry is the supervision state of one outstanding GroupConfig
+// push: the grouping version it carried, how many times it has been
+// retried, and the pending timer.
+type pushRetry struct {
+	version  uint64
+	attempts int
+	cancel   func()
+}
+
+// maxPushAttempts bounds supervised re-pushes per destination; a
+// destination silent through every attempt is left to the keep-alive
+// heuristics (it is either dead — soon diagnosed — or will recover via
+// MarkRecovered or resurrection, both of which re-arm supervision).
+const maxPushAttempts = 6
+
+// supervisePush arms (or re-arms) the retry timer for a GroupConfig
+// just sent to dest. The destination's ConfigAck cancels it; if it
+// fires instead, the destination's push tracking is forgotten and the
+// config is re-shipped, with the deadline doubling per attempt.
+func (c *Controller) supervisePush(dest model.SwitchID, version uint64) {
+	p := c.pushPending[dest]
+	if p == nil {
+		p = &pushRetry{}
+		c.pushPending[dest] = p
+	} else {
+		if p.cancel != nil {
+			p.cancel()
+		}
+		if p.version != version {
+			p.attempts = 0
+		}
+	}
+	p.version = version
+	d := c.cfg.PushRetryTimeout << uint(p.attempts)
+	if lim := c.cfg.PushRetryTimeout << 3; d > lim {
+		d = lim
+	}
+	p.cancel = c.env.After(d, func() { c.retryPush(dest) })
+}
+
+// retryPush re-ships an unacknowledged GroupConfig.
+func (c *Controller) retryPush(dest model.SwitchID) {
+	if c.pushing {
+		// Synchronous-After env: the timer fired inside the push round
+		// that armed it. Supervision is meaningless without real time.
+		delete(c.pushPending, dest)
+		return
+	}
+	p := c.pushPending[dest]
+	if p == nil {
+		return
+	}
+	p.cancel = nil
+	if c.dead[dest] || p.attempts >= maxPushAttempts {
+		delete(c.pushPending, dest)
+		return
+	}
+	p.attempts++
+	c.stats.PushRetries++
+	// Forget what was pushed to this destination; the push round then
+	// re-ships its config and preloads — and only to it, since every
+	// other destination's tracking is intact.
+	delete(c.pushedCfg, dest)
+	delete(c.pushedFilters, dest)
+	c.pushGroupConfigs(false)
+}
+
+// cancelPush drops any pending push supervision for a switch.
+func (c *Controller) cancelPush(sw model.SwitchID) {
+	if p := c.pushPending[sw]; p != nil {
+		if p.cancel != nil {
+			p.cancel()
+		}
+		delete(c.pushPending, sw)
+	}
 }
 
 // refreshPeerFilter rebuilds the cached preload filter for a switch

@@ -39,6 +39,18 @@ func (c *Controller) HandleMessage(from model.SwitchID, msg netsim.Message) {
 	case *openflow.KeepAlive:
 		c.lastAck[m.From] = c.env.Now()
 		c.detector.Clear(m.From)
+		c.resurrect(m.From)
+	case *openflow.ConfigAck:
+		c.stats.ConfigAcks++
+		c.lastAck[m.From] = c.env.Now()
+		c.detector.Clear(m.From)
+		c.resurrect(m.From)
+		if p := c.pushPending[m.From]; p != nil && m.Version >= p.version {
+			if p.cancel != nil {
+				p.cancel()
+			}
+			delete(c.pushPending, m.From)
+		}
 	case *openflow.EchoReply:
 		// Liveness only.
 	case *openflow.StatsReply:
@@ -400,6 +412,7 @@ func (c *Controller) handleLFIBAnswer(from model.SwitchID, m *openflow.LFIBUpdat
 	// answers were lost.
 	c.lastAck[from] = c.env.Now()
 	c.detector.Clear(from)
+	c.resurrect(from)
 	group := c.grp.GroupOf(m.Origin)
 	c.clib.ApplyLFIB(m.Origin, group, m)
 	for _, e := range m.Entries {
@@ -462,16 +475,46 @@ func (c *Controller) maybeRegroup() {
 	}
 }
 
+// deadProbeEvery is how many keep-alive rounds pass between probes of
+// switches marked dead. A switch falsely diagnosed dead (correlated
+// loss can silence both neighbor streams of a live switch) would
+// otherwise never be heard from again — the controller stops probing
+// it, so its acks stop, so it stays dead. The periodic probe bounds
+// false-death recovery at ~deadProbeEvery×KeepAliveInterval plus one
+// round trip; probing a genuinely dead switch costs one lost message.
+const deadProbeEvery = 3
+
 // sendKeepAlives probes every switch (the Controller→Sn stream of
-// Table I).
+// Table I); switches marked dead are probed at a reduced cadence (see
+// deadProbeEvery).
 func (c *Controller) sendKeepAlives() {
 	c.kaSeq++
 	for _, sw := range c.cfg.Switches {
-		if c.dead[sw] {
+		if c.dead[sw] && c.kaSeq%deadProbeEvery != 0 {
 			continue
 		}
 		c.env.Send(sw, &openflow.KeepAlive{From: model.ControllerNode, Seq: c.kaSeq})
 	}
+}
+
+// resurrect brings back a switch marked dead from which proof of life
+// arrived: a false DiagSwitch (or one whose subject rebooted without a
+// harness MarkRecovered) must not strand a live switch outside the
+// control plane. The C-LIB and preload state evicted at diagnosis
+// repopulate from the switch's own advertisements within the normal
+// report rounds; the config re-push restarts its supervision.
+func (c *Controller) resurrect(sw model.SwitchID) {
+	if !c.dead[sw] {
+		return
+	}
+	delete(c.dead, sw)
+	c.stats.Resurrections++
+	c.lastAck[sw] = c.env.Now()
+	c.detector.Clear(sw)
+	c.groupingVersion++
+	delete(c.pushedCfg, sw)
+	delete(c.pushedFilters, sw)
+	c.pushGroupConfigs(false)
 }
 
 // checkFailures folds missing acks into the detector and acts on closed
@@ -512,6 +555,8 @@ func (c *Controller) actOnDiagnosis(suspect model.SwitchID, diag failover.Diagno
 	switch diag {
 	case failover.DiagSwitch:
 		c.dead[suspect] = true
+		// A push retry for a dead destination would be wasted sends.
+		c.cancelPush(suspect)
 		// Evict the per-MAC state pointing at the dead switch: learned
 		// locations would keep installing rules toward a black hole
 		// (flows must fall back to flooding until the host reappears),

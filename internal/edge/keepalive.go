@@ -38,15 +38,30 @@ func (s *Switch) handleKeepAlive(from model.SwitchID, m *openflow.KeepAlive) {
 	s.lastFrom[m.From] = s.env.Now()
 	delete(s.reported, m.From)
 	if m.From == model.ControllerNode {
+		s.ctrlKASeen = true
+		s.ctrlLastKA = s.env.Now()
+		s.exitDegraded()
 		s.env.Send(model.ControllerNode, &openflow.KeepAlive{From: s.cfg.ID, Seq: m.Seq})
 	}
 	if s.IsDesignated() && s.evictedMembers[m.From] {
-		delete(s.evictedMembers, m.From)
-		cfg := s.group
-		cfg.RingPrev, cfg.RingNext = failover.Neighbors(failover.BuildWheel(cfg.Members), m.From)
-		s.env.Send(m.From, &cfg)
+		s.resyncMember(m.From)
 	}
 	_ = from
+}
+
+// resyncMember re-sends a member its group view (with its ring
+// neighbors recomputed), which resets the member's advertisement state
+// so its next advertisement is a full bootstrap snapshot. Used by the
+// false-alarm unwind (resumed keep-alive after a peer-evidence
+// eviction) and by the idle-beacon mismatch path.
+func (s *Switch) resyncMember(member model.SwitchID) {
+	if member == s.cfg.ID {
+		return
+	}
+	delete(s.evictedMembers, member)
+	cfg := s.group
+	cfg.RingPrev, cfg.RingNext = failover.Neighbors(failover.BuildWheel(cfg.Members), member)
+	s.env.Send(member, &cfg)
 }
 
 // checkKeepAlives detects silent ring neighbors and reports them to the

@@ -139,8 +139,12 @@ func (s *Switch) handleGroupConfig(m *openflow.GroupConfig) {
 	s.ctrlSent = make(map[model.SwitchID]uint64)
 	// Restart group timers.
 	s.restartGroupTimers()
+	// Acknowledge the push: the controller supervises configs with a
+	// retry timer, and this is what cancels it.
+	s.sendCtrl(&openflow.ConfigAck{From: s.cfg.ID, Version: m.Version})
 	// Immediate advertisement bootstraps the new group's state.
 	s.lastAdvertisedVersion = 0
+	s.idleAdvRounds = 0
 	s.advertise()
 	if s.IsDesignated() {
 		// First dissemination shortly after members advertise.
@@ -198,13 +202,40 @@ func (s *Switch) advertise() {
 		return
 	}
 	changed := s.lfib.Version() != s.lastAdvertisedVersion
+	beacon := false
 	if !changed && len(s.pairFlows) == 0 {
-		return
+		if s.lastAdvertisedVersion == 0 {
+			return // nothing ever advertised, nothing to repair
+		}
+		// Idle anti-entropy: advSinceFull only guards *changed*
+		// advertisements, so a bootstrap full advertisement lost on a
+		// faulty peer link would never be repaired — the member goes
+		// quiet once lfib.Version() == lastAdvertisedVersion and the
+		// designated switch holds nothing for it. Every
+		// refreshEveryRounds-th idle interval sends a version beacon: a
+		// zero-entry increment asserting the current L-FIB version. A
+		// designated switch whose aggregation is current no-ops; one
+		// that lost the member's state resyncs it (group-view re-send →
+		// full bootstrap advertisement). The common idle case costs a
+		// version comparison, not a snapshot.
+		s.idleAdvRounds++
+		if s.idleAdvRounds < refreshEveryRounds {
+			return
+		}
+		beacon = true
+		s.stats.IdleRefreshes++
 	}
+	s.idleAdvRounds = 0
 	report := &openflow.StateReport{
 		Group:   s.group.Group,
 		Pairs:   s.drainPairStats(),
 		Version: s.group.Version,
+	}
+	if beacon {
+		report.LFIBs = []openflow.LFIBUpdate{{
+			Origin:  s.cfg.ID,
+			Version: s.lfib.Version(),
+		}}
 	}
 	if changed {
 		entries, full := s.lfib.DrainChanges()
@@ -262,6 +293,18 @@ func (s *Switch) handleMemberReport(from model.SwitchID, m *openflow.StateReport
 			delete(s.evictedMembers, u.Origin)
 		} else {
 			base, known := s.memberLFIBs[u.Origin]
+			if len(u.Entries) == 0 {
+				// Idle version beacon: the member asserts its current
+				// L-FIB version without shipping entries. Current
+				// aggregation → no-op; anything else (no snapshot held,
+				// stale version) means advertisements were lost — resync
+				// the member so its next advertisement is a full
+				// bootstrap snapshot.
+				if !known || s.memberLFIBVersions[u.Origin] != u.Version {
+					s.resyncMember(u.Origin)
+				}
+				continue
+			}
 			if !known {
 				// An increment without a base snapshot (the member was
 				// evicted on peer evidence, or its bootstrap full

@@ -130,6 +130,23 @@ type Stats struct {
 	// (filters dropped on a wire removal).
 	GFIBRemovalsSent    uint64
 	GFIBRemovalsApplied uint64
+	// DegradedFloods counts first packets flood-forwarded to the whole
+	// group instead of escalating, because the controller had gone
+	// silent (graceful degradation); DegradedWindow totals the time
+	// spent in that mode. While degraded the switch keeps serving
+	// stale G-FIB and flow-table state — only the no-match slow path
+	// changes behavior.
+	DegradedFloods uint64
+	DegradedWindow time.Duration
+	// IdleRefreshes counts version beacons sent by the idle
+	// anti-entropy path (nothing changed locally for
+	// refreshEveryRounds advertise intervals): a zero-entry
+	// advertisement asserting the current L-FIB version, the repair
+	// trigger for a bootstrap advertisement lost on a faulty peer link
+	// — the designated switch resyncs the member on version mismatch,
+	// which would otherwise strand the member's state forever (a
+	// member only re-advertises on change).
+	IdleRefreshes uint64
 }
 
 // Switch is a LazyCtrl edge switch.
@@ -192,8 +209,21 @@ type Switch struct {
 	lastAdvertisedVersion uint64
 	// advSinceFull counts incremental advertisements since the last
 	// full one (the member-side anti-entropy that bounds designated-
-	// switch staleness after a lost increment).
-	advSinceFull int
+	// switch staleness after a lost increment); idleAdvRounds counts
+	// consecutive advertise intervals with nothing to say, driving the
+	// idle anti-entropy refresh (see advertise).
+	advSinceFull  int
+	idleAdvRounds int
+
+	// Degraded-mode state: ctrlLastKA is the arrival time of the last
+	// controller keep-alive (valid once ctrlKASeen); when the controller
+	// has been silent past the keep-alive deadline, no-match first
+	// packets flood to the group instead of escalating (degraded), with
+	// degradedAt marking the window start.
+	ctrlLastKA time.Duration
+	ctrlKASeen bool
+	degraded   bool
+	degradedAt time.Duration
 
 	// Keep-alive bookkeeping.
 	kaSeq     uint64
@@ -240,8 +270,15 @@ func (s *Switch) LFIB() *fib.LFIB { return s.lfib }
 // GFIB exposes the group FIB (read-only use).
 func (s *Switch) GFIB() *fib.GFIB { return s.gfib }
 
-// Stats returns a snapshot of the datapath counters.
-func (s *Switch) Stats() Stats { return s.stats }
+// Stats returns a snapshot of the datapath counters. An open degraded
+// window is folded into the snapshot's DegradedWindow.
+func (s *Switch) Stats() Stats {
+	st := s.stats
+	if s.degraded {
+		st.DegradedWindow += s.env.Now() - s.degradedAt
+	}
+	return st
+}
 
 // FlowCount returns the number of installed flow rules.
 func (s *Switch) FlowCount() int { return s.flows.len() }
@@ -331,7 +368,15 @@ func (s *Switch) Reboot() {
 	s.reported = make(map[model.SwitchID]bool)
 	s.lastAdvertisedVersion = 0
 	s.advSinceFull = 0
+	s.idleAdvRounds = 0
 	s.ctrlRelay = false
+	// A crash ends any degraded window (the switch is down, not
+	// degraded); the accumulated counters survive the reboot.
+	if s.degraded {
+		s.stats.DegradedWindow += s.env.Now() - s.degradedAt
+		s.degraded = false
+	}
+	s.ctrlKASeen = false
 	if wasStarted {
 		s.Start()
 	}
@@ -441,6 +486,9 @@ func (s *Switch) encapTo(remote model.SwitchID, p *model.Packet) {
 // threshold or the window deadline is hit, so a storm arrives at the
 // controller as bursts instead of a message per flow.
 func (s *Switch) packetIn(reason openflow.PacketInReason, p *model.Packet) {
+	if reason == openflow.ReasonNoMatch && s.degradeFlood(p) {
+		return
+	}
 	s.stats.PacketIns++
 	if s.cfg.PacketInBatchMax <= 1 {
 		s.sendCtrl(&openflow.PacketIn{Switch: s.cfg.ID, Reason: reason, Packet: *p})
@@ -480,6 +528,53 @@ func (s *Switch) flushPacketIns() {
 	}
 	s.stats.PacketInBursts++
 	s.sendCtrl(&openflow.PacketInBurst{Switch: s.cfg.ID, Items: buf})
+}
+
+// controllerSilent reports whether the controller has missed its
+// keep-alive deadline. It never triggers before the first controller
+// keep-alive has been seen: a switch that was configured but never
+// heard the controller heartbeat (rig harnesses, pre-blackout boot)
+// has no baseline to measure silence against.
+func (s *Switch) controllerSilent() bool {
+	if !s.haveGroup || s.group.KeepAliveInterval <= 0 || !s.ctrlKASeen {
+		return false
+	}
+	deadline := time.Duration(s.cfg.KeepAliveMisses) * s.group.KeepAliveInterval
+	return s.env.Now()-s.ctrlLastKA >= deadline
+}
+
+// degradeFlood is the graceful-degradation path for no-match first
+// packets while the controller is silent: instead of escalating into a
+// black hole, the packet floods to every group member — the G-FIB's
+// flood fallback — so intra-group traffic toward hosts the (stale)
+// G-FIB misses keeps flowing. Inter-group destinations stay
+// unreachable until the controller returns; receivers without the
+// destination count the copy as a false-positive drop. Reports whether
+// the packet was handled.
+func (s *Switch) degradeFlood(p *model.Packet) bool {
+	if !s.controllerSilent() || len(s.group.Members) <= 1 {
+		return false
+	}
+	if !s.degraded {
+		s.degraded = true
+		s.degradedAt = s.env.Now()
+	}
+	s.stats.DegradedFloods++
+	for _, m := range s.group.Members {
+		if m != s.cfg.ID {
+			s.encapTo(m, p)
+		}
+	}
+	return true
+}
+
+// exitDegraded closes an open degraded window (the controller spoke).
+func (s *Switch) exitDegraded() {
+	if !s.degraded {
+		return
+	}
+	s.stats.DegradedWindow += s.env.Now() - s.degradedAt
+	s.degraded = false
 }
 
 func (s *Switch) sendCtrl(msg netsim.Message) {

@@ -1,0 +1,129 @@
+package eval
+
+import (
+	"time"
+
+	"lazyctrl/internal/chaos"
+	"lazyctrl/internal/controller"
+	"lazyctrl/internal/edge"
+	"lazyctrl/internal/model"
+	"lazyctrl/internal/netsim"
+	"lazyctrl/internal/openflow"
+	"lazyctrl/internal/sim"
+	"lazyctrl/internal/tenant"
+	"lazyctrl/internal/trace"
+)
+
+// chaosHarness adapts the emulation stack to the chaos.Harness
+// surface: crash = node failure on the underlay, restart = the
+// §III-E3 reboot-and-resync path (volatile tables wiped, L-FIB epoch
+// advanced, hosts re-attached, controller told to re-push).
+type chaosHarness struct {
+	s        *sim.Simulator
+	net      *netsim.Network
+	ctrl     *controller.Controller
+	dir      *tenant.Directory
+	switches map[model.SwitchID]*edge.Switch
+}
+
+func (h *chaosHarness) Now() time.Duration               { return h.s.Now().Duration() }
+func (h *chaosHarness) After(d time.Duration, fn func()) { h.s.After(d, fn) }
+func (h *chaosHarness) Net() *netsim.Network             { return h.net }
+func (h *chaosHarness) Switches() []model.SwitchID       { return h.dir.Switches() }
+
+func (h *chaosHarness) GroupPeers(sw model.SwitchID) []model.SwitchID {
+	g := h.ctrl.Grouping()
+	return g.Members(g.GroupOf(sw))
+}
+
+func (h *chaosHarness) Designated(sw model.SwitchID) model.SwitchID {
+	if s := h.switches[sw]; s != nil {
+		return s.Group().Designated
+	}
+	return model.NoSwitch
+}
+
+func (h *chaosHarness) Crash(sw model.SwitchID) { h.net.FailNode(sw) }
+
+func (h *chaosHarness) Restart(sw model.SwitchID) {
+	h.net.HealNode(sw)
+	s := h.switches[sw]
+	if s == nil {
+		return
+	}
+	s.Reboot()
+	for _, hid := range h.dir.HostsOn(sw) {
+		host := h.dir.Host(hid)
+		s.AttachHost(host.MAC, host.IP, host.VLAN)
+	}
+	h.ctrl.MarkRecovered(sw)
+}
+
+func (h *chaosHarness) CrashController()   { h.net.FailNode(model.ControllerNode) }
+func (h *chaosHarness) RestartController() { h.net.HealNode(model.ControllerNode) }
+
+// world builds the convergence checker over the harness's stack: the
+// host directory is the ground truth, the underlay's node state the
+// liveness oracle.
+func (h *chaosHarness) world() *chaos.World {
+	return &chaos.World{
+		Controller: h.ctrl,
+		Switches:   h.switches,
+		Down:       h.net.NodeDown,
+		Hosts: func(sw model.SwitchID) []openflow.LFIBEntry {
+			ids := h.dir.HostsOn(sw)
+			out := make([]openflow.LFIBEntry, 0, len(ids))
+			for _, hid := range ids {
+				host := h.dir.Host(hid)
+				out = append(out, openflow.LFIBEntry{MAC: host.MAC, IP: host.IP, VLAN: host.VLAN})
+			}
+			return out
+		},
+	}
+}
+
+// ChaosCascadeResult pairs a fault-free run with a faulted run of the
+// same seed, for the cascade differential (cmd/experiments -run chaos;
+// the same comparison TestChaosCascadeDifferential pins in CI).
+type ChaosCascadeResult struct {
+	// Base is the fault-free run; Faulted ran the acceptance cascade
+	// (correlated group loss + control-link partition + designated
+	// crash mid-regroup, docs/robustness.md).
+	Base, Faulted *EmulationResult
+	// FixpointMatch reports whether the faulted run settled on the
+	// byte-identical content fixpoint of the fault-free run.
+	FixpointMatch bool
+}
+
+// ChaosCascade runs the acceptance cascade differential on the small
+// synthetic trace: one fault-free run and one run under the scripted
+// cascade, both with static grouping so the fixpoints are comparable.
+func ChaosCascade(seed uint64) (*ChaosCascadeResult, error) {
+	tr, err := trace.Generate(trace.SmallConfig("small", seed))
+	if err != nil {
+		return nil, err
+	}
+	run := func(plan *chaos.Plan) (*EmulationResult, error) {
+		return RunEmulation(EmulationConfig{
+			Source:         tr.Stream(0),
+			Mode:           controller.ModeLazy,
+			GroupSizeLimit: 6,
+			Horizon:        time.Hour,
+			BucketWidth:    30 * time.Minute,
+			Seed:           seed,
+			Chaos:          plan,
+		})
+	}
+	base, err := run(&chaos.Plan{Name: "fault-free"})
+	if err != nil {
+		return nil, err
+	}
+	faulted, err := run(chaos.Cascade(1, 30*time.Minute))
+	if err != nil {
+		return nil, err
+	}
+	return &ChaosCascadeResult{
+		Base: base, Faulted: faulted,
+		FixpointMatch: faulted.Fixpoint == base.Fixpoint,
+	}, nil
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"lazyctrl/internal/chaos"
 	"lazyctrl/internal/controller"
 	"lazyctrl/internal/edge"
 	"lazyctrl/internal/grouping"
@@ -75,6 +76,22 @@ type EmulationConfig struct {
 	// batching.
 	PacketInBatchMax    int
 	PacketInBatchWindow time.Duration
+
+	// Chaos schedules a fault scenario against the run and arms the
+	// convergence checker: after the horizon and the last fault's undo,
+	// the run settles in dissemination/report rounds until every edge
+	// G-FIB/L-FIB view, the C-LIB, and all per-peer version state match
+	// the fault-free fixpoint (docs/robustness.md). An empty plan is
+	// valid and useful: it runs the checker and captures the fixpoint
+	// snapshot without injecting anything — the fault-free side of the
+	// differential test.
+	Chaos *chaos.Plan
+	// ChaosSettleRounds bounds the settle loop (0 selects
+	// chaos.DefaultRecoveryRoundBound).
+	ChaosSettleRounds int
+	// ChaosProbeInterval samples the no-stale-adoption probe while the
+	// run is live (0 = every dissemination round).
+	ChaosProbeInterval time.Duration
 }
 
 func (c EmulationConfig) withDefaults() (EmulationConfig, error) {
@@ -175,6 +192,28 @@ type EmulationResult struct {
 	// SimEvents is how many discrete events the underlying simulator
 	// executed (the scaled engines' cost metric).
 	SimEvents uint64
+	// Drops breaks the underlay's dropped messages down by cause:
+	// down-at-send, down-at-delivery, no-route, injected loss, and
+	// partitions.
+	Drops netsim.DropStats
+	// DegradedFloods and DegradedWindow aggregate the edges' degraded
+	// mode across the run: packets flooded on the controller-silent
+	// fallback path and total wall time spent degraded.
+	DegradedFloods uint64
+	DegradedWindow time.Duration
+	// Chaos results (zero unless EmulationConfig.Chaos was set):
+	// RecoveryRounds is how many settle rounds the world needed after
+	// the last fault to re-reach the fixpoint; Converged reports
+	// whether it did within the bound; Divergences carries the
+	// remaining violations when it did not; StaleAdoptions lists
+	// no-stale-adoption probe violations observed mid-run; Fixpoint is
+	// the canonical content snapshot (chaos.World.Snapshot) for
+	// cross-run differential comparison.
+	RecoveryRounds int
+	Converged      bool
+	Divergences    []string
+	StaleAdoptions []string
+	Fixpoint       string
 	// ControllerStats is the controller's own view.
 	ControllerStats controller.Stats
 	// FinalGroups is the group count at the end of the run.
@@ -299,6 +338,33 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 		}
 	}
 
+	// Chaos: schedule the fault plan against the live stack and arm
+	// the no-stale-adoption probe for the fault window. The plan is
+	// scheduled after the initial grouping so actions that resolve
+	// group structure at fire time (ControlCut, CrashDesignated) see
+	// real groups.
+	var world *chaos.World
+	if c.Chaos != nil {
+		harness := &chaosHarness{s: s, net: net, ctrl: ctrl, dir: dir, switches: switches}
+		world = harness.world()
+		c.Chaos.Schedule(harness)
+		if len(c.Chaos.Events) > 0 {
+			probeEvery := c.ChaosProbeInterval
+			if probeEvery == 0 {
+				probeEvery = advertiseInterval
+			}
+			chaosEnd := c.Chaos.End()
+			var probe func()
+			probe = func() {
+				res.StaleAdoptions = append(res.StaleAdoptions, world.Probe()...)
+				if s.Now().Duration() < chaosEnd {
+					s.After(probeEvery, probe)
+				}
+			}
+			s.After(probeEvery, probe)
+		}
+	}
+
 	// The fluid engine folds every window's full flow population into
 	// per-bucket rate aggregates under the live grouping; its warm-up
 	// constants mirror the harness cadences above (C-LIB fills at the
@@ -415,6 +481,27 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 
 	s.RunUntil(sim.Time(c.Horizon))
 
+	// Convergence check: run past the last fault's undo, then settle
+	// in dissemination/report rounds until every view matches the
+	// fault-free fixpoint or the round bound is exhausted
+	// (docs/robustness.md).
+	if world != nil {
+		if end := c.Chaos.End(); end > c.Horizon {
+			s.RunUntil(sim.Time(end))
+		}
+		round := advertiseInterval
+		if c.ReportInterval > round {
+			round = c.ReportInterval
+		}
+		maxRounds := c.ChaosSettleRounds
+		if maxRounds == 0 {
+			maxRounds = chaos.DefaultRecoveryRoundBound
+		}
+		res.RecoveryRounds, res.Converged, res.Divergences =
+			world.Settle(maxRounds, func(r time.Duration) { s.RunFor(r) }, round)
+		res.Fixpoint = world.Snapshot()
+	}
+
 	// Traffic-driven requests scale with the trace's flow-count divisor
 	// (and the inverse sampling probability under the sampled engines);
 	// periodic control work (state reports, regroup pushes) does not —
@@ -454,6 +541,12 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 	res.ControllerStats = ctrl.Stats()
 	res.FinalGroups = ctrl.Grouping().NumGroups()
 	res.SimEvents = s.Executed()
+	res.Drops = net.Drops
+	for _, sw := range switches {
+		st := sw.Stats()
+		res.DegradedFloods += st.DegradedFloods
+		res.DegradedWindow += st.DegradedWindow
+	}
 
 	// Batching-delay accounting: the measured mean residence of a
 	// PacketIn in the micro-batching window, and the modeled

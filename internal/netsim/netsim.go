@@ -116,19 +116,82 @@ func classify(from, to model.SwitchID, samegroup func(a, b model.SwitchID) bool)
 	return LinkData
 }
 
+// DropStats breaks message losses down by cause, so scenario
+// assertions can distinguish injected faults from collateral drops.
+type DropStats struct {
+	// DownAtSend counts messages dropped because the sender, receiver,
+	// or link was failed when the message was sent.
+	DownAtSend uint64
+	// DownAtDelivery counts messages that were in flight when the
+	// receiver failed.
+	DownAtDelivery uint64
+	// NoRoute counts messages addressed to an unattached node.
+	NoRoute uint64
+	// InjectedLoss counts messages dropped by a FaultRule loss draw.
+	InjectedLoss uint64
+	// Partition counts messages dropped by an active Partition.
+	Partition uint64
+}
+
+// Total sums all drop causes.
+func (d DropStats) Total() uint64 {
+	return d.DownAtSend + d.DownAtDelivery + d.NoRoute + d.InjectedLoss + d.Partition
+}
+
+// FaultRule describes a per-link fault-injection rule: probabilistic
+// loss, extra fixed delay, uniform extra jitter, and probabilistic
+// reordering (an additional uniform delay in [0, ReorderDelay) that
+// lets later messages overtake). Rules match in both directions;
+// model.NoSwitch acts as a wildcard endpoint, so {A: x, B: NoSwitch}
+// matches every link touching x and {NoSwitch, NoSwitch} matches all
+// traffic. All random draws use the simulator's seeded source, so a
+// fault schedule is reproducible from the run seed.
+type FaultRule struct {
+	A, B         model.SwitchID
+	Loss         float64       // drop probability in [0, 1]
+	ExtraDelay   time.Duration // added to every matching message
+	ExtraJitter  time.Duration // uniform extra delay in [0, ExtraJitter)
+	ReorderProb  float64       // probability of a reordering delay
+	ReorderDelay time.Duration // max reordering delay when drawn
+}
+
+func (r *FaultRule) matches(from, to model.SwitchID) bool {
+	switch {
+	case r.A == model.NoSwitch && r.B == model.NoSwitch:
+		return true
+	case r.A == model.NoSwitch:
+		return from == r.B || to == r.B
+	case r.B == model.NoSwitch:
+		return from == r.A || to == r.A
+	default:
+		return (from == r.A && to == r.B) || (from == r.B && to == r.A)
+	}
+}
+
+// partition is a bidirectional cut between two node sets.
+type partition struct {
+	a, b map[model.SwitchID]bool
+}
+
+func (p *partition) separates(from, to model.SwitchID) bool {
+	return (p.a[from] && p.b[to]) || (p.a[to] && p.b[from])
+}
+
 // Network is the discrete-event underlay.
 type Network struct {
-	sim       *sim.Simulator
-	lat       Latencies
-	nodes     map[model.SwitchID]Node
-	downLinks map[model.SwitchPair]bool
-	downNodes map[model.SwitchID]bool
-	sameGroup func(a, b model.SwitchID) bool
+	sim        *sim.Simulator
+	lat        Latencies
+	nodes      map[model.SwitchID]Node
+	downLinks  map[model.SwitchPair]bool
+	downNodes  map[model.SwitchID]bool
+	sameGroup  func(a, b model.SwitchID) bool
+	faults     []*FaultRule
+	partitions []*partition
 
-	// Delivered counts messages delivered; Dropped counts messages lost
-	// to failed links or nodes.
+	// Delivered counts messages delivered; Drops counts messages lost,
+	// by cause.
 	Delivered uint64
-	Dropped   uint64
+	Drops     DropStats
 }
 
 // New creates a DES underlay on the given simulator.
@@ -174,24 +237,88 @@ func (n *Network) HealNode(id model.SwitchID) { delete(n.downNodes, id) }
 // NodeDown reports whether a node is failed.
 func (n *Network) NodeDown(id model.SwitchID) bool { return n.downNodes[id] }
 
-// send delivers msg from → to with latency; drops on failed links or
-// nodes.
+// AddFault installs a fault-injection rule and returns a function that
+// removes it. Multiple matching rules compose: loss draws are taken per
+// rule and extra delays accumulate.
+func (n *Network) AddFault(r FaultRule) (remove func()) {
+	rule := &r
+	n.faults = append(n.faults, rule)
+	return func() {
+		for i, f := range n.faults {
+			if f == rule {
+				n.faults = append(n.faults[:i], n.faults[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// Partition cuts all traffic between the two node sets in both
+// directions (links within a side are unaffected) and returns a heal
+// function.
+func (n *Network) Partition(sideA, sideB []model.SwitchID) (heal func()) {
+	p := &partition{
+		a: make(map[model.SwitchID]bool, len(sideA)),
+		b: make(map[model.SwitchID]bool, len(sideB)),
+	}
+	for _, id := range sideA {
+		p.a[id] = true
+	}
+	for _, id := range sideB {
+		p.b[id] = true
+	}
+	n.partitions = append(n.partitions, p)
+	return func() {
+		for i, q := range n.partitions {
+			if q == p {
+				n.partitions = append(n.partitions[:i], n.partitions[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// send delivers msg from → to with latency; drops on failed links,
+// failed nodes, active partitions, and injected loss.
 func (n *Network) send(from, to model.SwitchID, msg Message) {
 	if n.downNodes[from] || n.downNodes[to] || n.downLinks[model.MakeSwitchPair(from, to)] {
-		n.Dropped++
+		n.Drops.DownAtSend++
 		return
 	}
 	dst, ok := n.nodes[to]
 	if !ok {
-		n.Dropped++
+		n.Drops.NoRoute++
 		return
 	}
+	for _, p := range n.partitions {
+		if p.separates(from, to) {
+			n.Drops.Partition++
+			return
+		}
+	}
+	var extra time.Duration
+	for _, r := range n.faults {
+		if !r.matches(from, to) {
+			continue
+		}
+		if r.Loss > 0 && n.sim.Rand().Float64() < r.Loss {
+			n.Drops.InjectedLoss++
+			return
+		}
+		extra += r.ExtraDelay
+		if r.ExtraJitter > 0 {
+			extra += time.Duration(n.sim.Rand().Float64() * float64(r.ExtraJitter))
+		}
+		if r.ReorderProb > 0 && n.sim.Rand().Float64() < r.ReorderProb {
+			extra += time.Duration(n.sim.Rand().Float64() * float64(r.ReorderDelay))
+		}
+	}
 	kind := classify(from, to, n.sameGroup)
-	d := n.lat.delay(kind, n.sim.Rand())
+	d := n.lat.delay(kind, n.sim.Rand()) + extra
 	n.sim.After(d, func() {
 		// Re-check failure state at delivery time.
 		if n.downNodes[to] {
-			n.Dropped++
+			n.Drops.DownAtDelivery++
 			return
 		}
 		n.Delivered++

@@ -53,8 +53,8 @@ func TestSimDelivery(t *testing.T) {
 	if b.from[0] != 1 {
 		t.Errorf("from = %v, want 1", b.from[0])
 	}
-	if n.Delivered != 1 || n.Dropped != 0 {
-		t.Errorf("Delivered=%d Dropped=%d", n.Delivered, n.Dropped)
+	if n.Delivered != 1 || n.Drops.Total() != 0 {
+		t.Errorf("Delivered=%d Drops=%d", n.Delivered, n.Drops.Total())
 	}
 	// Latency applied: clock advanced by ≥ Data latency.
 	if s.Now().Duration() < 350*time.Microsecond {
@@ -75,8 +75,8 @@ func TestSimLinkFailure(t *testing.T) {
 	if b.count() != 0 {
 		t.Fatal("message delivered over failed link")
 	}
-	if n.Dropped != 1 {
-		t.Errorf("Dropped = %d, want 1", n.Dropped)
+	if n.Drops.DownAtSend != 1 {
+		t.Errorf("Drops.DownAtSend = %d, want 1", n.Drops.DownAtSend)
 	}
 	n.HealLink(1, 2)
 	n.Env(1).Send(2, "ok")
@@ -124,6 +124,122 @@ func TestSimFailureAtDeliveryTime(t *testing.T) {
 	if b.count() != 0 {
 		t.Error("in-flight message delivered to node that failed before arrival")
 	}
+	if n.Drops.DownAtDelivery != 1 {
+		t.Errorf("Drops.DownAtDelivery = %d, want 1", n.Drops.DownAtDelivery)
+	}
+}
+
+func TestFaultRuleLoss(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, DefaultLatencies())
+	a := &recorder{id: 1}
+	b := &recorder{id: 2}
+	n.Attach(a)
+	n.Attach(b)
+
+	remove := n.AddFault(FaultRule{A: 1, B: 2, Loss: 1.0})
+	for i := 0; i < 5; i++ {
+		n.Env(1).Send(2, i)
+		n.Env(2).Send(1, i) // rules match both directions
+	}
+	s.Run()
+	if b.count() != 0 || a.count() != 0 {
+		t.Fatalf("deliveries = %d/%d under Loss=1.0, want 0/0", a.count(), b.count())
+	}
+	if n.Drops.InjectedLoss != 10 {
+		t.Errorf("Drops.InjectedLoss = %d, want 10", n.Drops.InjectedLoss)
+	}
+	remove()
+	n.Env(1).Send(2, "ok")
+	s.Run()
+	if b.count() != 1 {
+		t.Fatal("message not delivered after rule removal")
+	}
+}
+
+func TestFaultRuleWildcard(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, DefaultLatencies())
+	for _, id := range []model.SwitchID{1, 2, 3} {
+		n.Attach(&recorder{id: id})
+	}
+	// Wildcard endpoint: every link touching switch 2 is lossy.
+	n.AddFault(FaultRule{A: 2, B: model.NoSwitch, Loss: 1.0})
+	n.Env(1).Send(2, "lost")
+	n.Env(2).Send(3, "lost")
+	n.Env(1).Send(3, "ok")
+	s.Run()
+	if n.Drops.InjectedLoss != 2 {
+		t.Errorf("Drops.InjectedLoss = %d, want 2", n.Drops.InjectedLoss)
+	}
+	if n.Delivered != 1 {
+		t.Errorf("Delivered = %d, want 1 (1→3 unaffected)", n.Delivered)
+	}
+}
+
+func TestFaultRuleExtraDelay(t *testing.T) {
+	lat := Latencies{Data: time.Millisecond}
+	s := sim.New(1)
+	n := New(s, lat)
+	n.Attach(&recorder{id: 1})
+	n.Attach(&recorder{id: 2})
+	n.AddFault(FaultRule{A: 1, B: 2, ExtraDelay: 10 * time.Millisecond})
+	n.Env(1).Send(2, "slow")
+	s.Run()
+	if got := s.Now().Duration(); got != 11*time.Millisecond {
+		t.Errorf("delivery at %v, want 11ms (1ms base + 10ms injected)", got)
+	}
+}
+
+func TestFaultRuleReorder(t *testing.T) {
+	lat := Latencies{Data: time.Millisecond}
+	s := sim.New(1)
+	n := New(s, lat)
+	a := &recorder{id: 1}
+	b := &recorder{id: 2}
+	n.Attach(a)
+	n.Attach(b)
+	// Force a reordering delay on the first message only, so the second
+	// overtakes it deterministically.
+	remove := n.AddFault(FaultRule{A: 1, B: 2, ReorderProb: 1.0, ReorderDelay: 50 * time.Millisecond})
+	n.Env(1).Send(2, "first")
+	remove()
+	n.Env(1).Send(2, "second")
+	s.Run()
+	if b.count() != 2 {
+		t.Fatalf("delivered %d, want 2", b.count())
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.got[0] != "second" || b.got[1] != "first" {
+		t.Errorf("delivery order = %v, want [second first]", b.got)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, DefaultLatencies())
+	for _, id := range []model.SwitchID{1, 2, 3, 4} {
+		n.Attach(&recorder{id: id})
+	}
+	heal := n.Partition([]model.SwitchID{1, 2}, []model.SwitchID{3, 4})
+	n.Env(1).Send(3, "cut")
+	n.Env(4).Send(2, "cut")
+	n.Env(1).Send(2, "same side")
+	n.Env(3).Send(4, "same side")
+	s.Run()
+	if n.Drops.Partition != 2 {
+		t.Errorf("Drops.Partition = %d, want 2", n.Drops.Partition)
+	}
+	if n.Delivered != 2 {
+		t.Errorf("Delivered = %d, want 2 (intra-side traffic unaffected)", n.Delivered)
+	}
+	heal()
+	n.Env(1).Send(3, "ok")
+	s.Run()
+	if n.Delivered != 3 {
+		t.Error("message not delivered after heal")
+	}
 }
 
 func TestSimUnknownDestination(t *testing.T) {
@@ -133,8 +249,8 @@ func TestSimUnknownDestination(t *testing.T) {
 	n.Attach(a)
 	n.Env(1).Send(99, "void")
 	s.Run()
-	if n.Dropped != 1 {
-		t.Errorf("Dropped = %d, want 1", n.Dropped)
+	if n.Drops.NoRoute != 1 {
+		t.Errorf("Drops.NoRoute = %d, want 1", n.Drops.NoRoute)
 	}
 }
 

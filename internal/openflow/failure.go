@@ -66,3 +66,32 @@ func (m *FailureReport) decodeBody(src []byte) error {
 	m.MissedSeq = r.u64()
 	return r.done()
 }
+
+// ConfigAck acknowledges a GroupConfig push — the barrier-reply of the
+// supervised push path. The controller retries an unacknowledged config
+// with exponential backoff, so a push lost outside the keep-alive
+// heuristics no longer strands the destination until the next regroup.
+type ConfigAck struct {
+	// From is the acknowledging switch.
+	From model.SwitchID
+	// Version echoes the grouping version of the adopted GroupConfig.
+	Version uint64
+}
+
+// TypeConfigAck extends the LazyCtrl message set.
+const TypeConfigAck MsgType = 33
+
+// MsgType implements Message.
+func (*ConfigAck) MsgType() MsgType { return TypeConfigAck }
+
+func (m *ConfigAck) encodeBody(dst []byte) []byte {
+	dst = putU32(dst, uint32(m.From))
+	return putU64(dst, m.Version)
+}
+
+func (m *ConfigAck) decodeBody(src []byte) error {
+	r := &reader{src: src}
+	m.From = model.SwitchID(r.u32())
+	m.Version = r.u64()
+	return r.done()
+}

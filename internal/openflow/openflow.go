@@ -187,6 +187,8 @@ func newMessage(t MsgType) (Message, error) {
 		return &PacketInBurst{}, nil
 	case TypeFailureReport:
 		return &FailureReport{}, nil
+	case TypeConfigAck:
+		return &ConfigAck{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}

@@ -225,6 +225,14 @@ func TestKeepAliveAndARPRelayRoundTrip(t *testing.T) {
 	}
 }
 
+func TestConfigAckRoundTrip(t *testing.T) {
+	ack := &ConfigAck{From: 7, Version: 12345}
+	got, ok := roundTrip(t, ack, 23).(*ConfigAck)
+	if !ok || !reflect.DeepEqual(got, ack) {
+		t.Errorf("ConfigAck round trip = %+v, want %+v", got, ack)
+	}
+}
+
 func TestDecodeErrors(t *testing.T) {
 	if _, _, err := Decode(nil); err == nil {
 		t.Error("Decode(nil) succeeded")
