@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression escape hatch: a comment of the form
+//
+//	//lazyvet:allow <analyzer> <reason>
+//
+// suppresses that analyzer's findings on the comment's own line (a
+// trailing comment) or, for a comment alone on its line, on exactly
+// the next line. The reason is not decoration: an allow without one is
+// itself an error, and an allow that suppressed nothing is reported as
+// unused, so stale escapes surface the moment the code they excused
+// goes away. The policy is documented in docs/analysis.md.
+
+const allowPrefix = "//lazyvet:allow"
+
+// Meta-analyzer names used for the suppression mechanism's own
+// findings. They are not suppressible: an allow comment naming them is
+// just an unused allow.
+const (
+	allowReasonCheck = "allowreason"
+	allowUnusedCheck = "allowunused"
+)
+
+type allowComment struct {
+	pos      token.Pos
+	file     string
+	line     int // line the comment sits on
+	trailing bool
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// parseAllows collects every //lazyvet:allow comment in the files.
+func parseAllows(fset *token.FileSet, files []*ast.File) []*allowComment {
+	var out []*allowComment
+	for _, f := range files {
+		// Map line -> has non-comment code, to classify trailing
+		// comments. A comment whose line also starts a statement or
+		// declaration is trailing.
+		codeLines := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if _, ok := n.(*ast.Comment); ok {
+				return false
+			}
+			if _, ok := n.(*ast.CommentGroup); ok {
+				return false
+			}
+			codeLines[fset.Position(n.Pos()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, allowPrefix)
+				// Require a separator so e.g. //lazyvet:allowx is not
+				// silently treated as an allow.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				a := &allowComment{
+					pos:  c.Pos(),
+					file: pos.Filename,
+					line: pos.Line,
+				}
+				if len(fields) > 0 {
+					a.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					a.reason = strings.Join(fields[1:], " ")
+				}
+				a.trailing = codeLines[pos.Line]
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// applyAllows filters diagnostics through the allow comments and
+// appends the mechanism's own findings.
+func applyAllows(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	allows := parseAllows(fset, files)
+
+	// Index diagnostics by file for the standalone-comment forward
+	// search.
+	type located struct {
+		d    Diagnostic
+		line int
+		kept bool
+	}
+	byFile := make(map[string][]*located)
+	var all []*located
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		l := &located{d: d, line: pos.Line, kept: true}
+		byFile[pos.Filename] = append(byFile[pos.Filename], l)
+		all = append(all, l)
+	}
+
+	for _, a := range allows {
+		if a.analyzer == "" {
+			continue // reported below as missing its analyzer+reason
+		}
+		candidates := byFile[a.file]
+		if a.trailing {
+			for _, l := range candidates {
+				if l.kept && l.line == a.line && l.d.Analyzer == a.analyzer {
+					l.kept = false
+					a.used = true
+				}
+			}
+			continue
+		}
+		// Standalone comment: suppress findings of this analyzer on
+		// exactly the next line. Keeping the scope to one line makes
+		// every escape locally auditable.
+		for _, l := range candidates {
+			if l.kept && l.line == a.line+1 && l.d.Analyzer == a.analyzer {
+				l.kept = false
+				a.used = true
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, l := range all {
+		if l.kept {
+			out = append(out, l.d)
+		}
+	}
+	for _, a := range allows {
+		switch {
+		case a.analyzer == "":
+			out = append(out, Diagnostic{
+				Pos:      a.pos,
+				Analyzer: allowReasonCheck,
+				Message:  "lazyvet:allow must name an analyzer and give a reason: //lazyvet:allow <analyzer> <reason>",
+			})
+		case a.reason == "":
+			out = append(out, Diagnostic{
+				Pos:      a.pos,
+				Analyzer: allowReasonCheck,
+				Message:  "lazyvet:allow " + a.analyzer + " needs a reason: suppressions without a recorded why cannot be audited",
+			})
+		case !a.used:
+			out = append(out, Diagnostic{
+				Pos:      a.pos,
+				Analyzer: allowUnusedCheck,
+				Message:  "unused lazyvet:allow " + a.analyzer + ": no finding on this line (or the next flagged line) to suppress; delete the comment so suppressions cannot rot",
+			})
+		}
+	}
+	return out
+}

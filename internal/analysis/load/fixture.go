@@ -1,0 +1,162 @@
+package load
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lazyctrl/internal/analysis"
+)
+
+// Fixture type-checks the fixture package at root/src/<pkgPath> (the
+// analysistest layout). Imports resolve first against the fixture
+// tree (root/src/<import>), then against the real module: fixtures
+// import production packages like lazyctrl/internal/openflow
+// directly, so analyzers are tested against the actual types they
+// target. moduleDir anchors the `go list` call that builds export
+// data for the non-fixture imports.
+func Fixture(moduleDir, root, pkgPath string) (*analysis.Package, error) {
+	fx := &fixtureLoader{
+		moduleDir: moduleDir,
+		root:      root,
+		fset:      token.NewFileSet(),
+		parsed:    make(map[string]*parsedFixture),
+	}
+	if err := fx.parseTree(pkgPath); err != nil {
+		return nil, err
+	}
+
+	// One go list call for the union of external imports.
+	var externals []string
+	seen := make(map[string]bool)
+	for _, p := range fx.parsed {
+		for _, imp := range p.imports {
+			if fx.parsed[imp] == nil && !seen[imp] && imp != "unsafe" {
+				seen[imp] = true
+				externals = append(externals, imp)
+			}
+		}
+	}
+	sort.Strings(externals)
+	exports := make(map[string]string)
+	goVersion := ""
+	if len(externals) > 0 {
+		listed, err := goList(fx.moduleDir, externals)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+			if p.Module != nil && p.Module.GoVersion != "" {
+				goVersion = "go" + p.Module.GoVersion
+			}
+		}
+	}
+
+	if goVersion == "" {
+		goVersion = "go1.24"
+	}
+	fx.goVersion = goVersion
+	fx.imp = newExportImporter(fx.fset, exports, nil)
+	return fx.check(pkgPath, nil)
+}
+
+type parsedFixture struct {
+	files   []string
+	imports []string
+	pkg     *analysis.Package
+}
+
+type fixtureLoader struct {
+	moduleDir string
+	root      string
+	fset      *token.FileSet
+	parsed    map[string]*parsedFixture
+	imp       *exportImporter
+	goVersion string
+}
+
+// parseTree parses the fixture package and, recursively, every
+// fixture-local import.
+func (fx *fixtureLoader) parseTree(pkgPath string) error {
+	if fx.parsed[pkgPath] != nil {
+		return nil
+	}
+	dir := filepath.Join(fx.root, "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("fixture %s: %w", pkgPath, err)
+	}
+	p := &parsedFixture{}
+	fx.parsed[pkgPath] = p
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		p.files = append(p.files, name)
+		// Imports only; full parse happens in typeCheck.
+		f, err := parser.ParseFile(fx.fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			p.imports = append(p.imports, path)
+		}
+	}
+	sort.Strings(p.files)
+	for _, imp := range p.imports {
+		if _, err := os.Stat(filepath.Join(fx.root, "src", filepath.FromSlash(imp))); err == nil {
+			if err := fx.parseTree(imp); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// check type-checks one fixture package, bottom-up through its
+// fixture-local imports. The trail detects import cycles.
+func (fx *fixtureLoader) check(pkgPath string, trail []string) (*analysis.Package, error) {
+	p := fx.parsed[pkgPath]
+	if p == nil {
+		return nil, fmt.Errorf("fixture %s: not parsed", pkgPath)
+	}
+	if p.pkg != nil {
+		return p.pkg, nil
+	}
+	for _, t := range trail {
+		if t == pkgPath {
+			return nil, fmt.Errorf("fixture import cycle: %v", append(trail, pkgPath))
+		}
+	}
+	trail = append(trail, pkgPath)
+	for _, imp := range p.imports {
+		if dep := fx.parsed[imp]; dep != nil && dep.pkg == nil {
+			sub, err := fx.check(imp, trail)
+			if err != nil {
+				return nil, err
+			}
+			fx.imp.local[imp] = sub.Pkg
+		} else if dep != nil {
+			fx.imp.local[imp] = dep.pkg.Pkg
+		}
+	}
+	pkg, err := typeCheck(fx.fset, pkgPath, p.files, nil, fx.imp, fx.goVersion)
+	if err != nil {
+		return nil, err
+	}
+	p.pkg = pkg
+	return pkg, nil
+}

@@ -1,0 +1,111 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+
+	"lazyctrl/internal/analysis"
+)
+
+// listedPackage is the slice of `go list -json` output the loader
+// needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+}
+
+// goList runs `go list -export -deps -json` for the patterns and
+// returns every listed package (targets and dependencies).
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := []string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Module",
+		"--",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(out)
+	var pkgs []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			cmd.Wait()
+			return nil, fmt.Errorf("go list: %v\n%s", err, stderr.Bytes())
+		}
+		pkgs = append(pkgs, &p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	return pkgs, nil
+}
+
+// Patterns loads and type-checks the packages matching the patterns
+// (relative to dir), resolving their dependencies through the build
+// cache's export data. Test files are not included: the invariants
+// lazyvet enforces govern shipped code.
+func Patterns(dir string, patterns []string) ([]*analysis.Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	goVersion := ""
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly {
+			continue
+		}
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		targets = append(targets, p)
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports, nil)
+	var out []*analysis.Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := typeCheck(fset, t.ImportPath, files, nil, imp, goVersion)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+// Package load builds type-checked analysis.Package values for the
+// lazyvet driver without golang.org/x/tools (the module is
+// dependency-free and builds offline). Three entry points:
+//
+//   - Patterns: standalone mode — resolve package patterns and export
+//     data via `go list -export -deps -json`, then type-check from
+//     source with the gc importer reading the build cache's export
+//     files.
+//   - VetCfg: the `go vet -vettool` unitchecker protocol — cmd/go has
+//     already built the dependencies and hands us a vet.cfg naming the
+//     source files and the export file of every import.
+//   - Fixture: analysistest-style testdata trees — fixture packages
+//     are type-checked from source, resolving imports first against
+//     the fixture root and then against the real module via go list.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+
+	"lazyctrl/internal/analysis"
+)
+
+// typeCheck parses and type-checks one package from source.
+func typeCheck(fset *token.FileSet, path string, filenames []string, src map[string][]byte, imp types.Importer, goVersion string) (*analysis.Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		var (
+			f   *ast.File
+			err error
+		)
+		if src != nil {
+			f, err = parser.ParseFile(fset, name, src[name], parser.ParseComments|parser.SkipObjectResolution)
+		} else {
+			f, err = parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		}
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: goVersion,
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &analysis.Package{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// exportImporter resolves imports through compiled export data (the
+// files `go list -export` or a vet.cfg point at), via the standard gc
+// importer. importMap translates source-level import paths to
+// canonical package paths (vendoring; identity in this module).
+type exportImporter struct {
+	gc        types.Importer
+	importMap map[string]string
+	// local serves packages that were type-checked from source (the
+	// fixture loader's testdata packages); consulted before export
+	// data.
+	local map[string]*types.Package
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string) *exportImporter {
+	e := &exportImporter{importMap: importMap, local: make(map[string]*types.Package)}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	e.gc = importer.ForCompiler(fset, "gc", lookup)
+	return e
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := e.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := e.local[path]; ok {
+		return p, nil
+	}
+	return e.gc.Import(path)
+}

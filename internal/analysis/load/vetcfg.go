@@ -1,0 +1,66 @@
+package load
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"strings"
+
+	"lazyctrl/internal/analysis"
+)
+
+// VetConfig mirrors cmd/go's vetConfig: the JSON file `go vet
+// -vettool` hands the tool for each package. Only the fields the
+// driver consumes are declared.
+type VetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// VetCfg parses a vet.cfg and type-checks the package it describes.
+// Test files are dropped (cmd/go lists them for test-package units):
+// lazyvet's invariants govern shipped code only, and test packages
+// come through as separate units whose GoFiles are then empty.
+func VetCfg(path string) (*VetConfig, *analysis.Package, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := &VetConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, nil, err
+	}
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return cfg, nil, nil
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := typeCheck(fset, cfg.ImportPath, files, nil, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return cfg, nil, nil
+		}
+		return cfg, nil, err
+	}
+	return cfg, pkg, nil
+}

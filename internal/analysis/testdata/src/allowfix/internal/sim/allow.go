@@ -1,0 +1,18 @@
+// Package sim exercises the malformed corners of the //lazyvet:allow
+// contract; TestAllowPolicy asserts on the diagnostics directly.
+package sim
+
+import "time"
+
+func MissingReason() {
+	_ = time.Now() //lazyvet:allow determinism
+}
+
+func Unused() {
+	//lazyvet:allow determinism the next line has no finding to suppress
+	_ = 1
+}
+
+func Bare() {
+	_ = time.Now() //lazyvet:allow
+}

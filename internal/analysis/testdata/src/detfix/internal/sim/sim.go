@@ -1,0 +1,38 @@
+// Package sim is a determinism-analyzer fixture: its import path ends
+// in internal/sim, so the production scope table matches it.
+package sim
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Flagged exercises every banned call form.
+func Flagged(d time.Duration) {
+	t0 := time.Now()             // want `time\.Now reads the wall clock`
+	_ = time.Since(t0)           // want `time\.Since reads the wall clock`
+	_ = time.Until(t0)           // want `time\.Until reads the wall clock`
+	_ = time.After(d)            // want `time\.After constructs a wall-clock timer`
+	_ = time.NewTicker(d)        // want `time\.NewTicker constructs a wall-clock ticker`
+	time.AfterFunc(d, func() {}) // want `time\.AfterFunc constructs a wall-clock timer`
+	_ = rand.IntN(4)             // want `rand\.IntN draws from the shared global generator`
+	_ = rand.Uint64()            // want `rand\.Uint64 draws from the shared global generator`
+}
+
+// Clean uses only the approved forms: seeded generators, duration
+// arithmetic, and methods on injected values.
+func Clean(d time.Duration, now func() time.Duration) {
+	r := rand.New(rand.NewPCG(1, 2))
+	_ = r.IntN(4)
+	_ = d.Seconds()
+	_ = now() + d
+	_ = time.Duration(42)
+}
+
+// Allowed shows both suppression forms; these produce no findings and
+// the allows are used, so nothing is reported.
+func Allowed(d time.Duration) {
+	_ = time.Now() //lazyvet:allow determinism fixture exercises the trailing allow form
+	//lazyvet:allow determinism fixture exercises the standalone allow form
+	_ = time.Tick(d)
+}

@@ -1,0 +1,10 @@
+// Package plainpkg sits outside the simulated-subsystem scope: the
+// same calls that the determinism analyzer flags in internal/sim are
+// unremarkable here.
+package plainpkg
+
+import "time"
+
+func Startup() time.Time {
+	return time.Now()
+}

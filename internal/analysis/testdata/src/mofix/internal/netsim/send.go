@@ -1,0 +1,35 @@
+// Package netsim is a maporder fixture for the send sink: delivery
+// order follows enqueue order, so sending inside a map range is
+// order-sensitive even when the payload is loop-invariant.
+package netsim
+
+import "sort"
+
+type Net struct{ queued int }
+
+func (n *Net) Send(to uint64, payload []byte) { n.queued++ }
+
+func FlaggedBroadcastLike(n *Net, peers map[uint64]bool, payload []byte) {
+	for p := range peers {
+		n.Send(p, payload) // want `netsim send inside range over a map`
+	}
+}
+
+// FlaggedEvenInvariant: the destination is fixed, but enqueue order
+// still follows map order.
+func FlaggedEvenInvariant(n *Net, peers map[uint64]bool, payload []byte) {
+	for range peers {
+		n.Send(0, payload) // want `netsim send inside range over a map`
+	}
+}
+
+func CleanSortedSend(n *Net, peers map[uint64]bool, payload []byte) {
+	order := make([]uint64, 0, len(peers))
+	for p := range peers {
+		order = append(order, p)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, p := range order {
+		n.Send(p, payload)
+	}
+}

@@ -1,0 +1,107 @@
+// Package controller is a stripelock fixture mirroring the production
+// stateShards striping.
+package controller
+
+import "sync"
+
+type stateShard struct {
+	mu sync.Mutex
+	m  map[uint64]uint64
+}
+
+type stateShards struct {
+	shards []stateShard
+}
+
+func (t *stateShards) shardFor(k uint64) *stateShard {
+	return &t.shards[k%uint64(len(t.shards))]
+}
+
+// locate is the single-stripe shape and a re-entrant entry point.
+func (t *stateShards) locate(k uint64) (uint64, bool) {
+	s := t.shardFor(k)
+	s.mu.Lock()
+	v, ok := s.m[k]
+	s.mu.Unlock()
+	return v, ok
+}
+
+// transferBad holds two hash-selected stripes at once: the indices are
+// data-dependent, so two goroutines transferring opposite pairs
+// deadlock.
+func (t *stateShards) transferBad(a, b uint64) {
+	sa := t.shardFor(a)
+	sb := t.shardFor(b)
+	sa.mu.Lock()
+	sb.mu.Lock() // want `stripe lock acquired while one is already held`
+	sb.m[b] = sa.m[a]
+	sb.mu.Unlock()
+	sa.mu.Unlock()
+}
+
+// constAscending is the one sanctioned multi-lock shape.
+func (t *stateShards) constAscending() {
+	s0 := &t.shards[0]
+	s1 := &t.shards[1]
+	s0.mu.Lock()
+	s1.mu.Lock()
+	s1.mu.Unlock()
+	s0.mu.Unlock()
+}
+
+// constDescending inverts the order and must be flagged.
+func (t *stateShards) constDescending() {
+	s1 := &t.shards[1]
+	s0 := &t.shards[0]
+	s1.mu.Lock()
+	s0.mu.Lock() // want `ascending index order`
+	s0.mu.Unlock()
+	s1.mu.Unlock()
+}
+
+// reentry calls a stripe-locking entry point with a stripe held: on a
+// 1-stripe table this self-deadlocks.
+func (t *stateShards) reentry(k uint64) uint64 {
+	s := t.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, _ := t.locate(k + 1) // want `stripe-locking entry point`
+	return v
+}
+
+// sequential locks stripes one after another — released before the
+// next is taken — which is fine.
+func (t *stateShards) sequential(k1, k2 uint64) {
+	s1 := t.shardFor(k1)
+	s1.mu.Lock()
+	s1.m[k1] = 1
+	s1.mu.Unlock()
+	s2 := t.shardFor(k2)
+	s2.mu.Lock()
+	s2.m[k2] = 2
+	s2.mu.Unlock()
+}
+
+// sweep iterates all stripes, locking each in turn inside the loop
+// body: sequential, never nested.
+func (t *stateShards) sweep() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Exercise keeps the unexported shapes referenced.
+func Exercise(t *stateShards) {
+	t.locate(1)
+	t.transferBad(1, 2)
+	t.constAscending()
+	t.constDescending()
+	t.reentry(3)
+	t.sequential(4, 5)
+	t.sweep()
+}

@@ -1,0 +1,30 @@
+// Package bloom is a versionstamp fixture mirroring the production
+// filter's owner-assigned version field.
+package bloom
+
+type Filter struct {
+	bits    []uint64
+	version uint64
+}
+
+// SetVersion is the approved owner assignment point.
+func (f *Filter) SetVersion(v uint64) { f.version = v }
+
+// Clone is approved: the copy carries the original's stamp.
+func (f *Filter) Clone() *Filter {
+	return &Filter{bits: append([]uint64(nil), f.bits...), version: f.version}
+}
+
+// Version reads are unrestricted.
+func (f *Filter) Version() uint64 { return f.version }
+
+// Reset writes the version outside the approved owners.
+func (f *Filter) Reset() {
+	f.bits = nil
+	f.version = 0 // want `outside its approved owner functions`
+}
+
+// Bump stamps via a composite literal outside the approved owners.
+func Bump(f *Filter) *Filter {
+	return &Filter{version: f.version + 1} // want `outside its approved owner functions`
+}

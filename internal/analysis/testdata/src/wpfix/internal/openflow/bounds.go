@@ -1,0 +1,68 @@
+package openflow
+
+// reader mimics the production codec's primitive reader; the bounds
+// analyzer keys on the method names.
+type reader struct {
+	src []byte
+	off int
+}
+
+func (r *reader) remain() int { return len(r.src) - r.off }
+
+func (r *reader) uvarint() uint64 {
+	if r.off >= len(r.src) {
+		return 0
+	}
+	v := uint64(r.src[r.off])
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.remain() < 2 {
+		return 0
+	}
+	v := uint16(r.src[r.off])<<8 | uint16(r.src[r.off+1])
+	r.off += 2
+	return v
+}
+
+func decodeUnbounded(r *reader) []uint32 {
+	n := int(r.uvarint())
+	return make([]uint32, 0, n) // want `no prior bounds check`
+}
+
+// decodeZeroGuardOnly: `n > 0` is not an upper bound — a crafted
+// count still reaches the allocator.
+func decodeZeroGuardOnly(r *reader) []uint32 {
+	n := int(r.uvarint())
+	if n > 0 {
+		return make([]uint32, n) // want `no prior bounds check`
+	}
+	return nil
+}
+
+func decodeGuarded(r *reader) []uint32 {
+	n := int(r.uvarint())
+	if n < 0 || n > r.remain()/4 {
+		return nil
+	}
+	return make([]uint32, 0, n)
+}
+
+func decodeGuardedMul(r *reader) []byte {
+	n := int(r.u16())
+	if n*3 > r.remain() {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// exercise keeps the decoders referenced.
+func exercise(r *reader) int {
+	return len(decodeUnbounded(r)) + len(decodeZeroGuardOnly(r)) +
+		len(decodeGuarded(r)) + len(decodeGuardedMul(r))
+}
+
+// Exercise keeps exercise referenced.
+func Exercise(r *reader) int { return exercise(r) }

@@ -1,0 +1,55 @@
+// Package openflow is a wireproto codec fixture. The test swaps the
+// handler table to: TypeHello→none, TypePacketIn→edge,
+// TypeFlowMod→controller, plus a stale TypeGhost entry.
+package openflow
+
+type MsgType uint8 // want `handler table names TypeGhost but the codec declares no such MsgType constant`
+
+const (
+	TypeHello    MsgType = 1
+	TypePacketIn MsgType = 2 // want `missing from msgTypeNames`
+	TypeFlowMod  MsgType = 3 // want `no decode case in newMessage`
+	TypeMystery  MsgType = 4 // want `not assigned to an apply switch`
+)
+
+type Message interface{ MsgType() MsgType }
+
+type Hello struct{}
+
+func (*Hello) MsgType() MsgType { return TypeHello }
+
+type PacketIn struct{}
+
+func (*PacketIn) MsgType() MsgType { return TypePacketIn }
+
+type FlowMod struct{}
+
+func (*FlowMod) MsgType() MsgType { return TypeFlowMod }
+
+type Mystery struct{}
+
+func (*Mystery) MsgType() MsgType { return TypeMystery }
+
+var msgTypeNames = map[MsgType]string{
+	TypeHello:   "Hello",
+	TypeFlowMod: "FlowMod",
+	TypeMystery: "Mystery",
+}
+
+// Name stringifies a message type (keeps msgTypeNames referenced).
+func Name(t MsgType) string { return msgTypeNames[t] }
+
+func newMessage(t MsgType) Message {
+	switch t {
+	case TypeHello:
+		return &Hello{}
+	case TypePacketIn:
+		return &PacketIn{}
+	case TypeMystery:
+		return &Mystery{}
+	}
+	return nil
+}
+
+// New keeps newMessage referenced.
+func New(t MsgType) Message { return newMessage(t) }

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"sort"
 	"time"
 
 	"lazyctrl/internal/failover"
@@ -545,8 +546,18 @@ func (c *Controller) checkFailures() {
 			delete(c.pushedFilters, sw)
 		}
 	}
-	for suspect, diag := range c.detector.Ready(now) {
-		c.actOnDiagnosis(suspect, diag)
+	// Act in sorted switch order: recovery emits messages (evictions,
+	// flow-mod reroutes), and acting in map-iteration order would make
+	// the emission order — and so the whole downstream delivery
+	// schedule — differ run to run.
+	ready := c.detector.Ready(now)
+	suspects := make([]model.SwitchID, 0, len(ready))
+	for suspect := range ready {
+		suspects = append(suspects, suspect)
+	}
+	sort.Slice(suspects, func(i, j int) bool { return suspects[i] < suspects[j] })
+	for _, suspect := range suspects {
+		c.actOnDiagnosis(suspect, ready[suspect])
 	}
 }
 

@@ -106,9 +106,18 @@ func (g *GFIB) ApplyDelta(peer model.SwitchID, base, target uint64, words []bloo
 // keyed by peer. The delta/full differential tests compare these for
 // byte identity.
 func (g *GFIB) SnapshotBytes() map[model.SwitchID][]byte {
+	// Marshal in sorted peer order. The result map is keyed, so the
+	// content cannot depend on order, but keeping every encode loop on
+	// the collect-sort-iterate idiom is what lets lazyvet's maporder
+	// check stay a flat rule with no per-site judgment calls.
+	peers := make([]model.SwitchID, 0, len(g.filters))
+	for peer := range g.filters {
+		peers = append(peers, peer)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
 	out := make(map[model.SwitchID][]byte, len(g.filters))
-	for peer, f := range g.filters {
-		data, err := f.MarshalBinary()
+	for _, peer := range peers {
+		data, err := g.filters[peer].MarshalBinary()
 		if err != nil {
 			continue // cannot happen: MarshalBinary has no failure path
 		}

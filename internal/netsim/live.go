@@ -62,7 +62,7 @@ func NewLive(lat Latencies) *LiveNetwork {
 		nodes:     make(map[model.SwitchID]*liveNode),
 		downLinks: make(map[model.SwitchPair]bool),
 		downNodes: make(map[model.SwitchID]bool),
-		start:     time.Now(),
+		start:     time.Now(), //lazyvet:allow determinism live transport epoch: wall-clock is the live underlay's whole point
 	}
 }
 
@@ -172,6 +172,7 @@ func (n *LiveNetwork) send(from, to model.SwitchID, msg Message) {
 	}
 	msg = n.roundTripCodec(msg)
 	delay := n.lat.delay(kind, liveRand())
+	//lazyvet:allow determinism live delivery delay is real elapsed time by design
 	time.AfterFunc(delay, func() {
 		select {
 		case dst.in <- liveEnvelope{from: from, msg: msg}:
@@ -195,7 +196,7 @@ type liveEnv struct {
 	id  model.SwitchID
 }
 
-func (e *liveEnv) Now() time.Duration { return time.Since(e.net.start) }
+func (e *liveEnv) Now() time.Duration { return time.Since(e.net.start) } //lazyvet:allow determinism the live Env.Now IS the wall clock; deterministic runs use the sim Env instead
 
 func (e *liveEnv) deliverTimer(fn func()) {
 	e.net.mu.Lock()
@@ -212,7 +213,7 @@ func (e *liveEnv) deliverTimer(fn func()) {
 }
 
 func (e *liveEnv) After(d time.Duration, fn func()) func() {
-	t := time.AfterFunc(d, func() { e.deliverTimer(fn) })
+	t := time.AfterFunc(d, func() { e.deliverTimer(fn) }) //lazyvet:allow determinism live Env timers fire on real elapsed time by design
 	return func() { t.Stop() }
 }
 
@@ -220,7 +221,7 @@ func (e *liveEnv) Every(d time.Duration, fn func()) func() {
 	stop := make(chan struct{})
 	var once sync.Once
 	go func() {
-		ticker := time.NewTicker(d)
+		ticker := time.NewTicker(d) //lazyvet:allow determinism live Env tickers fire on real elapsed time by design
 		defer ticker.Stop()
 		for {
 			select {

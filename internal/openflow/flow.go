@@ -173,7 +173,11 @@ func encodeActions(dst []byte, actions []Action) []byte {
 
 func decodeActions(r *reader) []Action {
 	n := int(r.u16())
-	if n == 0 || n > r.remain() { // each action is ≥ 7 bytes; cheap sanity bound
+	// Each action is exactly 7 bytes (type u8 + port u16 + remote u32),
+	// so the count cannot exceed remain()/7; the divide form cannot
+	// overflow. The earlier `n > r.remain()` sanity bound let a crafted
+	// count over-allocate by up to 7x before the per-field reads failed.
+	if n == 0 || n > r.remain()/7 {
 		if n != 0 {
 			r.fail()
 		}

@@ -94,6 +94,8 @@ var msgTypeNames = map[MsgType]string{
 	TypeGFIBDelta:     "GFIBDelta",
 	TypeGFIBNack:      "GFIBNack",
 	TypePacketInBurst: "PacketInBurst",
+	TypeFailureReport: "FailureReport",
+	TypeConfigAck:     "ConfigAck",
 }
 
 // String returns the message type name.

@@ -1,6 +1,9 @@
 package replay
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Estimator carries the Horvitz–Thompson accounting of a sampled
 // replay: per time bucket, how many flows each sampled pair
@@ -61,8 +64,17 @@ func (e *Estimator) RelStdErr() []float64 {
 		return out // exhaustive (or empty) sample: no sampling error
 	}
 	for i, m := range e.buckets {
+		// Sum in sorted key order: float addition is not associative,
+		// so map-iteration order would perturb the error estimate's low
+		// bits between runs.
+		keys := make([]uint64, 0, len(m))
+		for key := range m {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
 		var n, sq float64
-		for _, c := range m {
+		for _, key := range keys {
+			c := m[key]
 			n += float64(c)
 			sq += float64(c) * float64(c)
 		}

@@ -80,6 +80,24 @@ func estimatorTrial(weights []uint64, p float64, seed uint64) (est, half float64
 	return est, 3 * e.RelStdErr()[0] * est
 }
 
+// TestRelStdErrStable pins the determinism fix lazyvet's maporder
+// analyzer forced: the error estimate sums floats in sorted key order,
+// so repeated evaluations over the same buckets are bit-identical.
+func TestRelStdErrStable(t *testing.T) {
+	e := NewEstimator(0.1, 1)
+	for i := uint64(0); i < 500; i++ {
+		for k := uint64(0); k <= i%7; k++ {
+			e.Observe(0, i)
+		}
+	}
+	first := e.RelStdErr()[0]
+	for i := 0; i < 5; i++ {
+		if got := e.RelStdErr()[0]; got != first {
+			t.Fatalf("run %d: RelStdErr = %v, want bit-identical %v", i, got, first)
+		}
+	}
+}
+
 // TestEstimatorUnbiasedAndCovered simulates the estimator's own
 // contract directly over synthetic pair populations: the HT estimate
 // must be unbiased across seeds, 3σ bands on a moderately skewed

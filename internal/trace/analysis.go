@@ -165,9 +165,24 @@ func (p *pairCounter) centrality(k int, seed uint64) (float64, error) {
 	for i, h := range hosts {
 		index[h] = i
 	}
+	// Iterate pairs in sorted order everywhere below: edge insertion
+	// order shapes the builder's adjacency layout (and thus the
+	// partitioner's tie-breaking), and float accumulation is not
+	// associative, so map-iteration order would change results run to
+	// run (TestCentralityStable pins this).
+	pairs := make([]model.FlowKey, 0, len(p.counts))
+	for key := range p.counts {
+		pairs = append(pairs, key)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Src != pairs[j].Src {
+			return pairs[i].Src < pairs[j].Src
+		}
+		return pairs[i].Dst < pairs[j].Dst
+	})
 	b := graph.NewBuilder(len(hosts))
-	for key, c := range p.counts {
-		b.AddEdge(index[key.Src], index[key.Dst], c)
+	for _, key := range pairs {
+		b.AddEdge(index[key.Src], index[key.Dst], p.counts[key])
 	}
 	g := b.Build()
 	// The paper partitions the hosts "evenly": enforce tight balance
@@ -184,9 +199,9 @@ func (p *pairCounter) centrality(k int, seed uint64) (float64, error) {
 	}
 	intra := make([]float64, k)
 	touch := make([]float64, k)
-	for key, c := range p.counts {
+	for _, key := range pairs {
 		pa, pb := part[index[key.Src]], part[index[key.Dst]]
-		w := float64(c)
+		w := float64(p.counts[key])
 		if pa == pb {
 			intra[pa] += w
 			touch[pa] += w

@@ -146,6 +146,28 @@ func TestAverageCentralityHighForLocalTrace(t *testing.T) {
 	}
 }
 
+// TestCentralityStable pins the determinism fix lazyvet's maporder
+// analyzer forced: centrality accumulates floats and inserts graph
+// edges in sorted pair order, never map-iteration order, so repeated
+// runs over the same trace are bit-identical. (Before the fix, Go's
+// per-range map order randomization made the low bits wander.)
+func TestCentralityStable(t *testing.T) {
+	tr := smallTrace(t, 9)
+	first, err := AverageCentrality(tr, 5, 1)
+	if err != nil {
+		t.Fatalf("AverageCentrality: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		c, err := AverageCentrality(tr, 5, 1)
+		if err != nil {
+			t.Fatalf("AverageCentrality run %d: %v", i, err)
+		}
+		if c != first {
+			t.Fatalf("run %d: centrality = %v, want bit-identical %v", i, c, first)
+		}
+	}
+}
+
 func TestAverageCentralityValidation(t *testing.T) {
 	tr := smallTrace(t, 6)
 	if _, err := AverageCentrality(tr, 1, 1); err == nil {
