@@ -138,6 +138,29 @@ type Config struct {
 	// (edge.Config). Zero selects the shared fib defaults.
 	FilterBits   uint64
 	FilterHashes uint32
+	// PerFlowRules selects the per-flow (5-tuple) reactive baseline for
+	// learning mode: the controller answers each escalation with the
+	// buffered packet only and installs no flow rule. A faithful
+	// per-flow rule would never be hit again inside the emulation —
+	// only first packets of distinct flows reach the datapath, and two
+	// flows of one host pair are indistinguishable at the MAC/IP match
+	// granularity the wire model carries — so omitting the install *is*
+	// the per-flow cache model: every distinct flow's first packet
+	// escalates, which is what the paper's OpenFlow baseline measures.
+	PerFlowRules bool
+	// ControlFold enables analytic elision of the controller's
+	// quiescent periodic rounds (keep-alive probing/failure checking,
+	// ARP expiry): runs of provably no-op rounds collapse into one bulk
+	// event crediting their aggregate effect (see fold.go). Takes
+	// effect only when the environment supports elision
+	// (netsim.ElidableScheduler).
+	ControlFold bool
+	// FoldGate reports whether folding is currently allowed; the
+	// harness wires it to the underlay's fault-free predicate.
+	FoldGate func() bool
+	// FoldMeter credits the wire bytes of messages a folded round would
+	// have sent (same contract as edge.FoldHooks.Meter).
+	FoldMeter func(from, to model.SwitchID, msg openflow.Message, copies uint64)
 	// Recorder receives workload accounting (may be nil).
 	Recorder *metrics.Recorder
 	// OnDiagnosis is invoked when the failover module reaches a
@@ -277,6 +300,10 @@ type Controller struct {
 
 	cancels []func()
 
+	// Control-fold task handles (nil without ControlFold).
+	kaTask     netsim.ElidableTask
+	expireTask netsim.ElidableTask
+
 	// Stats.
 	stats Stats
 }
@@ -399,25 +426,39 @@ func (c *Controller) RegisterTenant(vlan model.VLAN, tenant model.TenantID) {
 }
 
 // Start begins periodic duties: keep-alives, failover checks, and (in
-// lazy dynamic mode) regroup-trigger evaluation.
+// lazy dynamic mode) regroup-trigger evaluation. With ControlFold the
+// keep-alive send and failure check merge into one elidable task
+// (send-then-check, the order the separate registrations produced) and
+// ARP expiry becomes elidable; regroup evaluation always stays real —
+// it reads the intensity matrix, which folding cannot reason about.
 func (c *Controller) Start() {
-	c.cancels = append(c.cancels,
-		c.env.Every(c.cfg.KeepAliveInterval, c.sendKeepAlives),
-		c.env.Every(c.cfg.KeepAliveInterval, c.checkFailures),
-		c.env.Every(c.cfg.ARPTimeout, c.expirePending),
-	)
+	if c.cfg.ControlFold {
+		c.kaTask = netsim.EveryElidableOrReal(c.env, c.cfg.KeepAliveInterval,
+			func() { c.sendKeepAlives(); c.checkFailures() },
+			c.kaQuiet, c.kaCredit)
+		c.expireTask = netsim.EveryElidableOrReal(c.env, c.cfg.ARPTimeout,
+			c.expirePending, c.expireQuiet, func(int) {})
+		c.cancels = append(c.cancels, c.kaTask.Stop, c.expireTask.Stop)
+	} else {
+		c.cancels = append(c.cancels,
+			c.env.Every(c.cfg.KeepAliveInterval, c.sendKeepAlives),
+			c.env.Every(c.cfg.KeepAliveInterval, c.checkFailures),
+			c.env.Every(c.cfg.ARPTimeout, c.expirePending),
+		)
+	}
 	if c.cfg.Mode == ModeLazy && c.cfg.Dynamic {
 		c.cancels = append(c.cancels,
 			c.env.Every(c.cfg.RegroupCheckInterval, c.maybeRegroup))
 	}
 }
 
-// Stop cancels periodic duties.
+// Stop cancels periodic duties (elidable tasks settle pending folds).
 func (c *Controller) Stop() {
 	for _, cancel := range c.cancels {
 		cancel()
 	}
 	c.cancels = nil
+	c.kaTask, c.expireTask = nil, nil
 }
 
 // SameGroup reports whether two switches share a local control group —

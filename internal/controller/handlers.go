@@ -37,6 +37,8 @@ func (c *Controller) HandleMessage(from model.SwitchID, msg netsim.Message) {
 		c.record(metrics.ReqKeepAlive, 1)
 		c.stats.FailuresSeen++
 		c.detector.Observe(m, c.env.Now())
+		// Open evidence needs real check rounds to close its window.
+		wakeTask(c.kaTask)
 	case *openflow.KeepAlive:
 		c.lastAck[m.From] = c.env.Now()
 		c.detector.Clear(m.From)
@@ -265,6 +267,7 @@ func (c *Controller) apply(m *openflow.PacketIn, d pinDecision) {
 			packet:  m.Packet,
 			since:   c.env.Now(),
 		})
+		wakeTask(c.expireTask) // a pending flow needs expiry rounds
 		c.relayARP(m.Packet)
 	}
 }
@@ -373,6 +376,20 @@ func (c *Controller) allDesignated() []model.SwitchID {
 // and returns the buffered packet with the Encap action (extending
 // OpenFlow v1.0, §IV-B).
 func (c *Controller) installAndForward(ingress, dst model.SwitchID, p model.Packet) {
+	if c.cfg.PerFlowRules {
+		// Per-flow baseline: forward the buffered packet without
+		// installing a rule. A 5-tuple rule would never absorb another
+		// escalation here — only distinct flows' first packets reach
+		// the datapath — so the omitted install is exactly the
+		// always-miss cache the per-flow baseline measures (see
+		// Config.PerFlowRules).
+		c.stats.PacketOuts++
+		c.env.Send(ingress, &openflow.PacketOut{
+			Actions: []openflow.Action{openflow.Encap(dst)},
+			Packet:  p,
+		})
+		return
+	}
 	c.stats.FlowModsSent++
 	c.stats.PacketOuts++
 	c.env.Send(ingress, &openflow.FlowMod{
@@ -523,6 +540,14 @@ func (c *Controller) resurrect(sw model.SwitchID) {
 func (c *Controller) checkFailures() {
 	now := c.env.Now()
 	deadline := 3 * c.cfg.KeepAliveInterval
+	// Folded probe rounds were credited only while the underlay was
+	// fault-free, so their acks are implicitly received through the
+	// credited boundary; a switch that went silent under a fault is
+	// still caught, because crediting stopped at the fault.
+	var credited time.Duration
+	if c.kaTask != nil {
+		credited = c.kaTask.CreditedThrough()
+	}
 	for _, sw := range c.cfg.Switches {
 		if c.dead[sw] {
 			continue
@@ -531,6 +556,9 @@ func (c *Controller) checkFailures() {
 		if !seen {
 			c.lastAck[sw] = now
 			continue
+		}
+		if credited > last {
+			last = credited
 		}
 		if now-last >= deadline {
 			c.stats.KeepAliveLost++

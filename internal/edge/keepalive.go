@@ -86,6 +86,15 @@ func (s *Switch) checkKeepAlives() {
 			s.lastFrom[neighbor] = now
 			return
 		}
+		// A neighbor whose heartbeat rounds were folded is implicitly
+		// heard through the credited boundary: rounds are only credited
+		// while the underlay was fault-free, so genuine silence (which
+		// begins with a fault) is never masked.
+		if h := s.cfg.Fold; h != nil && h.PeerKACreditedThrough != nil {
+			if ct := h.PeerKACreditedThrough(neighbor); ct > last {
+				last = ct
+			}
+		}
 		if now-last >= deadline {
 			s.reported[neighbor] = true
 			s.sendCtrl(&openflow.FailureReport{
@@ -135,6 +144,9 @@ func (s *Switch) dropMemberAggregation(suspect model.SwitchID) {
 	delete(s.ctrlSent, suspect)
 	delete(s.gfibPrev, suspect)
 	s.evictedMembers[suspect] = true
+	// Pending evictions keep dissemination/report rounds real.
+	wakeTask(s.dissemTask)
+	wakeTask(s.reportTask)
 }
 
 // broadcastFilterRemoval ships the G-FIB tombstone for a lost member

@@ -88,6 +88,10 @@ func (s *Switch) handleFlowMod(m *openflow.FlowMod) {
 // switch can rebuild quickly (the "preload" window is covered by
 // controller-installed rules).
 func (s *Switch) handleGroupConfig(m *openflow.GroupConfig) {
+	// Settle folded rounds under the old group view before anything is
+	// mutated: credit callbacks read the state the fold was proven
+	// against.
+	s.settleFoldTasks()
 	membersChanged := !sameMembers(s.group.Members, m.Members) || !s.haveGroup
 	ringChanged := s.group.RingPrev != m.RingPrev || s.group.RingNext != m.RingNext
 	s.group = *m
@@ -174,17 +178,20 @@ func (s *Switch) restartGroupTimers() {
 		c()
 	}
 	s.cancels = s.cancels[:0]
-	s.cancels = append(s.cancels,
-		s.env.Every(s.cfg.AdvertiseInterval, s.advertise))
+	s.advTask, s.kaSendTask, s.kaCheckTask, s.dissemTask, s.reportTask = nil, nil, nil, nil, nil
+	s.advTask = s.registerPeriodic(s.cfg.AdvertiseInterval, s.advertise,
+		s.advertiseQuiet, s.advertiseCredit)
 	if s.group.KeepAliveInterval > 0 && len(s.group.Members) > 1 {
-		s.cancels = append(s.cancels,
-			s.env.Every(s.group.KeepAliveInterval, s.sendKeepAlives),
-			s.env.Every(s.group.KeepAliveInterval, s.checkKeepAlives))
+		s.kaSendTask = s.registerPeriodic(s.group.KeepAliveInterval, s.sendKeepAlives,
+			s.kaSendQuiet, s.kaSendCredit)
+		s.kaCheckTask = s.registerPeriodic(s.group.KeepAliveInterval, s.checkKeepAlives,
+			s.kaCheckQuiet, func(int) {})
 	}
 	if s.IsDesignated() {
-		s.cancels = append(s.cancels,
-			s.env.Every(s.cfg.GFIBInterval, s.disseminateGFIB),
-			s.env.Every(s.cfg.ReportInterval, s.reportToController))
+		s.dissemTask = s.registerPeriodic(s.cfg.GFIBInterval, s.disseminateGFIB,
+			s.dissemQuiet, s.dissemCredit)
+		s.reportTask = s.registerPeriodic(s.cfg.ReportInterval, s.reportToController,
+			s.reportQuiet, s.reportCredit)
 	}
 }
 
@@ -324,6 +331,10 @@ func (s *Switch) handleMemberReport(from model.SwitchID, m *openflow.StateReport
 	for _, p := range m.Pairs {
 		s.memberPairs[model.MakeSwitchPair(p.A, p.B)] += p.NewFlows
 	}
+	// A member spoke: aggregated versions or pair stats may have moved,
+	// so folded dissemination/report rounds must re-prove quietness.
+	wakeTask(s.dissemTask)
+	wakeTask(s.reportTask)
 }
 
 // mergeWireEntries merges an increment into a MAC-sorted snapshot,

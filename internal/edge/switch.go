@@ -57,6 +57,16 @@ type Config struct {
 	// the measurement baseline for the delta protocol and as an escape
 	// hatch; the delta path is on by default.
 	GFIBFullPush bool
+	// ControlFold enables analytic elision of quiescent periodic
+	// rounds (keep-alives, idle advertisements, empty reports): runs of
+	// provably no-op rounds collapse into one bulk event that credits
+	// their aggregate effect in closed form (see fold.go). Takes effect
+	// only when the environment supports elision
+	// (netsim.ElidableScheduler) and Fold supplies the oracles.
+	ControlFold bool
+	// Fold supplies the harness-side oracles the fold's quiet proofs
+	// need (global fault gate, peer freshness, wire metering).
+	Fold *FoldHooks
 	// OnDeliver receives packets arriving at locally attached hosts.
 	OnDeliver DeliverFunc
 }
@@ -234,6 +244,15 @@ type Switch struct {
 	started   bool
 	stats     Stats
 	xid       uint32
+
+	// Control-fold task handles (nil without ControlFold): wake hooks
+	// re-materialize the timers whose quiet proof a state change
+	// invalidates.
+	advTask     netsim.ElidableTask
+	kaSendTask  netsim.ElidableTask
+	kaCheckTask netsim.ElidableTask
+	dissemTask  netsim.ElidableTask
+	reportTask  netsim.ElidableTask
 }
 
 // New constructs a switch bound to its environment. Call Start to begin
@@ -295,12 +314,20 @@ func (s *Switch) IsDesignated() bool {
 // AttachHost seeds the L-FIB with a locally attached VM (the hypervisor
 // knows its virtual interfaces).
 func (s *Switch) AttachHost(mac model.MAC, ip model.IP, vlan model.VLAN) {
+	v := s.lfib.Version()
 	s.lfib.Learn(mac, ip, vlan, 1, s.env.Now())
+	if s.lfib.Version() != v {
+		s.noteLFIBChanged()
+	}
 }
 
 // DetachHost removes a local VM (migration away or removal).
 func (s *Switch) DetachHost(mac model.MAC) {
+	v := s.lfib.Version()
 	s.lfib.Remove(mac)
+	if s.lfib.Version() != v {
+		s.noteLFIBChanged()
+	}
 }
 
 // Start begins periodic slow-path duties (advertisement; keep-alives and
@@ -310,18 +337,33 @@ func (s *Switch) Start() {
 		return
 	}
 	s.started = true
-	s.cancels = append(s.cancels,
-		s.env.Every(s.cfg.AdvertiseInterval, s.advertise))
+	s.advTask = s.registerPeriodic(s.cfg.AdvertiseInterval, s.advertise,
+		s.advertiseQuiet, s.advertiseCredit)
+}
+
+// registerPeriodic wires one periodic duty, elidable when the control
+// fold is enabled; the task's cancel joins the group-timer teardown
+// either way (ElidableTask.Stop settles pending folds first).
+func (s *Switch) registerPeriodic(interval time.Duration, run func(), quiet func() int, credit func(int)) netsim.ElidableTask {
+	if !s.cfg.ControlFold || s.cfg.Fold == nil {
+		s.cancels = append(s.cancels, s.env.Every(interval, run))
+		return nil
+	}
+	t := netsim.EveryElidableOrReal(s.env, interval, run, quiet, credit)
+	s.cancels = append(s.cancels, t.Stop)
+	return t
 }
 
 // Stop cancels all periodic work and flushes any PacketIns still held
-// in the micro-batching window.
+// in the micro-batching window. Elidable tasks settle their pending
+// folds before state teardown (their Stop credits passed rounds).
 func (s *Switch) Stop() {
 	s.flushPacketIns()
 	for _, c := range s.cancels {
 		c()
 	}
 	s.cancels = nil
+	s.advTask, s.kaSendTask, s.kaCheckTask, s.dissemTask, s.reportTask = nil, nil, nil, nil, nil
 	s.started = false
 }
 
@@ -393,7 +435,11 @@ func (s *Switch) InjectLocal(p *model.Packet) {
 	s.stats.BytesSeen += uint64(p.Bytes)
 
 	// The switch learns the source address from any local transmission.
+	v := s.lfib.Version()
 	s.lfib.Learn(p.SrcMAC, p.SrcIP, p.VLAN, 1, now)
+	if s.lfib.Version() != v {
+		s.noteLFIBChanged()
+	}
 
 	// 1. Flow table.
 	if rule := s.flows.lookup(p, now); rule != nil {
@@ -447,6 +493,7 @@ func (s *Switch) handleOverlay(p *model.Packet) {
 	}
 	if inner.FlowSeq == 0 && src != model.NoSwitch {
 		s.pairFlows[src]++
+		wakeTask(s.advTask) // pair statistics now pending
 	}
 	s.deliver(&inner)
 }
@@ -540,7 +587,16 @@ func (s *Switch) controllerSilent() bool {
 		return false
 	}
 	deadline := time.Duration(s.cfg.KeepAliveMisses) * s.group.KeepAliveInterval
-	return s.env.Now()-s.ctrlLastKA >= deadline
+	last := s.ctrlLastKA
+	// Folded controller heartbeat rounds were credited only while the
+	// underlay was fault-free, so the broadcast is implicitly heard
+	// through the credited boundary.
+	if h := s.cfg.Fold; h != nil && h.CtrlKACreditedThrough != nil {
+		if ct := h.CtrlKACreditedThrough(); ct > last {
+			last = ct
+		}
+	}
+	return s.env.Now()-last >= deadline
 }
 
 // degradeFlood is the graceful-degradation path for no-match first

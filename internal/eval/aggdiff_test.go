@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"testing"
+
+	"lazyctrl/internal/replay"
+	"lazyctrl/internal/trace"
+)
+
+// TestAggregatePopulationDifferential pins the analytic population fold
+// against the per-flow fluid fold it replaces: the same five-series
+// Fig. 7 sweep, run once with per-flow windows and once with aggregate
+// (pair, window) cells. The populations must agree exactly (both forms
+// apportion the same total), and every series' mean workload must agree
+// within the aggregation tolerance — the two forms draw different
+// realizations of the same distribution (per-flow multinomials vs their
+// expectation plus a closed-form cache model), so the comparison is
+// statistical, not bit-exact.
+func TestAggregatePopulationDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep differential")
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  trace.GeneratorConfig
+	}{
+		// Syn-A exercises the synthetic recipe (no drift); the real-like
+		// config exercises drift-modulated hot weights.
+		{"syn-a", trace.SynAConfig(20_000, 1)},
+		{"real", trace.RealLikeConfig(2_000, 1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(agg bool) *Fig789Result {
+				t.Helper()
+				res, err := RunFig789(Fig789Config{
+					Scale:               1,
+					Seed:                1,
+					Engine:              replay.EngineFluid,
+					SampleProb:          0.02,
+					Trace:               &tc.cfg,
+					PerFlowBaseline:     true,
+					ControlFold:         true,
+					AggregatePopulation: agg,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			pf := run(false)
+			ag := run(true)
+			for _, name := range []string{
+				SeriesOpenFlow, SeriesRealStatic, SeriesRealDynamic,
+				SeriesExpandedStatic, SeriesExpandedDynamic,
+			} {
+				p, a := pf.Series[name], ag.Series[name]
+				if p.PopulationFlows != a.PopulationFlows {
+					t.Errorf("%s: population %d (per-flow) vs %d (aggregate)",
+						name, p.PopulationFlows, a.PopulationFlows)
+				}
+				mp, ma := Mean(p.WorkloadKrps), Mean(a.WorkloadKrps)
+				t.Logf("%-28s workload %.3f vs %.3f Krps, population %d",
+					name, mp, ma, a.PopulationFlows)
+				if mp == 0 {
+					continue
+				}
+				if rel := (ma - mp) / mp; rel < -0.15 || rel > 0.15 {
+					t.Errorf("%s: aggregate workload diverges %.1f%% (%.3f vs %.3f Krps)",
+						name, 100*rel, ma, mp)
+				}
+			}
+			for _, pair := range [][2]float64{
+				{pf.ReductionRealStatic, ag.ReductionRealStatic},
+				{pf.ReductionRealDynamic, ag.ReductionRealDynamic},
+				{pf.ReductionExpandedStatic, ag.ReductionExpandedStatic},
+				{pf.ReductionExpandedDynamic, ag.ReductionExpandedDynamic},
+			} {
+				if d := pair[1] - pair[0]; d < -0.08 || d > 0.08 {
+					t.Errorf("reduction diverges: per-flow %.3f vs aggregate %.3f", pair[0], pair[1])
+				}
+			}
+		})
+	}
+}

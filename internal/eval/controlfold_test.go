@@ -1,0 +1,199 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"lazyctrl/internal/chaos"
+	"lazyctrl/internal/controller"
+	"lazyctrl/internal/trace"
+)
+
+// foldRun is the shared driver of the control-fold differentials: one
+// emulation with wire metering on, fold on or off.
+func foldRun(t *testing.T, src trace.Stream, fold bool, plan *chaos.Plan, seed uint64) *EmulationResult {
+	t.Helper()
+	// 5s past the cadence lattice (10s/30s/60s): a horizon landing
+	// exactly on a keep-alive round truncates the real run's acks
+	// in flight while the fold credits the whole round — the one
+	// boundary artifact of the analytic model (docs/emulation.md).
+	res, err := foldRunAt(src, fold, plan, seed, 2*time.Hour+5*time.Second, 30*time.Minute)
+	if err != nil {
+		t.Fatalf("fold=%v: %v", fold, err)
+	}
+	return res
+}
+
+func foldRunAt(src trace.Stream, fold bool, plan *chaos.Plan, seed uint64, horizon, bucket time.Duration) (*EmulationResult, error) {
+	return RunEmulation(EmulationConfig{
+		Source:         src,
+		Mode:           controller.ModeLazy,
+		GroupSizeLimit: 6,
+		Horizon:        horizon,
+		BucketWidth:    bucket,
+		Seed:           seed,
+		MeterWire:      true,
+		ControlFold:    fold,
+		Chaos:          plan,
+	})
+}
+
+// quiescentStream strips the small trace's flows: pure control-plane
+// background (advertise beacons, peer and controller keep-alives,
+// G-FIB dissemination rounds, empty state reports).
+func quiescentStream(t testing.TB, seed uint64) trace.Stream {
+	t.Helper()
+	tr := smallTrace(t, seed)
+	tr.Flows = nil
+	return tr.Stream(0)
+}
+
+// synQuiescentStream is the paper's full 2,713-switch Syn topology with
+// (essentially) no traffic: the generator's flow budget is divided away
+// by a huge scale divisor and the leftovers stripped, leaving the pure
+// periodic control-plane background at paper scale.
+func synQuiescentStream(tb testing.TB, seed uint64) trace.Stream {
+	tb.Helper()
+	tr, err := trace.Generate(trace.SynAConfig(1<<30, seed))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr.Flows = nil
+	return tr.Stream(0)
+}
+
+// TestControlFoldFullTopology pins the fold's headline claim where it
+// matters — the full 2,713-switch topology the Scale=1 sweeps run on:
+// byte- and count-identical control-plane background at ≥10× fewer DES
+// events. BenchmarkControlFold tracks the same run's wall clock.
+func TestControlFoldFullTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-topology DES comparison run")
+	}
+	const seed = 7
+	// 20 minutes is cadence-representative (40 keep-alive rounds); +5s
+	// clears the horizon-boundary artifact, as in foldRun.
+	const horizon = 20*time.Minute + 5*time.Second
+	full, err := foldRunAt(synQuiescentStream(t, seed), false, nil, seed, horizon, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, err := foldRunAt(synQuiescentStream(t, seed), true, nil, seed, horizon, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded.ControlMsgs != full.ControlMsgs || folded.ControlBytes != full.ControlBytes {
+		t.Errorf("folded %d msgs / %d B, full DES %d msgs / %d B (must be identical)",
+			folded.ControlMsgs, folded.ControlBytes, full.ControlMsgs, full.ControlBytes)
+	}
+	t.Logf("2713 switches, %v quiescent: %d control msgs / %d B; events full=%d folded=%d (%.1fx)",
+		horizon, full.ControlMsgs, full.ControlBytes, full.SimEvents, folded.SimEvents,
+		float64(full.SimEvents)/float64(folded.SimEvents))
+	if folded.SimEvents*10 > full.SimEvents {
+		t.Errorf("folded run executed %d events, full DES %d — want ≥10× reduction",
+			folded.SimEvents, full.SimEvents)
+	}
+}
+
+// BenchmarkControlFold is the folded quiescent 2,713-switch emulation —
+// the fixed per-sweep control-plane cost every Scale=1 series pays.
+// events/op and wire-B/op pin the fold's event elision and the metered
+// background volume; cmd/bench gates it against the previous report.
+func BenchmarkControlFold(b *testing.B) {
+	const seed = 7
+	const horizon = 20*time.Minute + 5*time.Second
+	src := synQuiescentStream(b, seed)
+	b.ResetTimer()
+	var last *EmulationResult
+	for i := 0; i < b.N; i++ {
+		res, err := foldRunAt(src, true, nil, seed, horizon, 10*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.SimEvents), "events/op")
+	b.ReportMetric(float64(last.ControlBytes), "wire-B/op")
+}
+
+// TestControlFoldDifferential pins the tentpole's correctness contract
+// (docs/emulation.md "control-plane fold"):
+//
+//   - on a quiescent topology the folded run's control-plane
+//     background is byte- and count-identical to the full DES while
+//     executing at least 10× fewer events;
+//   - under traffic churn the folded totals stay within 5% (the fold
+//     re-materializes around every state change, but the two runs'
+//     RNG streams diverge, shifting message timing near the horizon);
+//   - under a fault cascade the folded run converges to the same
+//     content fixpoint as its fault-free twin — failure suspicion and
+//     recovery ride real rounds, never folded ones.
+func TestControlFoldDifferential(t *testing.T) {
+	const seed = 5
+
+	full := foldRun(t, quiescentStream(t, seed), false, nil, seed)
+	folded := foldRun(t, quiescentStream(t, seed), true, nil, seed)
+	if full.ControlMsgs == 0 || full.ControlBytes == 0 {
+		t.Fatal("quiescent full DES metered no control traffic")
+	}
+	if folded.ControlMsgs != full.ControlMsgs {
+		t.Errorf("quiescent: folded %d control msgs, full DES %d (must be identical)",
+			folded.ControlMsgs, full.ControlMsgs)
+	}
+	if folded.ControlBytes != full.ControlBytes {
+		t.Errorf("quiescent: folded %d control bytes, full DES %d (must be identical)",
+			folded.ControlBytes, full.ControlBytes)
+	}
+	if folded.ControllerStats.StateReports != full.ControllerStats.StateReports {
+		t.Errorf("quiescent: folded %d state reports, full DES %d",
+			folded.ControllerStats.StateReports, full.ControllerStats.StateReports)
+	}
+	if folded.IdleRefreshes != full.IdleRefreshes {
+		t.Errorf("quiescent: folded %d idle refreshes, full DES %d",
+			folded.IdleRefreshes, full.IdleRefreshes)
+	}
+	t.Logf("quiescent: %d control msgs / %d B; events full=%d folded=%d (%.1fx)",
+		full.ControlMsgs, full.ControlBytes, full.SimEvents, folded.SimEvents,
+		float64(full.SimEvents)/float64(folded.SimEvents))
+	if folded.SimEvents*10 > full.SimEvents {
+		t.Errorf("quiescent: folded run executed %d events, full DES %d — want ≥10× reduction",
+			folded.SimEvents, full.SimEvents)
+	}
+
+	// Churn: real traffic wakes the folded timers continuously; counts
+	// must track within 5% even though the RNG streams diverge.
+	churnSrc := func() trace.Stream { return smallTrace(t, seed).Stream(0) }
+	fullC := foldRun(t, churnSrc(), false, nil, seed)
+	foldC := foldRun(t, churnSrc(), true, nil, seed)
+	relMsgs := math.Abs(float64(foldC.ControlMsgs)-float64(fullC.ControlMsgs)) / float64(fullC.ControlMsgs)
+	relBytes := math.Abs(float64(foldC.ControlBytes)-float64(fullC.ControlBytes)) / float64(fullC.ControlBytes)
+	t.Logf("churn: msgs full=%d folded=%d (%.2f%%); bytes full=%d folded=%d (%.2f%%)",
+		fullC.ControlMsgs, foldC.ControlMsgs, 100*relMsgs,
+		fullC.ControlBytes, foldC.ControlBytes, 100*relBytes)
+	if relMsgs > 0.05 {
+		t.Errorf("churn: control msg count diverges %.2f%% (> 5%%)", 100*relMsgs)
+	}
+	if relBytes > 0.05 {
+		t.Errorf("churn: control byte count diverges %.2f%% (> 5%%)", 100*relBytes)
+	}
+
+	// Faults: the cascade re-materializes every folded timer; the run
+	// must converge to the same fixpoint as its folded fault-free twin.
+	base := foldRun(t, churnSrc(), true, &chaos.Plan{Name: "fault-free"}, seed)
+	if !base.Converged {
+		t.Fatalf("folded fault-free run did not converge:\n%s", strings.Join(base.Divergences, "\n"))
+	}
+	faulted := foldRun(t, churnSrc(), true, chaos.Cascade(1, 30*time.Minute), seed)
+	if faulted.Drops.InjectedLoss == 0 && faulted.Drops.Partition == 0 {
+		t.Error("cascade dropped nothing — faults did not fire")
+	}
+	if !faulted.Converged {
+		t.Fatalf("folded cascade did not converge:\n%s", strings.Join(faulted.Divergences, "\n"))
+	}
+	if faulted.Fixpoint != base.Fixpoint {
+		t.Errorf("folded cascade fixpoint differs from folded fault-free fixpoint:\n--- fault-free ---\n%s\n--- faulted ---\n%s",
+			base.Fixpoint, faulted.Fixpoint)
+	}
+}

@@ -7,6 +7,7 @@ package eval
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"time"
 
 	"lazyctrl/internal/chaos"
@@ -16,8 +17,10 @@ import (
 	"lazyctrl/internal/metrics"
 	"lazyctrl/internal/model"
 	"lazyctrl/internal/netsim"
+	"lazyctrl/internal/openflow"
 	"lazyctrl/internal/replay"
 	"lazyctrl/internal/sim"
+	"lazyctrl/internal/tenant"
 	"lazyctrl/internal/trace"
 )
 
@@ -77,6 +80,35 @@ type EmulationConfig struct {
 	PacketInBatchMax    int
 	PacketInBatchWindow time.Duration
 
+	// ControlFold folds quiescent control-plane background rounds
+	// (keep-alives, idle advertisements/beacons, empty reports) into
+	// closed-form credits, leaving only state-changing control events
+	// in the DES (docs/emulation.md, "control-plane fold"). Any
+	// underlay fault re-materializes every folded timer, so fault
+	// scenarios see real rounds throughout.
+	ControlFold bool
+	// MeterWire meters the encoded wire bytes of every control-plane
+	// message — real sends and folded credits alike — into the
+	// result's ControlMsgs/ControlBytes, the folded-vs-full
+	// differential's byte-exactness probe. Off by default: it encodes
+	// each metered message once.
+	MeterWire bool
+	// PerFlowBaseline selects the per-flow (5-tuple) reactive rule
+	// mode for the learning baseline: every distinct flow's first
+	// packet escalates to the controller instead of riding a warm
+	// exact-dst rule (controller.Config.PerFlowRules and
+	// replay.FluidConfig.PerFlowBaseline).
+	PerFlowBaseline bool
+	// AggregatePopulation switches the fluid engine's population input
+	// from per-flow windows to analytic (pair, window) aggregate cells
+	// (trace.AggStream → replay.Fluid.FoldAggWindow): the population
+	// cost per window becomes O(active pairs) instead of O(flows),
+	// which is what makes the Scale=1 Syn-A/B/C sweeps reachable
+	// inside a CI budget. The latency-probe subpopulation is still
+	// materialized flow by flow from the kept pairs' cells. Requires
+	// EngineFluid and a Source implementing trace.AggStream.
+	AggregatePopulation bool
+
 	// Chaos schedules a fault scenario against the run and arms the
 	// convergence checker: after the horizon and the last fault's undo,
 	// the run settles in dissemination/report rounds until every edge
@@ -132,6 +164,14 @@ func (c EmulationConfig) withDefaults() (EmulationConfig, error) {
 	}
 	if c.Engine == replay.EngineDES {
 		c.SampleProb = 1
+	}
+	if c.AggregatePopulation {
+		if c.Engine != replay.EngineFluid {
+			return c, fmt.Errorf("eval: AggregatePopulation requires the fluid engine")
+		}
+		if _, ok := c.Source.(trace.AggStream); !ok {
+			return c, fmt.Errorf("eval: AggregatePopulation requires an aggregate-capable source (trace.AggStream)")
+		}
 	}
 	if c.SampleProb <= 0 || c.SampleProb > 1 {
 		return c, fmt.Errorf("eval: SampleProb %v outside (0,1]", c.SampleProb)
@@ -192,6 +232,15 @@ type EmulationResult struct {
 	// SimEvents is how many discrete events the underlying simulator
 	// executed (the scaled engines' cost metric).
 	SimEvents uint64
+	// ControlMsgs and ControlBytes count control-plane messages and
+	// their encoded wire bytes across the control and peer links —
+	// real sends plus folded credits — populated when
+	// EmulationConfig.MeterWire is set.
+	ControlMsgs  uint64
+	ControlBytes uint64
+	// IdleRefreshes aggregates the edges' idle version beacons (real
+	// plus fold-credited), a fold-differential observable.
+	IdleRefreshes uint64
 	// Drops breaks the underlay's dropped messages down by cause:
 	// down-at-send, down-at-delivery, no-route, injected loss, and
 	// partitions.
@@ -263,6 +312,40 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 		SampleProb: c.SampleProb, Recorder: rec,
 	}
 
+	// Wire metering: the encoded bytes of every control-plane message,
+	// from real sends (netsim's meter hook) and folded credits (the
+	// fold hooks below) through one accumulator, so folded and full
+	// runs are comparable byte for byte.
+	var meterMsg func(msg openflow.Message, copies uint64)
+	if c.MeterWire {
+		meterMsg = func(msg openflow.Message, copies uint64) {
+			data, err := openflow.Encode(msg, 0)
+			if err != nil {
+				return
+			}
+			res.ControlMsgs += copies
+			res.ControlBytes += copies * uint64(len(data))
+		}
+		net.Meter = func(from, to model.SwitchID, msg netsim.Message) {
+			if om, ok := msg.(openflow.Message); ok {
+				meterMsg(om, 1)
+			}
+		}
+	}
+	// The control fold's global gate: elision is only sound while every
+	// sent control message is guaranteed delivered.
+	var foldGate func() bool
+	var foldMeter func(from, to model.SwitchID, msg openflow.Message, copies uint64)
+	if c.ControlFold {
+		foldGate = func() bool { return !net.Faulted() }
+		if meterMsg != nil {
+			foldMeter = func(from, to model.SwitchID, msg openflow.Message, copies uint64) {
+				meterMsg(msg, copies)
+			}
+		}
+	}
+	switches := make(map[model.SwitchID]*edge.Switch, len(dir.Switches()))
+
 	// The scaled engines inject only a p-fraction of the pairs; the
 	// controller's queueing model must still see the unscaled arrival
 	// rate, so the sampling probability folds into its load scale
@@ -278,6 +361,39 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 		}
 	}
 
+	// The fluid engine folds every window's full flow population into
+	// per-bucket rate aggregates under the live grouping; its warm-up
+	// constants mirror the harness cadences (C-LIB fills at the first
+	// state report, G-FIBs one advertise + dissemination round after
+	// that).
+	const advertiseInterval = 10 * time.Second
+	var fluid *replay.Fluid
+	if c.Engine == replay.EngineFluid {
+		fluid = replay.NewFluid(replay.FluidConfig{
+			Directory:       dir,
+			Lazy:            c.Mode == controller.ModeLazy,
+			Horizon:         c.Horizon,
+			BucketWidth:     c.BucketWidth,
+			RuleIdleTimeout: 60 * time.Second,
+			GFIBWarm:        advertiseInterval + c.ReportInterval,
+			// The initial grouping push kicks every designated switch
+			// into reporting immediately, so the C-LIB knows all
+			// attached hosts a couple of control round-trips in — long
+			// before the periodic report cadence.
+			CLIBWarm:        2 * time.Second,
+			PerFlowBaseline: c.PerFlowBaseline,
+		})
+	}
+	// Every (re)grouping lands on the fluid's epoch timeline as an
+	// immutable snapshot, so window folds attribute each flow to the
+	// assignment in force at its start time.
+	var onRegroup func(uint64, *grouping.Grouping)
+	if fluid != nil && c.Mode == controller.ModeLazy {
+		onRegroup = func(version uint64, grp *grouping.Grouping) {
+			fluid.NoteRegroup(s.Now().Duration(), grp.Clone(), version)
+		}
+	}
+
 	ctrl, err := controller.New(controller.Config{
 		Mode:              c.Mode,
 		Switches:          dir.Switches(),
@@ -288,6 +404,11 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 		Recorder:          rec,
 		KeepAliveInterval: time.Minute,
 		SyncInterval:      30 * time.Second,
+		PerFlowRules:      c.PerFlowBaseline,
+		ControlFold:       c.ControlFold,
+		FoldGate:          foldGate,
+		FoldMeter:         foldMeter,
+		OnRegroup:         onRegroup,
 	}, net.Env(model.ControllerNode))
 	if err != nil {
 		return nil, err
@@ -295,9 +416,42 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 	net.Attach(ctrl)
 	net.SetSameGroup(ctrl.SameGroup)
 
+	// The fold's cross-node oracles close over the switch map (filled
+	// below) and the controller; any fault change wakes every folded
+	// timer in deterministic switch order.
+	var foldHooks *edge.FoldHooks
+	if c.ControlFold {
+		foldHooks = &edge.FoldHooks{
+			Gate: foldGate,
+			BeaconCurrent: func(designated, member model.SwitchID, version uint64) bool {
+				d := switches[designated]
+				return d != nil && d.MemberVersionCurrent(member, version)
+			},
+			PeerNeedsLiveKA: func(neighbor, self model.SwitchID) bool {
+				n := switches[neighbor]
+				return n == nil || n.NeedsLiveKAFrom(self)
+			},
+			PeerKACreditedThrough: func(neighbor model.SwitchID) time.Duration {
+				if n := switches[neighbor]; n != nil {
+					return n.KACreditedThrough()
+				}
+				return 0
+			},
+			CtrlKACreditedThrough: ctrl.KACreditedThrough,
+			Meter:                 foldMeter,
+			CreditStateReport:     ctrl.CreditFoldedStateReport,
+		}
+		net.OnFaultChange = func() {
+			ctrl.WakeFoldTasks()
+			for _, id := range dir.Switches() {
+				if sw := switches[id]; sw != nil {
+					sw.WakeFoldTasks()
+				}
+			}
+		}
+	}
+
 	// Edge switches with attached hosts.
-	const advertiseInterval = 10 * time.Second
-	switches := make(map[model.SwitchID]*edge.Switch, len(dir.Switches()))
 	for _, id := range dir.Switches() {
 		sw := edge.New(edge.Config{
 			ID:                  id,
@@ -305,6 +459,8 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 			ReportInterval:      c.ReportInterval,
 			PacketInBatchMax:    c.PacketInBatchMax,
 			PacketInBatchWindow: c.PacketInBatchWindow,
+			ControlFold:         c.ControlFold,
+			Fold:                foldHooks,
 			OnDeliver: func(p *model.Packet, at time.Duration) {
 				if p.FlowSeq == 0 {
 					res.FlowsDelivered++
@@ -365,28 +521,6 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 		}
 	}
 
-	// The fluid engine folds every window's full flow population into
-	// per-bucket rate aggregates under the live grouping; its warm-up
-	// constants mirror the harness cadences above (C-LIB fills at the
-	// first state report, G-FIBs one advertise + dissemination round
-	// after that).
-	var fluid *replay.Fluid
-	if c.Engine == replay.EngineFluid {
-		fluid = replay.NewFluid(replay.FluidConfig{
-			Directory:       dir,
-			Lazy:            c.Mode == controller.ModeLazy,
-			Horizon:         c.Horizon,
-			BucketWidth:     c.BucketWidth,
-			RuleIdleTimeout: 60 * time.Second,
-			GFIBWarm:        advertiseInterval + c.ReportInterval,
-			// The initial grouping push kicks every designated switch
-			// into reporting immediately, so the C-LIB knows all
-			// attached hosts a couple of control round-trips in — long
-			// before the periodic report cadence.
-			CLIBWarm: 2 * time.Second,
-		})
-	}
-
 	// Windowed flow injection: window w's first packets are scheduled
 	// when the clock reaches the start of window w−1 — one full window
 	// of lead, so every flow event is in the heap before its time comes
@@ -401,18 +535,41 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 		lastWindow = w
 	}
 	var pf *trace.Prefetcher
-	if lastWindow >= 0 {
+	if lastWindow >= 0 && !c.AggregatePopulation {
 		pf = trace.NewPrefetcher(src, 0, lastWindow, emulationPrefetchDepth)
 		defer pf.Close()
 	}
-	scheduleWindow := func(flows []trace.Flow) {
+	// Fluid folds are deferred to each window's END (not load time, a
+	// full window early): by then every regroup inside the window is on
+	// the epoch timeline, so mid-window regroups attribute exactly. The
+	// flow slices stay alive until their fold and are recycled there;
+	// windows whose end lies at or past the horizon flush after the run.
+	type pendingFold struct {
+		flows []trace.Flow
+		done  bool
+	}
+	var pendingFolds []*pendingFold
+	foldPending := func(p *pendingFold) {
+		if p.done {
+			return
+		}
+		p.done = true
+		var view replay.View
+		var version uint64
+		if c.Mode == controller.ModeLazy {
+			view, version = ctrl.Grouping(), ctrl.GroupingVersion()
+		}
+		fluid.FoldWindow(p.flows, view, version)
+		pf.Recycle(p.flows)
+		p.flows = nil
+	}
+	scheduleWindow := func(flows []trace.Flow, w int) {
 		if fluid != nil {
-			var view replay.View
-			var version uint64
-			if c.Mode == controller.ModeLazy {
-				view, version = ctrl.Grouping(), ctrl.GroupingVersion()
+			p := &pendingFold{flows: flows}
+			pendingFolds = append(pendingFolds, p)
+			if _, end := info.WindowBounds(w); end < c.Horizon {
+				s.At(sim.Time(end), func() { foldPending(p) })
 			}
-			fluid.FoldWindow(flows, view, version)
 		}
 		for i := range flows {
 			f := flows[i]
@@ -460,8 +617,10 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 		if !ok {
 			return
 		}
-		scheduleWindow(flows)
-		pf.Recycle(flows)
+		scheduleWindow(flows, w)
+		if fluid == nil {
+			pf.Recycle(flows)
+		}
 		if w > 0 && w < lastWindow {
 			// Load window w+1 once the clock reaches the start of
 			// window w: its flows are still strictly in the future.
@@ -479,7 +638,160 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 		loadNext()
 	}
 
+	// Aggregate-population pipeline: the same load cadence and deferred
+	// window-end folds as the per-flow path, but each window is one
+	// AggWindow call (O(active pairs)) folded analytically, and the
+	// probe flows are materialized here from the kept pairs' cells. On
+	// the single-threaded DES there is nothing to overlap with, so the
+	// cells generate synchronously at load time — no prefetch pipeline.
+	type pendingAggFold struct {
+		aggs []trace.PairAgg
+		bg   int
+		w    int
+		done bool
+	}
+	var pendingAggFolds []*pendingAggFold
+	var aggSrc trace.AggStream
+	var bgSrc trace.BackgroundStream
+	if c.AggregatePopulation {
+		aggSrc = src.(trace.AggStream) // checked in withDefaults
+		bgSrc, _ = src.(trace.BackgroundStream)
+	}
+	foldAggPending := func(p *pendingAggFold) {
+		if p.done {
+			return
+		}
+		p.done = true
+		var view replay.View
+		var version uint64
+		if c.Mode == controller.ModeLazy {
+			view, version = ctrl.Grouping(), ctrl.GroupingVersion()
+		}
+		wFrom, wTo := info.WindowBounds(p.w)
+		fluid.FoldAggWindow(p.aggs, wFrom, wTo, view, version)
+		if p.bg > 0 {
+			fluid.FoldBackgroundWindow(p.bg, trace.ExpandIntraTenantShare, wFrom, wTo, view, version)
+		}
+		p.aggs = nil
+	}
+	scheduleAggWindow := func(w int) {
+		// The background count (an expanded trace's one-off extras) folds
+		// in closed form; only the pair-resolved foreground materializes
+		// cells.
+		var aggs []trace.PairAgg
+		bg := 0
+		if bgSrc != nil {
+			aggs, bg = bgSrc.AggWindowSplit(w, nil)
+		} else {
+			aggs = aggSrc.AggWindow(w, nil)
+		}
+		p := &pendingAggFold{aggs: aggs, bg: bg, w: w}
+		pendingAggFolds = append(pendingAggFolds, p)
+		wFrom, wTo := info.WindowBounds(w)
+		if wTo < c.Horizon {
+			s.At(sim.Time(wTo), func() { foldAggPending(p) })
+		}
+		// Probe emission: kept pairs inject their full per-window flow
+		// count, with starts, directions, and payloads drawn from a
+		// probe-only window stream (the population fold never sees
+		// these — they exist to exercise the DES latency path).
+		const probeSalt = 0x9a0be5a17 // probe flows' per-window stream
+		s1 := trace.SplitMix64(c.Seed ^ probeSalt ^ (uint64(w)+1)*0x9e3779b97f4a7c15)
+		rng := rand.New(rand.NewPCG(s1, trace.SplitMix64(s1^0xbf58476d1ce4e5b9)))
+		span := float64(wTo - wFrom)
+		injectProbe := func(start time.Duration, sh, dh *tenant.Host, packets int16, sameSwitch bool) {
+			if start >= c.Horizon {
+				return
+			}
+			res.FlowsInjected++
+			if packets > 1 {
+				rec.RecordLatency(start, fastPathLatency(c.Latencies, sameSwitch), int(packets)-1)
+			}
+			s.At(sim.Time(start), func() {
+				p := &model.Packet{
+					SrcMAC:   sh.MAC,
+					DstMAC:   dh.MAC,
+					SrcIP:    sh.IP,
+					DstIP:    dh.IP,
+					VLAN:     sh.VLAN,
+					Ether:    model.EtherTypeIPv4,
+					Bytes:    1400,
+					FlowSeq:  0,
+					Injected: time.Duration(s.Now()),
+				}
+				switches[sh.Switch].InjectLocal(p)
+			})
+		}
+		for i := range aggs {
+			r := aggs[i]
+			if sampler != nil && !sampler.Keep(r.Src, r.Dst) {
+				continue
+			}
+			srcH := dir.Host(r.Src)
+			dstH := dir.Host(r.Dst)
+			if srcH == nil || dstH == nil {
+				continue
+			}
+			sameSwitch := srcH.Switch == dstH.Switch
+			for j := int32(0); j < r.Flows; j++ {
+				start := wFrom + time.Duration(rng.Float64()*span)
+				sh, dh := srcH, dstH
+				if rng.IntN(2) == 0 {
+					sh, dh = dh, sh
+				}
+				_, packets := trace.SamplePayload(rng)
+				injectProbe(start, sh, dh, packets, sameSwitch)
+			}
+		}
+		// Background probe: the one-off background draws are i.i.d., so a
+		// flow-level Bernoulli thinning at the same probability matches
+		// the pair sampler's expectation (every background pair carries
+		// one flow).
+		if bg > 0 && sampler != nil {
+			x := float64(bg) * c.SampleProb
+			k := int(x)
+			if rng.Float64() < x-float64(k) {
+				k++
+			}
+			for _, fl := range bgSrc.BackgroundSample(w, k, rng) {
+				sh := dir.Host(fl.Src)
+				dh := dir.Host(fl.Dst)
+				if sh == nil || dh == nil {
+					continue
+				}
+				injectProbe(fl.Start, sh, dh, fl.Packets, sh.Switch == dh.Switch)
+			}
+		}
+	}
+	if aggSrc != nil && lastWindow >= 0 {
+		nextAgg := 0
+		var loadNextAgg func()
+		loadNextAgg = func() {
+			if nextAgg > lastWindow {
+				return
+			}
+			w := nextAgg
+			nextAgg++
+			scheduleAggWindow(w)
+			if w > 0 && w < lastWindow {
+				from, _ := info.WindowBounds(w)
+				s.At(sim.Time(from), loadNextAgg)
+			}
+		}
+		loadNextAgg()
+		loadNextAgg()
+	}
+
 	s.RunUntil(sim.Time(c.Horizon))
+
+	// Tail flush: fold the windows whose end never arrived inside the
+	// horizon, under the final grouping and the full epoch timeline.
+	for _, p := range pendingFolds {
+		foldPending(p)
+	}
+	for _, p := range pendingAggFolds {
+		foldAggPending(p)
+	}
 
 	// Convergence check: run past the last fault's undo, then settle
 	// in dissemination/report rounds until every view matches the
@@ -500,6 +812,19 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 		res.RecoveryRounds, res.Converged, res.Divergences =
 			world.Settle(maxRounds, func(r time.Duration) { s.RunFor(r) }, round)
 		res.Fixpoint = world.Snapshot()
+	}
+
+	// Settle every folded timer at the horizon so credited rounds, wire
+	// bytes, and report buckets are exact through the end of the run
+	// before any aggregate below is read. (Wake schedules one real round
+	// past the horizon; it never executes.)
+	if c.ControlFold {
+		ctrl.WakeFoldTasks()
+		for _, id := range dir.Switches() {
+			if sw := switches[id]; sw != nil {
+				sw.WakeFoldTasks()
+			}
+		}
 	}
 
 	// Traffic-driven requests scale with the trace's flow-count divisor
@@ -546,6 +871,7 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 		st := sw.Stats()
 		res.DegradedFloods += st.DegradedFloods
 		res.DegradedWindow += st.DegradedWindow
+		res.IdleRefreshes += st.IdleRefreshes
 	}
 
 	// Batching-delay accounting: the measured mean residence of a

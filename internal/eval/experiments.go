@@ -248,6 +248,34 @@ type Fig789Config struct {
 	// (see EmulationConfig).
 	Engine     replay.Engine
 	SampleProb float64
+	// Trace overrides the replayed workload (nil selects the real
+	// day-long trace at Scale). The expanded series still derive from
+	// it by the +30% silent-pair expansion, and the warmup intensity
+	// samples a 10×-denser generation of the same config.
+	Trace *trace.GeneratorConfig
+	// PerFlowBaseline switches all five series to per-flow (5-tuple)
+	// reactive rules — the paper's rule granularity, applied uniformly
+	// so the comparison is between control planes, not rule shapes.
+	// Without it, exact-dst rules with a 60s idle timeout stay
+	// perpetually warm at full pair density and both sides' workloads
+	// collapse (the density artifact, docs/emulation.md); with it, the
+	// reduction measures what LazyCtrl actually changes — the fraction
+	// of escalations the group-local controllers absorb — and lands in
+	// the paper's 61–82% band, tracking each trace's centrality.
+	PerFlowBaseline bool
+	// ControlFold folds the quiescent control-plane background
+	// analytically in all five runs (EmulationConfig.ControlFold).
+	ControlFold bool
+	// AggregatePopulation folds the traffic population analytically in
+	// all five runs (EmulationConfig.AggregatePopulation; fluid engine
+	// only). Required for the Scale=1 synthetic sweeps.
+	AggregatePopulation bool
+	// WarmupScale overrides the warmup-intensity generation's scale
+	// divisor (0 keeps the default Scale/10, min 1). Full-scale sweeps
+	// set a coarser divisor: the warmup intensity only seeds the
+	// initial grouping, and tens of millions of first-hour flows pin
+	// the pair ranking just as well as hundreds of millions.
+	WarmupScale int
 }
 
 // Fig789Result carries one named series per emulation run.
@@ -279,22 +307,31 @@ func RunFig789(cfg Fig789Config) (*Fig789Result, error) {
 		real, expanded trace.Stream
 		warm           *grouping.Intensity
 	)
+	baseCfg := trace.RealLikeConfig(cfg.Scale, cfg.Seed)
+	if cfg.Trace != nil {
+		baseCfg = *cfg.Trace
+	}
 	err := parallelFor(2, func(i int) error {
 		switch i {
 		case 0:
 			var err error
-			real, err = trace.NewStream(trace.RealLikeConfig(cfg.Scale, cfg.Seed))
+			real, err = trace.NewStream(baseCfg)
 			if err != nil {
 				return err
 			}
 			expanded, err = trace.ExpandStream(real, 0.30, 8, 24, cfg.Seed^0xe)
 			return err
 		default:
-			warmScale := cfg.Scale / 10
-			if warmScale < 1 {
-				warmScale = 1
+			warmCfg := baseCfg
+			warmCfg.Scale = baseCfg.Scale / 10
+			if warmCfg.Scale < 1 {
+				warmCfg.Scale = 1
 			}
-			warmStream, err := trace.NewStream(trace.RealLikeConfig(warmScale, cfg.Seed))
+			if cfg.WarmupScale > 0 {
+				warmCfg.Scale = cfg.WarmupScale
+			}
+			warmCfg.WindowsPerHour = 0 // auto-size the warmup windows independently
+			warmStream, err := trace.NewStream(warmCfg)
 			if err != nil {
 				return err
 			}
@@ -325,15 +362,18 @@ func RunFig789(cfg Fig789Config) (*Fig789Result, error) {
 	err = parallelFor(len(runs), func(i int) error {
 		r := runs[i]
 		res, err := RunEmulation(EmulationConfig{
-			Source:          r.src,
-			Mode:            r.mode,
-			Dynamic:         r.dynamic,
-			GroupSizeLimit:  cfg.GroupSizeLimit,
-			Horizon:         cfg.Horizon,
-			Seed:            cfg.Seed,
-			WarmupIntensity: warm,
-			Engine:          cfg.Engine,
-			SampleProb:      cfg.SampleProb,
+			Source:              r.src,
+			Mode:                r.mode,
+			Dynamic:             r.dynamic,
+			GroupSizeLimit:      cfg.GroupSizeLimit,
+			Horizon:             cfg.Horizon,
+			Seed:                cfg.Seed,
+			WarmupIntensity:     warm,
+			Engine:              cfg.Engine,
+			SampleProb:          cfg.SampleProb,
+			PerFlowBaseline:     cfg.PerFlowBaseline,
+			ControlFold:         cfg.ControlFold,
+			AggregatePopulation: cfg.AggregatePopulation,
 		})
 		if err != nil {
 			return fmt.Errorf("eval: %s: %w", r.name, err)

@@ -91,6 +91,9 @@ func (c *CLIB) Update(mac model.MAC, ip model.IP, vlan model.VLAN, sw model.Swit
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if old, ok := s.byMAC[mac]; ok {
+		if old.IP == ip && old.VLAN == vlan && old.Switch == sw && old.Group == group {
+			return // binding unchanged; indexes already agree
+		}
 		s.unindex(old)
 	}
 	e := &CLIBEntry{MAC: mac, IP: ip, VLAN: vlan, Switch: sw, Group: group}
@@ -207,6 +210,18 @@ func (c *CLIB) ApplyLFIB(sw model.SwitchID, group model.GroupID, u *openflow.LFI
 	// would poison every receiver that trusts version equality.
 	if u.Full {
 		c.verMu.Lock()
+		if u.Version > 0 && u.Version == c.swVersions[sw] {
+			// Anti-entropy refresh of an unchanged L-FIB: the recorded
+			// version was stamped by an earlier full snapshot of the
+			// same version (eviction clears the stamp, so a recovered
+			// switch never matches), and the origin bumps its version
+			// on every content change — the entry set is therefore
+			// already folded in verbatim. Group retags ride SetGroup,
+			// not re-application. Skipping here is what keeps the
+			// every-Nth full refresh O(1) on quiescent switches.
+			c.verMu.Unlock()
+			return
+		}
 		if u.Version > c.swVersions[sw] {
 			c.swVersions[sw] = u.Version
 		}

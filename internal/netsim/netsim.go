@@ -192,6 +192,16 @@ type Network struct {
 	// by cause.
 	Delivered uint64
 	Drops     DropStats
+
+	// Meter, when set, observes every message put on the wire (after
+	// send-side drop checks). Harnesses that byte-meter the control
+	// channel install it; analytic fold credits flow into the same
+	// accounting on the harness side.
+	Meter func(from, to model.SwitchID, msg Message)
+	// OnFaultChange, when set, fires whenever the underlay's fault
+	// state changes (link/node failure or heal, fault rules, partitions)
+	// — the signal control-plane elision uses to re-materialize timers.
+	OnFaultChange func()
 }
 
 // New creates a DES underlay on the given simulator.
@@ -222,20 +232,49 @@ func (n *Network) Attach(node Node) {
 // Node returns a registered node, or nil.
 func (n *Network) Node(id model.SwitchID) Node { return n.nodes[id] }
 
+// faultChanged notifies the fault-change hook.
+func (n *Network) faultChanged() {
+	if n.OnFaultChange != nil {
+		n.OnFaultChange()
+	}
+}
+
 // FailLink takes the (a,b) link down in both directions.
-func (n *Network) FailLink(a, b model.SwitchID) { n.downLinks[model.MakeSwitchPair(a, b)] = true }
+func (n *Network) FailLink(a, b model.SwitchID) {
+	n.downLinks[model.MakeSwitchPair(a, b)] = true
+	n.faultChanged()
+}
 
 // HealLink restores the (a,b) link.
-func (n *Network) HealLink(a, b model.SwitchID) { delete(n.downLinks, model.MakeSwitchPair(a, b)) }
+func (n *Network) HealLink(a, b model.SwitchID) {
+	delete(n.downLinks, model.MakeSwitchPair(a, b))
+	n.faultChanged()
+}
 
 // FailNode takes a node down: all its traffic is dropped.
-func (n *Network) FailNode(id model.SwitchID) { n.downNodes[id] = true }
+func (n *Network) FailNode(id model.SwitchID) {
+	n.downNodes[id] = true
+	n.faultChanged()
+}
 
 // HealNode restores a node.
-func (n *Network) HealNode(id model.SwitchID) { delete(n.downNodes, id) }
+func (n *Network) HealNode(id model.SwitchID) {
+	delete(n.downNodes, id)
+	n.faultChanged()
+}
 
 // NodeDown reports whether a node is failed.
 func (n *Network) NodeDown(id model.SwitchID) bool { return n.downNodes[id] }
+
+// Faulted reports whether any fault is active on the underlay: failed
+// links or nodes, fault-injection rules, or partitions. While false,
+// every message sent is delivered (messages to unattached nodes
+// aside), which is what licenses analytic folding of periodic
+// heartbeats.
+func (n *Network) Faulted() bool {
+	return len(n.downLinks) > 0 || len(n.downNodes) > 0 ||
+		len(n.faults) > 0 || len(n.partitions) > 0
+}
 
 // AddFault installs a fault-injection rule and returns a function that
 // removes it. Multiple matching rules compose: loss draws are taken per
@@ -243,10 +282,12 @@ func (n *Network) NodeDown(id model.SwitchID) bool { return n.downNodes[id] }
 func (n *Network) AddFault(r FaultRule) (remove func()) {
 	rule := &r
 	n.faults = append(n.faults, rule)
+	n.faultChanged()
 	return func() {
 		for i, f := range n.faults {
 			if f == rule {
 				n.faults = append(n.faults[:i], n.faults[i+1:]...)
+				n.faultChanged()
 				return
 			}
 		}
@@ -268,10 +309,12 @@ func (n *Network) Partition(sideA, sideB []model.SwitchID) (heal func()) {
 		p.b[id] = true
 	}
 	n.partitions = append(n.partitions, p)
+	n.faultChanged()
 	return func() {
 		for i, q := range n.partitions {
 			if q == p {
 				n.partitions = append(n.partitions[:i], n.partitions[i+1:]...)
+				n.faultChanged()
 				return
 			}
 		}
@@ -313,6 +356,9 @@ func (n *Network) send(from, to model.SwitchID, msg Message) {
 			extra += time.Duration(n.sim.Rand().Float64() * float64(r.ReorderDelay))
 		}
 	}
+	if n.Meter != nil {
+		n.Meter(from, to, msg)
+	}
 	kind := classify(from, to, n.sameGroup)
 	d := n.lat.delay(kind, n.sim.Rand()) + extra
 	n.sim.After(d, func() {
@@ -352,3 +398,64 @@ func (e *simEnv) Every(d time.Duration, fn func()) func() {
 func (e *simEnv) Send(to model.SwitchID, msg Message) { e.net.send(e.id, to, msg) }
 
 func (e *simEnv) Rand() *rand.Rand { return e.net.sim.Rand() }
+
+// ElidableTask is the handle of a periodic task that may fold
+// quiescent rounds analytically (see sim.Elider). The zero-cost
+// fallback returned for environments without elision support never
+// folds, so Wake is a no-op and CreditedThrough stays zero.
+type ElidableTask interface {
+	// Wake re-materializes the task's timer: past folded rounds are
+	// credited and the next round runs as a real event.
+	Wake()
+	// Stop settles any pending fold and cancels the task.
+	Stop()
+	// CreditedThrough returns the last round boundary settled
+	// analytically (zero if the task never folded).
+	CreditedThrough() time.Duration
+}
+
+// ElidableScheduler is implemented by environments (the DES simEnv)
+// that support periodic-round elision. quiet reports, after each real
+// round, how many upcoming rounds are provably no-ops; credit settles
+// that many rounds analytically.
+type ElidableScheduler interface {
+	EveryElidable(d time.Duration, run func(), quiet func() int, credit func(rounds int)) ElidableTask
+}
+
+// EveryElidableOrReal registers run as an elidable periodic task when
+// env supports it, degrading to a plain Every otherwise. Nodes use it
+// so elision stays an optimization: behavior with the fallback is the
+// pre-elision behavior exactly.
+func EveryElidableOrReal(env Env, d time.Duration, run func(), quiet func() int, credit func(rounds int)) ElidableTask {
+	if es, ok := env.(ElidableScheduler); ok {
+		return es.EveryElidable(d, run, quiet, credit)
+	}
+	cancel := env.Every(d, run)
+	return &realTask{cancel: cancel}
+}
+
+// realTask is the non-eliding fallback of EveryElidableOrReal.
+type realTask struct{ cancel func() }
+
+func (t *realTask) Wake() {}
+func (t *realTask) Stop() {
+	if t.cancel != nil {
+		t.cancel()
+		t.cancel = nil
+	}
+}
+func (t *realTask) CreditedThrough() time.Duration { return 0 }
+
+// elidedTask adapts sim.Elider to ElidableTask.
+type elidedTask struct{ el *sim.Elider }
+
+func (t *elidedTask) Wake() { t.el.Wake() }
+func (t *elidedTask) Stop() { t.el.Stop() }
+func (t *elidedTask) CreditedThrough() time.Duration {
+	return t.el.CreditedThrough().Duration()
+}
+
+// EveryElidable implements ElidableScheduler on the DES environment.
+func (e *simEnv) EveryElidable(d time.Duration, run func(), quiet func() int, credit func(rounds int)) ElidableTask {
+	return &elidedTask{el: e.net.sim.EveryElidable(d, run, quiet, credit)}
+}

@@ -44,6 +44,20 @@ type FluidConfig struct {
 	// state reports; escalations before it pend and fan an ARP relay
 	// out to the tenant's designated switches.
 	CLIBWarm time.Duration
+	// PerFlowBaseline models per-flow (5-tuple) reactive rules: the
+	// controller never installs an aggregating (ingress, dst) rule, so
+	// every distinct flow's first packet escalates — an exact-match
+	// rule installed for one flow cannot absorb a later flow, even on
+	// the same host pair. Mirrors controller.Config.PerFlowRules.
+	PerFlowBaseline bool
+}
+
+// regroupEpoch pins one immutable group assignment to the instant it
+// took effect.
+type regroupEpoch struct {
+	at      time.Duration
+	view    View
+	version uint64
 }
 
 // Fluid folds a trace's full flow population into per-bucket
@@ -81,7 +95,16 @@ type Fluid struct {
 	targets        map[model.TenantID]int
 	targetsVersion uint64
 
+	// epochs is the regroup timeline (NoteRegroup); epochCursor
+	// amortizes the per-flow lookup since folds arrive time-ordered.
+	epochs      []regroupEpoch
+	epochCursor int
+
 	population int
+	// agg is the aggregate-population fold's state (fluidagg.go), nil
+	// until the first FoldAggWindow call; a Fluid consumes either flow
+	// windows or aggregate windows, never both.
+	agg *aggFold
 }
 
 // NewFluid builds the aggregator.
@@ -141,10 +164,39 @@ func (f *Fluid) arpTargets(tid model.TenantID, view View, version uint64) int {
 	return len(seen)
 }
 
+// NoteRegroup records that a (re)grouping took effect at time at. The
+// fold then classifies each flow under the assignment in force at the
+// flow's start, so a mid-window regroup lands on exactly the flows it
+// governed instead of smearing across the whole window. Assignments
+// must be immutable snapshots (e.g. grouping.Clone) noted in
+// nondecreasing time order.
+func (f *Fluid) NoteRegroup(at time.Duration, view View, version uint64) {
+	f.epochs = append(f.epochs, regroupEpoch{at: at, view: view, version: version})
+}
+
+// viewAt resolves the assignment in force at time at: the newest noted
+// epoch not after it, else the caller's fold-time fallback (covers
+// runs that never note epochs, and flows predating the first note).
+func (f *Fluid) viewAt(at time.Duration, view View, version uint64) (View, uint64) {
+	i := f.epochCursor
+	for i+1 < len(f.epochs) && f.epochs[i+1].at <= at {
+		i++
+	}
+	for i > 0 && f.epochs[i].at > at {
+		i--
+	}
+	f.epochCursor = i
+	if len(f.epochs) == 0 || f.epochs[i].at > at {
+		return view, version
+	}
+	return f.epochs[i].view, f.epochs[i].version
+}
+
 // FoldWindow folds one time window of flows (sorted by Start) under
 // the given group assignment. version stamps the assignment so the
-// ARP-target memo invalidates across regroups. Flows past the horizon
-// are ignored.
+// ARP-target memo invalidates across regroups; when a regroup timeline
+// was noted (NoteRegroup) it overrides the passed assignment per flow.
+// Flows past the horizon are ignored.
 func (f *Fluid) FoldWindow(flows []trace.Flow, view View, version uint64) {
 	dir := f.cfg.Directory
 	for i := range flows {
@@ -162,21 +214,26 @@ func (f *Fluid) FoldWindow(flows []trace.Flow, view View, version uint64) {
 			continue // L-FIB delivers locally in both modes
 		}
 		key := uint64(src.Switch)<<32 | uint64(dst.ID)
-		if last, ok := f.cache[key]; ok && fl.Start-last <= f.cfg.RuleIdleTimeout {
-			f.cache[key] = fl.Start // rule hit refreshes the idle timer
-			continue
+		if !f.cfg.PerFlowBaseline {
+			if last, ok := f.cache[key]; ok && fl.Start-last <= f.cfg.RuleIdleTimeout {
+				f.cache[key] = fl.Start // rule hit refreshes the idle timer
+				continue
+			}
 		}
 		if f.cfg.Lazy {
-			if view != nil && fl.Start >= f.cfg.GFIBWarm &&
-				view.GroupOf(src.Switch) == view.GroupOf(dst.Switch) {
+			v, ver := f.viewAt(fl.Start, view, version)
+			if v != nil && fl.Start >= f.cfg.GFIBWarm &&
+				v.GroupOf(src.Switch) == v.GroupOf(dst.Switch) {
 				continue // G-FIB slow path, no controller involved
 			}
 			b := f.bucket(fl.Start)
 			f.packetIns[b]++
 			if fl.Start < f.cfg.CLIBWarm {
-				f.arpRelays[b] += float64(f.arpTargets(dst.Tenant, view, version))
+				f.arpRelays[b] += float64(f.arpTargets(dst.Tenant, v, ver))
 			}
-			f.cache[key] = fl.Start
+			if !f.cfg.PerFlowBaseline {
+				f.cache[key] = fl.Start
+			}
 			continue
 		}
 		// Learning baseline: every rule miss escalates; the controller
@@ -184,15 +241,23 @@ func (f *Fluid) FoldWindow(flows []trace.Flow, view View, version uint64) {
 		// destination was already learned (else it floods, leaving the
 		// next flow on this pair to escalate again).
 		f.packetIns[f.bucket(fl.Start)]++
-		if _, ok := f.known[dst.ID]; ok {
+		if _, ok := f.known[dst.ID]; ok && !f.cfg.PerFlowBaseline {
 			f.cache[key] = fl.Start
 		}
 		f.known[src.ID] = struct{}{}
 	}
 }
 
-// Population returns how many in-horizon flows were folded.
-func (f *Fluid) Population() int { return f.population }
+// Population returns how many in-horizon flows were folded (per-flow
+// plus aggregate-cell counts; horizon-clipped cells contribute their
+// in-horizon expectation).
+func (f *Fluid) Population() int {
+	p := f.population
+	if f.agg != nil {
+		p += int(f.agg.popF + 0.5)
+	}
+	return p
+}
 
 // TrafficRequests returns the per-bucket traffic-driven controller
 // request counts (PacketIns + ARP relays) the aggregated rates imply,

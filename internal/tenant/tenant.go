@@ -38,7 +38,16 @@ type Directory struct {
 	hosts    map[model.HostID]*Host
 	bySwitch map[model.SwitchID][]model.HostID
 	switches []model.SwitchID
+	// dense caches hosts with small numeric IDs for index lookup. The
+	// generators assign sequential IDs, so the replay engines' two
+	// Host calls per folded flow hit this array instead of the map —
+	// at full trace scale the map hashing alone dominated the fold.
+	dense []*Host
 }
+
+// denseHostCap bounds the dense index so one outlying large ID cannot
+// balloon the array; IDs past the cap stay map-only.
+const denseHostCap = 1 << 21
 
 // NewDirectory returns an empty directory over the given edge switches.
 func NewDirectory(switches []model.SwitchID) *Directory {
@@ -85,6 +94,12 @@ func (d *Directory) AddHost(id model.HostID, tenantID model.TenantID, sw model.S
 		Switch: sw,
 	}
 	d.hosts[id] = h
+	if i := int(id); i >= 0 && i < denseHostCap {
+		for len(d.dense) <= i {
+			d.dense = append(d.dense, nil)
+		}
+		d.dense[i] = h
+	}
 	t.Hosts = append(t.Hosts, id)
 	d.bySwitch[sw] = append(d.bySwitch[sw], id)
 	return h, nil
@@ -94,7 +109,12 @@ func (d *Directory) AddHost(id model.HostID, tenantID model.TenantID, sw model.S
 var ErrUnknownHost = errors.New("tenant: unknown host")
 
 // Host returns the host record, or nil.
-func (d *Directory) Host(id model.HostID) *Host { return d.hosts[id] }
+func (d *Directory) Host(id model.HostID) *Host {
+	if i := int(id); i >= 0 && i < len(d.dense) {
+		return d.dense[i]
+	}
+	return d.hosts[id]
+}
 
 // Tenant returns the tenant record, or nil.
 func (d *Directory) Tenant(id model.TenantID) *Tenant { return d.tenants[id] }
