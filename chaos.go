@@ -47,6 +47,27 @@ func (h dcHarness) Restart(sw model.SwitchID) { h.dc.RecoverSwitch(sw) }
 func (h dcHarness) CrashController()          { h.dc.net.FailNode(model.ControllerNode) }
 func (h dcHarness) RestartController()        { h.dc.net.HealNode(model.ControllerNode) }
 
+func (h dcHarness) Replicas() []model.SwitchID {
+	reps := h.dc.replicaControllers()
+	if reps == nil {
+		return []model.SwitchID{model.ControllerNode}
+	}
+	// Master-first, resolved at call time; during a dispute both claim
+	// the role and the original primary sorts first (deterministic).
+	out := make([]model.SwitchID, 0, len(reps))
+	for _, r := range reps {
+		if r.IsMaster() {
+			out = append(out, r.NodeID())
+		}
+	}
+	for _, r := range reps {
+		if !r.IsMaster() {
+			out = append(out, r.NodeID())
+		}
+	}
+	return out
+}
+
 // Chaos returns the fault-injection view of the data center, for
 // building and scheduling chaos.Plan scenarios directly.
 func (dc *DataCenter) Chaos() chaos.Harness { return dcHarness{dc} }
@@ -72,6 +93,7 @@ func (dc *DataCenter) CheckConvergence() []string {
 		Controller: dc.ctrl,
 		Switches:   dc.switches,
 		Down:       dc.net.NodeDown,
+		Replicas:   dc.replicaControllers(),
 		Hosts: func(sw model.SwitchID) []openflow.LFIBEntry {
 			ids := make([]HostID, 0, 4)
 			for id, rec := range dc.hosts {

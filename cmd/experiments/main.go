@@ -11,6 +11,7 @@
 //	experiments -run fig7 -scale 5000
 //	experiments -run coldcache,storage
 //	experiments -run chaos
+//	experiments -run failover
 //
 // Scale divides the paper's flow counts; 5000 replays ≈54k real-trace
 // flows and is faithful, larger values run faster.
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "comma-separated experiments: tableII,fig6a,fig6b,fig7,fig8,fig9,coldcache,storage,chaos")
+	runFlag := flag.String("run", "all", "comma-separated experiments: tableII,fig6a,fig6b,fig7,fig8,fig9,coldcache,storage,chaos,failover")
 	scale := flag.Int("scale", 5000, "divisor applied to the paper's flow counts (1 = paper scale; use -engine sampled/fluid)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	engineName := flag.String("engine", "des", "Fig7/8/9 replay engine: des, sampled, or fluid (docs/emulation.md)")
@@ -196,6 +197,54 @@ func main() {
 				fmt.Printf("  divergence: %s\n", d)
 			}
 			return fmt.Errorf("cascade did not return to the fault-free fixpoint")
+		}
+		return nil
+	})
+
+	runErr("Failover", func() error {
+		const faultAt = 30 * time.Minute
+		const round = 10 * time.Second
+		rounds := func(d time.Duration) int {
+			if d <= 0 {
+				return 0
+			}
+			return int((d + round - 1) / round)
+		}
+		res, err := eval.ChaosFailover(*seed, eval.FailoverPlans(faultAt)[0])
+		if err != nil {
+			return err
+		}
+		f := res.Faulted
+		fmt.Printf("scenario: master replica crash at %v, healed %v later, switch crash 1m earlier (docs/robustness.md#failover)\n",
+			faultAt, 12*time.Minute)
+		for i, tl := range f.TakeoverTimelines {
+			fmt.Printf("takeover #%d -> generation %d\n", i+1, tl.Generation)
+			fmt.Printf("  detection: %8v after the fault  (%d rounds; 3 missed 1m keep-alives)\n",
+				(tl.DetectedAt - faultAt).Round(time.Second), rounds(tl.DetectedAt-faultAt))
+			fmt.Printf("  announce:  %8v after detection  (%d rounds; RoleAnnounce broadcast)\n",
+				(tl.AnnouncedAt - tl.DetectedAt).Round(time.Second), rounds(tl.AnnouncedAt-tl.DetectedAt))
+			if tl.RebuiltAt > 0 {
+				fmt.Printf("  rebuild:   %8v after announce   (%d rounds; fresh designated report per group)\n",
+					(tl.RebuiltAt - tl.AnnouncedAt).Round(time.Second), rounds(tl.RebuiltAt-tl.AnnouncedAt))
+			}
+			if tl.RepushedAt > 0 {
+				fmt.Printf("  re-push:   %8v after announce   (%d rounds; every group config re-acked)\n",
+					(tl.RepushedAt - tl.AnnouncedAt).Round(time.Second), rounds(tl.RepushedAt-tl.AnnouncedAt))
+			}
+		}
+		fmt.Printf("fence:          stale pushes rejected=%d, dup escalations suppressed=%d, reflushed=%d\n",
+			f.StaleGenRejected, f.DupEscalationsSuppressed, f.EscalationsReflushed)
+		fmt.Printf("role handoff:   takeovers=%d step-downs=%d (healed stale master demoted and re-synced)\n",
+			f.Takeovers, f.StepDowns)
+		fmt.Printf("degraded mode:  floods=%d window=%v\n", f.DegradedFloods, f.DegradedWindow.Round(time.Millisecond))
+		fmt.Printf("recovery:       %d rounds (bound %d), converged=%v, stale adoptions=%d\n",
+			f.RecoveryRounds, chaos.DefaultRecoveryRoundBound, f.Converged, len(f.StaleAdoptions))
+		fmt.Printf("fixpoint:       byte-identical to fault-free replicated run: %v\n", res.FixpointMatch)
+		if !f.Converged || !res.FixpointMatch {
+			for _, d := range f.Divergences {
+				fmt.Printf("  divergence: %s\n", d)
+			}
+			return fmt.Errorf("failover did not return to the fault-free fixpoint")
 		}
 		return nil
 	})

@@ -1,11 +1,15 @@
-// Failover demonstrates the §III-E machinery through the chaos
-// scenario engine (docs/robustness.md): a scripted plan crashes
-// whichever switch holds the designated role when the event fires, the
-// failure-detection wheel spots the missing keep-alives, the
-// controller infers the failure per Table I and re-elects a designated
-// switch, and the engine's timed undo reboots the crashed switch
-// through the §III-E3 recovery path. The convergence checker then
-// asserts the group is byte-for-byte back at the fault-free fixpoint.
+// Failover demonstrates controller replication end-to-end
+// (docs/robustness.md#failover): a hot-standby replica mirrors the
+// primary's C-LIB, grouping, and failure state over the state-sync
+// journal, a scripted fault kills the primary mid-recovery (a switch
+// crash is still being diagnosed when the master dies), the standby's
+// takeover timer fires and it announces itself under a bumped cluster
+// generation, the edges redirect their reports and escalations to the
+// new master — and when the old primary heals, still believing it is
+// the master, the fabric fences its stale-generation pushes and its
+// corrective demotion re-syncs it as the new standby. The convergence
+// checker then asserts the whole fabric is byte-for-byte back at the
+// fault-free fixpoint with exactly one master.
 package main
 
 import (
@@ -22,6 +26,7 @@ func main() {
 		Switches:       6,
 		GroupSizeLimit: 3,
 		Seed:           3,
+		Standby:        true,
 		OnDiagnosis: func(suspect lazyctrl.SwitchID, diag lazyctrl.Diagnosis) {
 			fmt.Printf("  [controller] diagnosis for %v: %v\n", suspect, diag)
 		},
@@ -38,33 +43,29 @@ func main() {
 	if err := dc.SeedGroupingFromPlacement(); err != nil {
 		log.Fatal(err)
 	}
-	dc.Run(5 * time.Second)
+	dc.Run(10 * time.Second)
+	fmt.Printf("master: %v  (generation %d, standby mirroring over the journal)\n",
+		dc.Master(), dc.FailoverStats().Generation)
 
-	members := dc.Groups()[dc.GroupOf(1)]
-	var designated lazyctrl.SwitchID
-	for _, sw := range members {
-		if dc.IsDesignated(sw) {
-			designated = sw
-		}
-	}
-	fmt.Printf("S1's group %v: designated switch is %v\n", members, designated)
-
-	// The scenario is pure data: crash the designated switch (resolved
-	// at fire time, not plan-build time), keep it down for 90 seconds,
-	// then the timed undo reboots it. A mid-window probe observes the
-	// re-election and proves traffic still flows through the survivors.
+	// The scenario is pure data. A switch crash opens a failure
+	// diagnosis; two seconds later — mid-recovery — the master replica
+	// dies for 60 s. The standby misses three 5 s heartbeats, takes
+	// over under generation 2, and inherits the open diagnosis. The
+	// timed undos heal the switch (reboot-and-resync) and then the old
+	// primary, whose stale pushes the fabric must fence.
 	t0 := dc.Now()
-	plan := &chaos.Plan{Name: "designated crash-restart"}
-	plan.Add(t0+time.Second, 90*time.Second, chaos.CrashDesignated{Of: 1})
-	plan.Add(t0+61*time.Second, 0, chaos.Func{
-		Name: "probe: observe re-election, send flow through survivors",
+	plan := &chaos.Plan{Name: "master crash mid-recovery"}
+	plan.Add(t0+time.Second, 45*time.Second, chaos.Crash{Switch: 2})
+	plan.Add(t0+3*time.Second, 60*time.Second, chaos.ControllerFailover{})
+	plan.Add(t0+30*time.Second, 0, chaos.Func{
+		Name: "probe: observe the takeover, send a flow under the new master",
 		Run: func(chaos.Harness) func() {
-			for _, sw := range members {
-				if sw != designated && dc.IsDesignated(sw) {
-					fmt.Printf("new designated switch: %v\n", sw)
-				}
-			}
-			if err := dc.SendFlow(11, 12, 1400); err != nil {
+			// The dead primary still believes it is the master, so the
+			// role is disputed from the rig's view — but the fabric
+			// already follows the standby's higher generation.
+			fmt.Printf("mid-window master: %v  (dead primary still claims the role; fabric follows generation %d)\n",
+				dc.Master(), dc.FailoverStats().Generation)
+			if err := dc.SendFlow(10, 12, 1400); err != nil {
 				log.Fatal(err)
 			}
 			return nil
@@ -72,17 +73,26 @@ func main() {
 	})
 	fmt.Printf("\n%s\n", plan.Describe())
 
-	dc.RunScenario(plan, 35*time.Second)
+	dc.RunScenario(plan, 45*time.Second)
 
-	if dc.IsDesignated(designated) {
-		fmt.Printf("%v resumed the designated role after resync\n", designated)
+	st := dc.FailoverStats()
+	fmt.Printf("after heal: master=%v generation=%d takeovers=%d step-downs=%d\n",
+		st.Master, st.Generation, st.Takeovers, st.StepDowns)
+	fmt.Printf("fence: stale-generation pushes rejected=%d, dup escalations suppressed=%d, reflushed=%d\n",
+		st.StaleGenRejected, st.DupEscalationsSuppressed, st.EscalationsReflushed)
+	if st.StaleGenRejected == 0 {
+		log.Fatal("the healed stale master was never fenced")
+	}
+	if st.Master != lazyctrl.StandbyNode {
+		log.Fatalf("master is %v, want the promoted standby %v", st.Master, lazyctrl.StandbyNode)
 	}
 	if div := dc.CheckConvergence(); len(div) == 0 {
-		fmt.Println("convergence check: back at the fault-free fixpoint")
+		fmt.Println("convergence check: back at the fault-free fixpoint, exactly one master")
 	} else {
 		for _, d := range div {
 			fmt.Printf("divergence: %s\n", d)
 		}
+		log.Fatal("fabric did not converge")
 	}
 	fmt.Printf("\n%s\n", dc.Report())
 }

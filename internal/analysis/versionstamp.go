@@ -68,6 +68,20 @@ var versionStampFields = map[string][]stampWriter{
 		{fn: "internal/fib:CLIB.ApplyLFIB", guard: "Full"},
 		{fn: "internal/fib:CLIB.RemoveSwitch"},
 	},
+	// Cluster generation IDs are owner-only: a replica's generation
+	// moves only at construction, on takeover (becomeMaster), or when
+	// adopting proof of a higher generation (step-down); an edge's
+	// highest-seen generation moves only through adoptGeneration and
+	// the reboot reset.
+	"internal/controller.Controller.generation": {
+		{fn: "internal/controller:New"},
+		{fn: "internal/controller:Controller.becomeMaster"},
+		{fn: "internal/controller:Controller.adoptGeneration"},
+	},
+	"internal/edge.Switch.ctrlGen": {
+		{fn: "internal/edge:Switch.adoptGeneration"},
+		{fn: "internal/edge:Switch.Reboot"},
+	},
 }
 
 // versionStampSetters maps "<type-pkg-suffix>.<Type>.<method>" setter

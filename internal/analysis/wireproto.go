@@ -70,6 +70,11 @@ var wireprotoHandlers = map[string]int{
 	"TypePacketInBurst": handledByController,
 	"TypeFailureReport": handledByController,
 	"TypeConfigAck":     handledByController,
+	// Controller replication: the new master's role announcement reaches
+	// every edge and the peer replica; journal records flow only between
+	// replicas.
+	"TypeRoleAnnounce":    handledByEdge | handledByController,
+	"TypeStateSyncRecord": handledByController,
 }
 
 // Package roles. Tests extend these with fixture paths.

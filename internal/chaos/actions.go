@@ -111,6 +111,65 @@ func (ControllerBlackout) Apply(h Harness) func() {
 
 func (ControllerBlackout) String() string { return "controller blackout" }
 
+// ControllerFailover fails the replica currently holding the master
+// role (resolved at fire time) off the underlay: its timers keep
+// running but every message to or from it drops, the standby's watch
+// heartbeats go unanswered, and after TakeoverMisses intervals the
+// standby takes over under a bumped cluster generation. The undo heals
+// the old master, which returns believing it still rules — the fabric
+// fences its stale pushes and its corrective demotion is the
+// generation-handoff invariant under test. No-op without a standby.
+type ControllerFailover struct{}
+
+func (ControllerFailover) Apply(h Harness) func() {
+	reps := h.Replicas()
+	if len(reps) < 2 {
+		return nil
+	}
+	master := reps[0]
+	h.Net().FailNode(master)
+	return func() { h.Net().HealNode(master) }
+}
+
+func (ControllerFailover) String() string { return "controller failover (fail master replica)" }
+
+// SplitBrain isolates the master replica from everything — standby and
+// fabric alike. The standby takes over; the old master keeps "ruling" a
+// world that cannot hear it. On heal the stale master's first contact
+// (peer heartbeat, journal record, or fenced push) carries the higher
+// generation back and demotes it. No-op without a standby.
+type SplitBrain struct{}
+
+func (SplitBrain) Apply(h Harness) func() {
+	reps := h.Replicas()
+	if len(reps) < 2 {
+		return nil
+	}
+	others := append([]model.SwitchID(nil), reps[1:]...)
+	others = append(others, h.Switches()...)
+	return h.Net().Partition(reps[:1], others)
+}
+
+func (SplitBrain) String() string { return "split-brain (isolate master replica)" }
+
+// StaleMasterStorm partitions the master from its standby only: both
+// replicas keep full fabric connectivity, the standby declares the
+// master dead and takes over, and two masters push concurrently. Edges
+// must follow the higher generation, fence every push of the stale one,
+// and the corrective RoleAnnounce echo — not the (cut) replica link —
+// is what demotes the loser. No-op without a standby.
+type StaleMasterStorm struct{}
+
+func (StaleMasterStorm) Apply(h Harness) func() {
+	reps := h.Replicas()
+	if len(reps) < 2 {
+		return nil
+	}
+	return h.Net().Partition(reps[:1], reps[1:])
+}
+
+func (StaleMasterStorm) String() string { return "stale-master storm (cut replica link)" }
+
 // Func is an escape hatch for bespoke scenario steps. Run may return
 // nil when there is nothing to undo.
 type Func struct {

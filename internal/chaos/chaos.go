@@ -53,6 +53,12 @@ type Harness interface {
 	CrashController()
 	// RestartController brings the controller back onto the underlay.
 	RestartController()
+	// Replicas lists the controller replica addresses, the replica
+	// currently holding the master role first (a single-controller
+	// stack returns just the controller address). Resolved at call
+	// time: after a failover the order changes, so a second
+	// ControllerFailover kills the new master, not the old address.
+	Replicas() []model.SwitchID
 }
 
 // Action is one reversible world mutation. Apply installs the fault

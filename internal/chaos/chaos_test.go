@@ -31,10 +31,10 @@ func newFakeHarness() *fakeHarness {
 	return &fakeHarness{s: s, net: netsim.New(s, netsim.DefaultLatencies()), designated: 2}
 }
 
-func (h *fakeHarness) Now() time.Duration                   { return h.s.Now().Duration() }
-func (h *fakeHarness) After(d time.Duration, fn func())     { h.s.After(d, fn) }
-func (h *fakeHarness) Net() *netsim.Network                 { return h.net }
-func (h *fakeHarness) Switches() []model.SwitchID           { return []model.SwitchID{1, 2, 3} }
+func (h *fakeHarness) Now() time.Duration               { return h.s.Now().Duration() }
+func (h *fakeHarness) After(d time.Duration, fn func()) { h.s.After(d, fn) }
+func (h *fakeHarness) Net() *netsim.Network             { return h.net }
+func (h *fakeHarness) Switches() []model.SwitchID       { return []model.SwitchID{1, 2, 3} }
 func (h *fakeHarness) GroupPeers(model.SwitchID) []model.SwitchID {
 	return []model.SwitchID{1, 2, 3}
 }
@@ -43,6 +43,9 @@ func (h *fakeHarness) Crash(sw model.SwitchID)                  { h.crashed = ap
 func (h *fakeHarness) Restart(sw model.SwitchID)                { h.restarted = append(h.restarted, sw) }
 func (h *fakeHarness) CrashController()                         { h.ctrlDown++ }
 func (h *fakeHarness) RestartController()                       { h.ctrlUp++ }
+func (h *fakeHarness) Replicas() []model.SwitchID {
+	return []model.SwitchID{model.ControllerNode}
+}
 
 func TestPlanScheduleAppliesAndUndoes(t *testing.T) {
 	h := newFakeHarness()

@@ -86,11 +86,36 @@ func Cascade(seed model.SwitchID, at time.Duration) *Plan {
 	return p
 }
 
+// ControllerFailoverPlan kills the master replica at for dur: the
+// standby takes over, rules alone, and the healed old master must be
+// fenced, demoted, and re-synced. A switch crash one keep-alive round
+// before the kill puts the failover mid-recovery — the new master
+// inherits an open diagnosis.
+func ControllerFailoverPlan(at, dur time.Duration) *Plan {
+	p := &Plan{Name: "controller-failover"}
+	return p.Add(at, dur, ControllerFailover{})
+}
+
+// SplitBrainPlan isolates the master replica entirely for dur.
+func SplitBrainPlan(at, dur time.Duration) *Plan {
+	p := &Plan{Name: "split-brain"}
+	return p.Add(at, dur, SplitBrain{})
+}
+
+// StaleMasterStormPlan cuts only the replica link for dur, producing
+// dueling masters until the fabric's fence demotes the stale one.
+func StaleMasterStormPlan(at, dur time.Duration) *Plan {
+	p := &Plan{Name: "stale-master-storm"}
+	return p.Add(at, dur, StaleMasterStorm{})
+}
+
 // Randomized expands a seed into a concrete fault schedule over the
 // given switches: loss windows, delay/jitter windows, control-link
-// flaps, switch crash-restarts (never overlapping per switch), and at
-// most one controller blackout. The schedule spans [start, start+span]
-// and is a pure function of its arguments — same seed, same plan.
+// flaps, switch crash-restarts (never overlapping per switch), at
+// most one controller blackout, and the replicated-controller moves
+// (failover, split-brain, stale-master storm — no-ops on a stack
+// without a standby). The schedule spans [start, start+span] and is a
+// pure function of its arguments — same seed, same plan.
 func Randomized(seed uint64, switches []model.SwitchID, start, span time.Duration, events int) *Plan {
 	p := &Plan{Name: fmt.Sprintf("randomized-%d", seed)}
 	if len(switches) == 0 || events <= 0 || span <= 0 {
@@ -103,7 +128,7 @@ func Randomized(seed uint64, switches []model.SwitchID, start, span time.Duratio
 	for i := 0; i < events; i++ {
 		at := start + time.Duration(rng.Int64N(int64(span)))
 		dur := 10*time.Second + time.Duration(rng.Int64N(int64(50*time.Second)))
-		switch rng.IntN(6) {
+		switch rng.IntN(9) {
 		case 0: // loss window on one link
 			p.Add(at, dur, Fault{Rule: netsim.FaultRule{A: pick(), B: pick(), Loss: 0.3 + 0.7*rng.Float64()}})
 		case 1: // wildcard loss around one switch
@@ -131,6 +156,12 @@ func Randomized(seed uint64, switches []model.SwitchID, start, span time.Duratio
 			}
 			usedBlackout = true
 			p.Add(at, dur/2, ControllerBlackout{})
+		case 6: // master replica failover (no-op without a standby)
+			p.Add(at, dur, ControllerFailover{})
+		case 7: // full master isolation
+			p.Add(at, dur, SplitBrain{})
+		case 8: // replica-link cut: dueling masters
+			p.Add(at, dur, StaleMasterStorm{})
 		}
 	}
 	return p

@@ -34,7 +34,13 @@ const DefaultRecoveryRoundBound = 35
 // resurrected, a dead switch's bindings lingering in the C-LIB).
 type World struct {
 	Controller *controller.Controller
-	Switches   map[model.SwitchID]*edge.Switch
+	// Replicas lists the controller replicas of a replicated stack;
+	// when set, the controller-side invariants resolve the active
+	// master dynamically (and Diverged asserts exactly one replica
+	// holds the role at the fixpoint). Leave empty for a
+	// single-controller stack driven through Controller.
+	Replicas []*controller.Controller
+	Switches map[model.SwitchID]*edge.Switch
 	// Hosts returns the ground-truth bindings attached to a switch
 	// (the hypervisor's view — what every converged table must show).
 	Hosts func(sw model.SwitchID) []openflow.LFIBEntry
@@ -47,12 +53,45 @@ type World struct {
 	FilterHashes uint32
 
 	// maxSeen tracks the highest G-FIB filter version each holder ever
-	// held per peer, and the highest C-LIB version per switch, across
-	// Probe calls — the no-stale-epoch-adoption invariant is "these
-	// never regress".
+	// held per peer, and the highest C-LIB version per switch (keyed by
+	// replica address), across Probe calls — the
+	// no-stale-epoch-adoption invariant is "these never regress".
 	maxSeen map[[2]model.SwitchID]uint64
+	// genSeen tracks the highest cluster generation each holder (edge
+	// or replica) ever observed; the failover fencing invariant is
+	// "generations never regress within an incarnation" (an edge reboot
+	// legitimately resets its fence, detected via the L-FIB epoch).
+	genSeen map[model.SwitchID]genMark
 	// emptyRef caches the empty-set filter encoding (see emptyFilter).
 	emptyRef []byte
+}
+
+// genMark is one holder's generation high-water mark, tagged with the
+// L-FIB incarnation epoch it was observed in (always 0 for replicas —
+// controller replicas do not reboot).
+type genMark struct {
+	epoch uint64
+	gen   uint64
+}
+
+// activeController resolves the controller whose state the invariants
+// compare against: the single static controller, or — replicated — the
+// unique replica holding the master role (nil while zero or several
+// do; Diverged reports that separately).
+func (w *World) activeController() *controller.Controller {
+	if len(w.Replicas) == 0 {
+		return w.Controller
+	}
+	var m *controller.Controller
+	for _, r := range w.Replicas {
+		if r.IsMaster() {
+			if m != nil {
+				return nil
+			}
+			m = r
+		}
+	}
+	return m
 }
 
 func (w *World) geometry() (uint64, uint32) {
@@ -119,8 +158,24 @@ func sortedEntries(in []openflow.LFIBEntry) []openflow.LFIBEntry {
 //     peer, byte-identical to the filter computed from H(peer), tagged
 //     with the peer's current L-FIB version — no missing filters, no
 //     ghosts for dead or evicted peers, no stale content.
+//
+// A replicated stack (Replicas set) adds the role-handoff fixpoint:
+// exactly one replica holds the master role, and every live switch
+// follows that replica at its generation.
 func (w *World) Diverged() []string {
 	var out []string
+	ctrl := w.activeController()
+	if len(w.Replicas) > 0 {
+		masters := 0
+		for _, r := range w.Replicas {
+			if r.IsMaster() {
+				masters++
+			}
+		}
+		if masters != 1 {
+			out = append(out, fmt.Sprintf("controller: %d replicas hold the master role, want exactly 1", masters))
+		}
+	}
 	bits, hashes := w.geometry()
 	for _, id := range w.ids() {
 		if w.down(id) {
@@ -132,17 +187,25 @@ func (w *World) Diverged() []string {
 		if got := sortedEntries(sw.LFIB().WireEntries()); !entriesEqual(got, want) {
 			out = append(out, fmt.Sprintf("S%d: L-FIB has %d entries, ground truth %d", id, len(got), len(want)))
 		}
-		if w.Controller != nil {
-			if got := w.Controller.CLIB().EntriesOn(id); !entriesEqual(sortedEntries(got), want) {
+		if ctrl != nil {
+			if len(w.Replicas) > 0 {
+				if m := sw.Master(); m != ctrl.NodeID() {
+					out = append(out, fmt.Sprintf("S%d: follows controller %d, active master is %d", id, m, ctrl.NodeID()))
+				}
+				if g := sw.CtrlGeneration(); g != ctrl.Generation() {
+					out = append(out, fmt.Sprintf("S%d: at generation %d, active master at %d", id, g, ctrl.Generation()))
+				}
+			}
+			if got := ctrl.CLIB().EntriesOn(id); !entriesEqual(sortedEntries(got), want) {
 				out = append(out, fmt.Sprintf("S%d: C-LIB attributes %d entries, ground truth %d", id, len(got), len(want)))
 			}
-			if v, lv := w.Controller.CLIB().VersionOn(id), sw.LFIB().Version(); v != lv {
+			if v, lv := ctrl.CLIB().VersionOn(id), sw.LFIB().Version(); v != lv {
 				out = append(out, fmt.Sprintf("S%d: C-LIB version %#x != L-FIB version %#x", id, v, lv))
 			}
-			if w.Controller.IsDead(id) {
+			if ctrl.IsDead(id) {
 				out = append(out, fmt.Sprintf("S%d: controller still marks it dead", id))
 			}
-			if w.Controller.Grouping().GroupOf(id) == model.NoGroup {
+			if ctrl.Grouping().GroupOf(id) == model.NoGroup {
 				out = append(out, fmt.Sprintf("S%d: ungrouped at the controller", id))
 				continue
 			}
@@ -153,8 +216,8 @@ func (w *World) Diverged() []string {
 			out = append(out, fmt.Sprintf("S%d: has no group view", id))
 			continue
 		}
-		if w.Controller != nil {
-			ctrlMembers := w.Controller.Grouping().Members(w.Controller.Grouping().GroupOf(id))
+		if ctrl != nil {
+			ctrlMembers := ctrl.Grouping().Members(ctrl.Grouping().GroupOf(id))
 			if !switchSetEqual(group.Members, ctrlMembers) {
 				out = append(out, fmt.Sprintf("S%d: group view %v != controller grouping %v", id, group.Members, ctrlMembers))
 			}
@@ -235,15 +298,25 @@ func switchSetEqual(a, b []model.SwitchID) bool {
 // Probe samples the version state mid-run and returns violations of
 // the no-stale-adoption invariant: a G-FIB filter version or C-LIB
 // switch version that regressed since an earlier Probe means a view
-// adopted a snapshot from a superseded epoch/version. Call it
-// periodically while faults are active; absence of state (an evicted
-// filter, a removed C-LIB switch) is not a regression — only adopting
-// *older* state is.
+// adopted a snapshot from a superseded epoch/version, and a cluster
+// generation that regressed within a holder's incarnation means a view
+// applied a fenced (stale-master) message. Call it periodically while
+// faults are active; absence of state (an evicted filter, a removed
+// C-LIB switch) is not a regression — only adopting *older* state is,
+// and an edge reboot (detected by its advanced L-FIB epoch)
+// legitimately restarts its generation fence at zero.
 func (w *World) Probe() []string {
 	if w.maxSeen == nil {
 		w.maxSeen = make(map[[2]model.SwitchID]uint64)
 	}
+	if w.genSeen == nil {
+		w.genSeen = make(map[model.SwitchID]genMark)
+	}
 	var out []string
+	ctrls := w.Replicas
+	if len(ctrls) == 0 && w.Controller != nil {
+		ctrls = []*controller.Controller{w.Controller}
+	}
 	for _, id := range w.ids() {
 		if w.down(id) {
 			continue
@@ -259,35 +332,64 @@ func (w *World) Probe() []string {
 				w.maxSeen[key] = v
 			}
 		}
-		if w.Controller != nil {
-			key := [2]model.SwitchID{model.ControllerNode, id}
-			if v := w.Controller.CLIB().VersionOn(id); v != 0 {
+		// C-LIB versions are tracked per replica: each mirror advances
+		// on its own journal/report stream, and a standby legitimately
+		// lags the master it mirrors.
+		for _, r := range ctrls {
+			key := [2]model.SwitchID{r.NodeID(), id}
+			if v := r.CLIB().VersionOn(id); v != 0 {
 				if prev := w.maxSeen[key]; v < prev {
-					out = append(out, fmt.Sprintf("C-LIB: adopted stale version for S%d: %#x after %#x", id, v, prev))
+					out = append(out, fmt.Sprintf("C-LIB(%d): adopted stale version for S%d: %#x after %#x", r.NodeID(), id, v, prev))
 				} else {
 					w.maxSeen[key] = v
 				}
 			}
+		}
+		if g := sw.CtrlGeneration(); g != 0 {
+			ep := sw.LFIB().Version() >> fib.VersionEpochShift
+			m, known := w.genSeen[id]
+			switch {
+			case known && ep == m.epoch && g < m.gen:
+				out = append(out, fmt.Sprintf("S%d: regressed to generation %d after %d — applied a fenced message", id, g, m.gen))
+			default:
+				w.genSeen[id] = genMark{epoch: ep, gen: g}
+			}
+		}
+	}
+	// Replica generations are strictly monotone: controllers do not
+	// reboot, and adoptGeneration only moves up.
+	for _, r := range w.Replicas {
+		g := r.Generation()
+		if m, known := w.genSeen[r.NodeID()]; known && g < m.gen {
+			out = append(out, fmt.Sprintf("controller %d: generation regressed to %d after %d", r.NodeID(), g, m.gen))
+		} else {
+			w.genSeen[r.NodeID()] = genMark{gen: g}
 		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// ResetProbe forgets the version high-water marks — call after a
-// deliberate epoch reset that legitimately rewinds versions (none of
-// the shipped scenarios need it; reboots only advance epochs).
-func (w *World) ResetProbe() { w.maxSeen = nil }
+// ResetProbe forgets the version and generation high-water marks —
+// call after a deliberate epoch reset that legitimately rewinds
+// versions (none of the shipped scenarios need it; reboots only
+// advance epochs).
+func (w *World) ResetProbe() { w.maxSeen, w.genSeen = nil, nil }
 
 // Snapshot renders the content fixpoint as a canonical string:
 // grouping structure, designated roles, every L-FIB binding, C-LIB
 // attribution, and G-FIB filter bytes (hashed), all in sorted order.
 // Versions and epochs are deliberately excluded — a faulted run reaches
-// the same *content* fixpoint at higher epochs — so a fault-free run
-// and a faulted run of the same seed must produce byte-identical
-// snapshots once converged (the differential acceptance test).
-// Version coherence is checked separately, within-run, by Diverged.
+// the same *content* fixpoint at higher epochs — and so are the master
+// identity and cluster generation: a failover run converges with the
+// standby ruling at a higher generation, yet must reach the same
+// content fixpoint as the fault-free run. So a fault-free run and a
+// faulted run of the same seed must produce byte-identical snapshots
+// once converged (the differential acceptance test). Version, role,
+// and generation coherence are checked separately, within-run, by
+// Diverged and Probe.
 func (w *World) Snapshot() string {
+	ctrl := w.activeController()
 	var b strings.Builder
 	for _, id := range w.ids() {
 		if w.down(id) {
@@ -316,8 +418,8 @@ func (w *World) Snapshot() string {
 		for _, p := range peers {
 			fmt.Fprintf(&b, "  gfib S%d %x\n", p, sha256.Sum256(held[p]))
 		}
-		if w.Controller != nil {
-			for _, e := range sortedEntries(w.Controller.CLIB().EntriesOn(id)) {
+		if ctrl != nil {
+			for _, e := range sortedEntries(ctrl.CLIB().EntriesOn(id)) {
 				fmt.Fprintf(&b, "  clib %s %s %d\n", e.MAC, e.IP, e.VLAN)
 			}
 		}

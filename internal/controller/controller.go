@@ -126,6 +126,18 @@ type Config struct {
 	// ARPTimeout bounds how long an unresolved destination stays pending.
 	// Zero selects 200 ms.
 	ARPTimeout time.Duration
+	// Peer is the node address of the other controller replica (zero:
+	// no replication). The primary journals state increments to it and
+	// heartbeats it; the standby watches those heartbeats and takes the
+	// master role when they stop.
+	Peer model.SwitchID
+	// Standby starts this replica in the standby role: it mirrors state
+	// from the journal and runs no switch-facing duties until takeover.
+	Standby bool
+	// TakeoverMisses is how many consecutive missed primary heartbeat
+	// intervals the standby tolerates before taking over. Zero selects 3
+	// (matching the keep-alive failure heuristics).
+	TakeoverMisses int
 	// StateShards is the number of lock stripes for the controller's
 	// per-MAC hot state (learning-mode locations, pending flows) and the
 	// worker count of ProcessBurst. Rounded up to a power of two and
@@ -208,6 +220,9 @@ func (c Config) withDefaults() Config {
 	if c.ARPTimeout == 0 {
 		c.ARPTimeout = 200 * time.Millisecond
 	}
+	if c.TakeoverMisses == 0 {
+		c.TakeoverMisses = 3
+	}
 	if c.PushRetryTimeout == 0 {
 		c.PushRetryTimeout = 2 * c.KeepAliveInterval
 	}
@@ -237,6 +252,31 @@ type pendingFlow struct {
 type Controller struct {
 	cfg Config
 	env netsim.Env
+
+	// addr is this replica's node address: model.ControllerNode for the
+	// primary, model.StandbyNode for the standby.
+	addr model.SwitchID
+
+	// Replication state (see replica.go). generation is the cluster
+	// generation this replica last held or observed; it is stamped into
+	// every switch-bound push and only ever increases (owner-only
+	// writes, enforced by the versionstamp analyzer).
+	generation uint64
+	isStandby  bool
+	// peerLastKA/peerSeen track the primary's heartbeats (standby role);
+	// peerSynced records whether the standby was sent its bootstrap
+	// snapshot (master role); standbySeq numbers the standby's own
+	// watch heartbeats so a fresh standby (seq 1) triggers a re-sync.
+	peerLastKA time.Duration
+	peerSeen   bool
+	peerSynced bool
+	standbySeq uint64
+	// Takeover timeline instrumentation: rebuildPending holds the groups
+	// whose post-takeover designated report is still outstanding;
+	// awaitingRepush is set until every re-pushed config is acked.
+	rebuildPending map[model.GroupID]bool
+	awaitingRepush bool
+	takeovers      []TakeoverTimeline
 
 	clib      *fib.CLIB
 	grp       *grouping.Grouping
@@ -351,6 +391,15 @@ type Stats struct {
 	// proof of life (a keep-alive ack, config ack, or ARP answer
 	// arriving while the switch was marked dead).
 	Resurrections uint64
+	// Replication counters: Takeovers and StepDowns count role changes
+	// on this replica; SyncRecordsSent/Applied count journal traffic;
+	// StaleSyncRejected counts journal records fenced behind the
+	// receiver's generation.
+	Takeovers          uint64
+	StepDowns          uint64
+	SyncRecordsSent    uint64
+	SyncRecordsApplied uint64
+	StaleSyncRejected  uint64
 }
 
 // New constructs a controller.
@@ -378,9 +427,20 @@ func New(cfg Config, env netsim.Env) (*Controller, error) {
 	for _, sw := range c.Switches {
 		intensity.AddSwitch(sw)
 	}
+	addr := model.ControllerNode
+	if c.Standby {
+		addr = model.StandbyNode
+	}
 	return &Controller{
-		cfg:           c,
-		env:           env,
+		cfg:  c,
+		env:  env,
+		addr: addr,
+		// Both replicas are born at generation 1 (not 0, the unfenced
+		// sentinel): a standby that never heard the primary still takes
+		// over at a strictly greater generation than the one it started
+		// with, and a solo controller's pushes are fenceable from t=0.
+		generation:    1,
+		isStandby:     c.Standby,
 		clib:          fib.NewCLIB(),
 		grp:           grouping.NewGrouping(),
 		sgi:           sgi,
@@ -401,7 +461,7 @@ func New(cfg Config, env netsim.Env) (*Controller, error) {
 }
 
 // NodeID implements netsim.Node.
-func (c *Controller) NodeID() model.SwitchID { return model.ControllerNode }
+func (c *Controller) NodeID() model.SwitchID { return c.addr }
 
 // CLIB exposes the central location information base (read-only use).
 func (c *Controller) CLIB() *fib.CLIB { return c.clib }
@@ -450,6 +510,13 @@ func (c *Controller) Start() {
 		c.cancels = append(c.cancels,
 			c.env.Every(c.cfg.RegroupCheckInterval, c.maybeRegroup))
 	}
+	if c.cfg.Peer != 0 {
+		// Standby-role duty: heartbeat the primary and take over when it
+		// goes silent. Registered on both replicas — it gates on the
+		// current role, which changes at runtime (takeover, step-down).
+		c.cancels = append(c.cancels,
+			c.env.Every(c.cfg.KeepAliveInterval, c.watchPrimary))
+	}
 }
 
 // Stop cancels periodic duties (elidable tasks settle pending folds).
@@ -489,6 +556,7 @@ func (c *Controller) InitialGrouping(m *grouping.Intensity) error {
 	c.groupingVersion++
 	c.stats.Regroupings++
 	c.lastRegroupAt = c.env.Now()
+	c.journalGrouping()
 	c.pushGroupConfigs(true)
 	if c.cfg.Recorder != nil {
 		c.cfg.Recorder.RecordUpdate(c.env.Now())
@@ -587,6 +655,7 @@ func (c *Controller) pushGroupConfigs(kickDesignated bool) int {
 				SyncInterval:      c.cfg.SyncInterval,
 				KeepAliveInterval: c.cfg.KeepAliveInterval,
 				Version:           c.groupingVersion,
+				Generation:        c.generation,
 			}
 			cfgFP := configFingerprint(cfgMsg)
 			var msgs []openflow.Message
@@ -630,7 +699,7 @@ func (c *Controller) pushGroupConfigs(kickDesignated bool) int {
 				c.env.Send(m, msgs[0])
 			} else {
 				c.stats.BatchedPushes++
-				c.env.Send(m, &openflow.Batch{Msgs: msgs})
+				c.env.Send(m, &openflow.Batch{Generation: c.generation, Msgs: msgs})
 			}
 			if sentCfg && !c.dead[m] {
 				c.supervisePush(m, c.groupingVersion)
@@ -792,7 +861,7 @@ func (c *Controller) buildPreload(gid model.GroupID, dest model.SwitchID, member
 			}
 			if words != nil && openflow.DeltaWireCost(words) < openflow.FullWireCost(len(cur.data)) {
 				if delta == nil {
-					delta = &openflow.GFIBDelta{Group: gid, Version: c.groupingVersion}
+					delta = &openflow.GFIBDelta{Group: gid, Version: c.groupingVersion, Generation: c.generation}
 				}
 				delta.Deltas = append(delta.Deltas, openflow.GFIBFilterDelta{
 					Switch:        peer,
@@ -806,7 +875,7 @@ func (c *Controller) buildPreload(gid model.GroupID, dest model.SwitchID, member
 			}
 		}
 		if update == nil {
-			update = &openflow.GFIBUpdate{Group: gid, Version: c.groupingVersion}
+			update = &openflow.GFIBUpdate{Group: gid, Version: c.groupingVersion, Generation: c.generation}
 		}
 		update.Filters = append(update.Filters, openflow.GFIBFilter{Switch: peer, Filter: cur.data, Version: curV})
 		c.stats.PreloadFulls++

@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"lazyctrl/internal/metrics"
-	"lazyctrl/internal/model"
 	"lazyctrl/internal/netsim"
 	"lazyctrl/internal/openflow"
 )
@@ -47,6 +46,14 @@ func (c *Controller) kaQuiet() int {
 	if c.cfg.FoldGate == nil || !c.cfg.FoldGate() {
 		return 0
 	}
+	// Replication and the control fold do not compose: folding the
+	// keep-alive task would also fold the master→standby heartbeat, and
+	// the standby (a separate node with its own clock) would read the
+	// silence as a dead primary and take over. Replicated runs keep
+	// every keep-alive round real.
+	if c.cfg.Peer != 0 {
+		return 0
+	}
 	if len(c.dead) > 0 || c.detector.Pending() > 0 {
 		return 0
 	}
@@ -64,12 +71,12 @@ func (c *Controller) kaCredit(rounds int) {
 		return
 	}
 	n := uint64(rounds)
-	ka := &openflow.KeepAlive{From: model.ControllerNode, Seq: c.kaSeq}
+	ka := &openflow.KeepAlive{From: c.addr, Seq: c.kaSeq, Generation: c.generation}
 	ack := &openflow.KeepAlive{Seq: c.kaSeq}
 	for _, sw := range c.cfg.Switches {
-		c.cfg.FoldMeter(model.ControllerNode, sw, ka, n)
+		c.cfg.FoldMeter(c.addr, sw, ka, n)
 		ack.From = sw
-		c.cfg.FoldMeter(sw, model.ControllerNode, ack, n)
+		c.cfg.FoldMeter(sw, c.addr, ack, n)
 	}
 }
 

@@ -40,9 +40,19 @@ func (c *Controller) HandleMessage(from model.SwitchID, msg netsim.Message) {
 		// Open evidence needs real check rounds to close its window.
 		wakeTask(c.kaTask)
 	case *openflow.KeepAlive:
+		if c.cfg.Peer != 0 && m.From == c.cfg.Peer {
+			// The other replica's heartbeat is replication traffic, not a
+			// switch ack — it must not pollute the failure bookkeeping.
+			c.handlePeerKeepAlive(m)
+			return
+		}
 		c.lastAck[m.From] = c.env.Now()
 		c.detector.Clear(m.From)
 		c.resurrect(m.From)
+	case *openflow.RoleAnnounce:
+		c.adoptGeneration(m.Generation, m.From)
+	case *openflow.StateSyncRecord:
+		c.handleSyncRecord(from, m)
 	case *openflow.ConfigAck:
 		c.stats.ConfigAcks++
 		c.lastAck[m.From] = c.env.Now()
@@ -53,6 +63,12 @@ func (c *Controller) HandleMessage(from model.SwitchID, msg netsim.Message) {
 				p.cancel()
 			}
 			delete(c.pushPending, m.From)
+		}
+		if c.awaitingRepush && len(c.pushPending) == 0 {
+			c.awaitingRepush = false
+			if tl := c.currentTakeover(); tl != nil && tl.RepushedAt == 0 {
+				tl.RepushedAt = c.env.Now()
+			}
 		}
 	case *openflow.EchoReply:
 		// Liveness only.
@@ -331,7 +347,7 @@ func (c *Controller) designatedTargets(vlan model.VLAN) []model.SwitchID {
 // for exactly the peers it named.
 func (c *Controller) handleGFIBNack(m *openflow.GFIBNack) {
 	c.record(metrics.ReqStateReport, 1)
-	update := &openflow.GFIBUpdate{Group: m.Group, Version: c.groupingVersion}
+	update := &openflow.GFIBUpdate{Group: m.Group, Version: c.groupingVersion, Generation: c.generation}
 	for _, peer := range m.Peers {
 		cur := c.pfCur[peer]
 		if cur == nil {
@@ -414,9 +430,20 @@ func (c *Controller) handleStateReport(m *openflow.StateReport) {
 		u := &m.LFIBs[i]
 		group := c.grp.GroupOf(u.Origin)
 		c.clib.ApplyLFIB(u.Origin, group, u)
+		c.journalLFIB(u)
 	}
 	for _, pair := range m.Pairs {
 		c.intensity.Add(pair.A, pair.B, float64(pair.NewFlows))
+	}
+	// A fresh post-takeover report from this group closes its slice of
+	// the residue-rebuild window.
+	if len(c.rebuildPending) > 0 && c.rebuildPending[m.Group] {
+		delete(c.rebuildPending, m.Group)
+		if len(c.rebuildPending) == 0 {
+			if tl := c.currentTakeover(); tl != nil && tl.RebuiltAt == 0 {
+				tl.RebuiltAt = c.env.Now()
+			}
+		}
 	}
 }
 
@@ -433,6 +460,7 @@ func (c *Controller) handleLFIBAnswer(from model.SwitchID, m *openflow.LFIBUpdat
 	c.resurrect(from)
 	group := c.grp.GroupOf(m.Origin)
 	c.clib.ApplyLFIB(m.Origin, group, m)
+	c.journalLFIB(m)
 	for _, e := range m.Entries {
 		flows := c.state.takePending(e.MAC)
 		for _, f := range flows {
@@ -458,6 +486,9 @@ func (c *Controller) expirePending() {
 // decide whether any merge/split actually happens; only effective
 // updates are counted and pushed.
 func (c *Controller) maybeRegroup() {
+	if c.isStandby {
+		return
+	}
 	now := c.env.Now()
 	if now-c.lastRegroupAt < c.cfg.RegroupMinInterval {
 		return
@@ -476,6 +507,7 @@ func (c *Controller) maybeRegroup() {
 	c.stats.Regroupings++
 	c.lastRegroupAt = now
 	c.rateAtRegroup = c.lastRate
+	c.journalGrouping()
 	// Regroup workload scales with what the round actually ships: with
 	// per-destination version tracking, switches whose group view and
 	// peer filters are already current cost the controller nothing.
@@ -506,12 +538,21 @@ const deadProbeEvery = 3
 // Table I); switches marked dead are probed at a reduced cadence (see
 // deadProbeEvery).
 func (c *Controller) sendKeepAlives() {
+	if c.isStandby {
+		return // standby runs no switch-facing duties
+	}
 	c.kaSeq++
 	for _, sw := range c.cfg.Switches {
 		if c.dead[sw] && c.kaSeq%deadProbeEvery != 0 {
 			continue
 		}
-		c.env.Send(sw, &openflow.KeepAlive{From: model.ControllerNode, Seq: c.kaSeq})
+		c.env.Send(sw, &openflow.KeepAlive{From: c.addr, Seq: c.kaSeq, Generation: c.generation})
+	}
+	if c.cfg.Peer != 0 {
+		// The master→standby heartbeat: the standby's takeover timer
+		// rearms on each one, and the carried generation keeps a healed
+		// stale replica fenced.
+		c.env.Send(c.cfg.Peer, &openflow.KeepAlive{From: c.addr, Seq: c.kaSeq, Generation: c.generation})
 	}
 }
 
@@ -530,6 +571,8 @@ func (c *Controller) resurrect(sw model.SwitchID) {
 	c.lastAck[sw] = c.env.Now()
 	c.detector.Clear(sw)
 	c.groupingVersion++
+	c.journalDead(sw, false)
+	c.journalGrouping()
 	delete(c.pushedCfg, sw)
 	delete(c.pushedFilters, sw)
 	c.pushGroupConfigs(false)
@@ -538,6 +581,11 @@ func (c *Controller) resurrect(sw model.SwitchID) {
 // checkFailures folds missing acks into the detector and acts on closed
 // diagnoses (§III-E2/3).
 func (c *Controller) checkFailures() {
+	if c.isStandby {
+		// A standby receives no acks; running the check would diagnose
+		// the whole fabric dead.
+		return
+	}
 	now := c.env.Now()
 	deadline := 3 * c.cfg.KeepAliveInterval
 	// Folded probe rounds were credited only while the underlay was
@@ -594,6 +642,7 @@ func (c *Controller) actOnDiagnosis(suspect model.SwitchID, diag failover.Diagno
 	switch diag {
 	case failover.DiagSwitch:
 		c.dead[suspect] = true
+		c.journalDead(suspect, true)
 		// A push retry for a dead destination would be wasted sends.
 		c.cancelPush(suspect)
 		// Evict the per-MAC state pointing at the dead switch: learned
@@ -622,9 +671,10 @@ func (c *Controller) actOnDiagnosis(suspect model.SwitchID, diag failover.Diagno
 		gid := c.grp.GroupOf(suspect)
 		if gid != model.NoGroup {
 			tomb := &openflow.GFIBDelta{
-				Group:    gid,
-				Removals: []model.SwitchID{suspect},
-				Version:  c.groupingVersion,
+				Group:      gid,
+				Removals:   []model.SwitchID{suspect},
+				Version:    c.groupingVersion,
+				Generation: c.generation,
 			}
 			for _, member := range c.grp.Members(gid) {
 				if member == suspect || c.dead[member] {
@@ -640,6 +690,7 @@ func (c *Controller) actOnDiagnosis(suspect model.SwitchID, diag failover.Diagno
 			members := c.grp.Members(gid)
 			if c.chooseDesignatedWas(members, suspect) {
 				c.groupingVersion++
+				c.journalGrouping()
 				c.pushGroupConfigs(true)
 			}
 		}
@@ -649,6 +700,7 @@ func (c *Controller) actOnDiagnosis(suspect model.SwitchID, diag failover.Diagno
 		// switches afresh.
 		if gid := c.grp.GroupOf(suspect); gid != model.NoGroup {
 			c.groupingVersion++
+			c.journalGrouping()
 			c.pushGroupConfigs(true)
 		}
 	case failover.DiagControlLink:
@@ -686,6 +738,8 @@ func (c *Controller) MarkRecovered(sw model.SwitchID) {
 	delete(c.dead, sw)
 	c.lastAck[sw] = c.env.Now()
 	c.groupingVersion++
+	c.journalDead(sw, false)
+	c.journalGrouping()
 	// The rebooted switch comes back cold: forget what was pushed to it
 	// so the re-push carries its config and full peer preloads — and
 	// only to it, not to its whole group — instead of leaving it dark

@@ -27,22 +27,30 @@ func (s *Switch) sendKeepAlives() {
 }
 
 // handleKeepAlive records heartbeats from ring neighbors and from the
-// controller. Controller heartbeats are acknowledged so the controller
-// can detect control-link loss. A designated switch that evicted a
-// member on peer evidence treats the member's resumed heartbeat as the
-// false-alarm signal and re-sends it its group view: handleGroupConfig
-// resets the member's advertisement state, so its next advertisement
-// is a full snapshot that rebuilds the dropped aggregation and filter
-// state.
+// controller. Controller heartbeats are fenced first — a demoted
+// master's beacon must not rearm freshness — then acknowledged to the
+// replica that sent them so it can detect control-link loss, but only
+// the followed master's beacon counts as controller liveness. A
+// designated switch that evicted a member on peer evidence treats the
+// member's resumed heartbeat as the false-alarm signal and re-sends it
+// its group view: handleGroupConfig resets the member's advertisement
+// state, so its next advertisement is a full snapshot that rebuilds
+// the dropped aggregation and filter state.
 func (s *Switch) handleKeepAlive(from model.SwitchID, m *openflow.KeepAlive) {
+	if model.IsControllerAddr(m.From) {
+		if s.fenced(m.Generation, m.From) {
+			return
+		}
+		if m.From == s.master {
+			s.ctrlKASeen = true
+			s.ctrlLastKA = s.env.Now()
+			s.exitDegraded()
+		}
+		s.env.Send(m.From, &openflow.KeepAlive{From: s.cfg.ID, Seq: m.Seq})
+		return
+	}
 	s.lastFrom[m.From] = s.env.Now()
 	delete(s.reported, m.From)
-	if m.From == model.ControllerNode {
-		s.ctrlKASeen = true
-		s.ctrlLastKA = s.env.Now()
-		s.exitDegraded()
-		s.env.Send(model.ControllerNode, &openflow.KeepAlive{From: s.cfg.ID, Seq: m.Seq})
-	}
 	if s.IsDesignated() && s.evictedMembers[m.From] {
 		s.resyncMember(m.From)
 	}

@@ -25,20 +25,35 @@ func (s *Switch) HandleMessage(from model.SwitchID, msg netsim.Message) {
 	case *openflow.FlowMod:
 		s.handleFlowMod(m)
 	case *openflow.PacketOut:
+		s.clearEscalation(&m.Packet)
 		pkt := m.Packet
 		s.applyActions(m.Actions, &pkt)
 	case *openflow.GroupConfig:
+		if s.fenced(m.Generation, from) {
+			return
+		}
 		s.handleGroupConfig(m)
 	case *openflow.StateReport:
 		s.handleMemberReport(from, m)
 	case *openflow.GFIBUpdate:
+		if s.fenced(m.Generation, from) {
+			return
+		}
 		s.handleGFIBUpdate(m)
 	case *openflow.GFIBDelta:
+		if s.fenced(m.Generation, from) {
+			return
+		}
 		s.handleGFIBDelta(from, m)
 	case *openflow.GFIBNack:
 		s.handleGFIBNack(m)
 	case *openflow.LFIBUpdate:
+		if s.fenced(m.Generation, from) {
+			return
+		}
 		s.handleLFIBUpdate(from, m)
+	case *openflow.RoleAnnounce:
+		s.adoptGeneration(m.Generation, m.From)
 	case *openflow.ARPRelay:
 		s.handleARPRelay(m)
 	case *openflow.KeepAlive:
@@ -48,13 +63,18 @@ func (s *Switch) HandleMessage(from model.SwitchID, msg netsim.Message) {
 	case *openflow.StatsRequest:
 		s.env.Send(from, s.statsReply())
 	case *relayEnvelope:
-		// Pass a neighbor's control message on to the controller
-		// (§III-E2 control-link failover).
-		s.env.Send(model.ControllerNode, m.Msg)
+		// Pass a neighbor's control message on to the controller this
+		// switch follows (§III-E2 control-link failover).
+		s.env.Send(s.master, m.Msg)
 	case *openflow.Batch:
-		// A regroup round's coalesced push: apply in order, so the
-		// GroupConfig that resets G-FIB/aggregation state lands before
-		// the L-FIB preloads that repopulate it.
+		// A regroup round's coalesced push: fence the whole batch once
+		// before anything applies — a stale master's push must not
+		// partially land — then apply in order, so the GroupConfig that
+		// resets G-FIB/aggregation state lands before the L-FIB
+		// preloads that repopulate it.
+		if s.fenced(m.Generation, from) {
+			return
+		}
 		for _, sub := range m.Msgs {
 			if _, nested := sub.(*openflow.Batch); nested {
 				continue // decode rejects nesting; ignore hand-built ones

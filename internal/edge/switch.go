@@ -67,6 +67,12 @@ type Config struct {
 	// Fold supplies the harness-side oracles the fold's quiet proofs
 	// need (global fault gate, peer freshness, wire metering).
 	Fold *FoldHooks
+	// TrackEscalations enables failover escalation bookkeeping (see
+	// fencing.go): unanswered no-match PacketIns are remembered per
+	// flow, duplicates inside the window are suppressed, and a master
+	// change re-flushes the unexpired residue to the new master. Off by
+	// default — the single-controller fast path allocates nothing.
+	TrackEscalations bool
 	// OnDeliver receives packets arriving at locally attached hosts.
 	OnDeliver DeliverFunc
 }
@@ -157,6 +163,15 @@ type Stats struct {
 	// which would otherwise strand the member's state forever (a
 	// member only re-advertises on change).
 	IdleRefreshes uint64
+	// StaleGenRejected counts controller-issued messages rejected by
+	// the generation fence (a demoted master pushing under a superseded
+	// generation); DupEscalationsSuppressed counts no-match escalations
+	// suppressed because the same flow was already pending;
+	// EscalationsReflushed counts pending escalations re-sent to a
+	// newly announced master (see fencing.go).
+	StaleGenRejected         uint64
+	DupEscalationsSuppressed uint64
+	EscalationsReflushed     uint64
 }
 
 // Switch is a LazyCtrl edge switch.
@@ -235,6 +250,17 @@ type Switch struct {
 	degraded   bool
 	degradedAt time.Duration
 
+	// Replicated-controller state (fencing.go): master is the
+	// controller address this switch follows (the target of
+	// escalations, reports, and acks), ctrlGen the highest cluster
+	// generation it has observed — pushes fenced behind it are
+	// rejected. escPending holds the unanswered no-match escalations
+	// for the failover dedup/re-flush path (nil unless
+	// TrackEscalations).
+	master     model.SwitchID
+	ctrlGen    uint64
+	escPending map[escKey]escRecord
+
 	// Keep-alive bookkeeping.
 	kaSeq     uint64
 	lastFrom  map[model.SwitchID]time.Duration
@@ -262,6 +288,7 @@ func New(cfg Config, env netsim.Env) *Switch {
 	return &Switch{
 		cfg:                c,
 		env:                env,
+		master:             model.ControllerNode,
 		lfib:               fib.NewLFIB(),
 		gfib:               fib.NewGFIB(),
 		flows:              newFlowTable(),
@@ -419,6 +446,13 @@ func (s *Switch) Reboot() {
 		s.degraded = false
 	}
 	s.ctrlKASeen = false
+	// The replicated-controller view is volatile too: a rebooted switch
+	// re-learns the master and generation from the first stamped push
+	// it hears (MarkRecovered's re-push carries both), and its pending
+	// escalations died with the crash.
+	s.master = model.ControllerNode
+	s.ctrlGen = 0
+	s.escPending = nil
 	if wasStarted {
 		s.Start()
 	}
@@ -536,6 +570,9 @@ func (s *Switch) packetIn(reason openflow.PacketInReason, p *model.Packet) {
 	if reason == openflow.ReasonNoMatch && s.degradeFlood(p) {
 		return
 	}
+	if reason == openflow.ReasonNoMatch && s.cfg.TrackEscalations && s.noteEscalation(p) {
+		return
+	}
 	s.stats.PacketIns++
 	if s.cfg.PacketInBatchMax <= 1 {
 		s.sendCtrl(&openflow.PacketIn{Switch: s.cfg.ID, Reason: reason, Packet: *p})
@@ -641,7 +678,7 @@ func (s *Switch) sendCtrl(msg netsim.Message) {
 			return
 		}
 	}
-	s.env.Send(model.ControllerNode, msg)
+	s.env.Send(s.master, msg)
 }
 
 // relayEnvelope carries a control message via a ring neighbor while the

@@ -22,6 +22,7 @@ type chaosHarness struct {
 	s        *sim.Simulator
 	net      *netsim.Network
 	ctrl     *controller.Controller
+	standby  *controller.Controller // nil without EmulationConfig.Standby
 	dir      *tenant.Directory
 	switches map[model.SwitchID]*edge.Switch
 }
@@ -56,20 +57,56 @@ func (h *chaosHarness) Restart(sw model.SwitchID) {
 		host := h.dir.Host(hid)
 		s.AttachHost(host.MAC, host.IP, host.VLAN)
 	}
-	h.ctrl.MarkRecovered(sw)
+	// The recovery signal goes to the current master role holder(s) —
+	// after a takeover that is the promoted standby; a stale master's
+	// re-pushes are fenced by the fabric.
+	if h.standby == nil {
+		h.ctrl.MarkRecovered(sw)
+		return
+	}
+	for _, r := range []*controller.Controller{h.ctrl, h.standby} {
+		if r.IsMaster() {
+			r.MarkRecovered(sw)
+		}
+	}
 }
 
 func (h *chaosHarness) CrashController()   { h.net.FailNode(model.ControllerNode) }
 func (h *chaosHarness) RestartController() { h.net.HealNode(model.ControllerNode) }
 
+func (h *chaosHarness) Replicas() []model.SwitchID {
+	if h.standby == nil {
+		return []model.SwitchID{model.ControllerNode}
+	}
+	// Master-first, resolved at fire time; during a dispute both claim
+	// the role and the original primary sorts first (deterministic).
+	out := make([]model.SwitchID, 0, 2)
+	for _, r := range []*controller.Controller{h.ctrl, h.standby} {
+		if r.IsMaster() {
+			out = append(out, r.NodeID())
+		}
+	}
+	for _, r := range []*controller.Controller{h.ctrl, h.standby} {
+		if !r.IsMaster() {
+			out = append(out, r.NodeID())
+		}
+	}
+	return out
+}
+
 // world builds the convergence checker over the harness's stack: the
 // host directory is the ground truth, the underlay's node state the
 // liveness oracle.
 func (h *chaosHarness) world() *chaos.World {
+	var replicas []*controller.Controller
+	if h.standby != nil {
+		replicas = []*controller.Controller{h.ctrl, h.standby}
+	}
 	return &chaos.World{
 		Controller: h.ctrl,
 		Switches:   h.switches,
 		Down:       h.net.NodeDown,
+		Replicas:   replicas,
 		Hosts: func(sw model.SwitchID) []openflow.LFIBEntry {
 			ids := h.dir.HostsOn(sw)
 			out := make([]openflow.LFIBEntry, 0, len(ids))
@@ -123,6 +160,86 @@ func ChaosCascade(seed uint64) (*ChaosCascadeResult, error) {
 		return nil, err
 	}
 	return &ChaosCascadeResult{
+		Base: base, Faulted: faulted,
+		FixpointMatch: faulted.Fixpoint == base.Fixpoint,
+	}, nil
+}
+
+// ChaosFailoverResult pairs a fault-free replicated run with a faulted
+// run of the same seed under one of the controller-failover scenarios
+// (cmd/experiments -run failover; the same comparison
+// TestChaosFailoverDifferential pins in CI).
+type ChaosFailoverResult struct {
+	// Base ran fault-free with the standby attached; Faulted ran one of
+	// the FailoverPlans scenarios.
+	Base, Faulted *EmulationResult
+	// FixpointMatch reports whether the faulted run settled on the
+	// byte-identical content fixpoint of the fault-free run (the
+	// snapshot excludes master identity and generation, so runs that
+	// end under different masters still compare).
+	FixpointMatch bool
+}
+
+// FailoverPlans returns the three replicated-controller acceptance
+// scenarios, sized against the emulation cadences (1 min replica
+// keep-alive, 3-miss takeover): each fault opens at, the standby
+// takes over ~3-4 keep-alive rounds later, and the old master heals
+// with enough horizon left to be fenced, demoted, and re-synced. Each
+// plan overlaps a switch crash one keep-alive round before the fault,
+// so the takeover lands mid-recovery and the new master inherits an
+// open diagnosis.
+func FailoverPlans(at time.Duration) []*chaos.Plan {
+	crash := func() *chaos.Plan {
+		return (&chaos.Plan{}).Add(at-time.Minute, 6*time.Minute, chaos.Crash{Switch: 1})
+	}
+	return []*chaos.Plan{
+		chaos.ControllerFailoverPlan(at, 12*time.Minute).Merge(crash()),
+		chaos.SplitBrainPlan(at, 12*time.Minute).Merge(crash()),
+		chaos.StaleMasterStormPlan(at, 12*time.Minute).Merge(crash()),
+	}
+}
+
+// TakeoverRounds converts a takeover timeline into dissemination
+// rounds (the 10 s advertise cadence), detection through the last
+// re-pushed config ack; zero while the re-push is still open.
+func TakeoverRounds(t controller.TakeoverTimeline) int {
+	if t.RepushedAt == 0 {
+		return 0
+	}
+	const round = 10 * time.Second
+	return int((t.RepushedAt - t.DetectedAt + round - 1) / round)
+}
+
+// ChaosFailover runs one failover-scenario differential on the small
+// synthetic trace: a fault-free replicated run and a faulted run with
+// identical flow schedules and static grouping, so the fixpoints are
+// comparable byte for byte.
+func ChaosFailover(seed uint64, plan *chaos.Plan) (*ChaosFailoverResult, error) {
+	tr, err := trace.Generate(trace.SmallConfig("small", seed))
+	if err != nil {
+		return nil, err
+	}
+	run := func(p *chaos.Plan) (*EmulationResult, error) {
+		return RunEmulation(EmulationConfig{
+			Source:         tr.Stream(0),
+			Mode:           controller.ModeLazy,
+			GroupSizeLimit: 6,
+			Horizon:        time.Hour,
+			BucketWidth:    30 * time.Minute,
+			Seed:           seed,
+			Standby:        true,
+			Chaos:          p,
+		})
+	}
+	base, err := run(&chaos.Plan{Name: "fault-free"})
+	if err != nil {
+		return nil, err
+	}
+	faulted, err := run(plan)
+	if err != nil {
+		return nil, err
+	}
+	return &ChaosFailoverResult{
 		Base: base, Faulted: faulted,
 		FixpointMatch: faulted.Fixpoint == base.Fixpoint,
 	}, nil

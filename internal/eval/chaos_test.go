@@ -166,6 +166,139 @@ func BenchmarkConvergence(b *testing.B) {
 	b.ReportMetric(float64(last.DegradedWindow.Milliseconds()), "degraded-window-ms")
 }
 
+// TestChaosFailoverDifferential is the replicated-controller
+// acceptance test: each failover scenario — master crash, full master
+// isolation, replica-link cut (dueling masters) — overlapped with a
+// switch crash must converge to the byte-identical content fixpoint of
+// a fault-free replicated run of the same seed, within the documented
+// round bound, with no stale-generation message ever applied and
+// exactly one replica holding the master role at the fixpoint (the
+// world checker enforces the last two as convergence invariants).
+// Swept over seeds (one in -short).
+func TestChaosFailoverDifferential(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		for _, plan := range FailoverPlans(30 * time.Minute) {
+			res, err := ChaosFailover(seed, plan)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, plan.Name, err)
+			}
+			base, faulted := res.Base, res.Faulted
+			if !base.Converged {
+				t.Fatalf("seed %d: fault-free replicated run did not converge:\n%s",
+					seed, strings.Join(base.Divergences, "\n"))
+			}
+			if base.Takeovers != 0 {
+				t.Errorf("seed %d: fault-free run performed %d takeovers", seed, base.Takeovers)
+			}
+			if faulted.Takeovers == 0 {
+				t.Errorf("seed %d %s: no takeover happened", seed, plan.Name)
+			}
+			if !faulted.Converged {
+				t.Fatalf("seed %d %s: not converged within %d rounds:\n%s",
+					seed, plan.Name, chaos.DefaultRecoveryRoundBound,
+					strings.Join(faulted.Divergences, "\n"))
+			}
+			if faulted.RecoveryRounds > chaos.DefaultRecoveryRoundBound {
+				t.Errorf("seed %d %s: recovery took %d rounds, bound %d",
+					seed, plan.Name, faulted.RecoveryRounds, chaos.DefaultRecoveryRoundBound)
+			}
+			if len(faulted.StaleAdoptions) != 0 {
+				t.Errorf("seed %d %s: stale adoptions/fence violations:\n%s",
+					seed, plan.Name, strings.Join(faulted.StaleAdoptions, "\n"))
+			}
+			if !res.FixpointMatch {
+				t.Errorf("seed %d %s: faulted fixpoint differs from fault-free fixpoint:\n--- fault-free ---\n%s\n--- faulted ---\n%s",
+					seed, plan.Name, base.Fixpoint, faulted.Fixpoint)
+			}
+			// The stale-master storm leaves the old master serving the
+			// fabric under a superseded generation: the fence must have
+			// actually rejected something before demoting it.
+			if plan.Name == "stale-master-storm" && faulted.StaleGenRejected == 0 {
+				t.Errorf("seed %d: stale-master storm fenced nothing", seed)
+			}
+		}
+	}
+}
+
+// TestChaosFailoverSoakRandomized is the failover soak lane: random
+// fault schedules against the replicated stack, where the randomized
+// pool now includes master failover, split-brain, and stale-master
+// storms. Same convergence contract as the cascade soak; the CI
+// long-soak job sweeps further via LAZYCTRL_CHAOS_SOAK.
+func TestChaosFailoverSoakRandomized(t *testing.T) {
+	seeds := []uint64{21, 22}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	seeds = append(seeds, soakSeeds()...)
+	for _, seed := range seeds {
+		tr := smallTrace(t, 5)
+		switches := tr.Stream(0).Info().Directory.Switches()
+		plan := chaos.Randomized(seed, switches, 20*time.Minute, 30*time.Minute, 20)
+		cfg := chaosConfig(t, 5, plan)
+		cfg.Source = tr.Stream(0)
+		cfg.Standby = true
+		res, err := RunEmulation(cfg)
+		if err != nil {
+			t.Fatalf("failover soak seed %d: %v", seed, err)
+		}
+		if !res.Converged {
+			t.Errorf("failover soak seed %d: not converged after %d rounds:\n%s\n%s",
+				seed, res.RecoveryRounds, strings.Join(res.Divergences, "\n"), plan.Describe())
+		}
+		if len(res.StaleAdoptions) != 0 {
+			t.Errorf("failover soak seed %d: stale adoptions:\n%s",
+				seed, strings.Join(res.StaleAdoptions, "\n"))
+		}
+	}
+}
+
+// BenchmarkFailover runs the master-crash scenario end-to-end —
+// detection, generation-fenced takeover, residue rebuild, re-push, and
+// the healed old master's demotion — and reports the takeover length
+// in protocol rounds and the fabric's degraded window as extra metrics
+// (gated in cmd/bench alongside the wall-time/alloc gates).
+func BenchmarkFailover(b *testing.B) {
+	tr := smallTrace(b, 1)
+	plan := FailoverPlans(30 * time.Minute)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last *EmulationResult
+	for i := 0; i < b.N; i++ {
+		// The horizon lands one minute after the last undo, so the
+		// settle loop measures real recovery rounds.
+		res, err := RunEmulation(EmulationConfig{
+			Source:         tr.Stream(0),
+			Mode:           controller.ModeLazy,
+			GroupSizeLimit: 6,
+			Horizon:        43 * time.Minute,
+			BucketWidth:    43 * time.Minute,
+			Seed:           1,
+			Standby:        true,
+			Chaos:          plan,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatalf("failover did not converge:\n%s", strings.Join(res.Divergences, "\n"))
+		}
+		if len(res.TakeoverTimelines) == 0 {
+			b.Fatal("no takeover happened")
+		}
+		last = res
+	}
+	b.StopTimer()
+	tl := last.TakeoverTimelines[len(last.TakeoverTimelines)-1]
+	b.ReportMetric(float64(TakeoverRounds(tl)), "takeover-rounds")
+	b.ReportMetric(float64(last.DegradedWindow.Milliseconds()), "degraded-window-ms")
+	b.ReportMetric(float64(last.DupEscalationsSuppressed), "dup-escalations-suppressed")
+}
+
 // TestChaosControllerBlackout: a 10-minute controller outage must not
 // strand the control plane — pushes retry with backoff, edges ride it
 // out on existing state (degraded flood for cold flows), and the world

@@ -109,6 +109,13 @@ type EmulationConfig struct {
 	// EngineFluid and a Source implementing trace.AggStream.
 	AggregatePopulation bool
 
+	// Standby attaches a hot-standby controller replica at
+	// model.StandbyNode: the primary journals C-LIB/grouping/failure
+	// state to it, heartbeats it, and every controller→edge push is
+	// fenced by the cluster generation (docs/robustness.md#failover).
+	// Edges track in-flight escalations for dedup across a takeover.
+	Standby bool
+
 	// Chaos schedules a fault scenario against the run and arms the
 	// convergence checker: after the horizon and the last fault's undo,
 	// the run settles in dissemination/report rounds until every edge
@@ -263,6 +270,18 @@ type EmulationResult struct {
 	Divergences    []string
 	StaleAdoptions []string
 	Fixpoint       string
+	// Failover results (zero unless EmulationConfig.Standby):
+	// Takeovers/StepDowns count role transitions across both replicas,
+	// TakeoverTimelines carries each takeover's phase boundaries in
+	// order, and the three edge aggregates meter the fence
+	// (StaleGenRejected) and the escalation dedup across the handoff
+	// (DupEscalationsSuppressed, EscalationsReflushed).
+	Takeovers                uint64
+	StepDowns                uint64
+	TakeoverTimelines        []controller.TakeoverTimeline
+	StaleGenRejected         uint64
+	DupEscalationsSuppressed uint64
+	EscalationsReflushed     uint64
 	// ControllerStats is the controller's own view.
 	ControllerStats controller.Stats
 	// FinalGroups is the group count at the end of the run.
@@ -394,6 +413,10 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 		}
 	}
 
+	var ctrlPeer model.SwitchID
+	if c.Standby {
+		ctrlPeer = model.StandbyNode
+	}
 	ctrl, err := controller.New(controller.Config{
 		Mode:              c.Mode,
 		Switches:          dir.Switches(),
@@ -409,12 +432,39 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 		FoldGate:          foldGate,
 		FoldMeter:         foldMeter,
 		OnRegroup:         onRegroup,
+		Peer:              ctrlPeer,
 	}, net.Env(model.ControllerNode))
 	if err != nil {
 		return nil, err
 	}
 	net.Attach(ctrl)
 	net.SetSameGroup(ctrl.SameGroup)
+
+	// The hot-standby replica: same directory and cadences, mirrored
+	// state only — it runs no switch-facing duties until takeover, so
+	// it carries no fold/regroup hooks (the fold's keep-alive elision
+	// already yields to replication on the primary).
+	var standby *controller.Controller
+	if c.Standby {
+		standby, err = controller.New(controller.Config{
+			Mode:              c.Mode,
+			Switches:          dir.Switches(),
+			GroupSizeLimit:    c.GroupSizeLimit,
+			Seed:              c.Seed,
+			LoadScale:         loadScale,
+			Dynamic:           c.Dynamic,
+			Recorder:          rec,
+			KeepAliveInterval: time.Minute,
+			SyncInterval:      30 * time.Second,
+			PerFlowRules:      c.PerFlowBaseline,
+			Peer:              model.ControllerNode,
+			Standby:           true,
+		}, net.Env(model.StandbyNode))
+		if err != nil {
+			return nil, err
+		}
+		net.Attach(standby)
+	}
 
 	// The fold's cross-node oracles close over the switch map (filled
 	// below) and the controller; any fault change wakes every folded
@@ -461,6 +511,7 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 			PacketInBatchWindow: c.PacketInBatchWindow,
 			ControlFold:         c.ControlFold,
 			Fold:                foldHooks,
+			TrackEscalations:    c.Standby,
 			OnDeliver: func(p *model.Packet, at time.Duration) {
 				if p.FlowSeq == 0 {
 					res.FlowsDelivered++
@@ -478,8 +529,14 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 	}
 	for _, tid := range dir.TenantIDs() {
 		ctrl.RegisterTenant(dir.Tenant(tid).VLAN, tid)
+		if standby != nil {
+			standby.RegisterTenant(dir.Tenant(tid).VLAN, tid)
+		}
 	}
 	ctrl.Start()
+	if standby != nil {
+		standby.Start()
+	}
 
 	// Initial grouping from the warmup window (the paper seeds grouping
 	// with the first-hour traffic pattern). Only the warmup window's
@@ -501,7 +558,7 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 	// real groups.
 	var world *chaos.World
 	if c.Chaos != nil {
-		harness := &chaosHarness{s: s, net: net, ctrl: ctrl, dir: dir, switches: switches}
+		harness := &chaosHarness{s: s, net: net, ctrl: ctrl, standby: standby, dir: dir, switches: switches}
 		world = harness.world()
 		c.Chaos.Schedule(harness)
 		if len(c.Chaos.Events) > 0 {
@@ -872,6 +929,17 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 		res.DegradedFloods += st.DegradedFloods
 		res.DegradedWindow += st.DegradedWindow
 		res.IdleRefreshes += st.IdleRefreshes
+		res.StaleGenRejected += st.StaleGenRejected
+		res.DupEscalationsSuppressed += st.DupEscalationsSuppressed
+		res.EscalationsReflushed += st.EscalationsReflushed
+	}
+	if standby != nil {
+		for _, r := range []*controller.Controller{ctrl, standby} {
+			st := r.Stats()
+			res.Takeovers += st.Takeovers
+			res.StepDowns += st.StepDowns
+			res.TakeoverTimelines = append(res.TakeoverTimelines, r.TakeoverTimelines()...)
+		}
 	}
 
 	// Batching-delay accounting: the measured mean residence of a

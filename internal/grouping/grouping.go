@@ -127,6 +127,35 @@ func (g *Grouping) Peers(s model.SwitchID) []model.SwitchID {
 	return peers
 }
 
+// Rebuild constructs a grouping from an explicit switch→group
+// assignment, preserving the given group IDs verbatim. The standby
+// controller replica uses it to mirror the master's grouping from a
+// StateSyncRecord: group IDs appear in pushed configs and in the chaos
+// fixpoint snapshot, so the replica must reproduce them exactly rather
+// than re-derive a fresh dense numbering. Members are sorted and nextID
+// is set past the highest ID so later AddGroup calls cannot collide.
+func Rebuild(assign map[model.SwitchID]model.GroupID) *Grouping {
+	g := NewGrouping()
+	switches := make([]model.SwitchID, 0, len(assign))
+	for s := range assign {
+		switches = append(switches, s)
+	}
+	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
+	for _, s := range switches {
+		id := assign[s]
+		if id == model.NoGroup {
+			continue
+		}
+		g.groups[id] = append(g.groups[id], s)
+		g.assign[s] = id
+		if id >= g.nextID {
+			g.nextID = id + 1
+		}
+	}
+	g.version++
+	return g
+}
+
 // Clone returns a deep copy of the grouping.
 func (g *Grouping) Clone() *Grouping {
 	c := NewGrouping()

@@ -56,8 +56,19 @@ type VLAN uint16
 // SwitchID identifies an edge switch.
 type SwitchID uint32
 
-// String renders the ID as "S<n>".
-func (s SwitchID) String() string { return "S" + strconv.FormatUint(uint64(s), 10) }
+// String renders the ID as "S<n>"; the reserved controller replica
+// addresses and the nil address render by name.
+func (s SwitchID) String() string {
+	switch s {
+	case NoSwitch:
+		return "none"
+	case ControllerNode:
+		return "ctrl"
+	case StandbyNode:
+		return "standby"
+	}
+	return "S" + strconv.FormatUint(uint64(s), 10)
+}
 
 // NoSwitch is the zero SwitchID, meaning "no switch".
 const NoSwitch SwitchID = 0
@@ -86,6 +97,19 @@ const NoGroup GroupID = 0
 // ControllerNode is the reserved node address of the central controller
 // on the underlay.
 const ControllerNode SwitchID = 0xffffffff
+
+// StandbyNode is the reserved node address of the hot-standby
+// controller replica. The underlay treats traffic to either replica
+// address as control-link traffic; which replica currently holds the
+// master role is decided by the cluster generation protocol
+// (docs/robustness.md §Failover).
+const StandbyNode SwitchID = 0xfffffffe
+
+// IsControllerAddr reports whether id is one of the reserved controller
+// replica addresses.
+func IsControllerAddr(id SwitchID) bool {
+	return id == ControllerNode || id == StandbyNode
+}
 
 // HostMAC derives the deterministic MAC address of a host. Hosts get
 // locally administered addresses (0x02 prefix).

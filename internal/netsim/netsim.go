@@ -107,7 +107,7 @@ func (l Latencies) delay(kind LinkKind, rng *rand.Rand) time.Duration {
 
 // classify selects the link kind for a (from, to) pair.
 func classify(from, to model.SwitchID, samegroup func(a, b model.SwitchID) bool) LinkKind {
-	if from == model.ControllerNode || to == model.ControllerNode {
+	if model.IsControllerAddr(from) || model.IsControllerAddr(to) {
 		return LinkControl
 	}
 	if samegroup != nil && samegroup(from, to) {

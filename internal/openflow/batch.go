@@ -12,19 +12,26 @@ import "fmt"
 //
 // Wire format of the body:
 //
-//	u32 count, then per message: u8 type, u32 body length, body bytes
+//	uvarint generation, u32 count, then per message: u8 type,
+//	u32 body length, body bytes
 //
 // Batches do not nest: a batch inside a batch fails to decode. That
 // bounds decoder recursion and keeps "one message per destination per
 // round" meaningful.
 type Batch struct {
-	Msgs []Message
+	// Generation fences the whole batch at once: a receiver whose
+	// highest-seen cluster generation exceeds it rejects the batch
+	// before applying any contained message (no partial apply). 0 =
+	// unfenced.
+	Generation uint64
+	Msgs       []Message
 }
 
 // MsgType implements Message.
 func (*Batch) MsgType() MsgType { return TypeBatch }
 
 func (m *Batch) encodeBody(dst []byte) []byte {
+	dst = putUvarint(dst, m.Generation)
 	dst = putU32(dst, uint32(len(m.Msgs)))
 	for _, sub := range m.Msgs {
 		dst = append(dst, uint8(sub.MsgType()))
@@ -43,6 +50,7 @@ func (m *Batch) encodeBody(dst []byte) []byte {
 
 func (m *Batch) decodeBody(src []byte) error {
 	r := &reader{src: src}
+	m.Generation = r.uvarint()
 	n := int(r.u32())
 	if n*5 > r.remain() { // each sub-message costs at least type+length
 		r.fail()

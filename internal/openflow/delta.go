@@ -75,6 +75,9 @@ type GFIBDelta struct {
 	Removals []model.SwitchID
 	// Version is the grouping version the sender operated under.
 	Version uint64
+	// Generation fences controller-issued deltas (tombstone broadcasts;
+	// 0 = unfenced, designated-switch dissemination leaves it 0).
+	Generation uint64
 }
 
 // MsgType implements Message.
@@ -102,7 +105,8 @@ func (m *GFIBDelta) encodeBody(dst []byte) []byte {
 	for _, id := range m.Removals {
 		dst = putU32(dst, uint32(id))
 	}
-	return putU64(dst, m.Version)
+	dst = putU64(dst, m.Version)
+	return putUvarint(dst, m.Generation)
 }
 
 func (m *GFIBDelta) decodeBody(src []byte) error {
@@ -153,6 +157,7 @@ func (m *GFIBDelta) decodeBody(src []byte) error {
 		}
 	}
 	m.Version = r.u64()
+	m.Generation = r.uvarint()
 	return r.done()
 }
 

@@ -232,8 +232,9 @@ func TestDeltaWireCostExact(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		// header(10) + group(4) + delta count(1) + item + removals(1) + version(8)
-		overhead := 10 + 4 + 1 + 1 + 8
+		// header(10) + group(4) + delta count(1) + item + removals(1) +
+		// version(8) + generation varint(1)
+		overhead := 10 + 4 + 1 + 1 + 8 + 1
 		if got, want := len(data)-overhead, DeltaWireCost(words); got != want {
 			t.Errorf("n=%d: encoded item = %dB, DeltaWireCost = %d", n, got, want)
 		}

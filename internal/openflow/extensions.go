@@ -26,6 +26,10 @@ type GroupConfig struct {
 	KeepAliveInterval time.Duration
 	// Version is the grouping version this configuration belongs to.
 	Version uint64
+	// Generation is the sender's cluster generation (0 = unfenced; only
+	// controller replicas stamp it). Receivers reject configs fenced
+	// behind their highest-seen generation.
+	Generation uint64
 }
 
 // MsgType implements Message.
@@ -63,7 +67,8 @@ func (m *GroupConfig) encodeBody(dst []byte) []byte {
 	dst = putU32(dst, uint32(m.RingNext))
 	dst = putU64(dst, uint64(m.SyncInterval))
 	dst = putU64(dst, uint64(m.KeepAliveInterval))
-	return putU64(dst, m.Version)
+	dst = putU64(dst, m.Version)
+	return putUvarint(dst, m.Generation)
 }
 
 func (m *GroupConfig) decodeBody(src []byte) error {
@@ -77,6 +82,7 @@ func (m *GroupConfig) decodeBody(src []byte) error {
 	m.SyncInterval = time.Duration(r.u64())
 	m.KeepAliveInterval = time.Duration(r.u64())
 	m.Version = r.u64()
+	m.Generation = r.uvarint()
 	return r.done()
 }
 
@@ -126,6 +132,9 @@ type LFIBUpdate struct {
 	Full    bool
 	Entries []LFIBEntry
 	Version uint64
+	// Generation fences controller-issued preloads (0 = unfenced; edge
+	// and designated-switch senders leave it 0).
+	Generation uint64
 }
 
 // MsgType implements Message.
@@ -139,7 +148,8 @@ func (m *LFIBUpdate) encodeBody(dst []byte) []byte {
 		dst = append(dst, 0)
 	}
 	dst = encodeLFIBEntries(dst, m.Entries)
-	return putU64(dst, m.Version)
+	dst = putU64(dst, m.Version)
+	return putUvarint(dst, m.Generation)
 }
 
 func (m *LFIBUpdate) decodeBody(src []byte) error {
@@ -148,6 +158,7 @@ func (m *LFIBUpdate) decodeBody(src []byte) error {
 	m.Full = r.u8() == 1
 	m.Entries = decodeLFIBEntries(r)
 	m.Version = r.u64()
+	m.Generation = r.uvarint()
 	return r.done()
 }
 
@@ -169,6 +180,9 @@ type GFIBUpdate struct {
 	Group   model.GroupID
 	Filters []GFIBFilter
 	Version uint64
+	// Generation fences controller-issued preloads (0 = unfenced;
+	// designated-switch dissemination leaves it 0).
+	Generation uint64
 }
 
 // MsgType implements Message.
@@ -183,7 +197,8 @@ func (m *GFIBUpdate) encodeBody(dst []byte) []byte {
 		dst = putU32(dst, uint32(len(f.Filter)))
 		dst = append(dst, f.Filter...)
 	}
-	return putU64(dst, m.Version)
+	dst = putU64(dst, m.Version)
+	return putUvarint(dst, m.Generation)
 }
 
 func (m *GFIBUpdate) decodeBody(src []byte) error {
@@ -203,6 +218,7 @@ func (m *GFIBUpdate) decodeBody(src []byte) error {
 		m.Filters = append(m.Filters, f)
 	}
 	m.Version = r.u64()
+	m.Generation = r.uvarint()
 	return r.done()
 }
 
@@ -410,6 +426,10 @@ func (m *StateReport) decodeBody(src []byte) error {
 type KeepAlive struct {
 	From model.SwitchID
 	Seq  uint64
+	// Generation is the sender's cluster generation (0 on the wheel —
+	// only controller replicas stamp it). Edges adopt a higher
+	// generation from it and reject stale-master heartbeats behind it.
+	Generation uint64
 }
 
 // MsgType implements Message.
@@ -417,13 +437,15 @@ func (*KeepAlive) MsgType() MsgType { return TypeKeepAlive }
 
 func (m *KeepAlive) encodeBody(dst []byte) []byte {
 	dst = putU32(dst, uint32(m.From))
-	return putU64(dst, m.Seq)
+	dst = putU64(dst, m.Seq)
+	return putUvarint(dst, m.Generation)
 }
 
 func (m *KeepAlive) decodeBody(src []byte) error {
 	r := &reader{src: src}
 	m.From = model.SwitchID(r.u32())
 	m.Seq = r.u64()
+	m.Generation = r.uvarint()
 	return r.done()
 }
 

@@ -100,6 +100,21 @@ func fuzzSeedMessages() []Message {
 			Version:  5,
 		},
 		&GFIBNack{Group: 2, Origin: 3, Peers: []model.SwitchID{1, 4}},
+		// Replication set: role handoff and the three journal-record
+		// kinds, plus a generation-stamped keep-alive (the replica
+		// heartbeat that doubles as the bootstrap-snapshot request).
+		&RoleAnnounce{From: model.StandbyNode, Generation: 7},
+		&KeepAlive{From: model.StandbyNode, Seq: 1, Generation: 7},
+		&StateSyncRecord{
+			Kind: SyncLFIB, Generation: 7, GroupingVersion: 4,
+			Origin: 3, Full: true, Version: 9,
+			Entries: []LFIBEntry{{MAC: model.HostMAC(1), IP: 0x0a000001, VLAN: 12}},
+		},
+		&StateSyncRecord{
+			Kind: SyncGrouping, Generation: 7, GroupingVersion: 5,
+			Assign: []SyncAssign{{Switch: 1, Group: 2}, {Switch: 3, Group: 2}},
+		},
+		&StateSyncRecord{Kind: SyncTombstone, Generation: 7, GroupingVersion: 5, Origin: 4, Full: true},
 		&PacketInBurst{Switch: 3, Items: []BurstPacket{
 			{Reason: ReasonNoMatch, Packet: pkt},
 			{Reason: ReasonARP, Packet: pkt},

@@ -75,27 +75,29 @@ const (
 )
 
 var msgTypeNames = map[MsgType]string{
-	TypeHello:         "Hello",
-	TypeEchoRequest:   "EchoRequest",
-	TypeEchoReply:     "EchoReply",
-	TypePacketIn:      "PacketIn",
-	TypePacketOut:     "PacketOut",
-	TypeFlowMod:       "FlowMod",
-	TypeFlowRemoved:   "FlowRemoved",
-	TypeStatsRequest:  "StatsRequest",
-	TypeStatsReply:    "StatsReply",
-	TypeGroupConfig:   "GroupConfig",
-	TypeLFIBUpdate:    "LFIBUpdate",
-	TypeGFIBUpdate:    "GFIBUpdate",
-	TypeStateReport:   "StateReport",
-	TypeKeepAlive:     "KeepAlive",
-	TypeARPRelay:      "ARPRelay",
-	TypeBatch:         "Batch",
-	TypeGFIBDelta:     "GFIBDelta",
-	TypeGFIBNack:      "GFIBNack",
-	TypePacketInBurst: "PacketInBurst",
-	TypeFailureReport: "FailureReport",
-	TypeConfigAck:     "ConfigAck",
+	TypeHello:           "Hello",
+	TypeEchoRequest:     "EchoRequest",
+	TypeEchoReply:       "EchoReply",
+	TypePacketIn:        "PacketIn",
+	TypePacketOut:       "PacketOut",
+	TypeFlowMod:         "FlowMod",
+	TypeFlowRemoved:     "FlowRemoved",
+	TypeStatsRequest:    "StatsRequest",
+	TypeStatsReply:      "StatsReply",
+	TypeGroupConfig:     "GroupConfig",
+	TypeLFIBUpdate:      "LFIBUpdate",
+	TypeGFIBUpdate:      "GFIBUpdate",
+	TypeStateReport:     "StateReport",
+	TypeKeepAlive:       "KeepAlive",
+	TypeARPRelay:        "ARPRelay",
+	TypeBatch:           "Batch",
+	TypeGFIBDelta:       "GFIBDelta",
+	TypeGFIBNack:        "GFIBNack",
+	TypePacketInBurst:   "PacketInBurst",
+	TypeFailureReport:   "FailureReport",
+	TypeConfigAck:       "ConfigAck",
+	TypeRoleAnnounce:    "RoleAnnounce",
+	TypeStateSyncRecord: "StateSyncRecord",
 }
 
 // String returns the message type name.
@@ -191,6 +193,10 @@ func newMessage(t MsgType) (Message, error) {
 		return &FailureReport{}, nil
 	case TypeConfigAck:
 		return &ConfigAck{}, nil
+	case TypeRoleAnnounce:
+		return &RoleAnnounce{}, nil
+	case TypeStateSyncRecord:
+		return &StateSyncRecord{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}

@@ -26,6 +26,15 @@ type Estimator struct {
 	cert    []uint64            // per bucket: take-all (certainty) flows
 	takeAll map[uint64]bool
 	total   uint64
+
+	// hostQ, when non-zero, marks host-level sampling (NewHostSampler):
+	// hosts were kept independently with probability q and a pair is in
+	// the sample iff both endpoints are, so p = q² but inclusions of
+	// pairs sharing a host are positively correlated (joint probability
+	// q³). EstimatedTotal is unchanged — HT unbiasedness needs only the
+	// first-order π = q² — but the variance picks up a cross term, which
+	// RelStdErr accounts for.
+	hostQ float64
 }
 
 // NewEstimator builds an estimator over the given bucket count for
@@ -39,6 +48,16 @@ func NewEstimator(p float64, buckets int) *Estimator {
 		buckets: make([]map[uint64]uint64, buckets),
 		cert:    make([]uint64, buckets),
 	}
+}
+
+// NewHostEstimator builds the estimator paired with NewHostSampler(q,
+// seed): pair inclusion probability q², host-correlation-aware
+// variance. Estimates reweight by 1/q² exactly as the pair-level form
+// does by 1/p.
+func NewHostEstimator(q float64, buckets int) *Estimator {
+	e := NewEstimator(q*q, buckets)
+	e.hostQ = q
+	return e
 }
 
 // SetTakeAll declares the certainty stratum: pair keys that the
@@ -118,9 +137,54 @@ func (e *Estimator) RelStdErr() []float64 {
 		if n == 0 {
 			continue // empty, or certainty-only: no sampling error
 		}
+		if e.hostQ > 0 {
+			out[i] = math.Sqrt(e.hostVariance(keys, m, sq)) / (nc + n/e.p)
+			continue
+		}
 		// Var̂(T̂) = (1−p)/p²·Σnᵢ² over the sampled stratum only;
 		// T̂ = N_cert + n/p ⇒ rel = √((1−p)·Σnᵢ²)/(p·N_cert + n).
 		out[i] = math.Sqrt((1-e.p)*sq) / (e.p*nc + n)
 	}
 	return out
+}
+
+// hostVariance evaluates the Horvitz–Thompson variance estimator for
+// host-level sampling over one bucket's sampled pairs. With hosts kept
+// independently at probability q, a pair's inclusion probability is
+// π = q² and the joint probability for two distinct pairs is q³ when
+// they share a host, q⁴ when disjoint. Plugging those into the HT
+// variance estimator, the disjoint cross terms vanish and
+//
+//	Var̂(T̂) = (1−q²)/q⁴ · Σᵢ nᵢ² + (1−q)/q⁴ · Σ_h (S_h² − Q_h)
+//
+// where S_h (Q_h) is the sum of nᵢ (nᵢ²) over sampled pairs incident
+// to host h — the second term is exactly Σ over ordered pair-pairs
+// sharing a host of nᵢ·nⱼ, the positive correlation pair-level
+// sampling does not have. keys must be sorted (float determinism) and
+// sq must already hold Σ nᵢ².
+func (e *Estimator) hostVariance(keys []uint64, m map[uint64]uint64, sq float64) float64 {
+	hostN := make(map[uint64]float64, 2*len(keys))
+	hostSq := make(map[uint64]float64, 2*len(keys))
+	for _, key := range keys {
+		c := float64(m[key])
+		a, b := key>>32, key&0xffffffff
+		hostN[a] += c
+		hostSq[a] += c * c
+		if b != a {
+			hostN[b] += c
+			hostSq[b] += c * c
+		}
+	}
+	hosts := make([]uint64, 0, len(hostN))
+	for h := range hostN {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(a, b int) bool { return hosts[a] < hosts[b] })
+	var cross float64
+	for _, h := range hosts {
+		cross += hostN[h]*hostN[h] - hostSq[h]
+	}
+	q := e.hostQ
+	q4 := q * q * q * q
+	return (1-q*q)/q4*sq + (1-q)/q4*cross
 }

@@ -17,6 +17,11 @@ type PairSampler struct {
 	threshold uint64
 	salt      uint64
 	takeAll   map[uint64]bool
+
+	// host switches the sampling unit from pairs to hosts: a pair is
+	// kept iff BOTH endpoint hosts are hash-sampled, each with
+	// probability q (threshold is then the per-host cut and p = q²).
+	host bool
 }
 
 // NewPairSampler builds a sampler keeping pairs with probability p
@@ -37,8 +42,40 @@ func NewPairSampler(p float64, seed uint64) *PairSampler {
 	return s
 }
 
-// P returns the sampling probability.
+// NewHostSampler builds a host-level sampler: each host is kept with
+// probability q (clamped to [0,1]), salted by seed, and a pair is in
+// the sample iff both of its endpoints are kept. All pairs among the
+// sampled hosts survive together, so host-local structure — fan-out,
+// per-host flow-table pressure, a host's full traffic matrix row — is
+// exact within the sample, which pair-level sampling destroys. The
+// price is correlated inclusion: a pair's inclusion probability is
+// π = q², but two pairs sharing a host are kept or dropped together
+// through that host (joint probability q³, not q⁴), so the paired
+// estimator must be built with NewHostEstimator, not NewEstimator.
+func NewHostSampler(q float64, seed uint64) *PairSampler {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s := &PairSampler{p: q * q, host: true, salt: splitmix64(seed ^ 0x686f7374 /* "host" */)}
+	if q >= 1 {
+		s.threshold = ^uint64(0)
+	} else {
+		s.threshold = uint64(q * float64(1<<63) * 2)
+	}
+	return s
+}
+
+// P returns the pair inclusion probability: p for a pair-level
+// sampler, q² for a host-level one.
 func (s *PairSampler) P() float64 { return s.p }
+
+// keepHost reports whether a single host is in a host-level sample.
+func (s *PairSampler) keepHost(h model.HostID) bool {
+	return splitmix64(uint64(h)^s.salt) < s.threshold
+}
 
 // PairKey folds a host pair into its canonical 64-bit key (direction-
 // independent), the unit of sampling and of the estimator's strata.
@@ -76,6 +113,9 @@ func (s *PairSampler) Keep(a, b model.HostID) bool {
 	key := PairKey(a, b)
 	if s.takeAll[key] {
 		return true
+	}
+	if s.host {
+		return s.keepHost(a) && s.keepHost(b)
 	}
 	return splitmix64(key^s.salt) < s.threshold
 }

@@ -81,6 +81,12 @@ type Config struct {
 	GroupSizeLimit int
 	// Dynamic enables incremental regrouping under traffic drift.
 	Dynamic bool
+	// Standby runs a hot-standby controller replica: the primary
+	// mirrors its C-LIB, grouping, and failure state to the standby
+	// over a journal, and the standby takes the master role — under a
+	// bumped cluster generation that fences the old master's pushes —
+	// when the primary's heartbeats stop (docs/robustness.md).
+	Standby bool
 	// Seed makes the run reproducible.
 	Seed uint64
 	// OnDeliver observes every packet delivered to a host, with its
@@ -97,6 +103,7 @@ type DataCenter struct {
 	sim      *sim.Simulator
 	net      *netsim.Network
 	ctrl     *controller.Controller
+	standby  *controller.Controller // nil without Config.Standby
 	switches map[SwitchID]*edge.Switch
 	hosts    map[HostID]hostRecord
 	tenants  map[TenantID]VLAN
@@ -144,7 +151,7 @@ func New(cfg Config) (*DataCenter, error) {
 		rec:      rec,
 		flowSeq:  make(map[flowKey]int),
 	}
-	ctrl, err := controller.New(controller.Config{
+	ctrlCfg := controller.Config{
 		Mode:           mode,
 		Switches:       ids,
 		GroupSizeLimit: cfg.GroupSizeLimit,
@@ -156,7 +163,11 @@ func New(cfg Config) (*DataCenter, error) {
 				cfg.OnDiagnosis(s, d)
 			}
 		},
-	}, net.Env(model.ControllerNode))
+	}
+	if cfg.Standby {
+		ctrlCfg.Peer = model.StandbyNode
+	}
+	ctrl, err := controller.New(ctrlCfg, net.Env(model.ControllerNode))
 	if err != nil {
 		return nil, fmt.Errorf("lazyctrl: %w", err)
 	}
@@ -164,6 +175,23 @@ func New(cfg Config) (*DataCenter, error) {
 	net.Attach(ctrl)
 	net.SetSameGroup(ctrl.SameGroup)
 	ctrl.Start()
+	if cfg.Standby {
+		sb, err := controller.New(controller.Config{
+			Mode:           mode,
+			Switches:       ids,
+			GroupSizeLimit: cfg.GroupSizeLimit,
+			Seed:           cfg.Seed,
+			Dynamic:        cfg.Dynamic,
+			Peer:           model.ControllerNode,
+			Standby:        true,
+		}, net.Env(model.StandbyNode))
+		if err != nil {
+			return nil, fmt.Errorf("lazyctrl: standby: %w", err)
+		}
+		dc.standby = sb
+		net.Attach(sb)
+		sb.Start()
+	}
 
 	for _, id := range ids {
 		id := id
@@ -171,6 +199,7 @@ func New(cfg Config) (*DataCenter, error) {
 			ID:                id,
 			AdvertiseInterval: time.Second,
 			ReportInterval:    2 * time.Second,
+			TrackEscalations:  cfg.Standby,
 			OnDeliver: func(p *model.Packet, at time.Duration) {
 				if cfg.OnDeliver == nil {
 					return
@@ -363,7 +392,90 @@ func (dc *DataCenter) RecoverSwitch(id SwitchID) {
 			sw.AttachHost(model.HostMAC(h), model.HostIP(h), rec.vlan)
 		}
 	}
+	// The hypervisor's recovery signal goes to whoever holds the master
+	// role right now — after a takeover that is the promoted standby,
+	// and during a dispute both masters hear it (the stale one's
+	// re-pushes are fenced by the fabric anyway).
+	if reps := dc.replicaControllers(); reps != nil {
+		for _, r := range reps {
+			if r.IsMaster() {
+				r.MarkRecovered(id)
+			}
+		}
+		return
+	}
 	dc.ctrl.MarkRecovered(id)
+}
+
+// Master returns the address of the controller replica currently
+// holding the master role: ControllerNode in a single-controller
+// deployment, and model.NoSwitch while the role is disputed (mid
+// split-brain, before the fence demotes the stale master).
+func (dc *DataCenter) Master() SwitchID {
+	if dc.standby == nil {
+		return ControllerNode
+	}
+	switch {
+	case dc.ctrl.IsMaster() && !dc.standby.IsMaster():
+		return dc.ctrl.NodeID()
+	case dc.standby.IsMaster() && !dc.ctrl.IsMaster():
+		return dc.standby.NodeID()
+	}
+	return model.NoSwitch
+}
+
+// FailoverStats aggregates the replicated-controller counters: role
+// transitions and journal state on the replicas, fencing and
+// escalation counters summed over the edge switches.
+type FailoverStats struct {
+	// Master is the current role holder (see DataCenter.Master).
+	Master SwitchID
+	// Generation is the master's cluster generation.
+	Generation uint64
+	// Takeovers and StepDowns count role transitions across both
+	// replicas.
+	Takeovers uint64
+	StepDowns uint64
+	// StaleGenRejected counts controller pushes the edges fenced;
+	// DupEscalationsSuppressed and EscalationsReflushed count the
+	// escalation-dedup work across the failover window.
+	StaleGenRejected         uint64
+	DupEscalationsSuppressed uint64
+	EscalationsReflushed     uint64
+}
+
+// replicaControllers returns the controller replicas (nil without a
+// standby, so World falls back to the single-controller checks).
+func (dc *DataCenter) replicaControllers() []*controller.Controller {
+	if dc.standby == nil {
+		return nil
+	}
+	return []*controller.Controller{dc.ctrl, dc.standby}
+}
+
+// FailoverStats returns the replicated-controller summary (zero-valued
+// counters without Config.Standby).
+func (dc *DataCenter) FailoverStats() FailoverStats {
+	out := FailoverStats{Master: dc.Master()}
+	reps := []*controller.Controller{dc.ctrl}
+	if dc.standby != nil {
+		reps = append(reps, dc.standby)
+	}
+	for _, r := range reps {
+		st := r.Stats()
+		out.Takeovers += st.Takeovers
+		out.StepDowns += st.StepDowns
+		if r.IsMaster() {
+			out.Generation = r.Generation()
+		}
+	}
+	for _, sw := range dc.switches {
+		st := sw.Stats()
+		out.StaleGenRejected += st.StaleGenRejected
+		out.DupEscalationsSuppressed += st.DupEscalationsSuppressed
+		out.EscalationsReflushed += st.EscalationsReflushed
+	}
+	return out
 }
 
 // FailLink injects a link failure between two nodes (use
@@ -375,6 +487,13 @@ func (dc *DataCenter) HealLink(a, b SwitchID) { dc.net.HealLink(a, b) }
 
 // ControllerNode is the controller's address for FailLink/HealLink.
 const ControllerNode = model.ControllerNode
+
+// StandbyNode is the standby replica's address (Config.Standby).
+const StandbyNode = model.StandbyNode
+
+// NoSwitch is the invalid switch address (Master returns it while the
+// master role is disputed).
+const NoSwitch = model.NoSwitch
 
 // GroupOf returns the local control group of a switch.
 func (dc *DataCenter) GroupOf(sw SwitchID) GroupID { return dc.ctrl.Grouping().GroupOf(sw) }
