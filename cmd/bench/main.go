@@ -8,6 +8,15 @@
 // (-maxregress) regression in wall-clock or allocs/op exits non-zero,
 // which is what CI keys off.
 //
+// Wall-clock violations are remeasured before they count: a single
+// -benchtime 1x shot of a microsecond-scale benchmark cannot be timed
+// to ±10% on a shared single-core box, and co-tenant contamination is
+// one-sided (it only ever inflates a reading), so a ns/op violator is
+// re-run up to -remeasure times and the per-benchmark MINIMUM is what
+// lands in the report and faces the gate — the trajectory records the
+// cost floor, not the noise (same estimator BenchmarkTelemetryOverhead
+// uses internally). allocs/op is deterministic and never remeasured.
+//
 // Usage:
 //
 //	go run ./cmd/bench [-bench regex] [-benchtime 1x] [-count 1] \
@@ -107,16 +116,17 @@ func parseBenchLine(line, pkg string) *Result {
 
 func main() {
 	var (
-		bench       = flag.String("bench", "BenchmarkFig6b|BenchmarkFig7$|BenchmarkFig7Sampled|BenchmarkIniGroup|BenchmarkIncUpdate|BenchmarkPartitionKWay|BenchmarkBisect|BenchmarkEventChurn|BenchmarkIntensityAdd|BenchmarkForEachPair|BenchmarkPacketInStorm|BenchmarkDissemDelta|BenchmarkDissemFull|BenchmarkTraceStream|BenchmarkTraceMaterialized|BenchmarkConvergence|BenchmarkControlFold|BenchmarkFailover", "benchmark regex passed to go test -bench")
+		bench       = flag.String("bench", "BenchmarkFig6b|BenchmarkFig7$|BenchmarkFig7Sampled|BenchmarkIniGroup|BenchmarkIncUpdate|BenchmarkPartitionKWay|BenchmarkBisect|BenchmarkEventChurn|BenchmarkIntensityAdd|BenchmarkForEachPair|BenchmarkPacketInStorm|BenchmarkDissemDelta|BenchmarkDissemFull|BenchmarkTraceStream|BenchmarkTraceMaterialized|BenchmarkConvergence|BenchmarkControlFold|BenchmarkFailover|BenchmarkTelemetryOverhead|BenchmarkHostSamplingBias", "benchmark regex passed to go test -bench")
 		benchtime   = flag.String("benchtime", "1x", "value for go test -benchtime")
 		count       = flag.Int("count", 1, "value for go test -count")
 		pkgs        = flag.String("pkg", "./...", "package pattern to benchmark")
 		out         = flag.String("out", "", "output JSON path (default: BENCH_<latest+1>.json)")
 		dir         = flag.String("dir", "", "directory to run go test in (default: current; use to benchmark another checkout)")
 		baseline    = flag.String("baseline", "", "previous report JSON to embed and gate against (default: latest BENCH_<n>.json; \"none\" disables)")
-		gate        = flag.String("gate", "BenchmarkFig6b,BenchmarkFig7,BenchmarkFig7Sampled,BenchmarkDissemDelta,BenchmarkTraceStream,BenchmarkConvergence,BenchmarkControlFold,BenchmarkFailover", "comma-separated benchmark names gated against the baseline")
+		gate        = flag.String("gate", "BenchmarkFig6b,BenchmarkFig7,BenchmarkFig7Sampled,BenchmarkDissemDelta,BenchmarkTraceStream,BenchmarkConvergence,BenchmarkControlFold,BenchmarkFailover,BenchmarkTelemetryOverhead,BenchmarkHostSamplingBias", "comma-separated benchmark names gated against the baseline")
 		maxregress  = flag.Float64("maxregress", 0.10, "maximum tolerated fractional regression in ns/op or allocs/op for gated benchmarks")
 		gatemetrics = flag.String("gatemetrics", "ns,allocs", "metrics the gate enforces: ns, allocs, or both; allocs/op is the only metric comparable across machines, so CI gates allocs only")
+		remeasure   = flag.Int("remeasure", 4, "re-runs of ns-gate violators (min wall-clock wins) before a timing violation counts")
 	)
 	flag.Parse()
 
@@ -131,25 +141,11 @@ func main() {
 		*baseline = ""
 	}
 
-	args := []string{
-		"test", "-run", "^$",
-		"-bench", *bench,
-		"-benchmem",
-		"-benchtime", *benchtime,
-		"-count", strconv.Itoa(*count),
-		*pkgs,
-	}
-	cmd := exec.Command("go", args...)
-	cmd.Dir = *dir
-	var buf bytes.Buffer
-	cmd.Stdout = &buf
-	cmd.Stderr = os.Stderr
-	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
-	if err := cmd.Run(); err != nil {
-		fmt.Fprintf(os.Stderr, "bench: go test: %v\n", err)
+	results, err := runBenches(*bench, *benchtime, *count, *pkgs, *dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
-
 	report := Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
@@ -158,21 +154,7 @@ func main() {
 		NumCPU:      runtime.NumCPU(),
 		BenchRegex:  *bench,
 		BenchTime:   *benchtime,
-	}
-	pkg := ""
-	sc := bufio.NewScanner(&buf)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
-			pkg = strings.TrimSpace(rest)
-			continue
-		}
-		r := parseBenchLine(line, pkg)
-		if r == nil {
-			continue
-		}
-		report.Benchmarks = append(report.Benchmarks, *r)
+		Benchmarks:  results,
 	}
 	if len(report.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "bench: no benchmark lines parsed")
@@ -193,6 +175,26 @@ func main() {
 		report.Baseline = &base
 	}
 
+	runGates := func(quiet bool) []string {
+		violations := gateAbsolute(&report, *gatemetrics)
+		if report.Baseline != nil {
+			violations = append(violations, gateAgainstBaseline(&report, *gate, *gatemetrics, *maxregress, quiet)...)
+		}
+		return violations
+	}
+	violations := runGates(false)
+	for round := 1; round <= *remeasure && len(nsViolators(violations)) > 0; round++ {
+		names := nsViolators(violations)
+		fmt.Fprintf(os.Stderr, "bench: remeasure round %d: re-timing %s\n", round, strings.Join(names, ","))
+		rerun, err := runBenches("^("+strings.Join(names, "|")+")$", *benchtime, *count, *pkgs, *dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: remeasure: %v\n", err)
+			os.Exit(1)
+		}
+		mergeMinNs(report.Benchmarks, rerun)
+		violations = runGates(true)
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: marshal: %v\n", err)
@@ -205,14 +207,130 @@ func main() {
 	}
 	fmt.Printf("bench: wrote %d results to %s\n", len(report.Benchmarks), *out)
 
-	if report.Baseline != nil {
-		if violations := gateAgainstBaseline(&report, *gate, *gatemetrics, *maxregress); len(violations) > 0 {
-			for _, v := range violations {
-				fmt.Fprintf(os.Stderr, "bench: REGRESSION %s\n", v)
-			}
-			os.Exit(1)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "bench: REGRESSION %s\n", v)
+		}
+		os.Exit(1)
+	}
+}
+
+// runBenches executes one go test -bench invocation and parses its
+// result lines.
+func runBenches(bench, benchtime string, count int, pkgs, dir string) ([]Result, error) {
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", bench,
+		"-benchmem",
+		"-benchtime", benchtime,
+		"-count", strconv.Itoa(count),
+		pkgs,
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test: %v", err)
+	}
+	var results []Result
+	pkg := ""
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if r := parseBenchLine(line, pkg); r != nil {
+			results = append(results, *r)
 		}
 	}
+	return results, nil
+}
+
+// violationBench extracts the benchmark name a violation string leads
+// with; nsViolators filters for the wall-clock ones — the only class
+// remeasurement can change (allocs/op and the alloc-class absolute
+// metrics are deterministic, so re-running them would reproduce the
+// same number).
+func violationBench(v string) string { return v[:strings.IndexByte(v, ':')] }
+
+func nsViolators(violations []string) []string {
+	var names []string
+	for _, v := range violations {
+		if strings.Contains(v, "ns/op") || strings.Contains(v, " overhead-pct = ") {
+			names = append(names, violationBench(v))
+		}
+	}
+	return names
+}
+
+// mergeMinNs folds a remeasurement run into the report: a benchmark's
+// record is replaced only when the re-run timed lower, so the report
+// converges on each benchmark's observed floor. The whole Result moves
+// together — the extras that came from the faster run stay consistent
+// with its timing.
+func mergeMinNs(have []Result, rerun []Result) {
+	for _, r := range rerun {
+		for i := range have {
+			if have[i].Name == r.Name && have[i].Package == r.Package && r.NsPerOp < have[i].NsPerOp {
+				fmt.Fprintf(os.Stderr, "bench: remeasure %s: ns/op %.4g -> %.4g\n", r.Name, have[i].NsPerOp, r.NsPerOp)
+				have[i] = r
+			}
+		}
+	}
+}
+
+// absoluteGates pins benchmark extra metrics to hard ceilings,
+// independent of any baseline: these encode acceptance criteria (the
+// telemetry layer must stay within 3% of the instrumentation-disabled
+// run) rather than trajectory stability, so they fire even on a first
+// run with no BENCH_<n>.json to compare against. A listed benchmark
+// absent from the run is not a violation — subset -bench invocations
+// stay usable — but a present benchmark missing the metric is: the
+// ReportMetric call vanishing silently must not pass. class maps the
+// metric onto -gatemetrics the same way the baseline gates split:
+// "allocs" metrics are deterministic and enforced everywhere including
+// CI, "ns" metrics are timing-derived and only mean something on a
+// machine quiet enough to time — CI passes -gatemetrics allocs and
+// skips them.
+var absoluteGates = []struct {
+	bench, unit, class string
+	max                float64
+}{
+	{"BenchmarkTelemetryOverhead", "overhead-pct", "ns", 3},
+	{"BenchmarkTelemetryOverhead", "alloc-overhead-pct", "allocs", 3},
+}
+
+// gateAbsolute checks the absolute ceilings against the fresh run,
+// limited to the metric classes selected by -gatemetrics.
+func gateAbsolute(r *Report, metrics string) []string {
+	var violations []string
+	for _, g := range absoluteGates {
+		if !strings.Contains(metrics, g.class) {
+			continue
+		}
+		for i := range r.Benchmarks {
+			b := &r.Benchmarks[i]
+			if b.Name != g.bench {
+				continue
+			}
+			v, ok := b.Extra[g.unit]
+			switch {
+			case !ok:
+				violations = append(violations,
+					fmt.Sprintf("%s: extra metric %q missing from the run", g.bench, g.unit))
+			case v > g.max:
+				violations = append(violations,
+					fmt.Sprintf("%s: %s = %.2f exceeds absolute ceiling %.2f", g.bench, g.unit, v, g.max))
+			}
+		}
+	}
+	return violations
 }
 
 // latestReport finds the highest-numbered BENCH_<n>.json in dir.
@@ -242,7 +360,7 @@ func latestReport(dir string) (path string, n int) {
 // not pass. The metrics string selects what is enforced: ns/op only
 // means anything against a baseline recorded on the same machine,
 // allocs/op is machine-independent.
-func gateAgainstBaseline(r *Report, gate, metrics string, maxregress float64) []string {
+func gateAgainstBaseline(r *Report, gate, metrics string, maxregress float64, quiet bool) []string {
 	gateNs := strings.Contains(metrics, "ns")
 	gateAllocs := strings.Contains(metrics, "allocs")
 	find := func(results []Result, name string) *Result {
@@ -261,7 +379,9 @@ func gateAgainstBaseline(r *Report, gate, metrics string, maxregress float64) []
 		}
 		cur, base := find(r.Benchmarks, name), find(r.Baseline.Benchmarks, name)
 		if base == nil {
-			fmt.Printf("bench: gate %s: no baseline result, skipping\n", name)
+			if !quiet {
+				fmt.Printf("bench: gate %s: no baseline result, skipping\n", name)
+			}
 			continue
 		}
 		if cur == nil {
@@ -269,9 +389,11 @@ func gateAgainstBaseline(r *Report, gate, metrics string, maxregress float64) []
 			continue
 		}
 		limit := 1 + maxregress
-		fmt.Printf("bench: gate %-18s ns/op %.3g -> %.3g (%+.1f%%), allocs/op %d -> %d (%+.1f%%)\n",
-			name, base.NsPerOp, cur.NsPerOp, 100*(cur.NsPerOp/base.NsPerOp-1),
-			base.AllocsPerOp, cur.AllocsPerOp, pctChange(base.AllocsPerOp, cur.AllocsPerOp))
+		if !quiet {
+			fmt.Printf("bench: gate %-18s ns/op %.3g -> %.3g (%+.1f%%), allocs/op %d -> %d (%+.1f%%)\n",
+				name, base.NsPerOp, cur.NsPerOp, 100*(cur.NsPerOp/base.NsPerOp-1),
+				base.AllocsPerOp, cur.AllocsPerOp, pctChange(base.AllocsPerOp, cur.AllocsPerOp))
+		}
 		if gateNs && cur.NsPerOp > base.NsPerOp*limit {
 			violations = append(violations, fmt.Sprintf("%s: ns/op %.4g -> %.4g exceeds +%.0f%%",
 				name, base.NsPerOp, cur.NsPerOp, 100*maxregress))

@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -35,6 +36,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	engineName := flag.String("engine", "des", "Fig7/8/9 replay engine: des, sampled, or fluid (docs/emulation.md)")
 	sampleP := flag.Float64("p", 0, "pair-sampling probability for the sampled engine / fluid probe (0 = engine default)")
+	hostSampling := flag.Bool("host-sampling", false, "host-level sampling for the sampled engine (q=√p per host)")
+	traceSample := flag.Float64("trace-sample", 0, "Fig7/8/9 causal-span head-sampling rate in (0,1]; 0 disables tracing (docs/observability.md)")
+	traceDump := flag.String("trace-dump", "", "write the real-static series' spans as JSONL to this file (requires -trace-sample)")
+	metricsDump := flag.String("metrics-dump", "", "write the real-static series' telemetry registry as JSONL to this file")
+	promDump := flag.String("prom-dump", "", "write a Prometheus-style snapshot of the real-static series' registry to this file")
 	flag.Parse()
 	engine, err := replay.ParseEngine(*engineName)
 	if err != nil {
@@ -101,12 +107,14 @@ func main() {
 		return nil
 	})
 
-	need789 := all || want["fig7"] || want["fig8"] || want["fig9"]
+	need789 := all || want["fig7"] || want["fig8"] || want["fig9"] ||
+		*traceDump != "" || *metricsDump != "" || *promDump != ""
 	if need789 {
 		fmt.Printf("\n=== Fig7/8/9 emulations (scale %d, engine %s) ===\n", *scale, engine)
 		start := time.Now()
 		res, err := eval.RunFig789(eval.Fig789Config{
 			Scale: *scale, Seed: *seed, Engine: engine, SampleProb: *sampleP,
+			HostSampling: *hostSampling, TraceSample: *traceSample,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fig789: %v\n", err)
@@ -114,6 +122,29 @@ func main() {
 		}
 		fig789 = res
 		fmt.Printf("(5 emulations in %v)\n", time.Since(start).Round(time.Millisecond))
+
+		// Exposition: the telemetry of the real-trace static-grouping
+		// series (the paper's headline configuration).
+		dump := func(path, what string, write func(io.Writer) error) {
+			if path == "" {
+				return
+			}
+			f, err := os.Create(path)
+			if err == nil {
+				err = write(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", what, err)
+				os.Exit(1)
+			}
+		}
+		hero := res.Series[eval.SeriesRealStatic]
+		dump(*traceDump, "trace dump", hero.Spans.WriteJSONL)
+		dump(*metricsDump, "metrics dump", hero.Metrics.WriteJSONL)
+		dump(*promDump, "metrics snapshot", hero.Metrics.WriteProm)
 	}
 
 	seriesOrder := []string{

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -31,6 +32,11 @@ func main() {
 	hours := flag.Int("hours", 24, "horizon in hours")
 	engineName := flag.String("engine", "des", "replay engine: des, sampled, or fluid (see docs/emulation.md)")
 	sampleP := flag.Float64("p", 0, "pair-sampling probability for the sampled engine / fluid probe (0 = engine default)")
+	hostSampling := flag.Bool("host-sampling", false, "host-level sampling for the sampled engine (q=√p per host; pair kept iff both ends kept)")
+	traceSample := flag.Float64("trace-sample", 0, "causal-span head-sampling rate in (0,1]; 0 disables tracing (docs/observability.md)")
+	traceDump := flag.String("trace-dump", "", "write completed spans as JSONL to this file (requires -trace-sample)")
+	metricsDump := flag.String("metrics-dump", "", "write the telemetry registry as JSONL to this file")
+	promDump := flag.String("prom-dump", "", "write a Prometheus-style text snapshot of the registry to this file")
 	flag.Parse()
 	engine, err := replay.ParseEngine(*engineName)
 	if err != nil {
@@ -66,11 +72,32 @@ func main() {
 		Seed:           cli.Seed(),
 		Engine:         engine,
 		SampleProb:     *sampleP,
+		HostSampling:   *hostSampling,
+		TraceSample:    *traceSample,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	dump := func(path, what string, write func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err == nil {
+			err = write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", what, err)
+			os.Exit(1)
+		}
+	}
+	dump(*traceDump, "trace dump", res.Spans.WriteJSONL)
+	dump(*metricsDump, "metrics dump", res.Metrics.WriteJSONL)
+	dump(*promDump, "metrics snapshot", res.Metrics.WriteProm)
 	fmt.Printf("emulation completed in %v (%d sim events)\n\n",
 		time.Since(start).Round(time.Millisecond), res.SimEvents)
 

@@ -1,6 +1,6 @@
 // Command lazyvet runs the repo's invariant analyzers (determinism,
-// maporder, wireproto, versionstamp, stripelock — see docs/analysis.md)
-// over Go packages. It speaks two protocols:
+// maporder, wireproto, versionstamp, stripelock, spanbalance — see
+// docs/analysis.md) over Go packages. It speaks two protocols:
 //
 //	go vet -vettool=$(go env GOBIN)/lazyvet ./...   (or any built path)
 //
@@ -71,7 +71,7 @@ func usage() {
        go vet -vettool=$(which %[1]s) package...
 
 %[1]s enforces lazyctrl's determinism, wire-protocol, version-stamp,
-map-order, and lock-striping invariants. Analyzers:
+map-order, lock-striping, and span-lifecycle invariants. Analyzers:
 
 `, progname)
 	for _, a := range analysis.All() {

@@ -1,6 +1,7 @@
-// Package analysis is the repo's static-analysis suite: five custom
+// Package analysis is the repo's static-analysis suite: six custom
 // analyzers (determinism, maporder, wireproto, versionstamp,
-// stripelock) that turn the invariants the differential tests enforce
+// stripelock, spanbalance) that turn the invariants the differential
+// tests enforce
 // at runtime — byte-identical groupings across shard counts,
 // faulted-vs-fault-free fixpoint equality, "equal bits ⇒ equal bytes"
 // delta channels — into compile-time errors. docs/analysis.md states
@@ -125,6 +126,7 @@ func All() []*Analyzer {
 		WireProto,
 		VersionStamp,
 		StripeLock,
+		SpanBalance,
 	}
 }
 

@@ -39,6 +39,7 @@ var determinismScopes = []string{
 	"internal/chaos",
 	"internal/trace",
 	"internal/eval",
+	"internal/telemetry",
 }
 
 // pathInScope reports whether a package path matches a scope suffix.

@@ -208,3 +208,8 @@ func TestAllowPolicy(t *testing.T) {
 	// And the well-formed suppressions in the determinism fixture
 	// already proved the positive path (no findings on allowed lines).
 }
+
+func TestSpanBalanceFixture(t *testing.T) {
+	pkg, diags := runFixture(t, "sbfix/internal/edge", analysis.SpanBalance)
+	checkWants(t, pkg, "sbfix/internal/edge", diags)
+}

@@ -1,0 +1,87 @@
+// Package edge is a spanbalance fixture exercising the span-lifecycle
+// discipline against the real telemetry package.
+package edge
+
+import (
+	"time"
+
+	"lazyctrl/internal/telemetry"
+)
+
+type rig struct {
+	tr    *telemetry.Tracer
+	open  map[int]*telemetry.Span
+	saved *telemetry.Span
+}
+
+// balancedInline is the canonical good shape: chain straight to End.
+func (r *rig) balancedInline() {
+	r.tr.StartTrace("pktin").Attr("sw", 1).End()
+}
+
+// balancedVar ends through a local.
+func (r *rig) balancedVar() {
+	sp := r.tr.StartTrace("pktin")
+	sp.Attr("sw", 2)
+	sp.End()
+}
+
+// balancedChainEnd ends at the tip of an Attr chain on the local.
+func (r *rig) balancedChainEnd() {
+	sp := r.tr.StartSpan(telemetry.SpanContext{}, "pktin.ctrl")
+	sp.Attr("decision", 1).End()
+}
+
+// handoffMap stores the span: the obligation moves to the map's owner.
+func (r *rig) handoffMap(k int) {
+	r.open[k] = r.tr.StartSpan(telemetry.SpanContext{}, "regroup.push")
+}
+
+// handoffField stores the span in a field.
+func (r *rig) handoffField() {
+	r.saved = r.tr.StartTrace("regroup")
+}
+
+// handoffArg passes the span to a callee.
+func (r *rig) handoffArg() {
+	finish(r.tr.StartTrace("regroup").Attr("initial", 1))
+}
+
+// handoffReturn returns the span to the caller.
+func (r *rig) handoffReturn() *telemetry.Span {
+	return r.tr.StartTrace("regroup")
+}
+
+func finish(sp *telemetry.Span) { sp.End() }
+
+// emitIsNotACreator: Emit records a closed span; no obligation.
+func (r *rig) emitIsNotACreator(now time.Duration) {
+	r.tr.Emit(telemetry.SpanContext{}, "pktin.apply", now, now)
+}
+
+// discarded drops the minted span on the floor.
+func (r *rig) discarded() {
+	r.tr.StartTrace("pktin") // want `span started and discarded`
+}
+
+// discardedChain attaches attributes and still drops it.
+func (r *rig) discardedChain() {
+	r.tr.StartTrace("pktin").Attr("sw", 3) // want `span started and discarded`
+}
+
+// blank assigns the span to _.
+func (r *rig) blank() {
+	_ = r.tr.StartTrace("pktin") // want `span started and assigned to _`
+}
+
+// leaked binds the span but never resolves it.
+func (r *rig) leaked() {
+	sp := r.tr.StartTrace("pktin") // want `span sp is never ended`
+	sp.Attr("sw", 4)
+}
+
+// allowed leaks deliberately, with the sanctioned escape.
+func (r *rig) allowed() {
+	sp := r.tr.StartTrace("pktin") //lazyvet:allow spanbalance horizon-dropped probe span
+	sp.Attr("sw", 5)
+}

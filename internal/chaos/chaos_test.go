@@ -12,6 +12,7 @@ import (
 	"lazyctrl/internal/netsim"
 	"lazyctrl/internal/openflow"
 	"lazyctrl/internal/sim"
+	"lazyctrl/internal/telemetry"
 )
 
 // fakeHarness drives plans against a bare simulator, recording the
@@ -209,5 +210,60 @@ func TestWorldProbeFlagsVersionRegression(t *testing.T) {
 	v := w.Probe()
 	if len(v) == 0 || !strings.Contains(v[0], "stale") {
 		t.Fatalf("version regression not flagged: %v", v)
+	}
+}
+
+// TestDivergedEmbedsFlightTail forces an invariant violation in a world
+// with flight recorders wired and checks that the report embeds the
+// violating node's protocol tail — and that the whole dump, tail
+// included, is deterministic across identical runs.
+func TestDivergedEmbedsFlightTail(t *testing.T) {
+	run := func() []string {
+		s, n, w := miniWorld(t)
+		flights := make(map[model.SwitchID]*telemetry.Flight)
+		ring := func(id model.SwitchID) *telemetry.Flight {
+			f := flights[id]
+			if f == nil {
+				f = telemetry.NewFlight(0)
+				flights[id] = f
+			}
+			return f
+		}
+		n.Observer = func(from, to model.SwitchID, msg netsim.Message, delivered bool) {
+			om, ok := msg.(openflow.Message)
+			if !ok {
+				return
+			}
+			ev := telemetry.FlightEvent{At: s.Now().Duration(), Type: uint8(om.MsgType())}
+			if delivered {
+				ev.Peer = int64(from)
+				ring(to).Record(ev)
+			} else {
+				ev.Sent, ev.Peer = true, int64(to)
+				ring(from).Record(ev)
+			}
+		}
+		w.Flight = func(sw model.SwitchID) []string { return flights[sw].Tail() }
+		s.RunFor(30 * time.Second)
+		w.Switches[1].GFIB().RemoveFilter(3)
+		return w.Diverged()
+	}
+
+	div := run()
+	joined := strings.Join(div, "\n")
+	if !strings.Contains(joined, "missing filter") {
+		t.Fatalf("violation not detected:\n%s", joined)
+	}
+	var tail int
+	for _, line := range div {
+		if strings.HasPrefix(line, "flight S1: ") {
+			tail++
+		}
+	}
+	if tail == 0 {
+		t.Fatalf("no flight tail for the violating switch:\n%s", joined)
+	}
+	if again := strings.Join(run(), "\n"); again != joined {
+		t.Fatalf("flight dump not deterministic:\n--- first\n%s\n--- second\n%s", joined, again)
 	}
 }

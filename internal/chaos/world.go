@@ -47,6 +47,11 @@ type World struct {
 	// Down reports whether a switch is currently crashed; down
 	// switches are exempt from the live invariants.
 	Down func(sw model.SwitchID) bool
+	// Flight, when set, returns a node's flight-recorder tail (its last
+	// protocol events, oldest first — telemetry.Flight.Tail). Diverged
+	// appends each violating node's tail to its report, so an invariant
+	// violation dumps the wire history that led up to it.
+	Flight func(sw model.SwitchID) []string
 	// FilterBits/FilterHashes override the G-FIB Bloom geometry used
 	// to build reference filters (zero = fib defaults).
 	FilterBits   uint64
@@ -276,6 +281,26 @@ func (w *World) Diverged() []string {
 		}
 	}
 	sort.Strings(out)
+	// With a flight recorder wired, follow the sorted violations with
+	// each violating switch's protocol tail — the wire history that led
+	// up to the bad state. Tails come after all violations (and only
+	// when there are violations), so "no divergence" stays len == 0.
+	if w.Flight != nil {
+		var ids []model.SwitchID
+		seen := make(map[model.SwitchID]bool)
+		for _, v := range out {
+			var id int
+			if n, _ := fmt.Sscanf(v, "S%d:", &id); n == 1 && !seen[model.SwitchID(id)] {
+				seen[model.SwitchID(id)] = true
+				ids = append(ids, model.SwitchID(id))
+			}
+		}
+		for _, id := range ids {
+			for _, line := range w.Flight(id) {
+				out = append(out, fmt.Sprintf("flight S%d: %s", id, line))
+			}
+		}
+	}
 	return out
 }
 

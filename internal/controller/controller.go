@@ -42,6 +42,7 @@ import (
 	"lazyctrl/internal/model"
 	"lazyctrl/internal/netsim"
 	"lazyctrl/internal/openflow"
+	"lazyctrl/internal/telemetry"
 )
 
 // Mode selects the control-plane behavior.
@@ -175,6 +176,10 @@ type Config struct {
 	FoldMeter func(from, to model.SwitchID, msg openflow.Message, copies uint64)
 	// Recorder receives workload accounting (may be nil).
 	Recorder *metrics.Recorder
+	// Tracer receives causal spans (may be nil). Spans are created only
+	// in ordered code — the apply phase and periodic duties, never the
+	// concurrent decide phase — so the dump stays deterministic.
+	Tracer *telemetry.Tracer
 	// OnDiagnosis is invoked when the failover module reaches a
 	// diagnosis; the harness wires recovery actions that need to touch
 	// the simulated underlay (detours, reboots).
@@ -332,6 +337,12 @@ type Controller struct {
 	pushPending map[model.SwitchID]*pushRetry
 	pushing     bool
 
+	// Telemetry: open per-destination push spans (awaiting ConfigAck)
+	// and the regroup-round trace context push rounds attach to (zero
+	// outside a traced round). See trace.go.
+	pushSpans  map[model.SwitchID]*telemetry.Span
+	regroupCtx telemetry.SpanContext
+
 	// ARP-relay target memoization, valid only inside one ProcessBurst
 	// apply phase (see designatedTargets).
 	arpCache    map[model.VLAN][]model.SwitchID
@@ -457,6 +468,7 @@ func New(cfg Config, env netsim.Env) (*Controller, error) {
 		lastAck:       make(map[model.SwitchID]time.Duration),
 		dead:          make(map[model.SwitchID]bool),
 		pushPending:   make(map[model.SwitchID]*pushRetry),
+		pushSpans:     make(map[model.SwitchID]*telemetry.Span),
 	}, nil
 }
 
@@ -547,8 +559,12 @@ func (c *Controller) InitialGrouping(m *grouping.Intensity) error {
 	for _, sw := range c.cfg.Switches {
 		seeded.AddSwitch(sw)
 	}
+	root := c.cfg.Tracer.StartTrace("regroup").Attr("initial", 1)
+	mlkp := c.cfg.Tracer.StartSpan(root.Context(), "regroup.mlkp")
 	grp, err := c.sgi.IniGroup(seeded)
+	mlkp.End()
 	if err != nil {
+		root.End()
 		return fmt.Errorf("controller: initial grouping: %w", err)
 	}
 	c.grp = grp
@@ -557,7 +573,10 @@ func (c *Controller) InitialGrouping(m *grouping.Intensity) error {
 	c.stats.Regroupings++
 	c.lastRegroupAt = c.env.Now()
 	c.journalGrouping()
-	c.pushGroupConfigs(true)
+	c.regroupCtx = root.Context()
+	sent := c.pushGroupConfigs(true)
+	c.regroupCtx = telemetry.SpanContext{}
+	root.Attr("sent", int64(sent)).End()
 	if c.cfg.Recorder != nil {
 		c.cfg.Recorder.RecordUpdate(c.env.Now())
 	}
@@ -680,17 +699,21 @@ func (c *Controller) pushGroupConfigs(kickDesignated bool) int {
 					}
 				}
 			}
+			var nFull, nDelta int
 			if len(members) > 1 {
 				update, delta := c.buildPreload(gid, m, members, &diffs)
 				if update != nil {
 					msgs = append(msgs, update)
+					nFull = len(update.Filters)
 				}
 				if delta != nil {
 					msgs = append(msgs, delta)
+					nDelta = len(delta.Deltas)
 				}
 			}
 			if len(msgs) == 0 {
 				c.stats.PushesSkipped++
+				c.tracePushSkip(m)
 				continue
 			}
 			c.pushedCfg[m] = cfgFP
@@ -701,6 +724,7 @@ func (c *Controller) pushGroupConfigs(kickDesignated bool) int {
 				c.stats.BatchedPushes++
 				c.env.Send(m, &openflow.Batch{Generation: c.generation, Msgs: msgs})
 			}
+			c.tracePush(m, sentCfg && !c.dead[m], nFull, nDelta)
 			if sentCfg && !c.dead[m] {
 				c.supervisePush(m, c.groupingVersion)
 			}
@@ -769,6 +793,7 @@ func (c *Controller) retryPush(dest model.SwitchID) {
 	p.cancel = nil
 	if c.dead[dest] || p.attempts >= maxPushAttempts {
 		delete(c.pushPending, dest)
+		c.endPushSpan(dest, "abandoned")
 		return
 	}
 	p.attempts++
@@ -789,6 +814,7 @@ func (c *Controller) cancelPush(sw model.SwitchID) {
 		}
 		delete(c.pushPending, sw)
 	}
+	c.endPushSpan(sw, "cancelled")
 }
 
 // refreshPeerFilter rebuilds the cached preload filter for a switch

@@ -9,6 +9,7 @@ import (
 	"lazyctrl/internal/model"
 	"lazyctrl/internal/netsim"
 	"lazyctrl/internal/openflow"
+	"lazyctrl/internal/telemetry"
 )
 
 // HandleMessage implements netsim.Node.
@@ -63,6 +64,7 @@ func (c *Controller) HandleMessage(from model.SwitchID, msg netsim.Message) {
 				p.cancel()
 			}
 			delete(c.pushPending, m.From)
+			c.endPushSpan(m.From, "acked")
 		}
 		if c.awaitingRepush && len(c.pushPending) == 0 {
 			c.awaitingRepush = false
@@ -234,6 +236,7 @@ func (c *Controller) decide(m *openflow.PacketIn) pinDecision {
 func (c *Controller) apply(m *openflow.PacketIn, d pinDecision) {
 	c.record(metrics.ReqPacketIn, 1)
 	c.stats.PacketIns++
+	c.traceCtrl(m.Span, d.kind)
 
 	// Intensity estimation: the controller observes the flows it must
 	// handle itself.
@@ -243,16 +246,17 @@ func (c *Controller) apply(m *openflow.PacketIn, d pinDecision) {
 
 	switch d.kind {
 	case decideInstall:
-		ingress, dst, pkt := m.Switch, d.dst, m.Packet
-		c.respond(func() { c.installAndForward(ingress, dst, pkt) })
+		ingress, dst, pkt, span := m.Switch, d.dst, m.Packet, m.Span
+		c.respond(func() { c.installAndForward(ingress, dst, pkt, span) })
 	case decideBounce:
 		// Both endpoints local: bounce the packet back for delivery.
-		ingress, pkt := m.Switch, m.Packet
+		ingress, pkt, span := m.Switch, m.Packet, m.Span
 		c.respond(func() {
 			c.stats.PacketOuts++
 			c.env.Send(ingress, &openflow.PacketOut{
 				Actions: []openflow.Action{openflow.Flood()},
 				Packet:  pkt,
+				Span:    span,
 			})
 		})
 	case decideFlood:
@@ -391,7 +395,7 @@ func (c *Controller) allDesignated() []model.SwitchID {
 // installAndForward installs the inter-group rule on the ingress switch
 // and returns the buffered packet with the Encap action (extending
 // OpenFlow v1.0, §IV-B).
-func (c *Controller) installAndForward(ingress, dst model.SwitchID, p model.Packet) {
+func (c *Controller) installAndForward(ingress, dst model.SwitchID, p model.Packet, span telemetry.SpanContext) {
 	if c.cfg.PerFlowRules {
 		// Per-flow baseline: forward the buffered packet without
 		// installing a rule. A 5-tuple rule would never absorb another
@@ -403,6 +407,7 @@ func (c *Controller) installAndForward(ingress, dst model.SwitchID, p model.Pack
 		c.env.Send(ingress, &openflow.PacketOut{
 			Actions: []openflow.Action{openflow.Encap(dst)},
 			Packet:  p,
+			Span:    span,
 		})
 		return
 	}
@@ -414,10 +419,12 @@ func (c *Controller) installAndForward(ingress, dst model.SwitchID, p model.Pack
 		Priority:    100,
 		IdleTimeout: c.cfg.RuleIdleTimeout,
 		Actions:     []openflow.Action{openflow.Encap(dst)},
+		Span:        span,
 	})
 	c.env.Send(ingress, &openflow.PacketOut{
 		Actions: []openflow.Action{openflow.Encap(dst)},
 		Packet:  p,
+		Span:    span,
 	})
 }
 
@@ -468,7 +475,10 @@ func (c *Controller) handleLFIBAnswer(from model.SwitchID, m *openflow.LFIBUpdat
 				continue // destination turned out local; switch handles it
 			}
 			f := f
-			c.respond(func() { c.installAndForward(f.ingress, m.Origin, f.packet) })
+			// Lazy-mode resolutions are not traced end to end: the
+			// ingress escalation's span ended at its micro-batch flush,
+			// and the ARP round trip is not part of the PacketIn trace.
+			c.respond(func() { c.installAndForward(f.ingress, m.Origin, f.packet, telemetry.SpanContext{}) })
 		}
 	}
 }
@@ -499,8 +509,15 @@ func (c *Controller) maybeRegroup() {
 	if c.rateAtRegroup == 0 {
 		c.rateAtRegroup = c.lastRate
 	}
+	root := c.cfg.Tracer.StartTrace("regroup")
+	mlkp := c.cfg.Tracer.StartSpan(root.Context(), "regroup.mlkp")
 	ops, err := c.sgi.IncUpdate(c.grp, c.intensity, nil)
+	mlkp.Attr("ops", int64(ops)).End()
 	if err != nil || ops == 0 {
+		// Ineffective trigger evaluations are traced too (with sent=0):
+		// Fig. 3's thresholds declining to act is part of the regroup
+		// story the timeline should show.
+		root.Attr("sent", 0).End()
 		return
 	}
 	c.groupingVersion++
@@ -511,7 +528,10 @@ func (c *Controller) maybeRegroup() {
 	// Regroup workload scales with what the round actually ships: with
 	// per-destination version tracking, switches whose group view and
 	// peer filters are already current cost the controller nothing.
+	c.regroupCtx = root.Context()
 	sent := c.pushGroupConfigs(true)
+	c.regroupCtx = telemetry.SpanContext{}
+	root.Attr("sent", int64(sent)).End()
 	c.record(metrics.ReqRegroup, uint64(sent))
 	// Age the intensity estimate gently: fresh traffic shifts the
 	// balance without discarding the accumulated signal (a hard reset

@@ -7,6 +7,7 @@ import (
 	"lazyctrl/internal/model"
 	"lazyctrl/internal/netsim"
 	"lazyctrl/internal/openflow"
+	"lazyctrl/internal/telemetry"
 )
 
 // HandleMessage implements netsim.Node: the Ctrl-IF and peer/state link
@@ -24,10 +25,12 @@ func (s *Switch) HandleMessage(from model.SwitchID, msg netsim.Message) {
 		}
 	case *openflow.FlowMod:
 		s.handleFlowMod(m)
+		s.emitApplySpan(m.Span)
 	case *openflow.PacketOut:
 		s.clearEscalation(&m.Packet)
 		pkt := m.Packet
 		s.applyActions(m.Actions, &pkt)
+		s.emitApplySpan(m.Span)
 	case *openflow.GroupConfig:
 		if s.fenced(m.Generation, from) {
 			return
@@ -81,6 +84,16 @@ func (s *Switch) HandleMessage(from model.SwitchID, msg netsim.Message) {
 			}
 			s.HandleMessage(from, sub)
 		}
+	}
+}
+
+// emitApplySpan closes a sampled escalation's trace with the edge-side
+// apply instant: the leaf span of the PacketIn taxonomy (ingress →
+// batch → controller → apply — docs/observability.md).
+func (s *Switch) emitApplySpan(ctx telemetry.SpanContext) {
+	if tr := s.cfg.Tracer; tr != nil && ctx.Sampled() {
+		now := s.env.Now()
+		tr.Emit(ctx, "pktin.apply", now, now, telemetry.Attr{Key: "sw", Val: int64(s.cfg.ID)})
 	}
 }
 

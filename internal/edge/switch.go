@@ -8,6 +8,7 @@ import (
 	"lazyctrl/internal/model"
 	"lazyctrl/internal/netsim"
 	"lazyctrl/internal/openflow"
+	"lazyctrl/internal/telemetry"
 )
 
 // DeliverFunc is invoked when a packet reaches a locally attached host.
@@ -75,6 +76,13 @@ type Config struct {
 	TrackEscalations bool
 	// OnDeliver receives packets arriving at locally attached hosts.
 	OnDeliver DeliverFunc
+	// Tracer, when set, mints causal spans for controller escalations:
+	// a no-match/ARP PacketIn opens a trace at ingress whose root span
+	// covers the micro-batch residence, and the span context rides the
+	// escalation to the controller and back (openflow PacketIn/FlowMod
+	// Span fields), closing with the edge-side apply. Nil costs one
+	// branch per escalation.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -222,9 +230,13 @@ type Switch struct {
 
 	// Micro-batching intake window on the control link: buffered
 	// PacketIns (with their buffering instants, for the batching-delay
-	// accounting) and the pending flush deadline.
+	// accounting) and the pending flush deadline. pinSpans holds the
+	// open root spans of the sampled escalations in the window (ended
+	// at flush, so the root span duration is the batch residence);
+	// unsampled escalations append nothing.
 	pinBuf         []openflow.BurstPacket
 	pinAt          []time.Duration
+	pinSpans       []*telemetry.Span
 	pinFlushCancel func()
 
 	// Own per-window pair stats: new flows observed from remote
@@ -415,8 +427,9 @@ func (s *Switch) Reboot() {
 	wasStarted := s.started
 	// The micro-batching window's buffered PacketIns die with the
 	// switch — drop them before Stop, whose drain would otherwise
-	// flush pre-failure escalations to the controller.
-	s.pinBuf, s.pinAt = nil, nil
+	// flush pre-failure escalations to the controller. Their open
+	// spans die too (never ended, never dumped).
+	s.pinBuf, s.pinAt, s.pinSpans = nil, nil, nil
 	s.Stop()
 	s.lfib.Restart()
 	s.gfib.Clear()
@@ -574,12 +587,18 @@ func (s *Switch) packetIn(reason openflow.PacketInReason, p *model.Packet) {
 		return
 	}
 	s.stats.PacketIns++
+	root := s.cfg.Tracer.StartTrace("pktin").
+		Attr("sw", int64(s.cfg.ID)).Attr("reason", int64(reason))
 	if s.cfg.PacketInBatchMax <= 1 {
-		s.sendCtrl(&openflow.PacketIn{Switch: s.cfg.ID, Reason: reason, Packet: *p})
+		root.End() // no batch residence: the root closes at ingress
+		s.sendCtrl(&openflow.PacketIn{Switch: s.cfg.ID, Reason: reason, Packet: *p, Span: root.Context()})
 		return
 	}
-	s.pinBuf = append(s.pinBuf, openflow.BurstPacket{Reason: reason, Packet: *p})
+	s.pinBuf = append(s.pinBuf, openflow.BurstPacket{Reason: reason, Packet: *p, Span: root.Context()})
 	s.pinAt = append(s.pinAt, s.env.Now())
+	if root != nil {
+		s.pinSpans = append(s.pinSpans, root)
+	}
 	if len(s.pinBuf) >= s.cfg.PacketInBatchMax {
 		s.flushPacketIns()
 		return
@@ -599,15 +618,20 @@ func (s *Switch) flushPacketIns() {
 	if len(s.pinBuf) == 0 {
 		return
 	}
-	buf, at := s.pinBuf, s.pinAt
-	s.pinBuf, s.pinAt = nil, nil
+	buf, at, spans := s.pinBuf, s.pinAt, s.pinSpans
+	s.pinBuf, s.pinAt, s.pinSpans = nil, nil, nil
 	now := s.env.Now()
 	for _, t := range at {
 		s.stats.PinBatchWait += now - t
 	}
 	s.stats.PinBatchWaited += uint64(len(at))
+	// Sampled escalations close their root here: the root span's
+	// duration is exactly the micro-batch residence.
+	for _, sp := range spans {
+		sp.End()
+	}
 	if len(buf) == 1 {
-		s.sendCtrl(&openflow.PacketIn{Switch: s.cfg.ID, Reason: buf[0].Reason, Packet: buf[0].Packet})
+		s.sendCtrl(&openflow.PacketIn{Switch: s.cfg.ID, Reason: buf[0].Reason, Packet: buf[0].Packet, Span: buf[0].Span})
 		return
 	}
 	s.stats.PacketInBursts++

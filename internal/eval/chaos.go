@@ -10,6 +10,7 @@ import (
 	"lazyctrl/internal/netsim"
 	"lazyctrl/internal/openflow"
 	"lazyctrl/internal/sim"
+	"lazyctrl/internal/telemetry"
 	"lazyctrl/internal/tenant"
 	"lazyctrl/internal/trace"
 )
@@ -25,6 +26,7 @@ type chaosHarness struct {
 	standby  *controller.Controller // nil without EmulationConfig.Standby
 	dir      *tenant.Directory
 	switches map[model.SwitchID]*edge.Switch
+	flights  map[model.SwitchID]*telemetry.Flight // nil without flight recorders
 }
 
 func (h *chaosHarness) Now() time.Duration               { return h.s.Now().Duration() }
@@ -115,6 +117,9 @@ func (h *chaosHarness) world() *chaos.World {
 				out = append(out, openflow.LFIBEntry{MAC: host.MAC, IP: host.IP, VLAN: host.VLAN})
 			}
 			return out
+		},
+		Flight: func(sw model.SwitchID) []string {
+			return h.flights[sw].Tail() // nil-map lookup and nil Tail are both fine
 		},
 	}
 }

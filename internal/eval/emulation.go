@@ -7,6 +7,7 @@ package eval
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"lazyctrl/internal/openflow"
 	"lazyctrl/internal/replay"
 	"lazyctrl/internal/sim"
+	"lazyctrl/internal/telemetry"
 	"lazyctrl/internal/tenant"
 	"lazyctrl/internal/trace"
 )
@@ -71,6 +73,21 @@ type EmulationConfig struct {
 	// and the latency-probe population of EngineFluid. Zero selects 0.1
 	// (sampled) / 0.02 (fluid); ignored by EngineDES.
 	SampleProb float64
+	// HostSampling switches EngineSampled from independent pair
+	// sampling to host-level sampling: each host is hash-kept with
+	// probability q = √SampleProb and a pair is injected iff both
+	// endpoints are kept, so SampleProb keeps its meaning as the pair
+	// inclusion probability (π = q²). A kept host then contributes its
+	// complete flow fan-out within the kept subpopulation, which
+	// shrinks the learning-baseline latency bias of destination
+	// silencing: the baseline locates hosts passively, so a host whose
+	// every outbound pair is sampled out is never learned and all
+	// traffic toward it floods forever. Each outbound pair survives
+	// with q = √SampleProb instead of SampleProb
+	// (BenchmarkHostSamplingBias pins the measured reduction; see
+	// docs/emulation.md). Estimator confidence bands widen to account
+	// for the host-level correlation. Requires EngineSampled.
+	HostSampling bool
 	// PacketInBatchMax and PacketInBatchWindow configure the edge
 	// switches' control-link micro-batching window. Zero selects the
 	// default — on, 8 packets / 1 ms, now that the batching delay is
@@ -131,6 +148,23 @@ type EmulationConfig struct {
 	// ChaosProbeInterval samples the no-stale-adoption probe while the
 	// run is live (0 = every dissemination round).
 	ChaosProbeInterval time.Duration
+
+	// StateShards overrides the controller's lock-stripe count (0 =
+	// controller default). Results are shard-count-independent; the
+	// telemetry differential tests pin that span trees are too.
+	StateShards int
+	// TraceSample enables the causal span tracer at the given
+	// head-sampling rate in (0,1]: kept traces follow each PacketIn
+	// (and regroup round, and failover) through the control stack on
+	// the sim clock. 0 disables tracing entirely (the default; every
+	// instrumentation site then costs one nil check).
+	TraceSample float64
+	// FlightDepth arms per-node flight recorders of the last N wire
+	// events (negative = off). 0 selects telemetry.DefaultFlightDepth
+	// when a Chaos plan is present — the chaos checker embeds the
+	// recorder tails in its invariant-violation reports — and off
+	// otherwise.
+	FlightDepth int
 }
 
 func (c EmulationConfig) withDefaults() (EmulationConfig, error) {
@@ -182,6 +216,12 @@ func (c EmulationConfig) withDefaults() (EmulationConfig, error) {
 	}
 	if c.SampleProb <= 0 || c.SampleProb > 1 {
 		return c, fmt.Errorf("eval: SampleProb %v outside (0,1]", c.SampleProb)
+	}
+	if c.HostSampling && c.Engine != replay.EngineSampled {
+		return c, fmt.Errorf("eval: HostSampling requires the sampled engine")
+	}
+	if c.TraceSample < 0 || c.TraceSample > 1 {
+		return c, fmt.Errorf("eval: TraceSample %v outside [0,1]", c.TraceSample)
 	}
 	if c.PacketInBatchMax == 0 {
 		c.PacketInBatchMax = 8
@@ -286,6 +326,14 @@ type EmulationResult struct {
 	ControllerStats controller.Stats
 	// FinalGroups is the group count at the end of the run.
 	FinalGroups int
+	// Metrics is the unified telemetry registry: every counter above is
+	// also exposed through it as a snapshot-time view (WriteProm /
+	// WriteJSONL for exposition). Always non-nil.
+	Metrics *telemetry.Registry
+	// Spans holds the completed causal spans when
+	// EmulationConfig.TraceSample was set (nil otherwise). Takeover
+	// timelines are absorbed into it as "failover" trees.
+	Spans *telemetry.Tracer
 }
 
 // emulationPrefetchDepth bounds the replay's generate-ahead pipeline:
@@ -325,10 +373,30 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 	s := sim.New(c.Seed)
 	net := netsim.New(s, c.Latencies)
 	rec := metrics.NewRecorder(c.Horizon, c.BucketWidth)
+	simNow := func() time.Duration { return s.Now().Duration() }
+
+	// Telemetry: the span tracer (nil unless sampled on — every
+	// instrumentation site downstream is nil-safe), the unified metrics
+	// registry, and the per-node flight recorders. FlightDepth 0 arms
+	// the recorders exactly when a chaos plan will want their tails.
+	var tracer *telemetry.Tracer
+	if c.TraceSample > 0 {
+		tracer = telemetry.NewTracer(simNow, c.TraceSample, c.Seed)
+	}
+	reg := telemetry.NewRegistry()
+	flightDepth := c.FlightDepth
+	if flightDepth == 0 && c.Chaos != nil {
+		flightDepth = telemetry.DefaultFlightDepth
+	}
+	var flights map[model.SwitchID]*telemetry.Flight
+	if flightDepth > 0 {
+		flights = installFlightRecorders(net, simNow, flightDepth)
+	}
 
 	res := &EmulationResult{
 		Mode: c.Mode, Dynamic: c.Dynamic, Engine: c.Engine,
 		SampleProb: c.SampleProb, Recorder: rec,
+		Metrics: reg, Spans: tracer,
 	}
 
 	// Wire metering: the encoded bytes of every control-plane message,
@@ -373,11 +441,21 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 	var sampler *replay.PairSampler
 	var estimator *replay.Estimator
 	if c.SampleProb < 1 {
-		sampler = replay.NewPairSampler(c.SampleProb, c.Seed)
-		loadScale = int(float64(info.Scale)/c.SampleProb + 0.5)
-		if c.Engine == replay.EngineSampled {
-			estimator = replay.NewEstimator(c.SampleProb, rec.Buckets())
+		if c.HostSampling {
+			// Host-level mode: keep hosts at q = √p so the pair
+			// inclusion probability — and hence loadScale — is still p.
+			q := math.Sqrt(c.SampleProb)
+			sampler = replay.NewHostSampler(q, c.Seed)
+			if c.Engine == replay.EngineSampled {
+				estimator = replay.NewHostEstimator(q, rec.Buckets())
+			}
+		} else {
+			sampler = replay.NewPairSampler(c.SampleProb, c.Seed)
+			if c.Engine == replay.EngineSampled {
+				estimator = replay.NewEstimator(c.SampleProb, rec.Buckets())
+			}
 		}
+		loadScale = int(float64(info.Scale)/c.SampleProb + 0.5)
 	}
 
 	// The fluid engine folds every window's full flow population into
@@ -433,6 +511,8 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 		FoldMeter:         foldMeter,
 		OnRegroup:         onRegroup,
 		Peer:              ctrlPeer,
+		StateShards:       c.StateShards,
+		Tracer:            tracer,
 	}, net.Env(model.ControllerNode))
 	if err != nil {
 		return nil, err
@@ -459,6 +539,8 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 			PerFlowRules:      c.PerFlowBaseline,
 			Peer:              model.ControllerNode,
 			Standby:           true,
+			StateShards:       c.StateShards,
+			Tracer:            tracer,
 		}, net.Env(model.StandbyNode))
 		if err != nil {
 			return nil, err
@@ -512,6 +594,7 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 			ControlFold:         c.ControlFold,
 			Fold:                foldHooks,
 			TrackEscalations:    c.Standby,
+			Tracer:              tracer,
 			OnDeliver: func(p *model.Packet, at time.Duration) {
 				if p.FlowSeq == 0 {
 					res.FlowsDelivered++
@@ -533,6 +616,7 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 			standby.RegisterTenant(dir.Tenant(tid).VLAN, tid)
 		}
 	}
+	registerMetrics(reg, ctrl, switches, net, tracer, res)
 	ctrl.Start()
 	if standby != nil {
 		standby.Start()
@@ -558,7 +642,7 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 	// real groups.
 	var world *chaos.World
 	if c.Chaos != nil {
-		harness := &chaosHarness{s: s, net: net, ctrl: ctrl, standby: standby, dir: dir, switches: switches}
+		harness := &chaosHarness{s: s, net: net, ctrl: ctrl, standby: standby, dir: dir, switches: switches, flights: flights}
 		world = harness.world()
 		c.Chaos.Schedule(harness)
 		if len(c.Chaos.Events) > 0 {
@@ -939,6 +1023,11 @@ func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
 			res.Takeovers += st.Takeovers
 			res.StepDowns += st.StepDowns
 			res.TakeoverTimelines = append(res.TakeoverTimelines, r.TakeoverTimelines()...)
+		}
+		if tracer != nil {
+			for _, tl := range res.TakeoverTimelines {
+				absorbTakeover(tracer, tl)
+			}
 		}
 	}
 

@@ -276,6 +276,12 @@ type Fig789Config struct {
 	// initial grouping, and tens of millions of first-hour flows pin
 	// the pair ranking just as well as hundreds of millions.
 	WarmupScale int
+	// HostSampling and TraceSample pass through to every series' run
+	// (EmulationConfig.HostSampling / TraceSample): host-level
+	// sampling for the sampled engine, and the causal span tracer's
+	// head-sampling rate (0 = tracing off).
+	HostSampling bool
+	TraceSample  float64
 }
 
 // Fig789Result carries one named series per emulation run.
@@ -374,6 +380,8 @@ func RunFig789(cfg Fig789Config) (*Fig789Result, error) {
 			PerFlowBaseline:     cfg.PerFlowBaseline,
 			ControlFold:         cfg.ControlFold,
 			AggregatePopulation: cfg.AggregatePopulation,
+			HostSampling:        cfg.HostSampling,
+			TraceSample:         cfg.TraceSample,
 		})
 		if err != nil {
 			return fmt.Errorf("eval: %s: %w", r.name, err)

@@ -174,8 +174,11 @@ func (r *Recorder) RecordColdLatency(at, latency time.Duration) {
 
 // ColdLatencyQuantile returns the q-quantile (q in [0,1]) of the
 // recorded cold-cache latencies, as the geometric midpoint of the
-// histogram bin holding it (0 with no samples). The log-bucketed
-// estimate is exact to one bin (≈19%).
+// histogram bin holding it. The log-bucketed estimate is exact to one
+// bin (≈19%). On an empty histogram it returns 0 for every q — the
+// same empty-value contract as AvgColdLatency — and out-of-range q is
+// clamped into [0,1], so q=0 is the lowest occupied bin and q=1 the
+// highest.
 func (r *Recorder) ColdLatencyQuantile(q float64) time.Duration {
 	var total uint64
 	for _, c := range r.coldHist {
@@ -299,7 +302,10 @@ func (r *Recorder) AvgLatencyPerBucket() []time.Duration {
 	return out
 }
 
-// AvgColdLatency returns the mean first-packet latency over the horizon.
+// AvgColdLatency returns the mean first-packet latency over the
+// horizon. With no samples it returns 0, never NaN: the empty-histogram
+// zero value is part of the contract (the telemetry registry snapshots
+// these helpers verbatim, and a NaN would poison the dump).
 func (r *Recorder) AvgColdLatency() time.Duration {
 	var sum float64
 	var count uint64
@@ -313,7 +319,8 @@ func (r *Recorder) AvgColdLatency() time.Duration {
 	return time.Duration(sum / float64(count) * float64(time.Second))
 }
 
-// AvgLatency returns the mean latency over all packets.
+// AvgLatency returns the mean latency over all packets (0 with no
+// samples — see AvgColdLatency for the empty-histogram contract).
 func (r *Recorder) AvgLatency() time.Duration {
 	var sum float64
 	var count uint64

@@ -157,7 +157,7 @@ func TestColdLatencyQuantiles(t *testing.T) {
 
 func TestWorkloadRPSForScaled(t *testing.T) {
 	r := NewRecorder(2*time.Hour, time.Hour)
-	r.CountRequest(ReqPacketIn, 0, 360)           // bucket 0
+	r.CountRequest(ReqPacketIn, 0, 360)              // bucket 0
 	r.CountRequest(ReqPacketIn, 90*time.Minute, 720) // bucket 1
 	r.CountRequest(ReqARPRelay, 0, 360)
 	// Fractional scale undoes a sampling probability: 360+360 requests
@@ -172,5 +172,46 @@ func TestWorkloadRPSForScaled(t *testing.T) {
 		if a[i] != b[i] {
 			t.Errorf("int/float scale disagree at %d: %v vs %v", i, a[i], b[i])
 		}
+	}
+}
+
+// TestEmptyHistogramZeroValues pins the empty-value contract of the
+// quantile/average helpers: a fresh recorder returns 0 (never NaN or a
+// panic) from every one of them, for any quantile — the telemetry
+// registry snapshots these verbatim into dumps that must stay clean.
+func TestEmptyHistogramZeroValues(t *testing.T) {
+	r := NewRecorder(4*time.Hour, time.Hour)
+	cases := []struct {
+		name string
+		got  time.Duration
+	}{
+		{"AvgColdLatency", r.AvgColdLatency()},
+		{"AvgLatency", r.AvgLatency()},
+		{"ColdLatencyQuantile(0)", r.ColdLatencyQuantile(0)},
+		{"ColdLatencyQuantile(0.5)", r.ColdLatencyQuantile(0.5)},
+		{"ColdLatencyQuantile(1)", r.ColdLatencyQuantile(1)},
+		{"ColdLatencyQuantile(-1)", r.ColdLatencyQuantile(-1)},
+		{"ColdLatencyQuantile(2)", r.ColdLatencyQuantile(2)},
+	}
+	for _, c := range cases {
+		if c.got != 0 {
+			t.Errorf("%s = %v on empty recorder, want 0", c.name, c.got)
+		}
+	}
+	for i, v := range r.AvgLatencyPerBucket() {
+		if v != 0 {
+			t.Errorf("AvgLatencyPerBucket()[%d] = %v on empty recorder, want 0", i, v)
+		}
+	}
+
+	// One sample makes every helper non-zero and q-clamping total.
+	r.RecordColdLatency(time.Minute, 3*time.Millisecond)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if r.ColdLatencyQuantile(q) == 0 {
+			t.Errorf("ColdLatencyQuantile(%v) = 0 with one sample", q)
+		}
+	}
+	if r.AvgColdLatency() == 0 || r.AvgLatency() == 0 {
+		t.Error("averages still 0 after one cold sample")
 	}
 }

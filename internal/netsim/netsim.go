@@ -198,6 +198,17 @@ type Network struct {
 	// channel install it; analytic fold credits flow into the same
 	// accounting on the harness side.
 	Meter func(from, to model.SwitchID, msg Message)
+	// Observer, when set, sees every control-plane message put on the
+	// wire right after Meter and, at delivery time, every one handed
+	// to its destination (delivered=true). Data-plane transits
+	// (*model.Packet) are excluded in the send path itself: they
+	// outnumber control messages by orders of magnitude, every
+	// consumer filters them out anyway, and the closure call per
+	// packet-hop is measurable (BenchmarkTelemetryOverhead). The
+	// telemetry flight recorders hang off this hook: the eval harness
+	// installs one observer that appends the event to both endpoints'
+	// rings.
+	Observer func(from, to model.SwitchID, msg Message, delivered bool)
 	// OnFaultChange, when set, fires whenever the underlay's fault
 	// state changes (link/node failure or heal, fault rules, partitions)
 	// — the signal control-plane elision uses to re-materialize timers.
@@ -359,6 +370,14 @@ func (n *Network) send(from, to model.SwitchID, msg Message) {
 	if n.Meter != nil {
 		n.Meter(from, to, msg)
 	}
+	observe := n.Observer != nil
+	if observe {
+		if _, dataPlane := msg.(*model.Packet); dataPlane {
+			observe = false
+		} else {
+			n.Observer(from, to, msg, false)
+		}
+	}
 	kind := classify(from, to, n.sameGroup)
 	d := n.lat.delay(kind, n.sim.Rand()) + extra
 	n.sim.After(d, func() {
@@ -368,6 +387,9 @@ func (n *Network) send(from, to model.SwitchID, msg Message) {
 			return
 		}
 		n.Delivered++
+		if observe {
+			n.Observer(from, to, msg, true)
+		}
 		dst.HandleMessage(from, msg)
 	})
 }

@@ -5,6 +5,7 @@ import (
 
 	"lazyctrl/internal/bloom"
 	"lazyctrl/internal/model"
+	"lazyctrl/internal/telemetry"
 )
 
 // This file holds the incremental half of the G-FIB distribution
@@ -198,6 +199,9 @@ func (m *GFIBNack) decodeBody(src []byte) error {
 type BurstPacket struct {
 	Reason PacketInReason
 	Packet model.Packet
+	// Span is the escalation's telemetry span context (zero when
+	// unsampled; not encoded — see PacketIn.Span).
+	Span telemetry.SpanContext
 }
 
 // PacketInBurst carries several PacketIns from one switch in a single
@@ -249,7 +253,7 @@ func (m *PacketInBurst) decodeBody(src []byte) error {
 func (m *PacketInBurst) PacketIns() []PacketIn {
 	out := make([]PacketIn, len(m.Items))
 	for i := range m.Items {
-		out[i] = PacketIn{Switch: m.Switch, Reason: m.Items[i].Reason, Packet: m.Items[i].Packet}
+		out[i] = PacketIn{Switch: m.Switch, Reason: m.Items[i].Reason, Packet: m.Items[i].Packet, Span: m.Items[i].Span}
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"lazyctrl/internal/model"
+	"lazyctrl/internal/telemetry"
 )
 
 // Hello opens a control connection.
@@ -67,6 +68,13 @@ type PacketIn struct {
 	Switch model.SwitchID
 	Reason PacketInReason
 	Packet model.Packet
+	// Span is the telemetry span context of the escalation's trace
+	// (zero when unsampled). It is not part of the encoded body: the
+	// in-process fabric passes the struct as-is, and on a real wire the
+	// header's existing 4-byte xid field carries the low span-ID bits
+	// (Encode already threads an xid per message), so unreplicated
+	// deployments see no wire format change. See docs/observability.md.
+	Span telemetry.SpanContext
 }
 
 // MsgType implements Message.
@@ -90,6 +98,9 @@ func (m *PacketIn) decodeBody(src []byte) error {
 type PacketOut struct {
 	Actions []Action
 	Packet  model.Packet
+	// Span propagates the originating escalation's trace back to the
+	// edge (not encoded; see PacketIn.Span).
+	Span telemetry.SpanContext
 }
 
 // MsgType implements Message.
@@ -115,6 +126,9 @@ type FlowMod struct {
 	IdleTimeout time.Duration
 	HardTimeout time.Duration
 	Actions     []Action
+	// Span propagates the originating escalation's trace back to the
+	// edge (not encoded; see PacketIn.Span).
+	Span telemetry.SpanContext
 }
 
 // MsgType implements Message.

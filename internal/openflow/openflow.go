@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"lazyctrl/internal/model"
+	"lazyctrl/internal/telemetry"
 )
 
 // Version is the protocol version carried in every header. LazyCtrl
@@ -98,6 +99,15 @@ var msgTypeNames = map[MsgType]string{
 	TypeConfigAck:       "ConfigAck",
 	TypeRoleAnnounce:    "RoleAnnounce",
 	TypeStateSyncRecord: "StateSyncRecord",
+}
+
+// The flight recorders (internal/telemetry) store message types as
+// numeric codes to keep their hot path pointer-free; register the
+// render names once so tails print the wire names.
+func init() {
+	for t, s := range msgTypeNames {
+		telemetry.RegisterFlightType(uint8(t), s)
+	}
 }
 
 // String returns the message type name.

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// FlightEvent is one protocol event in a node's flight recorder: what
+// moved, which way, and the fencing coordinates (generation, version,
+// span) that invariant post-mortems key off. The struct is pointer-free
+// on purpose: Record runs twice per control-plane wire event, and a
+// string field would make every ring store take a GC write barrier.
+// Type is a numeric code; RegisterFlightType names it for rendering.
+type FlightEvent struct {
+	At   time.Duration
+	Peer int64  // the other endpoint's node ID
+	Gen  uint64 // generation stamp, 0 when the message carries none
+	Ver  uint64 // version stamp, 0 when the message carries none
+	Span uint64 // propagated span ID, 0 when unsampled
+	Type uint8  // event type code (see RegisterFlightType)
+	Sent bool   // true when this node sent the message, false on receive
+}
+
+// flightTypeNames maps event type codes to render names. Registration
+// happens at init time (the wire codec registers its MsgType table),
+// so reads on the Tail path are unsynchronized by design.
+var flightTypeNames [256]string
+
+// RegisterFlightType names an event type code for Tail rendering.
+// Intended for package init; later registrations overwrite.
+func RegisterFlightType(code uint8, name string) { flightTypeNames[code] = name }
+
+// FlightTypeName resolves an event type code to its registered name,
+// or a numeric placeholder when unregistered.
+func FlightTypeName(code uint8) string {
+	if s := flightTypeNames[code]; s != "" {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", code)
+}
+
+// Flight is a bounded ring of a node's most recent protocol events.
+// Recording overwrites the oldest entry — the recorder is sized for
+// the post-mortem tail, not for history — and Tail renders oldest to
+// newest deterministically. A nil *Flight no-ops.
+type Flight struct {
+	buf  []FlightEvent
+	next int
+	n    int
+}
+
+// DefaultFlightDepth is the per-node ring size: enough to cover a
+// regroup push round plus the keep-alive chatter around it.
+const DefaultFlightDepth = 32
+
+// NewFlight builds a recorder with the given ring depth (≤0 selects
+// DefaultFlightDepth).
+func NewFlight(depth int) *Flight {
+	if depth <= 0 {
+		depth = DefaultFlightDepth
+	}
+	return &Flight{buf: make([]FlightEvent, depth)}
+}
+
+// Record appends one event, evicting the oldest when full. It runs
+// once per control-plane wire event, so the wrap is a branch, not a
+// modulo.
+func (f *Flight) Record(e FlightEvent) {
+	if f == nil {
+		return
+	}
+	f.buf[f.next] = e
+	if f.next++; f.next == len(f.buf) {
+		f.next = 0
+	}
+	if f.n < len(f.buf) {
+		f.n++
+	}
+}
+
+// Tail returns the recorded events oldest-first, one formatted line
+// each: "t=<ns> <dir>S<peer> <Type> gen=G ver=V span=<id>" with the
+// zero-valued coordinates omitted.
+func (f *Flight) Tail() []string {
+	if f == nil || f.n == 0 {
+		return nil
+	}
+	out := make([]string, 0, f.n)
+	start := (f.next - f.n + len(f.buf)) % len(f.buf)
+	for i := 0; i < f.n; i++ {
+		e := &f.buf[(start+i)%len(f.buf)]
+		dir := "<"
+		if e.Sent {
+			dir = ">"
+		}
+		line := fmt.Sprintf("t=%d %sS%d %s", int64(e.At), dir, e.Peer, FlightTypeName(e.Type))
+		if e.Gen != 0 {
+			line += fmt.Sprintf(" gen=%d", e.Gen)
+		}
+		if e.Ver != 0 {
+			line += fmt.Sprintf(" ver=%d", e.Ver)
+		}
+		if e.Span != 0 {
+			line += fmt.Sprintf(" span=%016x", e.Span)
+		}
+		out = append(out, line)
+	}
+	return out
+}

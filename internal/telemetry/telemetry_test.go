@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistrySnapshotSortedAndDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		c := r.Counter("zeta.count", "last registered, first sorted check")
+		g := r.Gauge("alpha.gauge", "")
+		h := r.Histogram("mid.hist", "latencies")
+		r.Func("beta.func", "derived", func() float64 { return 7.5 })
+		c.Add(3)
+		c.Inc()
+		g.Set(-2.25)
+		for _, v := range []uint64{0, 1, 5, 5, 900} {
+			h.Observe(v)
+		}
+		return r
+	}
+	r := build()
+	snap := r.Snapshot()
+	var names []string
+	for _, s := range snap {
+		names = append(names, s.Name)
+	}
+	want := []string{"alpha.gauge", "beta.func", "mid.hist", "zeta.count"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("snapshot order = %v, want %v", names, want)
+	}
+	if snap[3].Value != 4 || snap[0].Value != -2.25 || snap[1].Value != 7.5 {
+		t.Fatalf("snapshot values wrong: %+v", snap)
+	}
+	if snap[2].Count != 5 || snap[2].Value != 911 {
+		t.Fatalf("histogram sample = %+v, want count 5 sum 911", snap[2])
+	}
+
+	var a, b, prom bytes.Buffer
+	if err := r.WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("JSONL dump not reproducible:\n%s\nvs\n%s", a.Bytes(), b.Bytes())
+	}
+	if err := r.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{
+		"# TYPE zeta.count counter",
+		"zeta.count 4",
+		"# HELP mid.hist latencies",
+		"mid.hist_count 5",
+		`mid.hist_bucket{le="0"} 1`,
+	} {
+		if !strings.Contains(prom.String(), needle) {
+			t.Errorf("prom output missing %q:\n%s", needle, prom.String())
+		}
+	}
+}
+
+func TestNilHandlesNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	h.Observe(9)
+	r.Func("z", "", nil)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+}
+
+func TestHistogramQuantileSemantics(t *testing.T) {
+	h := &Histogram{}
+	// Empty: explicit zero for every q, including the degenerate ones.
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(3) // bucket bitlen 2, edge 3
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000) // bucket bitlen 10, edge 1023
+	}
+	if got := h.Quantile(0.5); got != 3 {
+		t.Fatalf("q50 = %d, want 3", got)
+	}
+	if got := h.Quantile(0.99); got != 1023 {
+		t.Fatalf("q99 = %d, want 1023", got)
+	}
+	if got := h.Quantile(5); got != 1023 {
+		t.Fatalf("q>1 = %d, want max edge 1023", got)
+	}
+	if m := h.Mean(); m < 102 || m > 103 {
+		t.Fatalf("mean = %v, want ≈102.7", m)
+	}
+}
+
+func clockAt(now *time.Duration) func() time.Duration {
+	return func() time.Duration { return *now }
+}
+
+func TestTracerSpansAndSampling(t *testing.T) {
+	var now time.Duration
+	tr := NewTracer(clockAt(&now), 1, 42)
+	root := tr.StartTrace("pktin")
+	if root == nil {
+		t.Fatal("sample=1 must keep every trace")
+	}
+	now = 5 * time.Microsecond
+	child := tr.StartSpan(root.Context(), "ctrl").Attr("decision", 2)
+	now = 7 * time.Microsecond
+	child.End()
+	tr.Emit(root.Context(), "batch", 1*time.Microsecond, 4*time.Microsecond)
+	now = 9 * time.Microsecond
+	root.End()
+	if tr.Len() != 3 {
+		t.Fatalf("completed spans = %d, want 3", tr.Len())
+	}
+	tree := tr.TreeString()
+	want := "pktin [0 9000]\n  batch [1000 4000]\n  ctrl [5000 7000] decision=2\n"
+	if tree != want {
+		t.Fatalf("tree:\n%s\nwant:\n%s", tree, want)
+	}
+
+	// Unsampled: nil spans all the way down, zero completed spans.
+	off := NewTracer(clockAt(&now), 0, 42)
+	r2 := off.StartTrace("pktin")
+	if r2 != nil {
+		t.Fatal("sample=0 must drop every trace")
+	}
+	off.StartSpan(r2.Context(), "ctrl").Attr("k", 1).End()
+	off.Emit(r2.Context(), "batch", 0, 0)
+	if off.Len() != 0 || off.Dropped.Value() != 1 || off.Kept.Value() != 0 {
+		t.Fatalf("unsampled tracer recorded spans: len=%d kept=%d dropped=%d",
+			off.Len(), off.Kept.Value(), off.Dropped.Value())
+	}
+
+	// Partial sampling is a deterministic function of the seed.
+	count := func() uint64 {
+		p := NewTracer(clockAt(&now), 0.5, 7)
+		for i := 0; i < 1000; i++ {
+			if s := p.StartTrace("t"); s != nil {
+				s.End()
+			}
+		}
+		return p.Kept.Value()
+	}
+	k1, k2 := count(), count()
+	if k1 != k2 {
+		t.Fatalf("sampling not deterministic: %d vs %d", k1, k2)
+	}
+	if k1 < 400 || k1 > 600 {
+		t.Fatalf("sample=0.5 kept %d of 1000, want ≈500", k1)
+	}
+
+	// Nil tracer: everything no-ops.
+	var nilT *Tracer
+	nilT.StartSpan(SpanContext{Trace: 1, Span: 1}, "x").End()
+	nilT.Emit(SpanContext{Trace: 1, Span: 1}, "y", 0, 0)
+	if nilT.Len() != 0 || nilT.TreeString() != "" {
+		t.Fatal("nil tracer must no-op")
+	}
+	if err := nilT.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerDumpReproducible(t *testing.T) {
+	run := func() []byte {
+		var now time.Duration
+		tr := NewTracer(clockAt(&now), 0.8, 99)
+		for i := 0; i < 50; i++ {
+			now = time.Duration(i) * time.Millisecond
+			root := tr.StartTrace("pktin")
+			sp := tr.StartSpan(root.Context(), "ctrl")
+			sp.Attr("i", int64(i)).End()
+			root.End()
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("span dump not byte-identical across same-seed runs")
+	}
+}
+
+func TestFlightRingAndTail(t *testing.T) {
+	const tGroupConfig, tConfigAck = 11, 12
+	RegisterFlightType(tGroupConfig, "GroupConfig")
+	RegisterFlightType(tConfigAck, "ConfigAck")
+	var f *Flight
+	f.Record(FlightEvent{Type: tGroupConfig}) // nil no-op
+	if f.Tail() != nil {
+		t.Fatal("nil flight tail must be nil")
+	}
+	f = NewFlight(4)
+	if f.Tail() != nil {
+		t.Fatal("empty flight tail must be nil")
+	}
+	for i := 1; i <= 6; i++ {
+		f.Record(FlightEvent{
+			At: time.Duration(i) * time.Second, Sent: i%2 == 0, Peer: int64(i),
+			Type: tGroupConfig, Gen: uint64(i), Ver: uint64(10 + i),
+		})
+	}
+	tail := f.Tail()
+	if len(tail) != 4 {
+		t.Fatalf("tail length = %d, want ring depth 4", len(tail))
+	}
+	if want := "t=3000000000 <S3 GroupConfig gen=3 ver=13"; tail[0] != want {
+		t.Fatalf("tail[0] = %q, want %q (oldest surviving event)", tail[0], want)
+	}
+	if want := "t=6000000000 >S6 GroupConfig gen=6 ver=16"; tail[3] != want {
+		t.Fatalf("tail[3] = %q, want %q", tail[3], want)
+	}
+	f.Record(FlightEvent{At: 7 * time.Second, Peer: 7, Type: tConfigAck, Span: 0xabc})
+	last := f.Tail()[3]
+	if want := "t=7000000000 <S7 ConfigAck span=0000000000000abc"; last != want {
+		t.Fatalf("span formatting = %q, want %q", last, want)
+	}
+}
